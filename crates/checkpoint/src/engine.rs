@@ -1,0 +1,303 @@
+//! The pluggable checkpoint engine.
+//!
+//! Pronghorn's Orchestrator "calls the Checkpoint Engine" to snapshot the
+//! function process and to restore one (§3.2 steps 5–6). The engine here is
+//! the simulation's CRIU: it serializes any [`Checkpointable`] process into
+//! a [`Snapshot`] and reconstitutes it, reporting how much virtual time the
+//! operation would have cost under the Table 4 model.
+
+use crate::codec::{CodecError, Decoder, Encoder};
+use crate::cost::CheckpointCostModel;
+use crate::snapshot::{Snapshot, SnapshotFormatError, SnapshotMeta};
+use bytes::Bytes;
+use pronghorn_sim::SimDuration;
+use rand::Rng;
+use std::fmt;
+
+/// A process whose state can be checkpointed and restored.
+///
+/// Implementors serialize *all* state that survives a restore — for the
+/// JIT runtime simulator that is the per-method tier state, profiling
+/// counters, compile queue, and code cache.
+pub trait Checkpointable: Sized {
+    /// Serializes the full process state.
+    fn encode_state(&self, enc: &mut Encoder);
+
+    /// Reconstructs a process from serialized state.
+    fn decode_state(dec: &mut Decoder<'_>) -> Result<Self, CodecError>;
+
+    /// Modeled size in bytes of the process image a real engine would dump
+    /// (heap + code cache + runtime metadata), after compression.
+    fn image_size_bytes(&self) -> u64;
+}
+
+/// Errors surfaced by checkpoint/restore operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The snapshot container failed validation.
+    Format(SnapshotFormatError),
+    /// The payload decoded but did not describe a valid process state.
+    State(CodecError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Format(e) => write!(f, "snapshot format error: {e}"),
+            EngineError::State(e) => write!(f, "process state error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SnapshotFormatError> for EngineError {
+    fn from(e: SnapshotFormatError) -> Self {
+        EngineError::Format(e)
+    }
+}
+
+impl From<CodecError> for EngineError {
+    fn from(e: CodecError) -> Self {
+        EngineError::State(e)
+    }
+}
+
+/// The simulated CRIU engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimCriuEngine {
+    /// Timing model applied to every operation.
+    pub costs: CheckpointCostModel,
+}
+
+impl SimCriuEngine {
+    /// Creates an engine with the default (Table 4) cost model.
+    pub fn new() -> Self {
+        SimCriuEngine::default()
+    }
+
+    /// Creates an engine with a custom cost model.
+    pub fn with_costs(costs: CheckpointCostModel) -> Self {
+        SimCriuEngine { costs }
+    }
+
+    /// Checkpoints `process`, returning the snapshot and the worker
+    /// downtime the operation cost (§5.3: "a brief worker downtime on the
+    /// order of 60–105 ms").
+    pub fn checkpoint<T, R>(
+        &self,
+        rng: &mut R,
+        process: &T,
+        meta: SnapshotMeta,
+    ) -> (Snapshot, SimDuration)
+    where
+        T: Checkpointable,
+        R: Rng + ?Sized,
+    {
+        let mut enc = Encoder::new();
+        process.encode_state(&mut enc);
+        let payload = Bytes::from(enc.into_bytes());
+        let nominal = process.image_size_bytes();
+        // Unique id even for byte-identical states: identical lineages
+        // checkpointed at the same request number must not collide in the
+        // snapshot pool.
+        let nonce: u64 = rng.gen();
+        let snapshot = Snapshot::with_nonce(meta, payload, nominal, nonce);
+        let cost = self.costs.sample_checkpoint_us(rng, nominal);
+        (snapshot, SimDuration::from_micros_f64(cost))
+    }
+
+    /// Restores a process from `snapshot`, returning it and the restore
+    /// latency experienced by the cold-path of the new worker.
+    pub fn restore<T, R>(
+        &self,
+        rng: &mut R,
+        snapshot: &Snapshot,
+    ) -> Result<(T, SimDuration), EngineError>
+    where
+        T: Checkpointable,
+        R: Rng + ?Sized,
+    {
+        let mut dec = Decoder::new(&snapshot.payload);
+        let process = T::decode_state(&mut dec)?;
+        dec.finish().map_err(EngineError::State)?;
+        let cost = self.costs.sample_restore_us(rng, snapshot.nominal_size);
+        Ok((process, SimDuration::from_micros_f64(cost)))
+    }
+
+    /// Restores from transport bytes (store download), validating framing.
+    pub fn restore_from_bytes<T, R>(
+        &self,
+        rng: &mut R,
+        bytes: &[u8],
+    ) -> Result<(T, Snapshot, SimDuration), EngineError>
+    where
+        T: Checkpointable,
+        R: Rng + ?Sized,
+    {
+        let snapshot = Snapshot::from_bytes(bytes)?;
+        let (process, cost) = self.restore(rng, &snapshot)?;
+        Ok((process, snapshot, cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// A toy process for engine tests.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Counter {
+        value: u64,
+        history: Vec<f64>,
+    }
+
+    impl Checkpointable for Counter {
+        fn encode_state(&self, enc: &mut Encoder) {
+            enc.put_u64(self.value);
+            enc.put_f64_slice(&self.history);
+        }
+
+        fn decode_state(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+            Ok(Counter {
+                value: dec.take_u64()?,
+                history: dec.take_f64_vec()?,
+            })
+        }
+
+        fn image_size_bytes(&self) -> u64 {
+            10 * 1024 * 1024
+        }
+    }
+
+    fn meta() -> SnapshotMeta {
+        SnapshotMeta {
+            function: "counter".into(),
+            request_number: 9,
+            runtime: "toy".into(),
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_state() {
+        let engine = SimCriuEngine::new();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let process = Counter {
+            value: 41,
+            history: vec![1.5, 2.5],
+        };
+        let (snap, ckpt_cost) = engine.checkpoint(&mut rng, &process, meta());
+        assert!(ckpt_cost > SimDuration::ZERO);
+        assert_eq!(snap.meta.request_number, 9);
+        assert_eq!(snap.nominal_size, 10 * 1024 * 1024);
+        let (restored, rest_cost): (Counter, _) = engine.restore(&mut rng, &snap).unwrap();
+        assert!(rest_cost > SimDuration::ZERO);
+        assert_eq!(restored, process);
+    }
+
+    #[test]
+    fn restore_from_transport_bytes() {
+        let engine = SimCriuEngine::new();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let process = Counter {
+            value: 7,
+            history: vec![],
+        };
+        let (snap, _) = engine.checkpoint(&mut rng, &process, meta());
+        let bytes = snap.to_bytes();
+        let (restored, snap2, _) = engine
+            .restore_from_bytes::<Counter, _>(&mut rng, &bytes)
+            .unwrap();
+        assert_eq!(restored, process);
+        assert_eq!(snap2, snap);
+    }
+
+    #[test]
+    fn corrupt_payload_is_a_state_error() {
+        let engine = SimCriuEngine::new();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let process = Counter {
+            value: 7,
+            history: vec![1.0],
+        };
+        let (mut snap, _) = engine.checkpoint(&mut rng, &process, meta());
+        // Truncate the payload: framing is fine, state is not.
+        snap.payload = snap.payload.slice(..snap.payload.len() - 1);
+        let err = engine.restore::<Counter, _>(&mut rng, &snap).unwrap_err();
+        assert!(matches!(err, EngineError::State(_)));
+    }
+
+    #[test]
+    fn trailing_state_bytes_are_rejected() {
+        let engine = SimCriuEngine::new();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let process = Counter {
+            value: 7,
+            history: vec![],
+        };
+        let (mut snap, _) = engine.checkpoint(&mut rng, &process, meta());
+        let mut extended = snap.payload.to_vec();
+        extended.push(0);
+        snap.payload = Bytes::from(extended);
+        let err = engine.restore::<Counter, _>(&mut rng, &snap).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::State(CodecError::TrailingBytes { remaining: 1 })
+        ));
+    }
+
+    #[test]
+    fn corrupt_transport_is_a_format_error() {
+        let engine = SimCriuEngine::new();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let err = engine
+            .restore_from_bytes::<Counter, _>(&mut rng, b"junk")
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Format(_)));
+    }
+
+    #[test]
+    fn costs_scale_with_image_size() {
+        #[derive(Debug)]
+        struct Big;
+        impl Checkpointable for Big {
+            fn encode_state(&self, enc: &mut Encoder) {
+                enc.put_u8(0);
+            }
+            fn decode_state(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+                dec.take_u8()?;
+                Ok(Big)
+            }
+            fn image_size_bytes(&self) -> u64 {
+                64 * 1024 * 1024
+            }
+        }
+        let engine = SimCriuEngine::new();
+        // Compare means across many samples to dodge jitter.
+        let avg = |image: bool| -> f64 {
+            let mut rng = SmallRng::seed_from_u64(8);
+            let mut total = 0.0;
+            for _ in 0..200 {
+                let cost = if image {
+                    let (_, c) = engine.checkpoint(&mut rng, &Big, meta());
+                    c
+                } else {
+                    let (_, c) = engine.checkpoint(
+                        &mut rng,
+                        &Counter {
+                            value: 0,
+                            history: vec![],
+                        },
+                        meta(),
+                    );
+                    c
+                };
+                total += cost.as_micros() as f64;
+            }
+            total / 200.0
+        };
+        assert!(avg(true) > avg(false));
+    }
+}

@@ -1,0 +1,298 @@
+//! The snapshot container format.
+//!
+//! A snapshot is what the Checkpoint Engine produces and the Object Store
+//! transports: the serialized process state, tagged with the function it
+//! belongs to and the request number at which it was taken (the key input
+//! to the request-centric policy), framed with a magic number, format
+//! version, and an FNV-1a checksum so corruption surfaces as a typed error
+//! on restore.
+
+use crate::codec::{CodecError, Decoder, Encoder};
+use bytes::Bytes;
+use pronghorn_sim::hash::fnv1a;
+use std::fmt;
+
+/// Magic bytes opening every serialized snapshot.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"PRSNAP\x00\x01";
+
+/// Current container format version.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// Unique identity of a snapshot within a deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SnapshotId(pub u64);
+
+impl fmt::Display for SnapshotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snap-{:016x}", self.0)
+    }
+}
+
+/// Descriptive metadata carried by a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Function the snapshot belongs to, e.g. `"dynamic-html"`.
+    pub function: String,
+    /// Request number at which the checkpoint was taken — the policy's
+    /// coordinate in the `[0, W)` search space.
+    pub request_number: u32,
+    /// Label of the runtime that produced the state, e.g. `"jvm"`.
+    pub runtime: String,
+}
+
+/// A checkpointed process image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Snapshot identity (content-derived).
+    pub id: SnapshotId,
+    /// Descriptive metadata.
+    pub meta: SnapshotMeta,
+    /// Serialized process state.
+    pub payload: Bytes,
+    /// Modeled size in bytes of the (compressed) process image a real
+    /// checkpoint engine would have produced; drives transfer/storage cost
+    /// accounting (Tables 4 and 5).
+    pub nominal_size: u64,
+}
+
+impl Snapshot {
+    /// Builds a snapshot, deriving its id from content and metadata.
+    ///
+    /// Two checkpoints of byte-identical state get the same id; engines
+    /// that may checkpoint identical states (identical lineages at the
+    /// same request number occur routinely) should use
+    /// [`Snapshot::with_nonce`] to keep ids unique.
+    pub fn new(meta: SnapshotMeta, payload: Bytes, nominal_size: u64) -> Self {
+        Snapshot::with_nonce(meta, payload, nominal_size, 0)
+    }
+
+    /// Builds a snapshot whose id additionally mixes in `nonce`.
+    pub fn with_nonce(meta: SnapshotMeta, payload: Bytes, nominal_size: u64, nonce: u64) -> Self {
+        let mut hasher = pronghorn_sim::hash::Fnv1a::new();
+        hasher.write(meta.function.as_bytes());
+        hasher.write_u64(u64::from(meta.request_number));
+        hasher.write(&payload);
+        hasher.write_u64(nominal_size);
+        hasher.write_u64(nonce);
+        Snapshot {
+            id: SnapshotId(pronghorn_sim::hash::mix64(hasher.finish())),
+            meta,
+            payload,
+            nominal_size,
+        }
+    }
+
+    /// Nominal size in (binary) megabytes, as Table 4 reports it.
+    pub fn nominal_size_mb(&self) -> f64 {
+        self.nominal_size as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Serializes the snapshot into its transport framing.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut enc = Encoder::with_capacity(64 + self.payload.len());
+        enc.put_bytes(SNAPSHOT_MAGIC); // length-prefixed magic keeps framing uniform
+        enc.put_u16(SNAPSHOT_VERSION);
+        enc.put_u64(self.id.0);
+        enc.put_str(&self.meta.function);
+        enc.put_u32(self.meta.request_number);
+        enc.put_str(&self.meta.runtime);
+        enc.put_u64(self.nominal_size);
+        enc.put_bytes(&self.payload);
+        let checksum = fnv1a(enc.as_bytes());
+        enc.put_u64(checksum);
+        Bytes::from(enc.into_bytes())
+    }
+
+    /// Deserializes and validates a snapshot produced by [`Self::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotFormatError> {
+        if bytes.len() < 8 {
+            return Err(SnapshotFormatError::Codec(CodecError::UnexpectedEof {
+                needed: 8,
+                remaining: bytes.len(),
+            }));
+        }
+        let (body, checksum_bytes) = bytes.split_at(bytes.len() - 8);
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(checksum_bytes);
+        let stored_checksum = u64::from_le_bytes(arr);
+        let actual_checksum = fnv1a(body);
+        if stored_checksum != actual_checksum {
+            return Err(SnapshotFormatError::ChecksumMismatch {
+                expected: stored_checksum,
+                actual: actual_checksum,
+            });
+        }
+        let mut dec = Decoder::new(body);
+        let magic = dec.take_bytes()?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotFormatError::BadMagic);
+        }
+        let version = dec.take_u16()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotFormatError::UnsupportedVersion(version));
+        }
+        let id = SnapshotId(dec.take_u64()?);
+        let function = dec.take_str()?.to_string();
+        let request_number = dec.take_u32()?;
+        let runtime = dec.take_str()?.to_string();
+        let nominal_size = dec.take_u64()?;
+        let payload = Bytes::copy_from_slice(dec.take_bytes()?);
+        dec.finish()?;
+        Ok(Snapshot {
+            id,
+            meta: SnapshotMeta {
+                function,
+                request_number,
+                runtime,
+            },
+            payload,
+            nominal_size,
+        })
+    }
+}
+
+/// Errors produced while parsing snapshot framing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotFormatError {
+    /// The magic bytes do not open the buffer.
+    BadMagic,
+    /// A newer (or corrupt) format version.
+    UnsupportedVersion(u16),
+    /// The trailer checksum does not match the content.
+    ChecksumMismatch {
+        /// Checksum stored in the trailer.
+        expected: u64,
+        /// Checksum of the actual content.
+        actual: u64,
+    },
+    /// Structural decode failure.
+    Codec(CodecError),
+}
+
+impl fmt::Display for SnapshotFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotFormatError::BadMagic => write!(f, "not a snapshot (bad magic)"),
+            SnapshotFormatError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v}")
+            }
+            SnapshotFormatError::ChecksumMismatch { expected, actual } => {
+                write!(f, "snapshot checksum mismatch ({expected:#x} != {actual:#x})")
+            }
+            SnapshotFormatError::Codec(e) => write!(f, "snapshot decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotFormatError {}
+
+impl From<CodecError> for SnapshotFormatError {
+    fn from(e: CodecError) -> Self {
+        SnapshotFormatError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot::new(
+            SnapshotMeta {
+                function: "dynamic-html".into(),
+                request_number: 137,
+                runtime: "pypy".into(),
+            },
+            Bytes::from_static(b"jit-state-bytes"),
+            55 * 1024 * 1024,
+        )
+    }
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let snap = sample();
+        let restored = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(restored, snap);
+    }
+
+    #[test]
+    fn id_depends_on_content_and_meta() {
+        let a = sample();
+        let mut meta = a.meta.clone();
+        meta.request_number = 138;
+        let b = Snapshot::new(meta, a.payload.clone(), a.nominal_size);
+        assert_ne!(a.id, b.id);
+        let c = Snapshot::new(a.meta.clone(), Bytes::from_static(b"other"), a.nominal_size);
+        assert_ne!(a.id, c.id);
+    }
+
+    #[test]
+    fn nominal_size_mb_conversion() {
+        assert!((sample().nominal_size_mb() - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corruption_is_detected_by_checksum() {
+        let mut bytes = sample().to_bytes().to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotFormatError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = sample().to_bytes();
+        assert!(Snapshot::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        assert!(Snapshot::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let snap = sample();
+        // Re-frame with wrong magic but a valid checksum.
+        let mut enc = Encoder::new();
+        enc.put_bytes(b"WRONGMG\x01");
+        enc.put_u16(SNAPSHOT_VERSION);
+        enc.put_u64(snap.id.0);
+        enc.put_str(&snap.meta.function);
+        enc.put_u32(snap.meta.request_number);
+        enc.put_str(&snap.meta.runtime);
+        enc.put_u64(snap.nominal_size);
+        enc.put_bytes(&snap.payload);
+        let checksum = fnv1a(enc.as_bytes());
+        enc.put_u64(checksum);
+        assert_eq!(
+            Snapshot::from_bytes(&enc.into_bytes()),
+            Err(SnapshotFormatError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let snap = sample();
+        let mut enc = Encoder::new();
+        enc.put_bytes(SNAPSHOT_MAGIC);
+        enc.put_u16(SNAPSHOT_VERSION + 1);
+        enc.put_u64(snap.id.0);
+        enc.put_str(&snap.meta.function);
+        enc.put_u32(snap.meta.request_number);
+        enc.put_str(&snap.meta.runtime);
+        enc.put_u64(snap.nominal_size);
+        enc.put_bytes(&snap.payload);
+        let checksum = fnv1a(enc.as_bytes());
+        enc.put_u64(checksum);
+        assert_eq!(
+            Snapshot::from_bytes(&enc.into_bytes()),
+            Err(SnapshotFormatError::UnsupportedVersion(SNAPSHOT_VERSION + 1))
+        );
+    }
+
+    #[test]
+    fn display_formats_id() {
+        let id = SnapshotId(0xabcd);
+        assert_eq!(id.to_string(), "snap-000000000000abcd");
+    }
+}

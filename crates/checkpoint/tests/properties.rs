@@ -1,0 +1,150 @@
+//! Property-based tests for the codec and snapshot format.
+
+use bytes::Bytes;
+use pronghorn_checkpoint::codec::{Decoder, Encoder};
+use pronghorn_checkpoint::{Snapshot, SnapshotMeta};
+use proptest::prelude::*;
+
+/// One primitive value the codec can carry.
+#[derive(Debug, Clone, PartialEq)]
+enum Field {
+    U8(u8),
+    U16(u16),
+    U32(u32),
+    U64(u64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+    Bytes(Vec<u8>),
+    F64Vec(Vec<f64>),
+    OptU32(Option<u32>),
+}
+
+fn field_strategy() -> impl Strategy<Value = Field> {
+    prop_oneof![
+        any::<u8>().prop_map(Field::U8),
+        any::<u16>().prop_map(Field::U16),
+        any::<u32>().prop_map(Field::U32),
+        any::<u64>().prop_map(Field::U64),
+        any::<f64>().prop_map(Field::F64),
+        any::<bool>().prop_map(Field::Bool),
+        ".{0,64}".prop_map(Field::Str),
+        prop::collection::vec(any::<u8>(), 0..128).prop_map(Field::Bytes),
+        prop::collection::vec(any::<f64>(), 0..32).prop_map(Field::F64Vec),
+        prop::option::of(any::<u32>()).prop_map(Field::OptU32),
+    ]
+}
+
+fn encode_fields(fields: &[Field]) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    for f in fields {
+        match f {
+            Field::U8(v) => enc.put_u8(*v),
+            Field::U16(v) => enc.put_u16(*v),
+            Field::U32(v) => enc.put_u32(*v),
+            Field::U64(v) => enc.put_u64(*v),
+            Field::F64(v) => enc.put_f64(*v),
+            Field::Bool(v) => enc.put_bool(*v),
+            Field::Str(v) => enc.put_str(v),
+            Field::Bytes(v) => enc.put_bytes(v),
+            Field::F64Vec(v) => enc.put_f64_slice(v),
+            Field::OptU32(v) => enc.put_option(v, |e, x| e.put_u32(*x)),
+        }
+    }
+    enc.into_bytes()
+}
+
+fn bits_equal(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+proptest! {
+    /// Arbitrary field sequences decode back exactly, with nothing left.
+    #[test]
+    fn codec_round_trips_arbitrary_sequences(
+        fields in prop::collection::vec(field_strategy(), 0..24)
+    ) {
+        let bytes = encode_fields(&fields);
+        let mut dec = Decoder::new(&bytes);
+        for f in &fields {
+            match f {
+                Field::U8(v) => prop_assert_eq!(dec.take_u8().unwrap(), *v),
+                Field::U16(v) => prop_assert_eq!(dec.take_u16().unwrap(), *v),
+                Field::U32(v) => prop_assert_eq!(dec.take_u32().unwrap(), *v),
+                Field::U64(v) => prop_assert_eq!(dec.take_u64().unwrap(), *v),
+                Field::F64(v) => prop_assert!(bits_equal(dec.take_f64().unwrap(), *v)),
+                Field::Bool(v) => prop_assert_eq!(dec.take_bool().unwrap(), *v),
+                Field::Str(v) => prop_assert_eq!(dec.take_str().unwrap(), v.as_str()),
+                Field::Bytes(v) => prop_assert_eq!(dec.take_bytes().unwrap(), v.as_slice()),
+                Field::F64Vec(v) => {
+                    let out = dec.take_f64_vec().unwrap();
+                    prop_assert_eq!(out.len(), v.len());
+                    for (a, b) in out.iter().zip(v) {
+                        prop_assert!(bits_equal(*a, *b));
+                    }
+                }
+                Field::OptU32(v) => {
+                    prop_assert_eq!(dec.take_option(|d| d.take_u32()).unwrap(), *v)
+                }
+            }
+        }
+        prop_assert!(dec.finish().is_ok());
+    }
+
+    /// The decoder never panics on arbitrary garbage.
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let mut dec = Decoder::new(&bytes);
+        // Exercise every accessor; errors are fine, panics are not.
+        let _ = dec.take_u8();
+        let _ = dec.take_u16();
+        let _ = dec.take_u64();
+        let _ = dec.take_bytes();
+        let _ = dec.take_str();
+        let _ = dec.take_f64_vec();
+        let _ = dec.take_option(|d| d.take_u32());
+    }
+
+    /// Snapshots round-trip their framing exactly.
+    #[test]
+    fn snapshot_framing_round_trips(
+        function in "[a-zA-Z0-9_-]{1,32}",
+        request_number in any::<u32>(),
+        runtime in "[a-z]{1,8}",
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+        nominal in any::<u64>(),
+        nonce in any::<u64>(),
+    ) {
+        let snap = Snapshot::with_nonce(
+            SnapshotMeta { function, request_number, runtime },
+            Bytes::from(payload),
+            nominal,
+            nonce,
+        );
+        let decoded = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        prop_assert_eq!(decoded, snap);
+    }
+
+    /// Any single-byte corruption of the framing is detected.
+    #[test]
+    fn snapshot_corruption_is_detected(
+        payload in prop::collection::vec(any::<u8>(), 1..128),
+        flip_pos_frac in 0.0f64..1.0,
+        flip_mask in 1u8..=255,
+    ) {
+        let snap = Snapshot::new(
+            SnapshotMeta { function: "f".into(), request_number: 3, runtime: "jvm".into() },
+            Bytes::from(payload),
+            1 << 20,
+        );
+        let mut bytes = snap.to_bytes().to_vec();
+        let pos = ((bytes.len() - 1) as f64 * flip_pos_frac) as usize;
+        bytes[pos] ^= flip_mask;
+        // Either the checksum or the structure catches it; silently
+        // returning a *different* snapshot would be a bug.
+        match Snapshot::from_bytes(&bytes) {
+            Err(_) => {}
+            Ok(decoded) => prop_assert_eq!(decoded, snap),
+        }
+    }
+}

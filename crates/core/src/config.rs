@@ -1,0 +1,201 @@
+//! Policy configuration — Table 2's notation.
+//!
+//! | symbol | field | paper default |
+//! |---|---|---|
+//! | `β` | [`PolicyConfig::beta`] | eviction rate (requests per worker) |
+//! | `C` | [`PolicyConfig::capacity`] | 12 snapshots |
+//! | `W` | [`PolicyConfig::w`] | 100 (PyPy) / 200 (JVM) |
+//! | `α` | [`PolicyConfig::alpha`] | EWMA proportion |
+//! | `p` | [`PolicyConfig::keep_top_frac`] | 40% |
+//! | `γ` | [`PolicyConfig::keep_random_frac`] | 10% |
+//! | `µ` | [`PolicyConfig::mu`] | tiny positive constant |
+
+/// How the policy picks a snapshot from the pool at worker start.
+///
+/// The paper uses softmax sampling (§3.4) so that "even snapshots that
+/// have high lifetime latencies will still be restored from, albeit less
+/// often"; the alternatives exist for the ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionStrategy {
+    /// Softmax over normalized lifetime weights (the paper's choice).
+    #[default]
+    Softmax,
+    /// Always the highest-weight snapshot (pure exploitation).
+    Greedy,
+    /// Uniformly random (pure exploration).
+    Uniform,
+}
+
+/// Parameters of the request-centric orchestration policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyConfig {
+    /// `α`: proportion for the EWMA weight update (part 3 of Algorithm 1).
+    pub alpha: f64,
+    /// `β`: average requests a worker serves before eviction, precomputed
+    /// by the cloud provider (§3.4 "Precomputed").
+    pub beta: u32,
+    /// `W`: largest request number at which checkpointing is permitted —
+    /// the `[0, W)` search space.
+    pub w: u32,
+    /// `C`: maximum snapshot-pool capacity.
+    pub capacity: usize,
+    /// `p`: fraction of top snapshots retained when capacity is reached.
+    pub keep_top_frac: f64,
+    /// `γ`: fraction of randomly chosen snapshots also retained.
+    pub keep_random_frac: f64,
+    /// `µ`: the tiny positive constant in `Pr[i] = 1/(θ[i]+µ)`. Relative
+    /// to latencies in µs, so unexplored slots (θ=0) get weight `1/µ`,
+    /// orders of magnitude above any explored slot.
+    pub mu: f64,
+    /// Scale applied before the softmax over snapshot weights. Raw weights
+    /// are inverse microseconds (~1e-4); a raw softmax over them would be
+    /// uniform. Weights are normalized to `[0, softmax_scale]` first —
+    /// the equivalent of the temperature the authors' implementation
+    /// applies implicitly by working in seconds.
+    pub softmax_scale: f64,
+    /// Snapshot-selection strategy (softmax in the paper; greedy/uniform
+    /// for ablations).
+    pub selection: SelectionStrategy,
+}
+
+impl PolicyConfig {
+    /// The paper's evaluation configuration for PyPy benchmarks
+    /// (`p = 40%`, `γ = 10%`, `C = 12`, `W = 100`).
+    pub fn paper_pypy() -> Self {
+        PolicyConfig {
+            alpha: 0.3,
+            beta: 1,
+            w: 100,
+            capacity: 12,
+            keep_top_frac: 0.40,
+            keep_random_frac: 0.10,
+            mu: 1e-3,
+            softmax_scale: 6.0,
+            selection: SelectionStrategy::Softmax,
+        }
+    }
+
+    /// The paper's evaluation configuration for JVM benchmarks (`W = 200`,
+    /// "since the JVM generally takes twice as long as PyPy to arrive at
+    /// an optima").
+    pub fn paper_jvm() -> Self {
+        PolicyConfig {
+            w: 200,
+            ..PolicyConfig::paper_pypy()
+        }
+    }
+
+    /// Sets `β` (the expected worker lifetime, i.e. the eviction rate).
+    pub fn with_beta(mut self, beta: u32) -> Self {
+        self.beta = beta.max(1);
+        self
+    }
+
+    /// Sets the pool capacity `C`.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the EWMA proportion `α`, clamped to `(0, 1]`.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha.clamp(f64::MIN_POSITIVE, 1.0);
+        self
+    }
+
+    /// Sets the search-space bound `W`.
+    pub fn with_w(mut self, w: u32) -> Self {
+        self.w = w.max(1);
+        self
+    }
+
+    /// Sets the eviction fractions `p` and `γ`, clamped to `[0, 1]`.
+    pub fn with_eviction_fracs(mut self, p: f64, gamma: f64) -> Self {
+        self.keep_top_frac = p.clamp(0.0, 1.0);
+        self.keep_random_frac = gamma.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the snapshot-selection strategy.
+    pub fn with_selection(mut self, selection: SelectionStrategy) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Validates internal consistency; the orchestrator asserts this once
+    /// at startup.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(format!("alpha {} outside (0, 1]", self.alpha));
+        }
+        if self.beta == 0 || self.w == 0 || self.capacity == 0 {
+            return Err("beta, w and capacity must be positive".to_string());
+        }
+        if !(self.mu > 0.0 && self.mu.is_finite()) {
+            return Err(format!("mu {} must be a tiny positive constant", self.mu));
+        }
+        if !(self.softmax_scale > 0.0 && self.softmax_scale.is_finite()) {
+            return Err(format!("softmax_scale {} invalid", self.softmax_scale));
+        }
+        if !(0.0..=1.0).contains(&self.keep_top_frac)
+            || !(0.0..=1.0).contains(&self.keep_random_frac)
+        {
+            return Err("eviction fractions must lie in [0, 1]".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig::paper_pypy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_5_1() {
+        let pypy = PolicyConfig::paper_pypy();
+        assert_eq!(pypy.w, 100);
+        assert_eq!(pypy.capacity, 12);
+        assert_eq!(pypy.keep_top_frac, 0.40);
+        assert_eq!(pypy.keep_random_frac, 0.10);
+        let jvm = PolicyConfig::paper_jvm();
+        assert_eq!(jvm.w, 200);
+        assert_eq!(jvm.capacity, 12);
+    }
+
+    #[test]
+    fn builders_clamp() {
+        let c = PolicyConfig::default()
+            .with_beta(0)
+            .with_capacity(0)
+            .with_alpha(9.0)
+            .with_w(0)
+            .with_eviction_fracs(2.0, -1.0);
+        assert_eq!(c.beta, 1);
+        assert_eq!(c.capacity, 1);
+        assert_eq!(c.alpha, 1.0);
+        assert_eq!(c.w, 1);
+        assert_eq!(c.keep_top_frac, 1.0);
+        assert_eq!(c.keep_random_frac, 0.0);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_values() {
+        let c = PolicyConfig { mu: 0.0, ..PolicyConfig::default() };
+        assert!(c.validate().is_err());
+        let c = PolicyConfig { alpha: 0.0, ..PolicyConfig::default() };
+        assert!(c.validate().is_err());
+        let c = PolicyConfig {
+            softmax_scale: f64::NAN,
+            ..PolicyConfig::default()
+        };
+        assert!(c.validate().is_err());
+        assert!(PolicyConfig::default().validate().is_ok());
+    }
+}

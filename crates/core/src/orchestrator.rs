@@ -1,0 +1,539 @@
+//! The per-function Orchestrator: policy + Database + Object Store.
+//!
+//! Figure 2's execution steps live here. At worker start the Orchestrator
+//! reads the shared policy state from the Database, asks the policy for a
+//! start decision, and downloads the chosen snapshot from the Object Store
+//! (steps 3–4 plus the restore path). After each request it folds the
+//! end-to-end latency into the Database-persisted weight vector (step 3).
+//! When the policy schedules a checkpoint, the Orchestrator uploads the
+//! snapshot and records its metadata (steps 5–8), deleting any blobs the
+//! pool evicted.
+//!
+//! Every operation's virtual cost is accumulated into [`OverheadTotals`] —
+//! the per-worker-startup / per-request / per-checkpoint decomposition of
+//! Figure 7. All of these costs are off the user-visible critical path
+//! (§5.3); the platform charges them to worker downtime, not to request
+//! latency.
+
+use crate::policy::{Policy, PolicyKind, StartDecision};
+use crate::pool::PoolEntry;
+use pronghorn_checkpoint::{Snapshot, SnapshotId};
+use pronghorn_kv::{types as kvtypes, KvCosts, KvStore};
+use pronghorn_sim::SimDuration;
+use pronghorn_store::{ObjectStore, StoreError, TransferModel};
+use rand::RngCore;
+
+/// Object-store bucket holding snapshot blobs.
+pub const SNAPSHOT_BUCKET: &str = "snapshots";
+
+/// Accumulated orchestration overheads (Figure 7's three components).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OverheadTotals {
+    /// Total worker-startup overhead, µs (decision + state reads +
+    /// snapshot download).
+    pub startup_us: f64,
+    /// Worker startups observed.
+    pub startups: u64,
+    /// Total per-request overhead, µs (latency recording + weight write).
+    pub request_us: f64,
+    /// Requests observed.
+    pub requests: u64,
+    /// Total per-checkpoint overhead, µs (engine downtime + upload +
+    /// metadata writes + pool maintenance).
+    pub checkpoint_us: f64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Nominal snapshot bytes uploaded (Table 5 network accounting).
+    pub nominal_bytes_uploaded: u64,
+    /// Nominal snapshot bytes downloaded.
+    pub nominal_bytes_downloaded: u64,
+    /// Peak nominal bytes pooled (Table 5 storage accounting).
+    pub peak_pool_nominal_bytes: u64,
+}
+
+impl OverheadTotals {
+    /// Mean startup overhead per worker, µs.
+    pub fn per_startup_us(&self) -> f64 {
+        if self.startups == 0 {
+            0.0
+        } else {
+            self.startup_us / self.startups as f64
+        }
+    }
+
+    /// Mean per-request overhead, µs.
+    pub fn per_request_us(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.request_us / self.requests as f64
+        }
+    }
+
+    /// Mean per-checkpoint overhead, µs.
+    pub fn per_checkpoint_us(&self) -> f64 {
+        if self.checkpoints == 0 {
+            0.0
+        } else {
+            self.checkpoint_us / self.checkpoints as f64
+        }
+    }
+}
+
+/// What the platform should do with a new worker.
+#[derive(Debug, Clone)]
+pub struct WorkerPlan {
+    /// Cold start or restore.
+    pub start: StartDecision,
+    /// The downloaded snapshot when restoring.
+    pub snapshot: Option<Snapshot>,
+    /// Request number the worker resumes at (0 for cold).
+    pub resume_request: u32,
+    /// Absolute request number at which to checkpoint, if any.
+    pub checkpoint_at: Option<u32>,
+    /// Orchestrator-side startup overhead (off the critical path).
+    pub startup_overhead: SimDuration,
+}
+
+/// Per-function orchestrator instance.
+///
+/// # Examples
+///
+/// ```
+/// use pronghorn_core::{CheckpointAfterFirstPolicy, Orchestrator, StartDecision};
+/// use pronghorn_kv::KvStore;
+/// use pronghorn_store::ObjectStore;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let mut orch = Orchestrator::new(
+///     Box::new(CheckpointAfterFirstPolicy::new()),
+///     KvStore::new(),
+///     ObjectStore::new(),
+///     "dynamic-html",
+/// );
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let plan = orch.begin_worker(&mut rng);
+/// // No snapshot exists yet: the first worker cold-starts and is told to
+/// // checkpoint right after its first request.
+/// assert_eq!(plan.start, StartDecision::Cold);
+/// assert_eq!(plan.checkpoint_at, Some(1));
+/// ```
+pub struct Orchestrator {
+    policy: Box<dyn Policy>,
+    kv: KvStore,
+    store: ObjectStore,
+    function: String,
+    kv_costs: KvCosts,
+    transfer: TransferModel,
+    overheads: OverheadTotals,
+}
+
+impl Orchestrator {
+    /// Creates an orchestrator for `function`.
+    pub fn new(
+        policy: Box<dyn Policy>,
+        kv: KvStore,
+        store: ObjectStore,
+        function: impl Into<String>,
+    ) -> Self {
+        Orchestrator {
+            policy,
+            kv,
+            store,
+            function: function.into(),
+            kv_costs: KvCosts::default(),
+            transfer: TransferModel::default(),
+            overheads: OverheadTotals::default(),
+        }
+    }
+
+    /// Overrides the Database cost model.
+    pub fn with_kv_costs(mut self, costs: KvCosts) -> Self {
+        self.kv_costs = costs;
+        self
+    }
+
+    /// Overrides the Object Store transfer model.
+    pub fn with_transfer(mut self, transfer: TransferModel) -> Self {
+        self.transfer = transfer;
+        self
+    }
+
+    /// The policy being orchestrated.
+    pub fn policy(&self) -> &dyn Policy {
+        self.policy.as_ref()
+    }
+
+    /// Which built-in policy is running.
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.policy.kind()
+    }
+
+    /// Accumulated overheads.
+    pub fn overheads(&self) -> &OverheadTotals {
+        &self.overheads
+    }
+
+    fn theta_key(&self) -> String {
+        format!("fn/{}/theta", self.function)
+    }
+
+    fn blob_key(&self, id: SnapshotId) -> String {
+        format!("{}/{id}", self.function)
+    }
+
+    /// Fixed compute cost of the start decision, per policy kind. The
+    /// request-centric policy reads the weight vector and pool metadata
+    /// and evaluates a softmax; the baselines make a trivial choice —
+    /// Figure 7 reports the resulting ≤2.5× startup-overhead gap.
+    fn decision_cost_us(&self) -> f64 {
+        match self.policy.kind() {
+            PolicyKind::Cold => 2_000.0,
+            PolicyKind::AfterFirst | PolicyKind::AfterInit => 9_000.0,
+            PolicyKind::RequestCentric => 16_000.0,
+        }
+    }
+
+    /// Worker start: Figure 2 steps 3–4 plus the snapshot download.
+    pub fn begin_worker(&mut self, rng: &mut dyn RngCore) -> WorkerPlan {
+        let mut overhead_us = self.decision_cost_us();
+
+        // Refresh policy knowledge from the Database (step 4). Other
+        // workers may have updated it concurrently.
+        if let Some(stored) = self.kv.get(&self.theta_key()) {
+            overhead_us += self.kv_costs.read_us;
+            if let Ok(slots) = kvtypes::decode_f64_vec(&stored.value) {
+                self.policy.import_weights(&slots);
+            }
+        } else {
+            overhead_us += self.kv_costs.read_us;
+        }
+
+        let start = self.policy.on_worker_start(rng);
+        // Blob transfer is provisioning work (charged to the worker plan
+        // and the Table 5 byte accounting), not orchestrator decision
+        // overhead — Figure 7's startup component is the decision cost.
+        let mut transfer_us = 0.0;
+        let (snapshot, resume_request) = match start {
+            StartDecision::Cold => (None, 0),
+            StartDecision::Restore(id) => match self.download_snapshot(id) {
+                Ok(snapshot) => {
+                    transfer_us += self
+                        .transfer
+                        .transfer_time(snapshot.nominal_size)
+                        .as_micros() as f64;
+                    self.overheads.nominal_bytes_downloaded += snapshot.nominal_size;
+                    let resume = snapshot.meta.request_number;
+                    (Some(snapshot), resume)
+                }
+                // A missing/corrupt blob degrades to a cold start rather
+                // than failing the worker.
+                Err(_) => (None, 0),
+            },
+        };
+        let start = if snapshot.is_some() {
+            start
+        } else {
+            StartDecision::Cold
+        };
+
+        let checkpoint_at = self.policy.plan_checkpoint(resume_request, rng);
+
+        self.overheads.startup_us += overhead_us;
+        self.overheads.startups += 1;
+
+        WorkerPlan {
+            start,
+            snapshot,
+            resume_request,
+            checkpoint_at,
+            startup_overhead: SimDuration::from_micros_f64(overhead_us + transfer_us),
+        }
+    }
+
+    fn download_snapshot(&self, id: SnapshotId) -> Result<Snapshot, StoreError> {
+        let bytes = self.store.get(SNAPSHOT_BUCKET, &self.blob_key(id))?;
+        Snapshot::from_bytes(&bytes).map_err(|_| StoreError::NotFound)
+    }
+
+    /// Request completion: Figure 2 step 3 — fold the end-to-end latency
+    /// into the policy and persist the updated weight vector.
+    pub fn complete_request(&mut self, request_number: u32, latency_us: f64) -> SimDuration {
+        self.policy.record_latency(request_number, latency_us);
+        // One Database round trip for either policy family; the
+        // request-centric policy additionally folds the sample into the
+        // weight vector (a few array operations, §5.3: "some extra array
+        // read-write operations, whose computation time is outweighed by
+        // network latency").
+        let mut overhead_us = 200.0 + self.kv_costs.write_us;
+        if let Some(slots) = self.policy.export_weights() {
+            self.kv
+                .put(&self.theta_key(), kvtypes::encode_f64_vec(&slots));
+            overhead_us += 150.0;
+        }
+        self.overheads.request_us += overhead_us;
+        self.overheads.requests += 1;
+        SimDuration::from_micros_f64(overhead_us)
+    }
+
+    /// Snapshot recording: Figure 2 steps 7–8 — upload the blob, register
+    /// metadata, and delete whatever the pool evicted. `engine_downtime`
+    /// is the checkpoint cost reported by the Checkpoint Engine.
+    pub fn record_snapshot(
+        &mut self,
+        snapshot: &Snapshot,
+        engine_downtime: SimDuration,
+        rng: &mut dyn RngCore,
+    ) -> SimDuration {
+        let mut overhead_us = engine_downtime.as_micros() as f64;
+
+        let blob = snapshot.to_bytes();
+        let upload_ok = self
+            .store
+            .put(SNAPSHOT_BUCKET, &self.blob_key(snapshot.id), blob)
+            .is_ok();
+        overhead_us += self
+            .transfer
+            .transfer_time(snapshot.nominal_size)
+            .as_micros() as f64;
+        self.overheads.nominal_bytes_uploaded += snapshot.nominal_size;
+
+        if upload_ok {
+            let evicted = self.policy.on_snapshot_taken(
+                PoolEntry {
+                    id: snapshot.id,
+                    request_number: snapshot.meta.request_number,
+                    size_bytes: snapshot.nominal_size,
+                },
+                rng,
+            );
+            // Pool metadata write (step 8).
+            overhead_us += self.kv_costs.write_us;
+            for entry in evicted {
+                let _ = self.store.delete(SNAPSHOT_BUCKET, &self.blob_key(entry.id));
+                overhead_us += self.kv_costs.write_us;
+            }
+        }
+
+        // Track the peak nominal footprint of the pool (Table 5).
+        let pooled: u64 = self.pool_nominal_bytes();
+        self.overheads.peak_pool_nominal_bytes =
+            self.overheads.peak_pool_nominal_bytes.max(pooled);
+
+        self.overheads.checkpoint_us += overhead_us;
+        self.overheads.checkpoints += 1;
+        SimDuration::from_micros_f64(overhead_us)
+    }
+
+    /// Current nominal bytes held by pooled snapshots.
+    pub fn pool_nominal_bytes(&self) -> u64 {
+        // The store holds serialized state (small); nominal sizes come from
+        // metadata tracked per snapshot. Sum over blobs still present.
+        self.store
+            .list(SNAPSHOT_BUCKET)
+            .iter()
+            .filter(|k| k.starts_with(&format!("{}/", self.function)))
+            .filter_map(|k| self.store.get(SNAPSHOT_BUCKET, k).ok())
+            .filter_map(|b| Snapshot::from_bytes(&b).ok())
+            .map(|s| s.nominal_size)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::CheckpointAfterFirstPolicy;
+    use crate::config::PolicyConfig;
+    use crate::request_centric::RequestCentricPolicy;
+    use bytes::Bytes;
+    use pronghorn_checkpoint::SnapshotMeta;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn snapshot(request_number: u32, tag: u8) -> Snapshot {
+        Snapshot::new(
+            SnapshotMeta {
+                function: "f".into(),
+                request_number,
+                runtime: "jvm".into(),
+            },
+            Bytes::from(vec![tag; 8]),
+            12 * 1024 * 1024,
+        )
+    }
+
+    fn orchestrator(policy: Box<dyn Policy>) -> Orchestrator {
+        Orchestrator::new(policy, KvStore::new(), ObjectStore::new(), "f")
+    }
+
+    #[test]
+    fn first_worker_cold_starts_and_plans() {
+        let mut orch = orchestrator(Box::new(CheckpointAfterFirstPolicy::new()));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let plan = orch.begin_worker(&mut rng);
+        assert_eq!(plan.start, StartDecision::Cold);
+        assert_eq!(plan.resume_request, 0);
+        assert_eq!(plan.checkpoint_at, Some(1));
+        assert!(plan.startup_overhead > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_store() {
+        let mut orch = orchestrator(Box::new(CheckpointAfterFirstPolicy::new()));
+        let mut rng = SmallRng::seed_from_u64(2);
+        orch.begin_worker(&mut rng);
+        let snap = snapshot(1, 7);
+        let overhead = orch.record_snapshot(&snap, SimDuration::from_millis(65), &mut rng);
+        assert!(overhead >= SimDuration::from_millis(65));
+        // Next worker restores it, resuming at request 1.
+        let plan = orch.begin_worker(&mut rng);
+        assert_eq!(plan.start, StartDecision::Restore(snap.id));
+        assert_eq!(plan.resume_request, 1);
+        assert_eq!(plan.snapshot.as_ref().unwrap().id, snap.id);
+        assert_eq!(plan.checkpoint_at, None);
+    }
+
+    #[test]
+    fn missing_blob_degrades_to_cold_start() {
+        let mut orch = orchestrator(Box::new(CheckpointAfterFirstPolicy::new()));
+        let mut rng = SmallRng::seed_from_u64(3);
+        orch.begin_worker(&mut rng);
+        let snap = snapshot(1, 7);
+        orch.record_snapshot(&snap, SimDuration::from_millis(65), &mut rng);
+        // Sabotage: delete the blob behind the policy's back.
+        orch.store
+            .delete(SNAPSHOT_BUCKET, &format!("f/{}", snap.id))
+            .unwrap();
+        let plan = orch.begin_worker(&mut rng);
+        assert_eq!(plan.start, StartDecision::Cold);
+        assert!(plan.snapshot.is_none());
+        assert_eq!(plan.resume_request, 0);
+    }
+
+    #[test]
+    fn weights_persist_through_the_database() {
+        let kv = KvStore::new();
+        let store = ObjectStore::new();
+        let config = PolicyConfig::paper_pypy();
+        let mut orch = Orchestrator::new(
+            Box::new(RequestCentricPolicy::new(config)),
+            kv.clone(),
+            store.clone(),
+            "f",
+        );
+        let mut rng = SmallRng::seed_from_u64(4);
+        orch.begin_worker(&mut rng);
+        orch.complete_request(0, 50_000.0);
+        // A second orchestrator (another worker's view) sees the update.
+        let mut orch2 = Orchestrator::new(
+            Box::new(RequestCentricPolicy::new(config)),
+            kv,
+            store,
+            "f",
+        );
+        orch2.begin_worker(&mut rng);
+        let weights = orch2.policy().export_weights().unwrap();
+        assert_eq!(weights[0], 50_000.0);
+    }
+
+    #[test]
+    fn eviction_deletes_blobs_from_store() {
+        let config = PolicyConfig::paper_pypy().with_capacity(2).with_beta(4);
+        let store = ObjectStore::new();
+        let mut orch = Orchestrator::new(
+            Box::new(RequestCentricPolicy::new(config)),
+            KvStore::new(),
+            store.clone(),
+            "f",
+        );
+        let mut rng = SmallRng::seed_from_u64(5);
+        for i in 0..6 {
+            let snap = snapshot(i, i as u8);
+            orch.record_snapshot(&snap, SimDuration::from_millis(70), &mut rng);
+        }
+        assert!(store.stats().objects <= 2, "{} blobs", store.stats().objects);
+        assert_eq!(orch.policy().pool_len(), store.stats().objects as usize);
+    }
+
+    #[test]
+    fn overheads_decompose_by_operation() {
+        let mut orch = orchestrator(Box::new(CheckpointAfterFirstPolicy::new()));
+        let mut rng = SmallRng::seed_from_u64(6);
+        orch.begin_worker(&mut rng);
+        orch.complete_request(0, 10_000.0);
+        orch.complete_request(1, 9_000.0);
+        orch.record_snapshot(&snapshot(1, 1), SimDuration::from_millis(65), &mut rng);
+        let o = orch.overheads();
+        assert_eq!(o.startups, 1);
+        assert_eq!(o.requests, 2);
+        assert_eq!(o.checkpoints, 1);
+        assert!(o.per_startup_us() > 0.0);
+        assert!(o.per_request_us() > 0.0);
+        assert!(o.per_checkpoint_us() >= 65_000.0);
+        assert_eq!(o.nominal_bytes_uploaded, 12 * 1024 * 1024);
+    }
+
+    #[test]
+    fn cost_models_scale_reported_overheads() {
+        let run_with = |kv_costs: KvCosts| -> f64 {
+            let mut orch = Orchestrator::new(
+                Box::new(CheckpointAfterFirstPolicy::new()),
+                KvStore::new(),
+                ObjectStore::new(),
+                "f",
+            )
+            .with_kv_costs(kv_costs);
+            let mut rng = SmallRng::seed_from_u64(11);
+            orch.begin_worker(&mut rng);
+            orch.complete_request(0, 10_000.0);
+            orch.overheads().per_request_us()
+        };
+        let cheap = run_with(KvCosts::free());
+        let pricey = run_with(KvCosts::default().scaled(4.0));
+        assert!(pricey > cheap, "pricey {pricey} <= cheap {cheap}");
+    }
+
+    #[test]
+    fn transfer_model_affects_startup_plan_not_decision_overhead() {
+        use pronghorn_store::TransferModel;
+        let build = |transfer: TransferModel| {
+            let mut orch = Orchestrator::new(
+                Box::new(CheckpointAfterFirstPolicy::new()),
+                KvStore::new(),
+                ObjectStore::new(),
+                "f",
+            )
+            .with_transfer(transfer);
+            let mut rng = SmallRng::seed_from_u64(12);
+            orch.begin_worker(&mut rng);
+            orch.record_snapshot(&snapshot(1, 1), SimDuration::from_millis(65), &mut rng);
+            let plan = orch.begin_worker(&mut rng);
+            (plan.startup_overhead, orch.overheads().per_startup_us())
+        };
+        let fast = build(TransferModel::from_gbps(10.0, 100.0));
+        let slow = build(TransferModel::from_gbps(10.0, 0.1));
+        // The worker plan (provisioning time) reflects the slower link ...
+        assert!(slow.0 > fast.0);
+        // ... but the Figure 7 decision overhead does not.
+        assert!((slow.1 - fast.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn request_centric_startup_costs_more_than_baseline() {
+        let mut rc = orchestrator(Box::new(RequestCentricPolicy::new(
+            PolicyConfig::paper_pypy(),
+        )));
+        let mut base = orchestrator(Box::new(CheckpointAfterFirstPolicy::new()));
+        let mut rng = SmallRng::seed_from_u64(7);
+        rc.begin_worker(&mut rng);
+        base.begin_worker(&mut rng);
+        let (a, b) = (
+            rc.overheads().per_startup_us(),
+            base.overheads().per_startup_us(),
+        );
+        assert!(a > b, "request-centric {a} <= baseline {b}");
+        assert!(a / b < 2.6, "ratio {} exceeds Figure 7's 2.5x", a / b);
+    }
+}

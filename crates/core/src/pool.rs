@@ -1,0 +1,281 @@
+//! The fixed-capacity snapshot pool (part 4 of Algorithm 1).
+//!
+//! "We implement an exploration-exploitation tradeoff by fixing a maximum
+//! capacity for our snapshot pool, and whenever that capacity is reached,
+//! evicting the worst-performing snapshots while also keeping a random
+//! subset" (§3.4). The random subset enables hill-climbing across local
+//! optima.
+
+use pronghorn_checkpoint::SnapshotId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// One pooled snapshot's metadata (the blob itself lives in the Object
+/// Store).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolEntry {
+    /// Snapshot identity.
+    pub id: SnapshotId,
+    /// Request number the snapshot was taken at.
+    pub request_number: u32,
+    /// Nominal (process-image) size in bytes, for storage accounting.
+    pub size_bytes: u64,
+}
+
+/// Fixed-capacity pool of snapshot metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotPool {
+    entries: Vec<PoolEntry>,
+    capacity: usize,
+}
+
+impl SnapshotPool {
+    /// Creates an empty pool with capacity `C >= 1`.
+    pub fn new(capacity: usize) -> Self {
+        SnapshotPool {
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Capacity `C`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of pooled snapshots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Pooled entries, insertion order.
+    pub fn entries(&self) -> &[PoolEntry] {
+        &self.entries
+    }
+
+    /// Looks up an entry by id.
+    pub fn get(&self, id: SnapshotId) -> Option<&PoolEntry> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    /// Total nominal bytes pooled (Table 5's storage numerator).
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.size_bytes).sum()
+    }
+
+    /// Inserts a snapshot. If the pool exceeds capacity, runs
+    /// `OnCapacityReached`: keeps the top `keep_top_frac` by `weight_of`
+    /// plus `keep_random_frac` chosen uniformly at random, discarding (and
+    /// returning) the rest.
+    pub fn insert<R, F>(
+        &mut self,
+        entry: PoolEntry,
+        keep_top_frac: f64,
+        keep_random_frac: f64,
+        weight_of: F,
+        rng: &mut R,
+    ) -> Vec<PoolEntry>
+    where
+        R: Rng + ?Sized,
+        F: Fn(&PoolEntry) -> f64,
+    {
+        // An id can only appear once: re-inserting replaces the old entry
+        // (otherwise eviction of one twin would delete the blob out from
+        // under the other).
+        self.entries.retain(|e| e.id != entry.id);
+        self.entries.push(entry);
+        if self.entries.len() <= self.capacity {
+            return Vec::new();
+        }
+        self.prune(keep_top_frac, keep_random_frac, weight_of, rng)
+    }
+
+    /// `OnCapacityReached` (Algorithm 1 part 4): retains the top `p` of
+    /// snapshots by weight plus `γ` random ones, returning the evicted
+    /// entries.
+    pub fn prune<R, F>(
+        &mut self,
+        keep_top_frac: f64,
+        keep_random_frac: f64,
+        weight_of: F,
+        rng: &mut R,
+    ) -> Vec<PoolEntry>
+    where
+        R: Rng + ?Sized,
+        F: Fn(&PoolEntry) -> f64,
+    {
+        let n = self.entries.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let k_top = ((keep_top_frac * n as f64).round() as usize).clamp(1, n);
+        let k_rand = (keep_random_frac * n as f64).round() as usize;
+
+        // Rank by weight, descending; ties broken by recency (later entries
+        // first) so a fresh snapshot of equal merit survives.
+        let mut ranked: Vec<usize> = (0..n).collect();
+        ranked.sort_by(|&a, &b| {
+            let (wa, wb) = (weight_of(&self.entries[a]), weight_of(&self.entries[b]));
+            wb.partial_cmp(&wa)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.cmp(&a))
+        });
+        let mut keep: HashSet<usize> = ranked[..k_top].iter().copied().collect();
+
+        // "Add γ% of snapshots in P chosen uniformly at random" — drawn
+        // from the whole pool, so overlap with the top set is possible.
+        let mut all: Vec<usize> = (0..n).collect();
+        all.shuffle(rng);
+        for idx in all.into_iter().take(k_rand) {
+            keep.insert(idx);
+        }
+
+        // Degenerate fractions (p + γ near 1) could retain more than the
+        // pool's capacity; trim the keep set in rank order so the capacity
+        // bound always holds.
+        if keep.len() > self.capacity {
+            let mut trimmed = HashSet::with_capacity(self.capacity);
+            for &idx in ranked.iter() {
+                if keep.contains(&idx) {
+                    trimmed.insert(idx);
+                    if trimmed.len() == self.capacity {
+                        break;
+                    }
+                }
+            }
+            keep = trimmed;
+        }
+
+        let mut kept = Vec::with_capacity(keep.len());
+        let mut evicted = Vec::new();
+        for (i, entry) in self.entries.drain(..).enumerate() {
+            if keep.contains(&i) {
+                kept.push(entry);
+            } else {
+                evicted.push(entry);
+            }
+        }
+        self.entries = kept;
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn entry(n: u32) -> PoolEntry {
+        PoolEntry {
+            id: SnapshotId(u64::from(n) + 1000),
+            request_number: n,
+            size_bytes: 10 * 1024 * 1024,
+        }
+    }
+
+    /// Weight = request number (later snapshots "better").
+    fn by_request(e: &PoolEntry) -> f64 {
+        f64::from(e.request_number)
+    }
+
+    #[test]
+    fn insert_below_capacity_evicts_nothing() {
+        let mut pool = SnapshotPool::new(3);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for i in 0..3 {
+            let evicted = pool.insert(entry(i), 0.4, 0.1, by_request, &mut rng);
+            assert!(evicted.is_empty());
+        }
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.total_bytes(), 3 * 10 * 1024 * 1024);
+    }
+
+    #[test]
+    fn overflow_triggers_capacity_pruning() {
+        let mut pool = SnapshotPool::new(10);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for i in 0..10 {
+            pool.insert(entry(i), 0.4, 0.1, by_request, &mut rng);
+        }
+        let evicted = pool.insert(entry(10), 0.4, 0.1, by_request, &mut rng);
+        assert!(!evicted.is_empty());
+        assert!(pool.len() <= 10);
+        // Top 40% of 11 ≈ 4 best (highest request numbers) must survive.
+        for want in [10, 9, 8, 7] {
+            assert!(
+                pool.entries().iter().any(|e| e.request_number == want),
+                "top snapshot {want} was evicted"
+            );
+        }
+        // Pool + evicted partition the inserted set.
+        assert_eq!(pool.len() + evicted.len(), 11);
+    }
+
+    #[test]
+    fn random_keep_can_rescue_low_weight_snapshots() {
+        // With γ = 50%, some bottom-half snapshot survives in most seeds.
+        let mut rescued = 0;
+        for seed in 0..20 {
+            let mut pool = SnapshotPool::new(10);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for i in 0..11 {
+                pool.insert(entry(i), 0.2, 0.5, by_request, &mut rng);
+            }
+            if pool.entries().iter().any(|e| e.request_number < 5) {
+                rescued += 1;
+            }
+        }
+        assert!(rescued >= 15, "rescued in only {rescued}/20 seeds");
+    }
+
+    #[test]
+    fn gamma_zero_is_pure_exploitation() {
+        let mut pool = SnapshotPool::new(4);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for i in 0..5 {
+            pool.insert(entry(i), 0.5, 0.0, by_request, &mut rng);
+        }
+        // round(0.5 * 5) = 3 survivors (round half away from zero):
+        // exactly the three best.
+        let survivors: Vec<u32> = pool.entries().iter().map(|e| e.request_number).collect();
+        assert_eq!(pool.len(), 3);
+        assert!(survivors.contains(&4) && survivors.contains(&3) && survivors.contains(&2));
+    }
+
+    #[test]
+    fn prune_always_keeps_at_least_one() {
+        let mut pool = SnapshotPool::new(1);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for i in 0..2 {
+            pool.insert(entry(i), 0.0, 0.0, by_request, &mut rng);
+        }
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.entries()[0].request_number, 1);
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let mut pool = SnapshotPool::new(4);
+        let mut rng = SmallRng::seed_from_u64(5);
+        pool.insert(entry(7), 0.4, 0.1, by_request, &mut rng);
+        assert!(pool.get(SnapshotId(1007)).is_some());
+        assert!(pool.get(SnapshotId(9)).is_none());
+    }
+
+    #[test]
+    fn nan_weights_do_not_panic() {
+        let mut pool = SnapshotPool::new(2);
+        let mut rng = SmallRng::seed_from_u64(6);
+        for i in 0..3 {
+            pool.insert(entry(i), 0.4, 0.1, |_| f64::NAN, &mut rng);
+        }
+        assert!(pool.len() <= 2);
+    }
+}

@@ -1,0 +1,295 @@
+//! Algorithm 1: the request-centric orchestration policy.
+
+use crate::config::{PolicyConfig, SelectionStrategy};
+use crate::policy::{Policy, PolicyKind, StartDecision};
+use crate::pool::{PoolEntry, SnapshotPool};
+use crate::weights::{scaled_softmax, weighted_draw, WeightVector};
+use pronghorn_checkpoint::SnapshotId;
+use rand::RngCore;
+
+/// Pronghorn's request-centric policy (see the crate docs for the
+/// algorithm walk-through).
+#[derive(Debug, Clone)]
+pub struct RequestCentricPolicy {
+    config: PolicyConfig,
+    weights: WeightVector,
+    pool: SnapshotPool,
+}
+
+impl RequestCentricPolicy {
+    /// Creates the policy with zero knowledge and an empty pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation — a deployment configuration
+    /// bug that must fail at startup.
+    pub fn new(config: PolicyConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid policy config: {e}");
+        }
+        RequestCentricPolicy {
+            weights: WeightVector::new(config.w, config.alpha),
+            pool: SnapshotPool::new(config.capacity),
+            config,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &PolicyConfig {
+        &self.config
+    }
+
+    /// The learned weight vector.
+    pub fn weights(&self) -> &WeightVector {
+        &self.weights
+    }
+
+    /// The snapshot pool.
+    pub fn pool(&self) -> &SnapshotPool {
+        &self.pool
+    }
+
+    /// `GetSnapshotWeights`: average lifetime weight per pooled snapshot.
+    fn snapshot_weights(&self) -> Vec<f64> {
+        self.pool
+            .entries()
+            .iter()
+            .map(|e| {
+                self.weights
+                    .lifetime_weight(e.request_number, self.config.beta, self.config.mu)
+            })
+            .collect()
+    }
+}
+
+impl Policy for RequestCentricPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::RequestCentric
+    }
+
+    fn on_worker_start(&mut self, rng: &mut dyn RngCore) -> StartDecision {
+        if self.pool.is_empty() {
+            return StartDecision::Cold;
+        }
+        let weights = self.snapshot_weights();
+        let picked = match self.config.selection {
+            // Part 2 (the paper): softmax over snapshot weights, then draw.
+            SelectionStrategy::Softmax => {
+                weighted_draw(&scaled_softmax(&weights, self.config.softmax_scale), rng)
+            }
+            // Ablation: pure exploitation.
+            SelectionStrategy::Greedy => weights
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i),
+            // Ablation: pure exploration.
+            SelectionStrategy::Uniform => {
+                use rand::Rng as _;
+                Some(rng.gen_range(0..self.pool.len()))
+            }
+        };
+        match picked {
+            Some(idx) => StartDecision::Restore(self.pool.entries()[idx].id),
+            None => StartDecision::Cold,
+        }
+    }
+
+    fn plan_checkpoint(&mut self, start_request: u32, rng: &mut dyn RngCore) -> Option<u32> {
+        // Part 1: draw from the clipped probability map over the worker's
+        // expected lifetime.
+        self.weights
+            .sample_checkpoint_request(start_request, self.config.beta, self.config.mu, rng)
+    }
+
+    fn record_latency(&mut self, request_number: u32, latency_us: f64) {
+        // Part 3: EWMA knowledge update.
+        self.weights.update(request_number, latency_us);
+    }
+
+    fn on_snapshot_taken(&mut self, entry: PoolEntry, rng: &mut dyn RngCore) -> Vec<PoolEntry> {
+        // Part 4 fires inside insert when capacity is exceeded.
+        let weights = &self.weights;
+        let (beta, mu) = (self.config.beta, self.config.mu);
+        self.pool.insert(
+            entry,
+            self.config.keep_top_frac,
+            self.config.keep_random_frac,
+            |e| weights.lifetime_weight(e.request_number, beta, mu),
+            rng,
+        )
+    }
+
+    fn snapshot_request_number(&self, id: SnapshotId) -> Option<u32> {
+        self.pool.get(id).map(|e| e.request_number)
+    }
+
+    fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    fn export_weights(&self) -> Option<Vec<f64>> {
+        Some(self.weights.slots().to_vec())
+    }
+
+    fn import_weights(&mut self, slots: &[f64]) {
+        if slots.len() == self.config.w as usize {
+            self.weights = WeightVector::from_slots(slots.to_vec(), self.config.alpha);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn config() -> PolicyConfig {
+        PolicyConfig::paper_pypy().with_beta(4)
+    }
+
+    fn entry(id: u64, r: u32) -> PoolEntry {
+        PoolEntry {
+            id: SnapshotId(id),
+            request_number: r,
+            size_bytes: 1024,
+        }
+    }
+
+    #[test]
+    fn empty_pool_cold_starts() {
+        let mut p = RequestCentricPolicy::new(config());
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(p.on_worker_start(&mut rng), StartDecision::Cold);
+    }
+
+    #[test]
+    fn restores_once_pool_has_snapshots() {
+        let mut p = RequestCentricPolicy::new(config());
+        let mut rng = SmallRng::seed_from_u64(2);
+        p.on_snapshot_taken(entry(1, 0), &mut rng);
+        match p.on_worker_start(&mut rng) {
+            StartDecision::Restore(id) => assert_eq!(id, SnapshotId(1)),
+            other => panic!("expected restore, got {other:?}"),
+        }
+        assert_eq!(p.snapshot_request_number(SnapshotId(1)), Some(0));
+    }
+
+    #[test]
+    fn checkpoint_plan_explores_the_request_range() {
+        let mut p = RequestCentricPolicy::new(config());
+        let mut rng = SmallRng::seed_from_u64(3);
+        // With all slots unexplored, draws must cover [0, beta] uniformly-ish.
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(p.plan_checkpoint(0, &mut rng).unwrap());
+        }
+        assert!(seen.len() >= 4, "draws {seen:?}");
+        assert!(seen.iter().all(|&r| r <= 4));
+    }
+
+    #[test]
+    fn no_checkpoint_beyond_w() {
+        let mut p = RequestCentricPolicy::new(config());
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert_eq!(p.plan_checkpoint(100, &mut rng), None);
+        assert_eq!(p.plan_checkpoint(5_000, &mut rng), None);
+    }
+
+    #[test]
+    fn converged_policy_prefers_best_snapshot() {
+        let mut p = RequestCentricPolicy::new(config());
+        let mut rng = SmallRng::seed_from_u64(5);
+        // Fully explore: requests 0..99, with [40, 44) the fast region.
+        for r in 0..100 {
+            let lat = if (40..44).contains(&r) { 1_000.0 } else { 60_000.0 };
+            p.record_latency(r, lat);
+        }
+        p.on_snapshot_taken(entry(1, 0), &mut rng);
+        p.on_snapshot_taken(entry(2, 40), &mut rng);
+        p.on_snapshot_taken(entry(3, 90), &mut rng);
+        let mut hits = 0;
+        for _ in 0..500 {
+            if p.on_worker_start(&mut rng) == StartDecision::Restore(SnapshotId(2)) {
+                hits += 1;
+            }
+        }
+        assert!(hits > 400, "best snapshot chosen {hits}/500");
+        // But exploration persists: other snapshots are still chosen
+        // occasionally ("even snapshots that have high lifetime latencies
+        // will still be restored from, albeit less often").
+        assert!(hits < 500, "softmax degenerated to argmax");
+    }
+
+    #[test]
+    fn pool_capacity_is_enforced_with_eviction() {
+        let mut p = RequestCentricPolicy::new(config().with_capacity(3));
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut evicted_total = 0;
+        for i in 0..10 {
+            evicted_total += p
+                .on_snapshot_taken(entry(100 + i, i as u32 * 7), &mut rng)
+                .len();
+        }
+        assert!(p.pool_len() <= 3);
+        assert_eq!(evicted_total + p.pool_len(), 10);
+    }
+
+    #[test]
+    fn weights_round_trip_through_export_import() {
+        let mut p = RequestCentricPolicy::new(config());
+        p.record_latency(5, 1234.0);
+        let exported = p.export_weights().unwrap();
+        let mut q = RequestCentricPolicy::new(config());
+        q.import_weights(&exported);
+        assert_eq!(q.weights().get(5), 1234.0);
+        // Mismatched length is ignored.
+        q.import_weights(&[1.0, 2.0]);
+        assert_eq!(q.weights().get(5), 1234.0);
+    }
+
+    #[test]
+    fn greedy_selection_always_picks_the_best() {
+        let mut p =
+            RequestCentricPolicy::new(config().with_selection(SelectionStrategy::Greedy));
+        let mut rng = SmallRng::seed_from_u64(7);
+        for r in 0..100 {
+            let lat = if r == 50 { 1_000.0 } else { 80_000.0 };
+            p.record_latency(r, lat);
+        }
+        p.on_snapshot_taken(entry(1, 10), &mut rng);
+        p.on_snapshot_taken(entry(2, 50), &mut rng);
+        for _ in 0..50 {
+            assert_eq!(p.on_worker_start(&mut rng), StartDecision::Restore(SnapshotId(2)));
+        }
+    }
+
+    #[test]
+    fn uniform_selection_spreads_over_the_pool() {
+        let mut p =
+            RequestCentricPolicy::new(config().with_selection(SelectionStrategy::Uniform));
+        let mut rng = SmallRng::seed_from_u64(8);
+        for r in 0..100 {
+            p.record_latency(r, 10_000.0);
+        }
+        for i in 0..4 {
+            p.on_snapshot_taken(entry(i, i as u32 * 10), &mut rng);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            if let StartDecision::Restore(id) = p.on_worker_start(&mut rng) {
+                seen.insert(id);
+            }
+        }
+        assert_eq!(seen.len(), 4, "uniform selection missed pool entries");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid policy config")]
+    fn invalid_config_panics_at_construction() {
+        let mut c = config();
+        c.mu = -1.0;
+        let _ = RequestCentricPolicy::new(c);
+    }
+}

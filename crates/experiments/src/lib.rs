@@ -1,0 +1,76 @@
+//! The experiment harness: one module per table and figure of the paper.
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`fig1`] | Figure 1: JIT warm-up curves (DynamicHTML on PyPy, HTMLRendering on the JVM), premature vs ideal snapshot points |
+//! | [`table1`] | Table 1: Java latency speedups vs request #1 at requests 200/400/600/800 |
+//! | [`grid`] + [`fig45`] | Figures 4–5: latency CDFs, 13 benchmarks × 3 policies × 3 eviction rates |
+//! | [`fig6`] | Figure 6: trace-driven CDFs at popularity percentiles 50/65/75 |
+//! | [`table4`] | Table 4: policy convergence requests, checkpoint/restore times, snapshot sizes |
+//! | [`table5`] | Table 5: maximum storage and network use vs the state of the art |
+//! | [`fig7`] | Figure 7: per-operation orchestrator overheads vs the baseline |
+//! | [`summary`] | §5.2's headline numbers: per-rate improvement counts and geometric means |
+//! | [`ablation`] | the design-choice ablation study (selection strategy, γ, C, W, β misestimation, fleet amortization, input partitioning) |
+//!
+//! Each module exposes a `run(ctx)` returning a structured result with a
+//! `render()` that prints paper-style rows and a `to_csv()` for the
+//! `results/` directory. The `experiments` binary wires them to the
+//! command line.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig45;
+pub mod fig6;
+pub mod fig7;
+pub mod grid;
+pub mod render;
+pub mod summary;
+pub mod table1;
+pub mod table4;
+pub mod table5;
+
+/// Shared experiment context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentContext {
+    /// Master seed; every cell derives its own seed from it.
+    pub seed: u64,
+    /// Invocations per closed-loop cell (paper: 500).
+    pub invocations: u32,
+    /// Worker threads for the grid runner.
+    pub threads: usize,
+}
+
+impl Default for ExperimentContext {
+    fn default() -> Self {
+        ExperimentContext {
+            seed: 0x9e37_79b9,
+            invocations: 500,
+            threads: 8,
+        }
+    }
+}
+
+impl ExperimentContext {
+    /// A reduced-scale context for tests and smoke runs.
+    pub fn quick() -> Self {
+        ExperimentContext {
+            seed: 0x9e37_79b9,
+            invocations: 150,
+            threads: 4,
+        }
+    }
+
+    /// Derives a per-cell seed from labels.
+    pub fn cell_seed(&self, labels: &[&str]) -> u64 {
+        let mut h = pronghorn_sim::hash::Fnv1a::new();
+        h.write_u64(self.seed);
+        for label in labels {
+            h.write(label.as_bytes());
+            h.write(b"/");
+        }
+        pronghorn_sim::hash::mix64(h.finish())
+    }
+}

@@ -1,0 +1,151 @@
+//! `experiments` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! experiments <command> [--quick] [--seed N] [--invocations N]
+//!
+//! commands:
+//!   fig1     warm-up curves (Figure 1)
+//!   table1   Java speedups vs request #1 (Table 1)
+//!   fig4     Python CDF grid (Figure 4)
+//!   fig5     Java CDF grid (Figure 5)
+//!   fig6     Azure-like trace replay (Figure 6)
+//!   table4   convergence + checkpoint/restore overheads (Table 4)
+//!   table5   storage/network overheads (Table 5)
+//!   fig7     orchestrator overheads (Figure 7)
+//!   summary  §5.2 headline aggregation (runs fig4 + fig5 grids)
+//!   ablations design-choice ablation study
+//!   all      everything above, CSVs written to results/
+//! ```
+
+#![forbid(unsafe_code)]
+
+use pronghorn_experiments::{ablation, fig1, fig45, fig6, fig7, summary, table1, table4, table5};
+use pronghorn_experiments::ExperimentContext;
+use std::process::ExitCode;
+
+fn parse_args() -> Result<(String, ExperimentContext), String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut ctx = ExperimentContext::default();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--quick" => ctx = ExperimentContext::quick(),
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                ctx.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            "--invocations" => {
+                let v = args.next().ok_or("--invocations needs a value")?;
+                ctx.invocations = v.parse().map_err(|_| format!("bad invocations: {v}"))?;
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                ctx.threads = v.parse().map_err(|_| format!("bad threads: {v}"))?;
+            }
+            other => return Err(format!("unknown flag: {other}\n{}", usage())),
+        }
+    }
+    Ok((command, ctx))
+}
+
+fn usage() -> String {
+    "usage: experiments <fig1|table1|fig4|fig5|fig6|table4|table5|fig7|ablations|summary|all> \
+     [--quick] [--seed N] [--invocations N] [--threads N]"
+        .to_string()
+}
+
+fn save(label: &str, result: std::io::Result<std::path::PathBuf>) {
+    match result {
+        Ok(path) => println!("[saved {label} -> {}]", path.display()),
+        Err(e) => eprintln!("[warn: could not save {label}: {e}]"),
+    }
+}
+
+fn run_command(command: &str, ctx: &ExperimentContext) -> Result<(), String> {
+    match command {
+        "fig1" => {
+            let r = fig1::run(ctx);
+            println!("{}", r.render());
+            save("fig1.csv", r.save());
+        }
+        "table1" => {
+            let r = table1::run(ctx);
+            println!("{}", r.render());
+            save("table1.csv", r.save());
+        }
+        "fig4" => {
+            let r = fig45::run_fig4(ctx);
+            println!("{}", r.render());
+            save("fig4.csv", r.save());
+        }
+        "fig5" => {
+            let r = fig45::run_fig5(ctx);
+            println!("{}", r.render());
+            save("fig5.csv", r.save());
+        }
+        "fig6" => {
+            let r = fig6::run(ctx);
+            println!("{}", r.render());
+            save("fig6.csv", r.save());
+        }
+        "table4" => {
+            let r = table4::run(ctx);
+            println!("{}", r.render());
+            save("table4.csv", r.save());
+        }
+        "table5" => {
+            let r = table5::run(ctx);
+            println!("{}", r.render());
+            save("table5.csv", r.save());
+        }
+        "fig7" => {
+            let r = fig7::run(ctx);
+            println!("{}", r.render());
+            save("fig7.csv", r.save());
+        }
+        "ablations" => {
+            let r = ablation::run(ctx);
+            println!("{}", r.render());
+            save("ablations.csv", r.save());
+        }
+        "summary" => {
+            let f4 = fig45::run_fig4(ctx);
+            let f5 = fig45::run_fig5(ctx);
+            let s = summary::summarize(&[&f4.grid, &f5.grid]);
+            println!("{}", s.render());
+            save("summary.csv", s.save());
+        }
+        "all" => {
+            for cmd in [
+                "fig1", "table1", "fig4", "fig5", "fig6", "table4", "table5", "fig7", "ablations",
+            ] {
+                println!("==================== {cmd} ====================");
+                run_command(cmd, ctx)?;
+            }
+            // Reuse fresh grids for the summary.
+            println!("==================== summary ====================");
+            run_command("summary", ctx)?;
+        }
+        other => return Err(format!("unknown command: {other}\n{}", usage())),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let (command, ctx) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "[pronghorn experiments: seed={:#x} invocations={} threads={}]\n",
+        ctx.seed, ctx.invocations, ctx.threads
+    );
+    if let Err(e) = run_command(&command, &ctx) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,213 @@
+//! The background compile queue.
+//!
+//! HotSpot compiles on background threads that contend with the
+//! application for CPU (§2: "compilation is performed by background
+//! threads that contend for resources"). The queue models that: each
+//! enqueued job needs a fixed amount of compiler work (proportional to the
+//! code it generates); every executed request retires a budget of that
+//! work; jobs complete in FIFO order, possibly several per request; and
+//! while the queue is non-empty, request execution is slowed by the
+//! configured interference fraction.
+
+use crate::method::Tier;
+use pronghorn_checkpoint::codec::{CodecError, Decoder, Encoder};
+
+/// One queued compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileJob {
+    /// Index of the method being compiled.
+    pub method: u32,
+    /// Target tier.
+    pub tier: Tier,
+    /// Compiler work remaining, µs.
+    pub remaining_us: f64,
+}
+
+impl CompileJob {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.method);
+        enc.put_u8(match self.tier {
+            Tier::Interpreted => 0,
+            Tier::Tier1 => 1,
+            Tier::Tier2 => 2,
+        });
+        enc.put_f64(self.remaining_us);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let method = dec.take_u32()?;
+        let tier = match dec.take_u8()? {
+            0 => Tier::Interpreted,
+            1 => Tier::Tier1,
+            2 => Tier::Tier2,
+            tag => return Err(CodecError::InvalidTag { tag, context: "CompileJob tier" }),
+        };
+        Ok(CompileJob {
+            method,
+            tier,
+            remaining_us: dec.take_f64()?,
+        })
+    }
+}
+
+/// FIFO queue of background compilations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompileQueue {
+    jobs: Vec<CompileJob>,
+}
+
+impl CompileQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        CompileQueue::default()
+    }
+
+    /// Enqueues a compilation needing `work_us` of compiler time.
+    pub fn enqueue(&mut self, method: u32, tier: Tier, work_us: f64) {
+        self.jobs.push(CompileJob {
+            method,
+            tier,
+            remaining_us: work_us.max(0.0),
+        });
+    }
+
+    /// Advances the queue by `budget_us` of compiler work, returning the
+    /// `(method, tier)` pairs whose compilation completed, in order.
+    pub fn advance(&mut self, budget_us: f64) -> Vec<(u32, Tier)> {
+        let mut budget = budget_us.max(0.0);
+        let mut completed = Vec::new();
+        while let Some(job) = self.jobs.first_mut() {
+            if budget <= 0.0 {
+                break;
+            }
+            if job.remaining_us <= budget {
+                budget -= job.remaining_us;
+                completed.push((job.method, job.tier));
+                self.jobs.remove(0);
+            } else {
+                job.remaining_us -= budget;
+                budget = 0.0;
+            }
+        }
+        completed
+    }
+
+    /// Whether any compilation is pending.
+    pub fn is_busy(&self) -> bool {
+        !self.jobs.is_empty()
+    }
+
+    /// Number of pending jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Pending jobs, front first.
+    pub fn jobs(&self) -> &[CompileJob] {
+        &self.jobs
+    }
+
+    /// Removes every pending job for `method` (used on deoptimization: the
+    /// profile that justified the compile is gone).
+    pub fn cancel_method(&mut self, method: u32) {
+        self.jobs.retain(|j| j.method != method);
+    }
+
+    /// Serializes the queue.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_seq(&self.jobs, |e, j| j.encode(e));
+    }
+
+    /// Deserializes a queue written by [`Self::encode`].
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(CompileQueue {
+            jobs: dec.take_seq(13, CompileJob::decode)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_complete_in_fifo_order() {
+        let mut q = CompileQueue::new();
+        q.enqueue(0, Tier::Tier1, 100.0);
+        q.enqueue(1, Tier::Tier1, 100.0);
+        let done = q.advance(150.0);
+        assert_eq!(done, vec![(0, Tier::Tier1)]);
+        assert_eq!(q.len(), 1);
+        let done = q.advance(50.0);
+        assert_eq!(done, vec![(1, Tier::Tier1)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn budget_spans_multiple_jobs() {
+        let mut q = CompileQueue::new();
+        for i in 0..3 {
+            q.enqueue(i, Tier::Tier2, 10.0);
+        }
+        let done = q.advance(1000.0);
+        assert_eq!(done.len(), 3);
+        assert!(!q.is_busy());
+    }
+
+    #[test]
+    fn partial_progress_is_retained() {
+        let mut q = CompileQueue::new();
+        q.enqueue(7, Tier::Tier1, 100.0);
+        assert!(q.advance(40.0).is_empty());
+        assert!((q.jobs()[0].remaining_us - 60.0).abs() < 1e-12);
+        assert!(q.is_busy());
+    }
+
+    #[test]
+    fn zero_or_negative_budget_is_noop() {
+        let mut q = CompileQueue::new();
+        q.enqueue(0, Tier::Tier1, 10.0);
+        assert!(q.advance(0.0).is_empty());
+        assert!(q.advance(-5.0).is_empty());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn cancel_removes_all_jobs_for_method() {
+        let mut q = CompileQueue::new();
+        q.enqueue(0, Tier::Tier1, 10.0);
+        q.enqueue(1, Tier::Tier1, 10.0);
+        q.enqueue(0, Tier::Tier2, 10.0);
+        q.cancel_method(0);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.jobs()[0].method, 1);
+    }
+
+    #[test]
+    fn queue_round_trips_codec() {
+        let mut q = CompileQueue::new();
+        q.enqueue(3, Tier::Tier2, 55.5);
+        q.enqueue(9, Tier::Tier1, 10.0);
+        q.advance(5.0);
+        let mut enc = Encoder::new();
+        q.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let decoded = CompileQueue::decode(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(decoded, q);
+    }
+
+    #[test]
+    fn zero_work_job_completes_immediately() {
+        let mut q = CompileQueue::new();
+        q.enqueue(1, Tier::Tier1, 0.0);
+        // Needs a strictly positive budget to be popped, then costs nothing.
+        assert_eq!(q.advance(1.0), vec![(1, Tier::Tier1)]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Tiered JIT language-runtime simulator.
+//!
+//! The paper's entire premise rests on the warm-up behaviour of production
+//! JIT runtimes (§2): code starts interpreted and slow, hot methods are
+//! compiled through tiers over hundreds-to-thousands of invocations,
+//! speculative optimizations occasionally deoptimize, and compilation is
+//! nondeterministic. No real JVM/PyPy is available here, so this crate
+//! reproduces those dynamics *mechanistically* at method granularity:
+//!
+//! - every workload declares [`MethodProfile`]s: how often each method is
+//!   called per request, what share of the work it executes, and how much
+//!   each compilation tier speeds it up;
+//! - a [`Runtime`] advances a per-method tier state machine
+//!   (interpreter → tier 1 → tier 2) using invocation-count thresholds, so
+//!   a method called once per request crosses a 2 000-call threshold at
+//!   request 2 000 — the paper's Observation #2 emerges from mechanism;
+//! - compilation either runs on background threads (HotSpot-style, with
+//!   CPU interference while the queue is busy) or pauses execution inline
+//!   (PyPy's tracing JIT);
+//! - speculation can fail on novel inputs, deoptimizing methods back to the
+//!   interpreter (Observation #3's non-monotonicity), and methods that
+//!   deoptimize too often are barred from further optimization, exactly as
+//!   §2 describes JIT blacklisting;
+//! - the very first request after a *cold* start pays a large lazy
+//!   initialization cost, which is why checkpointing after initialization
+//!   but before the first invocation "results in inferior performance"
+//!   (§5.1) — restoring a snapshot taken after requests skips it;
+//! - the full runtime state is [`Checkpointable`]: snapshots capture tiers,
+//!   counters, queues and the code cache, and restored runtimes continue
+//!   optimizing from where the snapshot left off.
+//!
+//! [`Checkpointable`]: pronghorn_checkpoint::Checkpointable
+//!
+//! # Examples
+//!
+//! ```
+//! use pronghorn_jit::{MethodProfile, Runtime, RuntimeProfile, RequestWork, MethodWork};
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let methods = vec![MethodProfile::new("render").calls_per_request(3.0)];
+//! let (mut rt, _init) = Runtime::cold_start(RuntimeProfile::jvm(), methods, &mut rng);
+//! let work = RequestWork::new(vec![MethodWork { method: 0, units: 1000.0, calls: 3.0 }]);
+//! let first = rt.execute(&work, &mut rng);
+//! for _ in 0..5000 {
+//!     rt.execute(&work, &mut rng);
+//! }
+//! let warm = rt.execute(&work, &mut rng);
+//! assert!(warm.total_us() < first.total_us());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod method;
+pub mod profile;
+pub mod request;
+pub mod runtime;
+pub mod state;
+
+pub use compile::{CompileJob, CompileQueue};
+pub use method::{MethodState, Tier};
+pub use profile::{MethodProfile, RuntimeKind, RuntimeProfile};
+pub use request::{ExecutionBreakdown, MethodWork, RequestWork};
+pub use runtime::Runtime;

@@ -1,0 +1,232 @@
+//! Per-method dynamic state: the tier state machine.
+//!
+//! Each method independently walks `Interpreted → Tier1 → Tier2`, driven by
+//! its invocation counter crossing the runtime's thresholds. Speculative
+//! deoptimization sends it back to the interpreter with most of its profile
+//! credit retained (re-optimization is faster than first-time optimization,
+//! as §2 describes), and too many deopt rounds bar the method from tier 2
+//! permanently — the paper's "internal thresholds ... that, once hit, may
+//! prevent the method from ever being selected for optimization".
+
+use pronghorn_checkpoint::codec::{CodecError, Decoder, Encoder};
+
+/// Compilation tier of a method's executable code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Tier {
+    /// Executed by the interpreter.
+    Interpreted,
+    /// Quick compile (HotSpot C1 / first PyPy trace).
+    Tier1,
+    /// Fully optimizing compile (HotSpot C2 / refined trace).
+    Tier2,
+}
+
+impl Tier {
+    fn tag(self) -> u8 {
+        match self {
+            Tier::Interpreted => 0,
+            Tier::Tier1 => 1,
+            Tier::Tier2 => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, CodecError> {
+        match tag {
+            0 => Ok(Tier::Interpreted),
+            1 => Ok(Tier::Tier1),
+            2 => Ok(Tier::Tier2),
+            tag => Err(CodecError::InvalidTag { tag, context: "Tier" }),
+        }
+    }
+}
+
+/// Dynamic JIT state of one method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodState {
+    /// Currently installed code tier.
+    pub tier: Tier,
+    /// Accumulated invocation count (the profile counter).
+    pub invocations: f64,
+    /// Tier of a compile currently queued or in progress, if any.
+    pub inflight: Option<Tier>,
+    /// Number of deoptimization rounds this method has been through.
+    pub deopt_rounds: u32,
+    /// Whether the runtime gave up promoting this method to tier 2.
+    pub barred_from_tier2: bool,
+}
+
+impl Default for MethodState {
+    fn default() -> Self {
+        MethodState {
+            tier: Tier::Interpreted,
+            invocations: 0.0,
+            inflight: None,
+            deopt_rounds: 0,
+            barred_from_tier2: false,
+        }
+    }
+}
+
+impl MethodState {
+    /// Creates fresh interpreter-only state.
+    pub fn new() -> Self {
+        MethodState::default()
+    }
+
+    /// The tier this method should be compiled to next, if its counter has
+    /// crossed a threshold and no compile is already in flight.
+    pub fn pending_promotion(&self, tier1_threshold: u64, tier2_threshold: u64) -> Option<Tier> {
+        if self.inflight.is_some() {
+            return None;
+        }
+        match self.tier {
+            Tier::Interpreted if self.invocations >= tier1_threshold as f64 => Some(Tier::Tier1),
+            Tier::Tier1
+                if !self.barred_from_tier2 && self.invocations >= tier2_threshold as f64 =>
+            {
+                Some(Tier::Tier2)
+            }
+            _ => None,
+        }
+    }
+
+    /// Installs compiled code of `tier`, clearing the in-flight marker.
+    pub fn install(&mut self, tier: Tier) {
+        debug_assert!(tier > Tier::Interpreted);
+        self.tier = tier;
+        self.inflight = None;
+    }
+
+    /// Applies a speculative deoptimization: back to the interpreter, one
+    /// more deopt round; past `max_deopt_rounds` the method is barred from
+    /// tier 2. Profile data survives a deopt almost intact (the runtime
+    /// "will gather additional profiling information before trying to
+    /// re-optimize", §2) — 90% of the counter credit is retained, so
+    /// re-promotion is quick but not instantaneous.
+    pub fn deoptimize(&mut self, max_deopt_rounds: u32) {
+        self.tier = Tier::Interpreted;
+        self.inflight = None;
+        self.invocations *= 0.9;
+        self.deopt_rounds += 1;
+        if self.deopt_rounds >= max_deopt_rounds {
+            self.barred_from_tier2 = true;
+        }
+    }
+
+    /// Serializes the state.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(self.tier.tag());
+        enc.put_f64(self.invocations);
+        enc.put_option(&self.inflight, |e, t| e.put_u8(t.tag()));
+        enc.put_u32(self.deopt_rounds);
+        enc.put_bool(self.barred_from_tier2);
+    }
+
+    /// Deserializes state written by [`Self::encode`].
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(MethodState {
+            tier: Tier::from_tag(dec.take_u8()?)?,
+            invocations: dec.take_f64()?,
+            inflight: dec.take_option(|d| Tier::from_tag(d.take_u8()?))?,
+            deopt_rounds: dec.take_u32()?,
+            barred_from_tier2: dec.take_bool()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_state_is_interpreted() {
+        let m = MethodState::new();
+        assert_eq!(m.tier, Tier::Interpreted);
+        assert_eq!(m.pending_promotion(100, 1000), None);
+    }
+
+    #[test]
+    fn promotion_fires_at_thresholds() {
+        let mut m = MethodState::new();
+        m.invocations = 99.0;
+        assert_eq!(m.pending_promotion(100, 1000), None);
+        m.invocations = 100.0;
+        assert_eq!(m.pending_promotion(100, 1000), Some(Tier::Tier1));
+        m.install(Tier::Tier1);
+        assert_eq!(m.pending_promotion(100, 1000), None);
+        m.invocations = 1000.0;
+        assert_eq!(m.pending_promotion(100, 1000), Some(Tier::Tier2));
+    }
+
+    #[test]
+    fn inflight_suppresses_further_promotion() {
+        let mut m = MethodState::new();
+        m.invocations = 100.0;
+        m.inflight = Some(Tier::Tier1);
+        assert_eq!(m.pending_promotion(100, 1000), None);
+        m.install(Tier::Tier1);
+        assert_eq!(m.inflight, None);
+        assert_eq!(m.tier, Tier::Tier1);
+    }
+
+    #[test]
+    fn deopt_retains_most_profile_and_counts_rounds() {
+        let mut m = MethodState::new();
+        m.tier = Tier::Tier2;
+        m.invocations = 2000.0;
+        m.deoptimize(3);
+        assert_eq!(m.tier, Tier::Interpreted);
+        assert_eq!(m.invocations, 1800.0);
+        assert_eq!(m.deopt_rounds, 1);
+        assert!(!m.barred_from_tier2);
+    }
+
+    #[test]
+    fn too_many_deopts_bar_tier2() {
+        let mut m = MethodState::new();
+        for _ in 0..3 {
+            m.tier = Tier::Tier2;
+            m.deoptimize(3);
+        }
+        assert!(m.barred_from_tier2);
+        m.invocations = 1e9;
+        m.tier = Tier::Tier1;
+        // Tier-1 stays reachable; tier 2 does not.
+        assert_eq!(m.pending_promotion(100, 1000), None);
+    }
+
+    #[test]
+    fn barred_method_still_reaches_tier1() {
+        let mut m = MethodState::new();
+        m.barred_from_tier2 = true;
+        m.invocations = 100.0;
+        assert_eq!(m.pending_promotion(100, 1000), Some(Tier::Tier1));
+    }
+
+    #[test]
+    fn state_round_trips_codec() {
+        let mut m = MethodState::new();
+        m.tier = Tier::Tier1;
+        m.invocations = 123.5;
+        m.inflight = Some(Tier::Tier2);
+        m.deopt_rounds = 2;
+        let mut enc = Encoder::new();
+        m.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let decoded = MethodState::decode(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn tier_ordering_matches_optimization_level() {
+        assert!(Tier::Interpreted < Tier::Tier1);
+        assert!(Tier::Tier1 < Tier::Tier2);
+    }
+
+    #[test]
+    fn invalid_tier_tag_rejected() {
+        assert!(Tier::from_tag(9).is_err());
+    }
+}

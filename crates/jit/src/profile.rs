@@ -1,0 +1,375 @@
+//! Static profiles: what a runtime is, and what a method looks like to it.
+//!
+//! [`RuntimeProfile`] parameterizes a runtime family. The two presets,
+//! [`RuntimeProfile::jvm`] and [`RuntimeProfile::pypy`], are calibrated so
+//! that the DynamicHTML workload converges around request ~2 500 on the JVM
+//! and ~1 000 on PyPy with the latency reductions of Figure 1 (75.6% and
+//! 33.3%), and so that snapshot images land in Table 4's size bands
+//! (JVM ≈ 10–13 MB, PyPy ≈ 54–64 MB).
+
+use self::codecheck::check_fraction;
+use pronghorn_checkpoint::codec::{CodecError, Decoder, Encoder};
+
+/// The runtime family a profile models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuntimeKind {
+    /// OpenJDK HotSpot-style: background tiered compilation (C1/C2).
+    Jvm,
+    /// PyPy-style: inline tracing JIT (execution pauses while tracing).
+    PyPy,
+}
+
+impl RuntimeKind {
+    /// Stable label used in snapshot metadata and result tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            RuntimeKind::Jvm => "jvm",
+            RuntimeKind::PyPy => "pypy",
+        }
+    }
+
+    /// Parses a label written by [`Self::label`].
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "jvm" => Some(RuntimeKind::Jvm),
+            "pypy" => Some(RuntimeKind::PyPy),
+            _ => None,
+        }
+    }
+}
+
+/// Static description of one method of a serverless function.
+///
+/// Built with a fluent API:
+///
+/// ```
+/// use pronghorn_jit::MethodProfile;
+///
+/// let m = MethodProfile::new("parse")
+///     .calls_per_request(12.0)
+///     .tier_speedups(3.0, 9.0)
+///     .speculation(0.6);
+/// assert_eq!(m.name, "parse");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodProfile {
+    /// Method name (diagnostics and snapshots).
+    pub name: String,
+    /// Average times this method is invoked per function request; drives
+    /// how fast its counters cross the compile thresholds.
+    pub calls: f64,
+    /// Speedup of tier-1 code over interpreted code (>= 1).
+    pub tier1_speedup: f64,
+    /// Speedup of tier-2 code over interpreted code (>= tier1).
+    pub tier2_speedup: f64,
+    /// Machine-code size produced by tier-1 compilation, bytes.
+    pub tier1_code_bytes: u64,
+    /// Machine-code size produced by tier-2 compilation, bytes.
+    pub tier2_code_bytes: u64,
+    /// How speculation-heavy tier-2 code for this method is, in `[0, 1]`:
+    /// scales the probability that a novel input deoptimizes it.
+    pub speculation: f64,
+}
+
+impl MethodProfile {
+    /// Creates a profile with representative defaults.
+    pub fn new(name: impl Into<String>) -> Self {
+        MethodProfile {
+            name: name.into(),
+            calls: 1.0,
+            tier1_speedup: 3.0,
+            tier2_speedup: 10.0,
+            tier1_code_bytes: 24 * 1024,
+            tier2_code_bytes: 96 * 1024,
+            speculation: 0.5,
+        }
+    }
+
+    /// Sets the average calls per request.
+    pub fn calls_per_request(mut self, calls: f64) -> Self {
+        self.calls = calls.max(0.0);
+        self
+    }
+
+    /// Sets tier speedups (tier 2 is clamped to at least tier 1).
+    pub fn tier_speedups(mut self, tier1: f64, tier2: f64) -> Self {
+        self.tier1_speedup = tier1.max(1.0);
+        self.tier2_speedup = tier2.max(self.tier1_speedup);
+        self
+    }
+
+    /// Sets generated code sizes in bytes.
+    pub fn code_bytes(mut self, tier1: u64, tier2: u64) -> Self {
+        self.tier1_code_bytes = tier1;
+        self.tier2_code_bytes = tier2;
+        self
+    }
+
+    /// Sets the speculation sensitivity in `[0, 1]`.
+    pub fn speculation(mut self, s: f64) -> Self {
+        self.speculation = check_fraction(s);
+        self
+    }
+
+    pub(crate) fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.name);
+        enc.put_f64(self.calls);
+        enc.put_f64(self.tier1_speedup);
+        enc.put_f64(self.tier2_speedup);
+        enc.put_u64(self.tier1_code_bytes);
+        enc.put_u64(self.tier2_code_bytes);
+        enc.put_f64(self.speculation);
+    }
+
+    pub(crate) fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(MethodProfile {
+            name: dec.take_str()?.to_string(),
+            calls: dec.take_f64()?,
+            tier1_speedup: dec.take_f64()?,
+            tier2_speedup: dec.take_f64()?,
+            tier1_code_bytes: dec.take_u64()?,
+            tier2_code_bytes: dec.take_u64()?,
+            speculation: dec.take_f64()?,
+        })
+    }
+}
+
+/// Static description of a runtime family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeProfile {
+    /// Which family this is.
+    pub kind: RuntimeKind,
+    /// Process + interpreter boot cost on a cold start, µs (mean).
+    pub cold_init_us: f64,
+    /// Extra lazy-initialization cost folded into the *first* request a
+    /// cold runtime serves (class loading, lazy interpreter structures),
+    /// µs (mean). This is why snapshot-after-init underperforms
+    /// snapshot-after-first-request (§5.1).
+    pub lazy_init_us: f64,
+    /// Relative jitter applied to init costs.
+    pub init_jitter_rel: f64,
+    /// Method invocation count that triggers tier-1 compilation.
+    pub tier1_threshold: u64,
+    /// Method invocation count that triggers tier-2 compilation.
+    pub tier2_threshold: u64,
+    /// Whether compilation runs on background threads (`true`, HotSpot) or
+    /// pauses execution inline (`false`, PyPy tracing).
+    pub background_compile: bool,
+    /// Background compile capacity per request, in µs of compiler work the
+    /// background threads retire while one request executes.
+    pub compile_us_per_request: f64,
+    /// Compiler work needed per kilobyte of generated code, µs/KiB.
+    pub compile_us_per_code_kb: f64,
+    /// Fractional execution slowdown while the compile queue is non-empty
+    /// (compiler threads steal CPU from the request).
+    pub compile_interference: f64,
+    /// Baseline probability that one novel-input request deoptimizes a
+    /// given speculating tier-2 method.
+    pub deopt_prob: f64,
+    /// Execution pause charged when a deoptimization fires, µs.
+    pub deopt_pause_us: f64,
+    /// Deoptimization rounds after which a method is barred from tier 2.
+    pub max_deopt_rounds: u32,
+    /// Fixed per-request runtime overhead (dispatch, GC amortization), µs.
+    pub request_overhead_us: f64,
+    /// Code-cache capacity, bytes; compilation stops when full (§2:
+    /// "code cache space availability").
+    pub code_cache_bytes: u64,
+    /// Base (compressed) process-image size for snapshots, bytes.
+    pub base_image_bytes: u64,
+    /// Extra image bytes per byte of generated machine code (profile data,
+    /// metadata; > 1 because images also carry profiling tables).
+    pub image_bytes_per_code_byte: f64,
+}
+
+impl RuntimeProfile {
+    /// HotSpot-JVM-like preset.
+    pub fn jvm() -> Self {
+        RuntimeProfile {
+            kind: RuntimeKind::Jvm,
+            cold_init_us: 420_000.0,
+            lazy_init_us: 230_000.0,
+            init_jitter_rel: 0.15,
+            tier1_threshold: 250,
+            tier2_threshold: 12_000,
+            background_compile: true,
+            compile_us_per_request: 550.0,
+            compile_us_per_code_kb: 180.0,
+            compile_interference: 0.22,
+            deopt_prob: 0.012,
+            deopt_pause_us: 900.0,
+            max_deopt_rounds: 20,
+            request_overhead_us: 130.0,
+            code_cache_bytes: 48 * 1024 * 1024,
+            base_image_bytes: 10 * 1024 * 1024,
+            image_bytes_per_code_byte: 2.6,
+        }
+    }
+
+    /// PyPy-like preset (inline tracing JIT).
+    pub fn pypy() -> Self {
+        RuntimeProfile {
+            kind: RuntimeKind::PyPy,
+            cold_init_us: 180_000.0,
+            lazy_init_us: 60_000.0,
+            init_jitter_rel: 0.15,
+            tier1_threshold: 1_040, // PyPy's documented trace-hotness threshold is 1039
+            tier2_threshold: 6_200,
+            background_compile: false,
+            compile_us_per_request: 0.0,
+            compile_us_per_code_kb: 260.0,
+            compile_interference: 0.0,
+            deopt_prob: 0.02,
+            deopt_pause_us: 1_400.0,
+            max_deopt_rounds: 12,
+            request_overhead_us: 260.0,
+            code_cache_bytes: 96 * 1024 * 1024,
+            base_image_bytes: 52 * 1024 * 1024,
+            image_bytes_per_code_byte: 3.4,
+        }
+    }
+
+    /// Preset for a runtime kind.
+    pub fn for_kind(kind: RuntimeKind) -> Self {
+        match kind {
+            RuntimeKind::Jvm => RuntimeProfile::jvm(),
+            RuntimeKind::PyPy => RuntimeProfile::pypy(),
+        }
+    }
+
+    pub(crate) fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(self.kind.label());
+        enc.put_f64(self.cold_init_us);
+        enc.put_f64(self.lazy_init_us);
+        enc.put_f64(self.init_jitter_rel);
+        enc.put_u64(self.tier1_threshold);
+        enc.put_u64(self.tier2_threshold);
+        enc.put_bool(self.background_compile);
+        enc.put_f64(self.compile_us_per_request);
+        enc.put_f64(self.compile_us_per_code_kb);
+        enc.put_f64(self.compile_interference);
+        enc.put_f64(self.deopt_prob);
+        enc.put_f64(self.deopt_pause_us);
+        enc.put_u32(self.max_deopt_rounds);
+        enc.put_f64(self.request_overhead_us);
+        enc.put_u64(self.code_cache_bytes);
+        enc.put_u64(self.base_image_bytes);
+        enc.put_f64(self.image_bytes_per_code_byte);
+    }
+
+    pub(crate) fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let label = dec.take_str()?;
+        let kind = RuntimeKind::from_label(label).ok_or(CodecError::InvalidTag {
+            tag: label.as_bytes().first().copied().unwrap_or(0),
+            context: "RuntimeKind",
+        })?;
+        Ok(RuntimeProfile {
+            kind,
+            cold_init_us: dec.take_f64()?,
+            lazy_init_us: dec.take_f64()?,
+            init_jitter_rel: dec.take_f64()?,
+            tier1_threshold: dec.take_u64()?,
+            tier2_threshold: dec.take_u64()?,
+            background_compile: dec.take_bool()?,
+            compile_us_per_request: dec.take_f64()?,
+            compile_us_per_code_kb: dec.take_f64()?,
+            compile_interference: dec.take_f64()?,
+            deopt_prob: dec.take_f64()?,
+            deopt_pause_us: dec.take_f64()?,
+            max_deopt_rounds: dec.take_u32()?,
+            request_overhead_us: dec.take_f64()?,
+            code_cache_bytes: dec.take_u64()?,
+            base_image_bytes: dec.take_u64()?,
+            image_bytes_per_code_byte: dec.take_f64()?,
+        })
+    }
+}
+
+pub(crate) mod codecheck {
+    /// Clamps a configuration fraction into `[0, 1]`, mapping NaN to 0.
+    pub fn check_fraction(x: f64) -> f64 {
+        if x.is_nan() {
+            0.0
+        } else {
+            x.clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_labels_round_trip() {
+        for kind in [RuntimeKind::Jvm, RuntimeKind::PyPy] {
+            assert_eq!(RuntimeKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(RuntimeKind::from_label("v8"), None);
+    }
+
+    #[test]
+    fn method_builder_clamps_parameters() {
+        let m = MethodProfile::new("m")
+            .calls_per_request(-2.0)
+            .tier_speedups(0.5, 0.1)
+            .speculation(3.0);
+        assert_eq!(m.calls, 0.0);
+        assert_eq!(m.tier1_speedup, 1.0);
+        assert_eq!(m.tier2_speedup, 1.0);
+        assert_eq!(m.speculation, 1.0);
+    }
+
+    #[test]
+    fn tier2_speedup_never_below_tier1() {
+        let m = MethodProfile::new("m").tier_speedups(5.0, 2.0);
+        assert_eq!(m.tier2_speedup, 5.0);
+    }
+
+    #[test]
+    fn method_profile_round_trips_codec() {
+        let m = MethodProfile::new("hot-loop")
+            .calls_per_request(7.5)
+            .tier_speedups(2.0, 14.0)
+            .code_bytes(1000, 5000)
+            .speculation(0.8);
+        let mut enc = Encoder::new();
+        m.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let decoded = MethodProfile::decode(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn runtime_profile_round_trips_codec() {
+        for profile in [RuntimeProfile::jvm(), RuntimeProfile::pypy()] {
+            let mut enc = Encoder::new();
+            profile.encode(&mut enc);
+            let bytes = enc.into_bytes();
+            let mut dec = Decoder::new(&bytes);
+            let decoded = RuntimeProfile::decode(&mut dec).unwrap();
+            dec.finish().unwrap();
+            assert_eq!(decoded, profile);
+        }
+    }
+
+    #[test]
+    fn jvm_warms_slower_but_deeper_than_pypy() {
+        let jvm = RuntimeProfile::jvm();
+        let pypy = RuntimeProfile::pypy();
+        // Figure 1: JVM converges around 2x the requests of PyPy.
+        assert!(jvm.tier2_threshold > pypy.tier2_threshold);
+        // And JVM snapshots are far smaller (Table 4).
+        assert!(jvm.base_image_bytes < pypy.base_image_bytes);
+        // PyPy traces inline; JVM compiles in the background.
+        assert!(jvm.background_compile && !pypy.background_compile);
+    }
+
+    #[test]
+    fn check_fraction_handles_nan() {
+        assert_eq!(codecheck::check_fraction(f64::NAN), 0.0);
+        assert_eq!(codecheck::check_fraction(0.5), 0.5);
+    }
+}

@@ -1,0 +1,165 @@
+//! Request descriptors and execution breakdowns.
+//!
+//! A workload turns one randomized input into a [`RequestWork`]: how many
+//! work units each method must execute, how much un-JIT-able IO the request
+//! performs, and how *novel* the input is relative to what the function has
+//! seen (novelty drives speculation failures). The runtime turns that into
+//! an [`ExecutionBreakdown`] of where the virtual time went.
+
+/// Work one request assigns to one method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MethodWork {
+    /// Index of the method in the runtime's method table.
+    pub method: usize,
+    /// Abstract work units the method executes for this request; one unit
+    /// costs [`RequestWork::us_per_unit`] µs when interpreted.
+    pub units: f64,
+    /// Times the method is invoked by this request (profile-counter
+    /// advance).
+    pub calls: f64,
+}
+
+/// One request's execution demand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestWork {
+    /// Per-method work.
+    pub entries: Vec<MethodWork>,
+    /// Interpreted cost of one work unit, µs. Workloads calibrate this to
+    /// land their first-request latency in the paper's observed range.
+    pub us_per_unit: f64,
+    /// IO/network time this request spends outside the runtime, µs —
+    /// unaffected by JIT state (the mechanism behind the Uploader
+    /// regression in §5.2).
+    pub io_us: f64,
+    /// How unusual this input is in `[0, 1]`; scales the probability that
+    /// speculating methods deoptimize on this request.
+    pub novelty: f64,
+    /// The input-size factor this request was drawn with (1.0 = the base
+    /// size). Carried so platforms can classify requests by input pattern
+    /// (§6's workload/input-awareness).
+    pub size_factor: f64,
+}
+
+impl RequestWork {
+    /// Creates compute-only work with 1 µs/unit and zero novelty.
+    pub fn new(entries: Vec<MethodWork>) -> Self {
+        RequestWork {
+            entries,
+            us_per_unit: 1.0,
+            io_us: 0.0,
+            novelty: 0.0,
+            size_factor: 1.0,
+        }
+    }
+
+    /// Sets the interpreted cost per unit.
+    pub fn us_per_unit(mut self, us: f64) -> Self {
+        self.us_per_unit = us.max(0.0);
+        self
+    }
+
+    /// Sets the IO time.
+    pub fn io_us(mut self, us: f64) -> Self {
+        self.io_us = us.max(0.0);
+        self
+    }
+
+    /// Sets the size factor the request was drawn with.
+    pub fn size_factor(mut self, factor: f64) -> Self {
+        self.size_factor = if factor.is_finite() && factor > 0.0 {
+            factor
+        } else {
+            1.0
+        };
+        self
+    }
+
+    /// Sets the novelty in `[0, 1]`.
+    pub fn novelty(mut self, novelty: f64) -> Self {
+        self.novelty = if novelty.is_nan() {
+            0.0
+        } else {
+            novelty.clamp(0.0, 1.0)
+        };
+        self
+    }
+
+    /// Total interpreted compute cost of this request, µs.
+    pub fn interpreted_compute_us(&self) -> f64 {
+        self.entries.iter().map(|e| e.units).sum::<f64>() * self.us_per_unit
+    }
+}
+
+/// Where one request's virtual time went.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ExecutionBreakdown {
+    /// Time running function code (tier-discounted), µs.
+    pub compute_us: f64,
+    /// IO/network time, µs.
+    pub io_us: f64,
+    /// Lazy initialization charged to a cold runtime's first request, µs.
+    pub lazy_init_us: f64,
+    /// Inline compilation pauses (tracing JIT) this request, µs.
+    pub compile_pause_us: f64,
+    /// Slowdown from background compiler CPU contention, µs.
+    pub interference_us: f64,
+    /// Deoptimization pauses this request, µs.
+    pub deopt_pause_us: f64,
+    /// Fixed runtime overhead, µs.
+    pub overhead_us: f64,
+}
+
+impl ExecutionBreakdown {
+    /// End-to-end execution time of the request, µs.
+    pub fn total_us(&self) -> f64 {
+        self.compute_us
+            + self.io_us
+            + self.lazy_init_us
+            + self.compile_pause_us
+            + self.interference_us
+            + self.deopt_pause_us
+            + self.overhead_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_clamp_inputs() {
+        let w = RequestWork::new(vec![])
+            .us_per_unit(-1.0)
+            .io_us(-5.0)
+            .novelty(7.0);
+        assert_eq!(w.us_per_unit, 0.0);
+        assert_eq!(w.io_us, 0.0);
+        assert_eq!(w.novelty, 1.0);
+        assert_eq!(RequestWork::new(vec![]).novelty(f64::NAN).novelty, 0.0);
+    }
+
+    #[test]
+    fn interpreted_compute_sums_units() {
+        let w = RequestWork::new(vec![
+            MethodWork { method: 0, units: 100.0, calls: 1.0 },
+            MethodWork { method: 1, units: 50.0, calls: 2.0 },
+        ])
+        .us_per_unit(2.0);
+        assert_eq!(w.interpreted_compute_us(), 300.0);
+    }
+
+    #[test]
+    fn breakdown_total_sums_components() {
+        let b = ExecutionBreakdown {
+            compute_us: 1.0,
+            io_us: 2.0,
+            lazy_init_us: 3.0,
+            compile_pause_us: 4.0,
+            interference_us: 5.0,
+            deopt_pause_us: 6.0,
+            overhead_us: 7.0,
+        };
+        assert_eq!(b.total_us(), 28.0);
+        assert_eq!(ExecutionBreakdown::default().total_us(), 0.0);
+    }
+}

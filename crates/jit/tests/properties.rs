@@ -1,0 +1,175 @@
+//! Property-based tests for the JIT runtime simulator.
+
+use pronghorn_checkpoint::codec::{Decoder, Encoder};
+use pronghorn_checkpoint::Checkpointable;
+use pronghorn_jit::{MethodProfile, MethodWork, RequestWork, Runtime, RuntimeProfile, Tier};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn methods_strategy() -> impl Strategy<Value = Vec<MethodProfile>> {
+    prop::collection::vec(
+        (1.0f64..200.0, 1.2f64..4.0, 1.0f64..8.0, 0.0f64..1.0),
+        1..6,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (calls, t1, t2_mult, spec))| {
+                MethodProfile::new(format!("m{i}"))
+                    .calls_per_request(calls)
+                    .tier_speedups(t1, t1 * t2_mult)
+                    .speculation(spec)
+            })
+            .collect()
+    })
+}
+
+fn work_for(methods: &[MethodProfile], units: f64, novelty: f64) -> RequestWork {
+    RequestWork::new(
+        methods
+            .iter()
+            .enumerate()
+            .map(|(i, m)| MethodWork { method: i, units, calls: m.calls })
+            .collect(),
+    )
+    .us_per_unit(2.0)
+    .novelty(novelty)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Execution latencies are always positive and finite, and the request
+    /// counter advances by exactly one per execution.
+    #[test]
+    fn execution_is_finite_and_counted(
+        methods in methods_strategy(),
+        seed in any::<u64>(),
+        units in 1.0f64..5_000.0,
+        novelty in 0.0f64..1.0,
+        n in 1usize..300,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (mut rt, init) = Runtime::cold_start(RuntimeProfile::jvm(), methods.clone(), &mut rng);
+        prop_assert!(init.as_micros() > 0);
+        let work = work_for(&methods, units, novelty);
+        for i in 0..n {
+            let b = rt.execute(&work, &mut rng);
+            prop_assert!(b.total_us().is_finite());
+            prop_assert!(b.total_us() > 0.0);
+            prop_assert!(b.compute_us >= 0.0 && b.deopt_pause_us >= 0.0);
+            prop_assert_eq!(rt.requests_executed(), (i + 1) as u64);
+        }
+    }
+
+    /// Snapshot/restore is lossless at any point in the warm-up, for any
+    /// profile: the restored runtime equals the original field-for-field.
+    #[test]
+    fn state_round_trips_at_any_point(
+        methods in methods_strategy(),
+        seed in any::<u64>(),
+        warmup in 0usize..400,
+        pypy in any::<bool>(),
+    ) {
+        let profile = if pypy { RuntimeProfile::pypy() } else { RuntimeProfile::jvm() };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (mut rt, _) = Runtime::cold_start(profile, methods.clone(), &mut rng);
+        let work = work_for(&methods, 100.0, 0.3);
+        for _ in 0..warmup {
+            rt.execute(&work, &mut rng);
+        }
+        let mut enc = Encoder::new();
+        rt.encode_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let restored = Runtime::decode_state(&mut dec).unwrap();
+        prop_assert!(dec.finish().is_ok());
+        prop_assert_eq!(&restored, &rt);
+        prop_assert_eq!(restored.image_size_bytes(), rt.image_size_bytes());
+    }
+
+    /// Tiers only ever improve the per-request cost: a fully-warm runtime
+    /// is never slower than the interpreted cost of the same work (modulo
+    /// transient pauses, which we exclude by reading compute time only).
+    #[test]
+    fn compute_time_never_exceeds_interpreted_cost(
+        methods in methods_strategy(),
+        seed in any::<u64>(),
+        units in 10.0f64..1_000.0,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (mut rt, _) = Runtime::cold_start(RuntimeProfile::jvm(), methods.clone(), &mut rng);
+        let work = work_for(&methods, units, 0.0);
+        let interp = work.interpreted_compute_us();
+        for _ in 0..200 {
+            let b = rt.execute(&work, &mut rng);
+            prop_assert!(
+                b.compute_us <= interp * 1.0000001,
+                "compute {} exceeds interpreted {interp}",
+                b.compute_us
+            );
+        }
+    }
+
+    /// The code cache never exceeds its capacity.
+    #[test]
+    fn code_cache_respects_capacity(
+        methods in methods_strategy(),
+        seed in any::<u64>(),
+        cache_kb in 1u64..512,
+    ) {
+        let mut profile = RuntimeProfile::jvm();
+        profile.code_cache_bytes = cache_kb * 1024;
+        profile.tier1_threshold = 5;
+        profile.tier2_threshold = 20;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (mut rt, _) = Runtime::cold_start(profile, methods.clone(), &mut rng);
+        let work = work_for(&methods, 50.0, 0.2);
+        for _ in 0..300 {
+            rt.execute(&work, &mut rng);
+            prop_assert!(rt.code_cache_used() <= cache_kb * 1024);
+        }
+    }
+
+    /// Identical seeds replay identical histories regardless of profile.
+    #[test]
+    fn execution_is_deterministic(
+        methods in methods_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let run = || {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let (mut rt, _) =
+                Runtime::cold_start(RuntimeProfile::pypy(), methods.clone(), &mut rng);
+            let work = work_for(&methods, 100.0, 0.5);
+            (0..100).map(|_| rt.execute(&work, &mut rng).total_us()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Tier ordering is monotone in optimization level for every method at
+    /// every point (no method skips straight to a dead state).
+    #[test]
+    fn barred_methods_never_hold_tier2(
+        methods in methods_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let mut profile = RuntimeProfile::jvm();
+        profile.deopt_prob = 0.3;
+        profile.max_deopt_rounds = 2;
+        profile.tier1_threshold = 3;
+        profile.tier2_threshold = 10;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (mut rt, _) = Runtime::cold_start(profile, methods.clone(), &mut rng);
+        let work = work_for(&methods, 50.0, 1.0);
+        for _ in 0..400 {
+            rt.execute(&work, &mut rng);
+            for m in rt.method_states() {
+                if m.barred_from_tier2 {
+                    prop_assert!(m.tier < Tier::Tier2);
+                }
+            }
+        }
+    }
+}

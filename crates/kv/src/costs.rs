@@ -1,0 +1,83 @@
+//! Simulated latency of Database operations.
+//!
+//! The paper's Database is a Flask service reached over the pod network, so
+//! each policy read/write costs a sub-millisecond round trip. Figure 7
+//! shows these costs showing up as per-request and per-checkpoint
+//! orchestrator overhead (off the critical path). The orchestrator charges
+//! the costs below into its overhead accounting; the store itself stays
+//! synchronous and instant.
+
+/// Per-operation virtual latency, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KvCosts {
+    /// One point read round trip.
+    pub read_us: f64,
+    /// One write round trip.
+    pub write_us: f64,
+    /// One atomic read-modify-write round trip (read + write under lock).
+    pub update_us: f64,
+    /// One prefix scan.
+    pub scan_us: f64,
+}
+
+impl Default for KvCosts {
+    /// Defaults calibrated to an intra-cluster HTTP key-value service like
+    /// the paper's Flask Database: ~300µs reads, ~500µs writes.
+    fn default() -> Self {
+        KvCosts {
+            read_us: 300.0,
+            write_us: 500.0,
+            update_us: 800.0,
+            scan_us: 600.0,
+        }
+    }
+}
+
+impl KvCosts {
+    /// A zero-cost model, for tests that want pure policy behaviour.
+    pub const fn free() -> Self {
+        KvCosts {
+            read_us: 0.0,
+            write_us: 0.0,
+            update_us: 0.0,
+            scan_us: 0.0,
+        }
+    }
+
+    /// Uniformly scales every cost, e.g. to model a slower network.
+    pub fn scaled(self, factor: f64) -> Self {
+        KvCosts {
+            read_us: self.read_us * factor,
+            write_us: self.write_us * factor,
+            update_us: self.update_us * factor,
+            scan_us: self.scan_us * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sub_millisecond() {
+        let c = KvCosts::default();
+        assert!(c.read_us > 0.0 && c.read_us < 1_000.0);
+        assert!(c.write_us > 0.0 && c.write_us < 1_000.0);
+        assert!(c.update_us >= c.write_us);
+    }
+
+    #[test]
+    fn free_is_all_zero() {
+        let c = KvCosts::free();
+        assert_eq!(c.read_us + c.write_us + c.update_us + c.scan_us, 0.0);
+    }
+
+    #[test]
+    fn scaling_multiplies_each_field() {
+        let c = KvCosts::default().scaled(2.0);
+        let d = KvCosts::default();
+        assert_eq!(c.read_us, d.read_us * 2.0);
+        assert_eq!(c.scan_us, d.scan_us * 2.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Strongly consistent key-value store — the paper's Database component.
+//!
+//! Pronghorn's implementation (§4) stores orchestration-policy weights and
+//! snapshot metadata in "a lightweight implementation of a general-purpose
+//! key-value store ... exposing only strongly-consistent atomic read and
+//! write operations", explicitly substitutable by Redis or Dynamo. This
+//! crate reproduces that component:
+//!
+//! - [`KvStore`]: a cloneable handle to a shared, linearizable map with
+//!   versioned values, atomic read/write/compare-and-swap/read-modify-write
+//!   and prefix listing;
+//! - [`KvCosts`]: the simulated latency of each operation, charged by the
+//!   orchestrator into the Figure 7 overhead accounting;
+//! - [`types`]: typed codecs for the values Pronghorn stores (the `θ`
+//!   weight vector, snapshot metadata lists).
+//!
+//! # Examples
+//!
+//! ```
+//! use pronghorn_kv::KvStore;
+//!
+//! let kv = KvStore::new();
+//! let v1 = kv.put("fn/html/theta", vec![1, 2, 3]);
+//! let read = kv.get("fn/html/theta").unwrap();
+//! assert_eq!(read.value, vec![1, 2, 3]);
+//! assert_eq!(read.version, v1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod costs;
+pub mod store;
+pub mod types;
+
+pub use costs::KvCosts;
+pub use store::{KvError, KvStats, KvStore, Versioned};

@@ -1,0 +1,363 @@
+//! The shared, linearizable key-value map.
+//!
+//! All mutating operations take the single write lock, so every operation
+//! is atomic and the store is linearizable by construction — matching the
+//! paper's "strongly-consistent atomic read and write operations". The
+//! handle is cheaply cloneable; every clone views the same map, the way the
+//! paper's per-worker Orchestrators all talk to one Database.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A value together with the monotonically increasing version the store
+/// assigned when it was last written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Versioned {
+    /// The stored bytes.
+    pub value: Vec<u8>,
+    /// Store-assigned version; strictly increases across writes to a key.
+    pub version: u64,
+}
+
+/// Errors returned by conditional operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// The key does not exist.
+    NotFound,
+    /// A compare-and-swap observed a different version than expected.
+    VersionConflict {
+        /// Version the caller expected.
+        expected: u64,
+        /// Version actually present (`None` if the key vanished).
+        actual: Option<u64>,
+    },
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::NotFound => write!(f, "key not found"),
+            KvError::VersionConflict { expected, actual } => {
+                write!(f, "version conflict: expected {expected}, found {actual:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// Operation counters, for the cost analysis (§5.3) and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KvStats {
+    /// Completed point reads (`get`).
+    pub reads: u64,
+    /// Completed writes (`put`, successful `cas`, `update`, `delete`).
+    pub writes: u64,
+    /// Failed compare-and-swap attempts.
+    pub cas_conflicts: u64,
+    /// Prefix scans.
+    pub scans: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: RwLock<HashMap<String, Versioned>>,
+    next_version: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    cas_conflicts: AtomicU64,
+    scans: AtomicU64,
+}
+
+/// Cloneable handle to a shared, strongly consistent key-value store.
+#[derive(Clone, Default)]
+pub struct KvStore {
+    inner: Arc<Inner>,
+}
+
+impl fmt::Debug for KvStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KvStore")
+            .field("keys", &self.inner.map.read().len())
+            .finish()
+    }
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        KvStore {
+            inner: Arc::new(Inner {
+                next_version: AtomicU64::new(1),
+                ..Inner::default()
+            }),
+        }
+    }
+
+    fn bump_version(&self) -> u64 {
+        self.inner.next_version.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Reads the current value of `key`.
+    pub fn get(&self, key: &str) -> Option<Versioned> {
+        self.inner.reads.fetch_add(1, Ordering::Relaxed);
+        self.inner.map.read().get(key).cloned()
+    }
+
+    /// Returns whether `key` exists without counting as a read.
+    pub fn contains(&self, key: &str) -> bool {
+        self.inner.map.read().contains_key(key)
+    }
+
+    /// Unconditionally writes `value`, returning the new version.
+    pub fn put(&self, key: &str, value: Vec<u8>) -> u64 {
+        self.inner.writes.fetch_add(1, Ordering::Relaxed);
+        let version = self.bump_version();
+        self.inner
+            .map
+            .write()
+            .insert(key.to_string(), Versioned { value, version });
+        version
+    }
+
+    /// Writes `value` only if the key's current version is
+    /// `expected_version`; pass `0` to require that the key not exist.
+    ///
+    /// Returns the new version on success.
+    pub fn compare_and_swap(
+        &self,
+        key: &str,
+        expected_version: u64,
+        value: Vec<u8>,
+    ) -> Result<u64, KvError> {
+        let mut map = self.inner.map.write();
+        let actual = map.get(key).map(|v| v.version);
+        let matches = match (expected_version, actual) {
+            (0, None) => true,
+            (e, Some(a)) => e == a,
+            _ => false,
+        };
+        if !matches {
+            self.inner.cas_conflicts.fetch_add(1, Ordering::Relaxed);
+            return Err(KvError::VersionConflict {
+                expected: expected_version,
+                actual,
+            });
+        }
+        self.inner.writes.fetch_add(1, Ordering::Relaxed);
+        let version = self.bump_version();
+        map.insert(key.to_string(), Versioned { value, version });
+        Ok(version)
+    }
+
+    /// Atomically reads, transforms, and writes back `key` under the write
+    /// lock — the primitive the orchestrator uses to fold a new latency
+    /// sample into the shared weight vector without losing concurrent
+    /// updates from other workers.
+    ///
+    /// `f` receives the current value (or `None`) and returns the new value.
+    /// Returns the new version.
+    pub fn update<F>(&self, key: &str, f: F) -> u64
+    where
+        F: FnOnce(Option<&[u8]>) -> Vec<u8>,
+    {
+        let mut map = self.inner.map.write();
+        let current = map.get(key).map(|v| v.value.as_slice());
+        let new_value = f(current);
+        self.inner.writes.fetch_add(1, Ordering::Relaxed);
+        let version = self.bump_version();
+        map.insert(
+            key.to_string(),
+            Versioned {
+                value: new_value,
+                version,
+            },
+        );
+        version
+    }
+
+    /// Deletes `key`, returning its last value if it existed.
+    pub fn delete(&self, key: &str) -> Result<Versioned, KvError> {
+        let removed = self.inner.map.write().remove(key);
+        match removed {
+            Some(v) => {
+                self.inner.writes.fetch_add(1, Ordering::Relaxed);
+                Ok(v)
+            }
+            None => Err(KvError::NotFound),
+        }
+    }
+
+    /// Lists keys starting with `prefix`, sorted, with their versions.
+    pub fn list_prefix(&self, prefix: &str) -> Vec<(String, u64)> {
+        self.inner.scans.fetch_add(1, Ordering::Relaxed);
+        let map = self.inner.map.read();
+        let mut out: Vec<(String, u64)> = map
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.version))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Number of keys currently stored.
+    pub fn len(&self) -> usize {
+        self.inner.map.read().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the operation counters.
+    pub fn stats(&self) -> KvStats {
+        KvStats {
+            reads: self.inner.reads.load(Ordering::Relaxed),
+            writes: self.inner.writes.load(Ordering::Relaxed),
+            cas_conflicts: self.inner.cas_conflicts.load(Ordering::Relaxed),
+            scans: self.inner.scans.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn put_get_round_trip() {
+        let kv = KvStore::new();
+        assert!(kv.get("a").is_none());
+        let v = kv.put("a", vec![1]);
+        let got = kv.get("a").unwrap();
+        assert_eq!(got.value, vec![1]);
+        assert_eq!(got.version, v);
+    }
+
+    #[test]
+    fn versions_strictly_increase() {
+        let kv = KvStore::new();
+        let v1 = kv.put("k", vec![]);
+        let v2 = kv.put("k", vec![]);
+        let v3 = kv.put("other", vec![]);
+        assert!(v1 < v2 && v2 < v3);
+    }
+
+    #[test]
+    fn cas_succeeds_on_matching_version() {
+        let kv = KvStore::new();
+        let v1 = kv.put("k", vec![1]);
+        let v2 = kv.compare_and_swap("k", v1, vec![2]).unwrap();
+        assert!(v2 > v1);
+        assert_eq!(kv.get("k").unwrap().value, vec![2]);
+    }
+
+    #[test]
+    fn cas_fails_on_stale_version() {
+        let kv = KvStore::new();
+        let v1 = kv.put("k", vec![1]);
+        kv.put("k", vec![2]);
+        let err = kv.compare_and_swap("k", v1, vec![3]).unwrap_err();
+        assert!(matches!(err, KvError::VersionConflict { .. }));
+        assert_eq!(kv.get("k").unwrap().value, vec![2]);
+        assert_eq!(kv.stats().cas_conflicts, 1);
+    }
+
+    #[test]
+    fn cas_create_semantics_with_version_zero() {
+        let kv = KvStore::new();
+        kv.compare_and_swap("new", 0, vec![9]).unwrap();
+        // Second create must conflict.
+        assert!(kv.compare_and_swap("new", 0, vec![9]).is_err());
+    }
+
+    #[test]
+    fn update_reads_current_value() {
+        let kv = KvStore::new();
+        kv.put("ctr", vec![5]);
+        kv.update("ctr", |cur| vec![cur.unwrap()[0] + 1]);
+        assert_eq!(kv.get("ctr").unwrap().value, vec![6]);
+        // Missing key: closure sees None.
+        kv.update("fresh", |cur| {
+            assert!(cur.is_none());
+            vec![1]
+        });
+        assert_eq!(kv.get("fresh").unwrap().value, vec![1]);
+    }
+
+    #[test]
+    fn delete_returns_last_value() {
+        let kv = KvStore::new();
+        kv.put("k", vec![7]);
+        assert_eq!(kv.delete("k").unwrap().value, vec![7]);
+        assert_eq!(kv.delete("k"), Err(KvError::NotFound));
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn list_prefix_is_sorted_and_filtered() {
+        let kv = KvStore::new();
+        kv.put("fn/a/pool", vec![]);
+        kv.put("fn/a/theta", vec![]);
+        kv.put("fn/b/theta", vec![]);
+        let keys: Vec<String> = kv
+            .list_prefix("fn/a/")
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(keys, ["fn/a/pool", "fn/a/theta"]);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let kv = KvStore::new();
+        let other = kv.clone();
+        kv.put("shared", vec![1]);
+        assert_eq!(other.get("shared").unwrap().value, vec![1]);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_increments() {
+        let kv = KvStore::new();
+        kv.put("ctr", 0u64.to_le_bytes().to_vec());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let kv = kv.clone();
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        kv.update("ctr", |cur| {
+                            let mut b = [0u8; 8];
+                            b.copy_from_slice(cur.unwrap());
+                            (u64::from_le_bytes(b) + 1).to_le_bytes().to_vec()
+                        });
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&kv.get("ctr").unwrap().value);
+        assert_eq!(u64::from_le_bytes(b), 8000);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let kv = KvStore::new();
+        kv.put("a", vec![]);
+        kv.get("a");
+        kv.get("missing");
+        kv.list_prefix("");
+        let s = kv.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.scans, 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! Typed codecs for the values Pronghorn keeps in the Database.
+//!
+//! The request-centric policy persists its weight vector `θ` (one `f64` per
+//! request number in `[0, W)`) and per-snapshot metadata in the Database so
+//! that all workers of a function share one view (§3.2 steps 3–4). The
+//! encodings are little-endian and length-prefixed, with explicit decode
+//! errors instead of panics on malformed bytes.
+
+use std::fmt;
+
+/// Errors produced when decoding a stored value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// A length prefix disagrees with the buffer size.
+    LengthMismatch {
+        /// Elements the prefix declared.
+        declared: usize,
+        /// Elements the buffer can actually hold.
+        available: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "value truncated"),
+            DecodeError::LengthMismatch {
+                declared,
+                available,
+            } => write!(
+                f,
+                "length prefix declares {declared} elements but {available} fit"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes an `f64` vector: `u32` length then little-endian IEEE-754 values.
+pub fn encode_f64_vec(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + values.len() * 8);
+    out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a vector produced by [`encode_f64_vec`].
+pub fn decode_f64_vec(bytes: &[u8]) -> Result<Vec<f64>, DecodeError> {
+    if bytes.len() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut len_bytes = [0u8; 4];
+    len_bytes.copy_from_slice(&bytes[..4]);
+    let declared = u32::from_le_bytes(len_bytes) as usize;
+    let available = (bytes.len() - 4) / 8;
+    if declared != available || bytes.len() != 4 + declared * 8 {
+        return Err(DecodeError::LengthMismatch {
+            declared,
+            available,
+        });
+    }
+    let mut out = Vec::with_capacity(declared);
+    for chunk in bytes[4..].chunks_exact(8) {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(chunk);
+        out.push(f64::from_le_bytes(b));
+    }
+    Ok(out)
+}
+
+/// Encodes a `u64` little-endian.
+pub fn encode_u64(value: u64) -> Vec<u8> {
+    value.to_le_bytes().to_vec()
+}
+
+/// Decodes a `u64` written by [`encode_u64`].
+pub fn decode_u64(bytes: &[u8]) -> Result<u64, DecodeError> {
+    if bytes.len() != 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut b = [0u8; 8];
+    b.copy_from_slice(bytes);
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_vec_round_trips() {
+        let values = vec![0.0, -1.5, 3.7e9, f64::MIN_POSITIVE];
+        let decoded = decode_f64_vec(&encode_f64_vec(&values)).unwrap();
+        assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn empty_vec_round_trips() {
+        assert_eq!(decode_f64_vec(&encode_f64_vec(&[])).unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn nan_survives_encoding() {
+        let decoded = decode_f64_vec(&encode_f64_vec(&[f64::NAN])).unwrap();
+        assert!(decoded[0].is_nan());
+    }
+
+    #[test]
+    fn truncated_buffer_is_rejected() {
+        let mut bytes = encode_f64_vec(&[1.0, 2.0]);
+        bytes.pop();
+        assert!(decode_f64_vec(&bytes).is_err());
+        assert_eq!(decode_f64_vec(&[1, 2]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn length_prefix_mismatch_is_rejected() {
+        let mut bytes = encode_f64_vec(&[1.0]);
+        bytes[0] = 5; // claim 5 elements
+        assert!(matches!(
+            decode_f64_vec(&bytes),
+            Err(DecodeError::LengthMismatch { declared: 5, available: 1 })
+        ));
+    }
+
+    #[test]
+    fn u64_round_trips() {
+        assert_eq!(decode_u64(&encode_u64(u64::MAX)).unwrap(), u64::MAX);
+        assert_eq!(decode_u64(&encode_u64(0)).unwrap(), 0);
+        assert!(decode_u64(&[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests: the store behaves like a sequential map model.
+
+use pronghorn_kv::types::{decode_f64_vec, decode_u64, encode_f64_vec, encode_u64};
+use pronghorn_kv::KvStore;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, Vec<u8>),
+    Get(u8),
+    Delete(u8),
+    Cas(u8, Vec<u8>),
+    Update(u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), prop::collection::vec(any::<u8>(), 0..16)).prop_map(|(k, v)| Op::Put(k, v)),
+        any::<u8>().prop_map(Op::Get),
+        any::<u8>().prop_map(Op::Delete),
+        (any::<u8>(), prop::collection::vec(any::<u8>(), 0..16)).prop_map(|(k, v)| Op::Cas(k, v)),
+        (any::<u8>(), any::<u8>()).prop_map(|(k, b)| Op::Update(k, b)),
+    ]
+}
+
+proptest! {
+    /// The store agrees with a plain HashMap model under any op sequence.
+    #[test]
+    fn store_matches_sequential_model(ops in prop::collection::vec(op_strategy(), 0..200)) {
+        let kv = KvStore::new();
+        let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    let key = format!("k{k}");
+                    kv.put(&key, v.clone());
+                    model.insert(key, v);
+                }
+                Op::Get(k) => {
+                    let key = format!("k{k}");
+                    let got = kv.get(&key).map(|x| x.value);
+                    let expected = model.get(&key).cloned();
+                    prop_assert_eq!(got, expected);
+                }
+                Op::Delete(k) => {
+                    let key = format!("k{k}");
+                    let kv_result = kv.delete(&key).ok().map(|v| v.value);
+                    let model_result = model.remove(&key);
+                    prop_assert_eq!(kv_result, model_result);
+                }
+                Op::Cas(k, v) => {
+                    let key = format!("k{k}");
+                    // CAS against the current version always succeeds; CAS
+                    // against version 0 succeeds only on absent keys.
+                    let current = kv.get(&key).map(|x| x.version).unwrap_or(0);
+                    let outcome = kv.compare_and_swap(&key, current, v.clone());
+                    prop_assert!(outcome.is_ok());
+                    model.insert(key, v);
+                }
+                Op::Update(k, b) => {
+                    let key = format!("k{k}");
+                    kv.update(&key, |cur| {
+                        let mut v = cur.map(<[u8]>::to_vec).unwrap_or_default();
+                        v.push(b);
+                        v
+                    });
+                    model.entry(key).or_default().push(b);
+                }
+            }
+            prop_assert_eq!(kv.len(), model.len());
+        }
+        // Final state equivalence over all touched keys.
+        for (key, value) in &model {
+            let got = kv.get(key).map(|x| x.value);
+            prop_assert_eq!(got.as_ref(), Some(value));
+        }
+    }
+
+    /// Stale-version CAS always fails and changes nothing.
+    #[test]
+    fn stale_cas_never_applies(v1 in prop::collection::vec(any::<u8>(), 0..8),
+                               v2 in prop::collection::vec(any::<u8>(), 0..8),
+                               v3 in prop::collection::vec(any::<u8>(), 0..8)) {
+        let kv = KvStore::new();
+        let version1 = kv.put("k", v1);
+        kv.put("k", v2.clone());
+        prop_assert!(kv.compare_and_swap("k", version1, v3).is_err());
+        prop_assert_eq!(kv.get("k").unwrap().value, v2);
+    }
+
+    /// Typed codecs round-trip bit-exactly.
+    #[test]
+    fn typed_codecs_round_trip(values in prop::collection::vec(any::<f64>(), 0..64), n in any::<u64>()) {
+        let decoded = decode_f64_vec(&encode_f64_vec(&values)).unwrap();
+        prop_assert_eq!(decoded.len(), values.len());
+        for (a, b) in decoded.iter().zip(&values) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(decode_u64(&encode_u64(n)).unwrap(), n);
+    }
+
+    /// The f64-vec decoder never panics on garbage.
+    #[test]
+    fn f64_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = decode_f64_vec(&bytes);
+        let _ = decode_u64(&bytes);
+    }
+}

@@ -1,0 +1,186 @@
+//! Table 4's convergence-request detector.
+//!
+//! The paper computes "the requests taken by Pronghorn to find the optimal
+//! snapshot" by *sliding a window of size 20 across the recorded latencies
+//! to find the interval whose median is within 2% of the final value*; the
+//! reported number is the start of the first such window. This module
+//! implements that criterion verbatim, parameterized so ablations can vary
+//! the window and tolerance.
+
+/// Parameters of the window-median convergence criterion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceCriteria {
+    /// Sliding window length (paper: 20).
+    pub window: usize,
+    /// Relative tolerance around the final value (paper: 0.02).
+    pub tolerance: f64,
+    /// Samples over which the "final value" reference median is computed.
+    /// The paper's criterion uses the last window (`window`); a larger
+    /// reference makes the detector robust to a deoptimization landing in
+    /// the very last requests of a run.
+    pub reference_window: usize,
+}
+
+impl Default for ConvergenceCriteria {
+    fn default() -> Self {
+        ConvergenceCriteria {
+            window: 20,
+            tolerance: 0.02,
+            reference_window: 20,
+        }
+    }
+}
+
+impl ConvergenceCriteria {
+    /// The paper's criterion but with the final value referenced over the
+    /// last `reference` samples.
+    pub fn with_reference_window(mut self, reference: usize) -> Self {
+        self.reference_window = reference.max(self.window);
+        self
+    }
+}
+
+/// Median of a small window (copy + sort; windows are ~20 elements).
+fn window_median(window: &[f64]) -> f64 {
+    let mut w = window.to_vec();
+    w.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let n = w.len();
+    if n % 2 == 1 {
+        w[n / 2]
+    } else {
+        (w[n / 2 - 1] + w[n / 2]) / 2.0
+    }
+}
+
+/// Returns the request index (0-based start of the first window) at which
+/// the latency series converged, per the paper's Table 4 criterion.
+///
+/// The "final value" is the median of the last full window. Returns `None`
+/// when the series is shorter than one window, contains non-finite values,
+/// or never converges under the tolerance.
+///
+/// # Examples
+///
+/// ```
+/// use pronghorn_metrics::{convergence_request, ConvergenceCriteria};
+///
+/// // 100 slow requests, then 200 fast ones: converges at the first window
+/// // in which fast samples hold the median (start 91 of a 20-wide window).
+/// let mut lat = vec![1000.0; 100];
+/// lat.extend(vec![100.0; 200]);
+/// let c = convergence_request(&lat, ConvergenceCriteria::default());
+/// assert_eq!(c, Some(91));
+/// ```
+pub fn convergence_request(latencies: &[f64], criteria: ConvergenceCriteria) -> Option<usize> {
+    let w = criteria.window;
+    if w == 0 || latencies.len() < w || latencies.iter().any(|x| !x.is_finite()) {
+        return None;
+    }
+    if !(criteria.tolerance.is_finite() && criteria.tolerance >= 0.0) {
+        return None;
+    }
+    let reference = criteria.reference_window.max(w).min(latencies.len());
+    let final_median = window_median(&latencies[latencies.len() - reference..]);
+    let lo = final_median * (1.0 - criteria.tolerance);
+    let hi = final_median * (1.0 + criteria.tolerance);
+    latencies
+        .windows(w)
+        .position(|win| {
+            let m = window_median(win);
+            m >= lo && m <= hi
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn default() -> ConvergenceCriteria {
+        ConvergenceCriteria::default()
+    }
+
+    #[test]
+    fn constant_series_converges_immediately() {
+        let lat = vec![50.0; 40];
+        assert_eq!(convergence_request(&lat, default()), Some(0));
+    }
+
+    #[test]
+    fn short_series_returns_none() {
+        let lat = vec![50.0; 19];
+        assert_eq!(convergence_request(&lat, default()), None);
+    }
+
+    #[test]
+    fn step_function_converges_when_fast_samples_take_the_median() {
+        let mut lat = vec![1000.0; 150];
+        lat.extend(vec![100.0; 150]);
+        // A 20-wide window starting at 141 holds 9 slow + 11 fast samples,
+        // so its median is already the final 100µs value.
+        assert_eq!(convergence_request(&lat, default()), Some(141));
+    }
+
+    #[test]
+    fn outliers_within_window_do_not_delay_convergence() {
+        // Median-based: up to 9 outliers in a window of 20 are absorbed.
+        let mut lat = vec![100.0; 200];
+        for i in (0..200).step_by(23) {
+            lat[i] = 10_000.0;
+        }
+        assert_eq!(convergence_request(&lat, default()), Some(0));
+    }
+
+    #[test]
+    fn slow_ramp_converges_near_plateau() {
+        // Linear descent over 400 requests then flat.
+        let mut lat: Vec<f64> = (0..400).map(|i| 1000.0 - 2.0 * i as f64).collect();
+        lat.extend(vec![200.0; 100]);
+        let c = convergence_request(&lat, default()).unwrap();
+        // 2% of 200 is +/-4, reached when 1000-2i ~ 204 => i ~ 398.
+        assert!((380..=410).contains(&c), "converged at {c}");
+    }
+
+    #[test]
+    fn non_finite_poison_returns_none() {
+        let mut lat = vec![10.0; 40];
+        lat[5] = f64::NAN;
+        assert_eq!(convergence_request(&lat, default()), None);
+    }
+
+    #[test]
+    fn custom_window_and_tolerance() {
+        let mut lat = vec![110.0; 50];
+        lat.extend(vec![100.0; 50]);
+        // 10% tolerance: 110 is within 10% of 100.
+        let loose = ConvergenceCriteria {
+            window: 10,
+            tolerance: 0.10,
+            reference_window: 10,
+        };
+        assert_eq!(convergence_request(&lat, loose), Some(0));
+        // 2% tolerance: must wait until fast samples hold the window median
+        // (start 46 of a 10-wide window: 4 slow + 6 fast).
+        let tight = ConvergenceCriteria {
+            window: 10,
+            tolerance: 0.02,
+            reference_window: 10,
+        };
+        assert_eq!(convergence_request(&lat, tight), Some(46));
+    }
+
+    #[test]
+    fn zero_window_is_invalid() {
+        let crit = ConvergenceCriteria {
+            window: 0,
+            tolerance: 0.02,
+            reference_window: 0,
+        };
+        assert_eq!(convergence_request(&[1.0, 2.0], crit), None);
+    }
+
+    #[test]
+    fn even_window_median_averages() {
+        assert_eq!(window_median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(window_median(&[3.0, 1.0, 2.0]), 2.0);
+    }
+}

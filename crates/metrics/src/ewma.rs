@@ -1,0 +1,146 @@
+//! Exponentially-weighted moving average.
+//!
+//! Algorithm 1 part 3 of the paper: the weight vector entry for a request
+//! number is initialized with the first observed latency and thereafter
+//! updated as `θ ← α·L + (1−α)·θ`, weighting recent samples higher while
+//! retaining earlier knowledge — the mechanism behind the policy's
+//! "continuous learning" design principle (§3.3).
+
+/// An EWMA cell with first-sample initialization.
+///
+/// # Examples
+///
+/// ```
+/// use pronghorn_metrics::Ewma;
+///
+/// let mut e = Ewma::new(0.5);
+/// e.update(100.0); // first sample initializes
+/// e.update(200.0);
+/// assert_eq!(e.value(), Some(150.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an empty EWMA with smoothing factor `alpha`, clamped to
+    /// `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not finite.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha.is_finite(), "EWMA alpha must be finite");
+        Ewma {
+            alpha: alpha.clamp(f64::MIN_POSITIVE, 1.0),
+            value: None,
+        }
+    }
+
+    /// The smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Current estimate, `None` before the first sample.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Current estimate, or `default` before the first sample.
+    pub fn value_or(&self, default: f64) -> f64 {
+        self.value.unwrap_or(default)
+    }
+
+    /// Feeds one sample. The first sample initializes the estimate directly
+    /// (paper's `θ[R] ← L` branch); later samples blend exponentially.
+    /// Non-finite samples are ignored.
+    pub fn update(&mut self, sample: f64) {
+        if !sample.is_finite() {
+            return;
+        }
+        self.value = Some(match self.value {
+            None => sample,
+            Some(v) => self.alpha * sample + (1.0 - self.alpha) * v,
+        });
+    }
+
+    /// Resets to the empty state.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = Ewma::new(0.1);
+        assert_eq!(e.value(), None);
+        e.update(42.0);
+        assert_eq!(e.value(), Some(42.0));
+    }
+
+    #[test]
+    fn blends_with_alpha() {
+        let mut e = Ewma::new(0.25);
+        e.update(100.0);
+        e.update(0.0);
+        assert_eq!(e.value(), Some(75.0));
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.3);
+        e.update(500.0);
+        for _ in 0..100 {
+            e.update(10.0);
+        }
+        assert!((e.value().unwrap() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recent_samples_dominate_with_high_alpha() {
+        let mut hi = Ewma::new(0.9);
+        let mut lo = Ewma::new(0.1);
+        for &x in &[100.0, 100.0, 100.0, 0.0] {
+            hi.update(x);
+            lo.update(x);
+        }
+        assert!(hi.value().unwrap() < lo.value().unwrap());
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut e = Ewma::new(0.5);
+        e.update(10.0);
+        e.update(f64::NAN);
+        e.update(f64::NEG_INFINITY);
+        assert_eq!(e.value(), Some(10.0));
+    }
+
+    #[test]
+    fn alpha_is_clamped() {
+        assert_eq!(Ewma::new(5.0).alpha(), 1.0);
+        assert!(Ewma::new(0.0).alpha() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be finite")]
+    fn rejects_nan_alpha() {
+        let _ = Ewma::new(f64::NAN);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut e = Ewma::new(0.5);
+        e.update(1.0);
+        e.reset();
+        assert_eq!(e.value(), None);
+        assert_eq!(e.value_or(7.0), 7.0);
+    }
+}

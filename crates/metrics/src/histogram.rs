@@ -1,0 +1,230 @@
+//! Log-bucketed streaming histogram.
+//!
+//! Latencies in the evaluation span four orders of magnitude (1e3–1e7 µs on
+//! the Figure 4/5 x-axes), so the histogram buckets values geometrically:
+//! each bucket covers a fixed ratio, giving constant *relative* resolution.
+//! Used for cheap latency sketches when the full sample vector is not
+//! retained (long trace replays) and for rendering ASCII CDF plots.
+
+/// A histogram with geometric bucket boundaries.
+///
+/// Values below `min` clamp into the first bucket; values above the last
+/// boundary go to an overflow bucket. Relative error of any reconstructed
+/// quantile is bounded by the per-bucket growth factor.
+///
+/// # Examples
+///
+/// ```
+/// use pronghorn_metrics::Histogram;
+///
+/// // 1% relative resolution between 1µs and 10s.
+/// let mut h = Histogram::new(1.0, 1e7, 1.01).unwrap();
+/// for x in [100.0, 200.0, 400.0, 800.0] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.count(), 4);
+/// let median = h.quantile(0.5);
+/// assert!(median >= 200.0 * 0.99 && median <= 400.0 * 1.01);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    min: f64,
+    log_growth: f64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[min, max]` with buckets growing by
+    /// factor `growth` (> 1).
+    ///
+    /// Returns `None` if the parameters do not describe a valid positive
+    /// geometric range.
+    pub fn new(min: f64, max: f64, growth: f64) -> Option<Self> {
+        let geometry_valid = min > 0.0 && max > min && growth > 1.0;
+        if !geometry_valid || !min.is_finite() || !max.is_finite() || !growth.is_finite() {
+            return None;
+        }
+        let log_growth = growth.ln();
+        let buckets = ((max / min).ln() / log_growth).ceil() as usize + 1;
+        // +1 for overflow bucket.
+        Some(Histogram {
+            min,
+            log_growth,
+            counts: vec![0; buckets + 1],
+            total: 0,
+            sum: 0.0,
+        })
+    }
+
+    fn bucket_of(&self, x: f64) -> usize {
+        if x <= self.min {
+            return 0;
+        }
+        let idx = ((x / self.min).ln() / self.log_growth).floor() as usize;
+        idx.min(self.counts.len() - 1)
+    }
+
+    /// Lower boundary of bucket `i`.
+    fn bucket_lo(&self, i: usize) -> f64 {
+        self.min * (self.log_growth * i as f64).exp()
+    }
+
+    /// Records one sample; non-finite or non-positive samples are ignored.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() || x <= 0.0 {
+            return;
+        }
+        let b = self.bucket_of(x);
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum += x;
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded samples (exact, not bucketed), 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Approximate `q`-quantile: the geometric midpoint of the bucket in
+    /// which the `q`-th sample falls. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let lo = self.bucket_lo(i);
+                let hi = self.bucket_lo(i + 1);
+                return (lo * hi).sqrt();
+            }
+        }
+        // Unreachable while total > 0, but stay total.
+        self.bucket_lo(self.counts.len())
+    }
+
+    /// Merges another histogram with identical geometry.
+    ///
+    /// Returns `false` (and leaves `self` unchanged) when geometries differ.
+    pub fn merge(&mut self, other: &Histogram) -> bool {
+        if self.min != other.min
+            || self.log_growth != other.log_growth
+            || self.counts.len() != other.counts.len()
+        {
+            return false;
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        true
+    }
+
+    /// Iterates non-empty buckets as `(lower_bound, upper_bound, count)`.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(move |(i, &c)| (self.bucket_lo(i), self.bucket_lo(i + 1), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist() -> Histogram {
+        Histogram::new(1.0, 1e6, 1.05).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert!(Histogram::new(0.0, 10.0, 1.5).is_none());
+        assert!(Histogram::new(10.0, 1.0, 1.5).is_none());
+        assert!(Histogram::new(1.0, 10.0, 1.0).is_none());
+        assert!(Histogram::new(1.0, f64::INFINITY, 2.0).is_none());
+    }
+
+    #[test]
+    fn counts_and_mean_are_exact() {
+        let mut h = hist();
+        for x in [10.0, 20.0, 30.0] {
+            h.record(x);
+        }
+        assert_eq!(h.count(), 3);
+        assert!((h.mean() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ignores_invalid_samples() {
+        let mut h = hist();
+        h.record(-1.0);
+        h.record(0.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantile_relative_error_is_bounded() {
+        let mut h = Histogram::new(1.0, 1e7, 1.02).unwrap();
+        let samples: Vec<f64> = (1..=10_000).map(|i| i as f64).collect();
+        for &x in &samples {
+            h.record(x);
+        }
+        for &q in &[0.1, 0.5, 0.9, 0.99] {
+            let exact = samples[((q * 10_000.0) as usize).max(1) - 1];
+            let approx = h.quantile(q);
+            let rel = (approx - exact).abs() / exact;
+            assert!(rel < 0.03, "q={q} exact={exact} approx={approx}");
+        }
+    }
+
+    #[test]
+    fn overflow_and_underflow_clamp() {
+        let mut h = Histogram::new(10.0, 100.0, 2.0).unwrap();
+        h.record(1.0); // below min -> first bucket
+        h.record(1e9); // above max -> overflow bucket
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(0.0) <= 20.0);
+        assert!(h.quantile(1.0) >= 100.0);
+    }
+
+    #[test]
+    fn merge_requires_same_geometry() {
+        let mut a = hist();
+        let b = Histogram::new(2.0, 1e6, 1.05).unwrap();
+        assert!(!a.merge(&b));
+        let mut c = hist();
+        c.record(5.0);
+        assert!(a.merge(&c));
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn buckets_iterates_only_nonempty() {
+        let mut h = Histogram::new(1.0, 1e3, 10.0).unwrap();
+        h.record(5.0);
+        h.record(500.0);
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].2, 1);
+        assert!(buckets[0].0 <= 5.0 && 5.0 <= buckets[0].1);
+    }
+}

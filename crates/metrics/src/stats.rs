@@ -1,0 +1,150 @@
+//! Aggregation helpers used by the evaluation (§5.2).
+//!
+//! The paper aggregates per-benchmark median improvements with a geometric
+//! mean ("a geometric mean of improvement (based on percentage improvement
+//! in median) of 37.2%"), and classifies a policy as "on-par" when within 5%
+//! of the baseline. These helpers implement those conventions.
+
+/// Geometric mean of strictly positive values.
+///
+/// Computed in log space for numerical robustness. Returns `None` for an
+/// empty slice or any non-positive / non-finite element.
+///
+/// # Examples
+///
+/// ```
+/// use pronghorn_metrics::geometric_mean;
+///
+/// assert_eq!(geometric_mean(&[2.0, 8.0]), Some(4.0));
+/// assert_eq!(geometric_mean(&[]), None);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut acc = 0.0;
+    for &v in values {
+        if !(v.is_finite() && v > 0.0) {
+            return None;
+        }
+        acc += v.ln();
+    }
+    Some((acc / values.len() as f64).exp())
+}
+
+/// Percentage change from `baseline` to `new`: positive means `new` is
+/// *smaller* (an improvement, in latency terms).
+///
+/// Returns `None` when `baseline` is non-positive or either value is
+/// non-finite.
+pub fn percent_change(baseline: f64, new: f64) -> Option<f64> {
+    if !(baseline.is_finite() && new.is_finite()) || baseline <= 0.0 {
+        return None;
+    }
+    Some((baseline - new) / baseline * 100.0)
+}
+
+/// Median-latency improvement of a candidate over a baseline, in percent,
+/// following §5.2's convention (positive = candidate faster).
+pub fn median_improvement_pct(baseline_median: f64, candidate_median: f64) -> Option<f64> {
+    percent_change(baseline_median, candidate_median)
+}
+
+/// §5.2 classification of a policy cell against the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Median improved by more than the on-par band.
+    Better,
+    /// Within ±5% of the baseline median ("on-par performance (within 5% of
+    /// state-of-the-art)").
+    OnPar,
+    /// Median regressed by more than the on-par band.
+    Worse,
+}
+
+/// Classifies a median improvement percentage with the paper's ±5% band.
+pub fn classify(improvement_pct: f64) -> Verdict {
+    if improvement_pct > 5.0 {
+        Verdict::Better
+    } else if improvement_pct < -5.0 {
+        Verdict::Worse
+    } else {
+        Verdict::OnPar
+    }
+}
+
+/// Geometric mean of the *positive* improvements among cells, mirroring the
+/// paper's "geometric mean of improvement" over the benchmarks where
+/// Pronghorn provides better median performance.
+///
+/// Returns `None` if no cell improved.
+pub fn geo_mean_of_improvements(improvements_pct: &[f64]) -> Option<f64> {
+    let winners: Vec<f64> = improvements_pct
+        .iter()
+        .copied()
+        .filter(|&x| x > 0.0 && x.is_finite())
+        .collect();
+    geometric_mean(&winners)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[4.0]), Some(4.0));
+        let gm = geometric_mean(&[1.0, 10.0, 100.0]).unwrap();
+        assert!((gm - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_rejects_invalid() {
+        assert_eq!(geometric_mean(&[1.0, 0.0]), None);
+        assert_eq!(geometric_mean(&[1.0, -2.0]), None);
+        assert_eq!(geometric_mean(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn geometric_mean_is_scale_equivariant() {
+        let xs = [3.0, 7.0, 11.0];
+        let scaled: Vec<f64> = xs.iter().map(|x| x * 5.0).collect();
+        let a = geometric_mean(&xs).unwrap();
+        let b = geometric_mean(&scaled).unwrap();
+        assert!((b / a - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percent_change_sign_convention() {
+        // Latency 100 -> 60 is a 40% improvement.
+        assert_eq!(percent_change(100.0, 60.0), Some(40.0));
+        // Latency 100 -> 150 is a -50% "improvement" (regression).
+        assert_eq!(percent_change(100.0, 150.0), Some(-50.0));
+    }
+
+    #[test]
+    fn percent_change_rejects_bad_baseline() {
+        assert_eq!(percent_change(0.0, 10.0), None);
+        assert_eq!(percent_change(-5.0, 10.0), None);
+        assert_eq!(percent_change(f64::NAN, 10.0), None);
+    }
+
+    #[test]
+    fn verdict_band_is_five_percent() {
+        assert_eq!(classify(20.0), Verdict::Better);
+        assert_eq!(classify(5.0), Verdict::OnPar);
+        assert_eq!(classify(0.0), Verdict::OnPar);
+        assert_eq!(classify(-5.0), Verdict::OnPar);
+        assert_eq!(classify(-5.1), Verdict::Worse);
+    }
+
+    #[test]
+    fn improvements_geo_mean_filters_losers() {
+        // Only the positive improvements participate, like the paper's
+        // "of the benchmarks where Pronghorn provides better median
+        // performance, the geometric mean of improvement was ...".
+        let gm = geo_mean_of_improvements(&[20.0, 45.0, -10.0, 0.0]).unwrap();
+        assert!((gm - 30.0).abs() < 1e-9);
+        assert_eq!(geo_mean_of_improvements(&[-1.0, 0.0]), None);
+    }
+}

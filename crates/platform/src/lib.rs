@@ -1,0 +1,40 @@
+//! The serverless platform simulator (the paper's OpenFaaS + k3s stand-in).
+//!
+//! Reproduces the evaluation protocol of §5.1 end to end:
+//!
+//! - **closed-loop runs** ([`run_closed_loop`]): 500 invocations of one
+//!   function, workers evicted every 1/4/20 requests, under one of the
+//!   orchestration policies — the data behind Figures 4–5 and Tables 4–5;
+//! - **trace-driven runs** ([`run_trace`]): replay of an Azure-like
+//!   arrival trace with idle-timeout eviction — the data behind Figure 6;
+//! - **latency accounting**: the end-to-end latency a client observes is
+//!   the function's execution time (including lazy initialization on cold
+//!   first requests, JIT pauses, interference, deopts, and IO). Worker
+//!   provisioning — policy decision, snapshot download, CRIU restore or
+//!   cold boot — happens *off the critical path*, before the next request
+//!   arrives, exactly as §5.3 argues ("network and disk operations ... do
+//!   not impact user-perceived latency"); its cost is still fully
+//!   accounted in [`RunResult`] for Figure 7 and the cost analysis;
+//! - **IO-state staleness**: a restored process re-establishes external
+//!   connections lazily, briefly inflating IO-bound requests after a
+//!   restore — the mechanism behind the paper's Uploader regression
+//!   (see [`stale::IoStaleModel`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod fleet;
+pub mod partitioned;
+pub mod result;
+pub mod runner;
+pub mod stale;
+pub mod worker;
+
+pub use config::RunConfig;
+pub use fleet::{run_fleet, FleetConfig};
+pub use partitioned::run_partitioned;
+pub use result::{ProvisionKind, RunResult};
+pub use runner::{run_closed_loop, run_trace, run_trace_with_history};
+pub use stale::IoStaleModel;
+pub use worker::Worker;

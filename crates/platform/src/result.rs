@@ -1,0 +1,146 @@
+//! Results of one experiment run.
+
+use pronghorn_core::{OverheadTotals, PolicyKind};
+use pronghorn_metrics::{convergence_request, Cdf, ConvergenceCriteria, Quantiles};
+use pronghorn_store::StoreStats;
+
+/// How a worker was provisioned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProvisionKind {
+    /// Fresh runtime boot.
+    Cold,
+    /// Restored from a snapshot taken at the contained request number.
+    Restored(u32),
+}
+
+/// Everything measured during one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Benchmark name.
+    pub workload: String,
+    /// Policy under test.
+    pub policy: PolicyKind,
+    /// Eviction rate (requests per worker).
+    pub eviction_rate: u32,
+    /// End-to-end latency of every request, µs, in arrival order.
+    pub latencies_us: Vec<f64>,
+    /// Orchestrator overhead decomposition (Figure 7).
+    pub overheads: OverheadTotals,
+    /// Object-store accounting at the end of the run.
+    pub store_stats: StoreStats,
+    /// Workers provisioned, in order.
+    pub provisions: Vec<ProvisionKind>,
+    /// Checkpoint engine downtimes, ms (Table 4).
+    pub checkpoint_ms: Vec<f64>,
+    /// Restore costs, ms (Table 4).
+    pub restore_ms: Vec<f64>,
+    /// Nominal size of every snapshot taken, MB (Table 4).
+    pub snapshot_mb: Vec<f64>,
+    /// Request number of every snapshot taken, in order.
+    pub snapshot_requests: Vec<u32>,
+    /// Total provisioning time spent off the critical path, µs.
+    pub provision_us: f64,
+}
+
+impl RunResult {
+    /// Median end-to-end latency, µs.
+    pub fn median_us(&self) -> f64 {
+        Quantiles::new(self.latencies_us.clone())
+            .map(|q| q.median())
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Arbitrary percentile of the latency distribution, µs.
+    pub fn percentile_us(&self, p: f64) -> f64 {
+        Quantiles::new(self.latencies_us.clone())
+            .map(|q| q.percentile(p))
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Empirical CDF of the latencies (the Figure 4/5/6 curves).
+    pub fn cdf(&self) -> Option<Cdf> {
+        Cdf::new(self.latencies_us.clone())
+    }
+
+    /// Table 4's convergence request: first window-20 whose median is
+    /// within 2% of the final value.
+    pub fn convergence_request(&self) -> Option<usize> {
+        convergence_request(&self.latencies_us, ConvergenceCriteria::default())
+    }
+
+    /// Number of cold starts.
+    pub fn cold_starts(&self) -> usize {
+        self.provisions
+            .iter()
+            .filter(|p| matches!(p, ProvisionKind::Cold))
+            .count()
+    }
+
+    /// Number of snapshot restores.
+    pub fn restores(&self) -> usize {
+        self.provisions.len() - self.cold_starts()
+    }
+
+    /// Mean snapshot size, MB (0 when no snapshot was taken).
+    pub fn mean_snapshot_mb(&self) -> f64 {
+        if self.snapshot_mb.is_empty() {
+            0.0
+        } else {
+            self.snapshot_mb.iter().sum::<f64>() / self.snapshot_mb.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(latencies: Vec<f64>) -> RunResult {
+        RunResult {
+            workload: "t".into(),
+            policy: PolicyKind::Cold,
+            eviction_rate: 1,
+            latencies_us: latencies,
+            overheads: OverheadTotals::default(),
+            store_stats: StoreStats::default(),
+            provisions: vec![ProvisionKind::Cold, ProvisionKind::Restored(5)],
+            checkpoint_ms: vec![60.0, 70.0],
+            restore_ms: vec![50.0],
+            snapshot_mb: vec![10.0, 14.0],
+            snapshot_requests: vec![1, 5],
+            provision_us: 1000.0,
+        }
+    }
+
+    #[test]
+    fn medians_and_percentiles() {
+        let r = result(vec![10.0, 20.0, 30.0]);
+        assert_eq!(r.median_us(), 20.0);
+        assert_eq!(r.percentile_us(100.0), 30.0);
+        assert!(result(vec![]).median_us().is_nan());
+    }
+
+    #[test]
+    fn provision_counters() {
+        let r = result(vec![1.0]);
+        assert_eq!(r.cold_starts(), 1);
+        assert_eq!(r.restores(), 1);
+    }
+
+    #[test]
+    fn snapshot_size_mean() {
+        assert_eq!(result(vec![1.0]).mean_snapshot_mb(), 12.0);
+        let mut r = result(vec![1.0]);
+        r.snapshot_mb.clear();
+        assert_eq!(r.mean_snapshot_mb(), 0.0);
+    }
+
+    #[test]
+    fn cdf_and_convergence_available() {
+        let mut lat = vec![100.0; 30];
+        lat.extend(vec![50.0; 30]);
+        let r = result(lat);
+        assert!(r.cdf().is_some());
+        assert!(r.convergence_request().is_some());
+    }
+}

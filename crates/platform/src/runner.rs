@@ -1,0 +1,445 @@
+//! The experiment runners: closed-loop (Figures 4–5) and trace-driven
+//! (Figure 6) evaluation protocols.
+
+use crate::config::RunConfig;
+use crate::result::{ProvisionKind, RunResult};
+use crate::stale::IoStaleModel;
+use crate::worker::Worker;
+use pronghorn_checkpoint::{SimCriuEngine, SnapshotMeta};
+use pronghorn_core::{baselines::make_policy, Orchestrator};
+use pronghorn_jit::Runtime;
+use pronghorn_kv::KvStore;
+use pronghorn_sim::{RngFactory, SimTime};
+use pronghorn_store::ObjectStore;
+use pronghorn_traces::Trace;
+use pronghorn_workloads::Workload;
+use rand::rngs::SmallRng;
+
+/// Shared machinery of both runners.
+struct Session<'w> {
+    workload: &'w dyn Workload,
+    cfg: RunConfig,
+    orch: Orchestrator,
+    engine: SimCriuEngine,
+    factory: RngFactory,
+    policy_rng: SmallRng,
+    engine_rng: SmallRng,
+    stale: IoStaleModel,
+    policy_w: u32,
+    worker_seq: u64,
+    store: ObjectStore,
+    // accumulators
+    latencies: Vec<f64>,
+    provisions: Vec<ProvisionKind>,
+    checkpoint_ms: Vec<f64>,
+    restore_ms: Vec<f64>,
+    snapshot_mb: Vec<f64>,
+    snapshot_requests: Vec<u32>,
+    provision_us: f64,
+    served_total: u32,
+}
+
+impl<'w> Session<'w> {
+    fn new(workload: &'w dyn Workload, cfg: RunConfig) -> Self {
+        let factory = RngFactory::new(cfg.seed);
+        let kv = KvStore::new();
+        let store = ObjectStore::new();
+        let policy_config = cfg.resolve_policy_config(workload.kind());
+        let policy = make_policy(cfg.policy, policy_config);
+        let orch = Orchestrator::new(policy, kv, store.clone(), workload.name());
+        Session {
+            workload,
+            cfg,
+            orch,
+            engine: SimCriuEngine::new(),
+            policy_rng: factory.stream("policy"),
+            engine_rng: factory.stream("engine"),
+            factory,
+            stale: IoStaleModel::default(),
+            policy_w: policy_config.w,
+            worker_seq: 0,
+            store,
+            latencies: Vec::with_capacity(cfg.invocations as usize),
+            provisions: Vec::new(),
+            checkpoint_ms: Vec::new(),
+            restore_ms: Vec::new(),
+            snapshot_mb: Vec::new(),
+            snapshot_requests: Vec::new(),
+            provision_us: 0.0,
+            served_total: 0,
+        }
+    }
+
+    /// Provisions a worker per the orchestration policy — entirely off the
+    /// request critical path (§5.3).
+    fn provision(&mut self, now: SimTime) -> Worker {
+        let plan = self.orch.begin_worker(&mut self.policy_rng);
+        let mut provision_us = plan.startup_overhead.as_micros() as f64;
+        let wrng = self.factory.stream_indexed("worker", self.worker_seq);
+        self.worker_seq += 1;
+
+        let (runtime, resume, restored) = match plan.snapshot {
+            Some(snapshot) => match self.engine.restore::<Runtime, _>(&mut self.engine_rng, &snapshot) {
+                Ok((runtime, cost)) => {
+                    provision_us += cost.as_micros() as f64;
+                    self.restore_ms.push(cost.as_millis_f64());
+                    (runtime, plan.resume_request, true)
+                }
+                Err(_) => {
+                    // Corrupt snapshot: degrade to a cold start.
+                    let mut boot_rng = self.factory.stream_indexed("boot", self.worker_seq);
+                    let (rt, cost) = Runtime::cold_start(
+                        self.workload.runtime_profile(),
+                        self.workload.method_profiles(),
+                        &mut boot_rng,
+                    );
+                    provision_us += cost.as_micros() as f64;
+                    (rt, 0, false)
+                }
+            },
+            None => {
+                let mut boot_rng = self.factory.stream_indexed("boot", self.worker_seq);
+                let (rt, cost) = Runtime::cold_start(
+                    self.workload.runtime_profile(),
+                    self.workload.method_profiles(),
+                    &mut boot_rng,
+                );
+                provision_us += cost.as_micros() as f64;
+                (rt, 0, false)
+            }
+        };
+        self.provision_us += provision_us;
+        self.provisions.push(if restored {
+            ProvisionKind::Restored(resume)
+        } else {
+            ProvisionKind::Cold
+        });
+
+        let mut worker = Worker::new(runtime, wrng, resume, plan.checkpoint_at, restored, now);
+        // An immediately-due plan (e.g. checkpoint-after-init's request 0)
+        // snapshots before the first request is served.
+        self.maybe_checkpoint(&mut worker);
+        worker
+    }
+
+    /// Takes the planned checkpoint if the worker has reached it. Runs
+    /// after the response is returned, so the downtime stays invisible to
+    /// the client (§5.3).
+    fn maybe_checkpoint(&mut self, worker: &mut Worker) {
+        if !worker.checkpoint_due() {
+            return;
+        }
+        // Provider-imposed cost bound (§5.3): once the configured number of
+        // invocations has been served, the best snapshot stays in the pool
+        // and no further checkpoints are taken.
+        if let Some(stop) = self.cfg.stop_checkpointing_after {
+            if self.served_total >= stop {
+                worker.checkpoint_at = None;
+                return;
+            }
+        }
+        worker.checkpoint_at = None;
+        let meta = SnapshotMeta {
+            function: self.workload.name().to_string(),
+            request_number: worker.runtime.requests_executed() as u32,
+            runtime: self.workload.kind().label().to_string(),
+        };
+        let (snapshot, downtime) = self
+            .engine
+            .checkpoint(&mut self.engine_rng, &worker.runtime, meta);
+        self.checkpoint_ms.push(downtime.as_millis_f64());
+        self.snapshot_mb.push(snapshot.nominal_size_mb());
+        self.snapshot_requests.push(snapshot.meta.request_number);
+        self.orch
+            .record_snapshot(&snapshot, downtime, &mut self.policy_rng);
+    }
+
+    /// Serves one request end to end, returning the client-visible latency.
+    fn serve(&mut self, worker: &mut Worker, arrival_index: u64, now: SimTime) -> f64 {
+        let mut input_rng = self.factory.stream_indexed("input", arrival_index);
+        let request = self.workload.generate(&mut input_rng, self.cfg.variance);
+        let request_number = worker.next_request_number();
+        let breakdown = worker.runtime.execute(&request, &mut worker.rng);
+        let mut latency = breakdown.total_us();
+
+        // Restored processes re-establish stale IO state lazily; how much
+        // of it there is to re-establish is workload-specific.
+        if worker.restored {
+            let nth = worker.served;
+            latency += request.io_us
+                * self.workload.io_stale_sensitivity()
+                * self
+                    .stale
+                    .penalty_frac(worker.resume_request, self.policy_w, nth);
+        }
+
+        self.latencies.push(latency);
+        self.served_total += 1;
+        self.orch
+            .complete_request(request_number.min(u64::from(u32::MAX)) as u32, latency);
+        worker.served += 1;
+        worker.last_active = now;
+        self.maybe_checkpoint(worker);
+        latency
+    }
+
+    /// Clears the measurement accumulators while keeping all learned state
+    /// (orchestrator knowledge, pooled snapshots, object-store contents) —
+    /// used to measure a window of an already-deployed function.
+    fn reset_measurements(&mut self) {
+        self.latencies.clear();
+        self.provisions.clear();
+        self.checkpoint_ms.clear();
+        self.restore_ms.clear();
+        self.snapshot_mb.clear();
+        self.snapshot_requests.clear();
+        self.provision_us = 0.0;
+    }
+
+    fn finish(self) -> RunResult {
+        RunResult {
+            workload: self.workload.name().to_string(),
+            policy: self.cfg.policy,
+            eviction_rate: self.cfg.eviction_rate,
+            latencies_us: self.latencies,
+            overheads: *self.orch.overheads(),
+            store_stats: self.store.stats(),
+            provisions: self.provisions,
+            checkpoint_ms: self.checkpoint_ms,
+            restore_ms: self.restore_ms,
+            snapshot_mb: self.snapshot_mb,
+            snapshot_requests: self.snapshot_requests,
+            provision_us: self.provision_us,
+        }
+    }
+}
+
+/// Runs the §5.1 closed-loop protocol: `cfg.invocations` requests with a
+/// fixed eviction rate, returning every measurement the paper's tables and
+/// figures need.
+///
+/// # Examples
+///
+/// ```
+/// use pronghorn_core::PolicyKind;
+/// use pronghorn_platform::{run_closed_loop, RunConfig};
+/// use pronghorn_workloads::by_name;
+///
+/// let workload = by_name("DynamicHTML").unwrap();
+/// let cfg = RunConfig::paper(PolicyKind::RequestCentric, 1, 42).with_invocations(50);
+/// let result = run_closed_loop(&workload, &cfg);
+/// assert_eq!(result.latencies_us.len(), 50);
+/// assert!(result.median_us() > 0.0);
+/// ```
+pub fn run_closed_loop(workload: &dyn Workload, cfg: &RunConfig) -> RunResult {
+    let mut session = Session::new(workload, *cfg);
+    let mut worker: Option<Worker> = None;
+    let mut now = SimTime::ZERO;
+    for i in 0..u64::from(cfg.invocations) {
+        now += cfg.request_gap;
+        let mut w = match worker.take() {
+            Some(w) => w,
+            None => session.provision(now),
+        };
+        session.serve(&mut w, i, now);
+        // Evict after the configured number of requests; otherwise the
+        // worker stays warm for the next request.
+        if w.served < cfg.eviction_rate {
+            worker = Some(w);
+        }
+    }
+    session.finish()
+}
+
+/// Runs the Figure 6 trace-driven protocol: arrivals from an Azure-like
+/// trace, workers evicted after `cfg.idle_timeout` of inactivity.
+pub fn run_trace(workload: &dyn Workload, cfg: &RunConfig, trace: &Trace) -> RunResult {
+    run_trace_with_history(workload, cfg, trace, 0)
+}
+
+/// Runs the trace protocol against an *already-deployed* function: first
+/// replays `history_invocations` closed-loop requests (the function's past
+/// production traffic, during which the policy learns and the pool fills),
+/// then measures the 15-minute trace window. Only the window's requests
+/// are reported.
+pub fn run_trace_with_history(
+    workload: &dyn Workload,
+    cfg: &RunConfig,
+    trace: &Trace,
+    history_invocations: u32,
+) -> RunResult {
+    let mut session = Session::new(workload, *cfg);
+
+    // Deployment history: same protocol as the closed loop.
+    let mut now = SimTime::ZERO;
+    let mut worker: Option<Worker> = None;
+    for i in 0..u64::from(history_invocations) {
+        now += cfg.request_gap;
+        let mut w = match worker.take() {
+            Some(w) => w,
+            None => session.provision(now),
+        };
+        session.serve(&mut w, i, now);
+        if w.served < cfg.eviction_rate {
+            worker = Some(w);
+        }
+    }
+    // The measured window starts with whatever state the deployment has;
+    // in-flight workers from the history are evicted (the window is a
+    // fresh 15 minutes much later).
+    session.reset_measurements();
+
+    let mut worker: Option<Worker> = None;
+    for (i, &arrival) in trace.arrivals().iter().enumerate() {
+        // Idle eviction.
+        if let Some(w) = &worker {
+            if arrival.saturating_since(w.last_active) > cfg.idle_timeout {
+                worker = None;
+            }
+        }
+        let mut w = match worker.take() {
+            Some(w) => w,
+            None => session.provision(arrival),
+        };
+        session.serve(&mut w, u64::from(history_invocations) + i as u64, arrival);
+        worker = Some(w);
+    }
+    session.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pronghorn_core::PolicyKind;
+    use pronghorn_sim::SimDuration;
+    use pronghorn_traces::TraceSpec;
+    use pronghorn_workloads::{by_name, InputVariance};
+
+    fn cfg(policy: PolicyKind, rate: u32) -> RunConfig {
+        RunConfig::paper(policy, rate, 42)
+            .with_invocations(120)
+            .with_variance(InputVariance::none())
+    }
+
+    #[test]
+    fn cold_policy_never_checkpoints() {
+        let bench = by_name("DFS").unwrap();
+        let r = run_closed_loop(&bench, &cfg(PolicyKind::Cold, 1));
+        assert_eq!(r.latencies_us.len(), 120);
+        assert!(r.checkpoint_ms.is_empty());
+        assert_eq!(r.cold_starts(), 120);
+        assert_eq!(r.restores(), 0);
+    }
+
+    #[test]
+    fn after_first_takes_exactly_one_checkpoint() {
+        let bench = by_name("DFS").unwrap();
+        let r = run_closed_loop(&bench, &cfg(PolicyKind::AfterFirst, 1));
+        assert_eq!(r.checkpoint_ms.len(), 1);
+        assert_eq!(r.cold_starts(), 1);
+        assert_eq!(r.restores(), 119);
+        // Every restore resumes at request 1.
+        assert!(r
+            .provisions
+            .iter()
+            .skip(1)
+            .all(|p| *p == ProvisionKind::Restored(1)));
+    }
+
+    #[test]
+    fn after_first_beats_cold_start_at_rate_one() {
+        let bench = by_name("DFS").unwrap();
+        let cold = run_closed_loop(&bench, &cfg(PolicyKind::Cold, 1));
+        let after = run_closed_loop(&bench, &cfg(PolicyKind::AfterFirst, 1));
+        // Cold pays lazy init on every request; after-1st skips it.
+        assert!(
+            after.median_us() < cold.median_us() * 0.8,
+            "after-1st {} vs cold {}",
+            after.median_us(),
+            cold.median_us()
+        );
+    }
+
+    #[test]
+    fn request_centric_checkpoints_and_pools_snapshots() {
+        let bench = by_name("DFS").unwrap();
+        let r = run_closed_loop(&bench, &cfg(PolicyKind::RequestCentric, 1));
+        assert!(r.checkpoint_ms.len() > 5, "{} checkpoints", r.checkpoint_ms.len());
+        assert!(r.restores() > 50);
+        // Pool capacity (C = 12) bounds live blobs.
+        assert!(r.store_stats.objects <= 12);
+    }
+
+    #[test]
+    fn eviction_rate_controls_worker_count() {
+        let bench = by_name("DFS").unwrap();
+        let r1 = run_closed_loop(&bench, &cfg(PolicyKind::Cold, 1));
+        let r4 = run_closed_loop(&bench, &cfg(PolicyKind::Cold, 4));
+        let r20 = run_closed_loop(&bench, &cfg(PolicyKind::Cold, 20));
+        assert_eq!(r1.provisions.len(), 120);
+        assert_eq!(r4.provisions.len(), 30);
+        assert_eq!(r20.provisions.len(), 6);
+    }
+
+    #[test]
+    fn runs_are_reproducible_by_seed() {
+        let bench = by_name("Hash").unwrap();
+        let a = run_closed_loop(&bench, &cfg(PolicyKind::RequestCentric, 4));
+        let b = run_closed_loop(&bench, &cfg(PolicyKind::RequestCentric, 4));
+        assert_eq!(a.latencies_us, b.latencies_us);
+        assert_eq!(a.provisions, b.provisions);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let bench = by_name("Hash").unwrap();
+        let a = run_closed_loop(&bench, &cfg(PolicyKind::RequestCentric, 4));
+        let mut other = cfg(PolicyKind::RequestCentric, 4);
+        other.seed = 43;
+        let b = run_closed_loop(&bench, &other);
+        assert_ne!(a.latencies_us, b.latencies_us);
+    }
+
+    #[test]
+    fn trace_run_serves_every_arrival() {
+        let bench = by_name("MST").unwrap();
+        let factory = RngFactory::new(5);
+        let trace = TraceSpec::percentile(0.75).generate(&mut factory.stream("t"));
+        let r = run_trace(&bench, &cfg(PolicyKind::AfterFirst, 4), &trace);
+        assert_eq!(r.latencies_us.len(), trace.len());
+    }
+
+    #[test]
+    fn trace_idle_timeout_evicts_workers() {
+        use pronghorn_sim::SimTime;
+        let bench = by_name("MST").unwrap();
+        // Two bursts separated by more than the idle timeout.
+        let arrivals = vec![
+            SimTime::from_micros(0),
+            SimTime::from_micros(1_000_000),
+            SimTime::ZERO + SimDuration::from_secs(1_800),
+        ];
+        let trace = Trace::new(arrivals, SimDuration::from_secs(3_600));
+        let r = run_trace(&bench, &cfg(PolicyKind::Cold, 4), &trace);
+        // First burst shares a worker; the third arrival needs a new one.
+        assert_eq!(r.provisions.len(), 2);
+    }
+
+    #[test]
+    fn uploader_is_worse_under_request_centric() {
+        // The paper's one regression: IO-bound Uploader at eviction rate 1.
+        let bench = by_name("Uploader").unwrap();
+        let mut c_after = RunConfig::paper(PolicyKind::AfterFirst, 1, 9).with_invocations(300);
+        let mut c_rc = RunConfig::paper(PolicyKind::RequestCentric, 1, 9).with_invocations(300);
+        c_after.variance = InputVariance::none();
+        c_rc.variance = InputVariance::none();
+        let after = run_closed_loop(&bench, &c_after);
+        let rc = run_closed_loop(&bench, &c_rc);
+        assert!(
+            rc.median_us() > after.median_us(),
+            "request-centric {} should exceed after-1st {}",
+            rc.median_us(),
+            after.median_us()
+        );
+    }
+}

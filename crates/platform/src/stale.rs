@@ -1,0 +1,109 @@
+//! Restored-process IO staleness — the Uploader-regression mechanism.
+//!
+//! A process restored from a CRIU image resumes with the *frozen* external
+//! state of the checkpointed process: TCP connections point at sockets
+//! that no longer exist, DNS caches and connection pools are stale, and
+//! all of it is re-established lazily on first use. A cold-started process
+//! instead sets connections up as part of its (already-charged) lazy
+//! initialization.
+//!
+//! For compute-bound functions the effect is invisible (no IO to slow
+//! down). For an almost-purely-IO function like Uploader it is the whole
+//! story: restores buy nothing (the native-library IO path is not
+//! JIT-able) and pay the reconnect tax — and snapshots taken at *later*
+//! request numbers carry more accumulated connection/buffer state, so the
+//! request-centric policy's deep snapshots pay slightly more than the
+//! state of the art's request-1 snapshot. That asymmetry reproduces §5.2:
+//! "only one (Uploader) shows worse performance".
+
+/// Parameters of the IO staleness penalty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoStaleModel {
+    /// Base fraction of a request's IO time added right after a restore.
+    pub base_frac: f64,
+    /// Additional fraction at snapshot request number `W` (scales linearly
+    /// with `request_number / w`): deeper snapshots hold more stale state.
+    pub depth_frac: f64,
+    /// Per-request decay: the penalty halves on each subsequent request as
+    /// pools re-fill.
+    pub decay: f64,
+    /// Requests after a restore during which the penalty applies.
+    pub horizon: u32,
+}
+
+impl Default for IoStaleModel {
+    fn default() -> Self {
+        IoStaleModel {
+            base_frac: 0.08,
+            depth_frac: 0.08,
+            decay: 0.75,
+            horizon: 4,
+        }
+    }
+}
+
+impl IoStaleModel {
+    /// A disabled model (no penalty), for ablations.
+    pub const fn disabled() -> Self {
+        IoStaleModel {
+            base_frac: 0.0,
+            depth_frac: 0.0,
+            decay: 0.5,
+            horizon: 0,
+        }
+    }
+
+    /// Penalty fraction of `io_us` for the `nth_since_restore`-th request
+    /// (0-based) after restoring a snapshot taken at `snapshot_request` of
+    /// a search space bounded by `w`.
+    pub fn penalty_frac(&self, snapshot_request: u32, w: u32, nth_since_restore: u32) -> f64 {
+        if nth_since_restore >= self.horizon {
+            return 0.0;
+        }
+        let depth = if w == 0 {
+            0.0
+        } else {
+            (f64::from(snapshot_request) / f64::from(w)).min(1.0)
+        };
+        let first = self.base_frac + self.depth_frac * depth;
+        first * self.decay.powi(nth_since_restore as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penalty_decays_and_expires() {
+        let m = IoStaleModel::default();
+        let p0 = m.penalty_frac(1, 100, 0);
+        let p1 = m.penalty_frac(1, 100, 1);
+        let p2 = m.penalty_frac(1, 100, 2);
+        assert!(p0 > p1 && p1 > p2 && p2 > 0.0);
+        assert_eq!(m.penalty_frac(1, 100, 4), 0.0);
+    }
+
+    #[test]
+    fn deeper_snapshots_pay_more() {
+        let m = IoStaleModel::default();
+        let shallow = m.penalty_frac(1, 100, 0);
+        let deep = m.penalty_frac(100, 100, 0);
+        assert!(deep > shallow);
+        assert!((deep - (m.base_frac + m.depth_frac)).abs() < 1e-12);
+        // Depth saturates at w.
+        assert_eq!(m.penalty_frac(500, 100, 0), deep);
+    }
+
+    #[test]
+    fn disabled_model_is_zero_everywhere() {
+        let m = IoStaleModel::disabled();
+        assert_eq!(m.penalty_frac(50, 100, 0), 0.0);
+    }
+
+    #[test]
+    fn zero_w_is_handled() {
+        let m = IoStaleModel::default();
+        assert!((m.penalty_frac(10, 0, 0) - m.base_frac).abs() < 1e-12);
+    }
+}

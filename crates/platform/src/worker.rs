@@ -1,0 +1,100 @@
+//! A function worker: one runtime instance plus its lifecycle state.
+
+use pronghorn_jit::Runtime;
+use pronghorn_sim::SimTime;
+use rand::rngs::SmallRng;
+
+/// A live worker hosting one function runtime.
+#[derive(Debug)]
+pub struct Worker {
+    /// The JIT runtime executing requests.
+    pub runtime: Runtime,
+    /// Per-worker RNG stream (JIT jitter, deopt draws).
+    pub rng: SmallRng,
+    /// Requests served by *this* worker (not the lineage).
+    pub served: u32,
+    /// Request number the worker resumed at (0 for a cold start).
+    pub resume_request: u32,
+    /// Absolute request number at which the policy wants a checkpoint.
+    pub checkpoint_at: Option<u32>,
+    /// Whether the worker was restored from a snapshot.
+    pub restored: bool,
+    /// Virtual time of the last served request (idle-eviction clock).
+    pub last_active: SimTime,
+}
+
+impl Worker {
+    /// Creates a worker around a freshly provisioned runtime.
+    pub fn new(
+        runtime: Runtime,
+        rng: SmallRng,
+        resume_request: u32,
+        checkpoint_at: Option<u32>,
+        restored: bool,
+        now: SimTime,
+    ) -> Self {
+        Worker {
+            runtime,
+            rng,
+            served: 0,
+            resume_request,
+            checkpoint_at,
+            restored,
+            last_active: now,
+        }
+    }
+
+    /// 0-based request number of the *next* request this worker will serve
+    /// within its function's lineage.
+    pub fn next_request_number(&self) -> u64 {
+        self.runtime.requests_executed()
+    }
+
+    /// Whether the policy's checkpoint point has been reached.
+    pub fn checkpoint_due(&self) -> bool {
+        match self.checkpoint_at {
+            Some(at) => self.runtime.requests_executed() >= u64::from(at),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pronghorn_jit::{MethodProfile, MethodWork, RequestWork, RuntimeProfile};
+    use rand::SeedableRng;
+
+    fn runtime() -> (Runtime, SmallRng) {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (rt, _) = Runtime::cold_start(
+            RuntimeProfile::jvm(),
+            vec![MethodProfile::new("m")],
+            &mut rng,
+        );
+        (rt, rng)
+    }
+
+    #[test]
+    fn next_request_number_tracks_lineage() {
+        let (rt, rng) = runtime();
+        let mut w = Worker::new(rt, rng, 0, Some(2), false, SimTime::ZERO);
+        assert_eq!(w.next_request_number(), 0);
+        assert!(!w.checkpoint_due());
+        let work = RequestWork::new(vec![MethodWork { method: 0, units: 10.0, calls: 1.0 }]);
+        w.runtime.execute(&work, &mut w.rng);
+        w.runtime.execute(&work, &mut w.rng);
+        assert_eq!(w.next_request_number(), 2);
+        assert!(w.checkpoint_due());
+    }
+
+    #[test]
+    fn checkpoint_at_zero_is_due_immediately() {
+        let (rt, rng) = runtime();
+        let w = Worker::new(rt, rng, 0, Some(0), false, SimTime::ZERO);
+        assert!(w.checkpoint_due());
+        let (rt, rng) = runtime();
+        let w = Worker::new(rt, rng, 0, None, false, SimTime::ZERO);
+        assert!(!w.checkpoint_due());
+    }
+}

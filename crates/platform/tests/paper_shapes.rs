@@ -1,0 +1,96 @@
+//! Integration tests asserting the *shapes* of the paper's headline
+//! results: who wins, by roughly what factor, and where the effect
+//! shrinks. These run the full §5.1 protocol (500 invocations, paper
+//! input variance).
+
+use pronghorn_core::PolicyKind;
+use pronghorn_metrics::median_improvement_pct;
+use pronghorn_platform::{run_closed_loop, RunConfig};
+use pronghorn_workloads::by_name;
+
+fn median(bench: &str, policy: PolicyKind, rate: u32) -> f64 {
+    let workload = by_name(bench).expect("benchmark exists");
+    let cfg = RunConfig::paper(policy, rate, 0xA11CE);
+    run_closed_loop(&workload, &cfg).median_us()
+}
+
+fn improvement(bench: &str, rate: u32) -> f64 {
+    let base = median(bench, PolicyKind::AfterFirst, rate);
+    let rc = median(bench, PolicyKind::RequestCentric, rate);
+    median_improvement_pct(base, rc).expect("finite medians")
+}
+
+#[test]
+fn compute_benchmarks_improve_significantly_at_rate_one() {
+    // §5.2: six compute benchmarks improve 20.5–58.9% at eviction rate 1.
+    for bench in ["BFS", "DFS", "MST", "DynamicHTML", "PageRank"] {
+        let imp = improvement(bench, 1);
+        assert!(
+            imp > 10.0,
+            "{bench}: request-centric improvement {imp:.1}% too small"
+        );
+        assert!(imp < 80.0, "{bench}: improvement {imp:.1}% implausibly large");
+    }
+}
+
+#[test]
+fn java_benchmarks_improve_at_rate_one() {
+    for bench in ["HTMLRendering", "WordCount"] {
+        let imp = improvement(bench, 1);
+        assert!(imp > 10.0, "{bench}: improvement {imp:.1}%");
+    }
+}
+
+#[test]
+fn io_bound_benchmarks_are_on_par() {
+    // §5.2: Compression/Thumbnailer/Video within ~5% of state of the art.
+    for bench in ["Compression", "Video", "Thumbnailer"] {
+        let imp = improvement(bench, 1);
+        assert!(
+            imp.abs() < 10.0,
+            "{bench}: |{imp:.1}%| should be near parity"
+        );
+    }
+}
+
+#[test]
+fn uploader_regresses() {
+    let imp = improvement("Uploader", 1);
+    assert!(imp < 0.0, "Uploader should regress, got {imp:.1}%");
+    assert!(imp > -25.0, "Uploader regression {imp:.1}% implausibly large");
+}
+
+#[test]
+fn improvement_shrinks_with_slower_eviction() {
+    // §5.2: geometric-mean improvement 37.2% (rate 1) → 22.5% (4) → 13.5%
+    // (20). Check the monotone trend on one benchmark.
+    let i1 = improvement("BFS", 1);
+    let i20 = improvement("BFS", 20);
+    assert!(
+        i1 > i20,
+        "rate-1 improvement {i1:.1}% should exceed rate-20 {i20:.1}%"
+    );
+}
+
+#[test]
+fn cold_start_is_the_worst_policy_for_compute_benchmarks() {
+    for bench in ["BFS", "HTMLRendering"] {
+        let cold = median(bench, PolicyKind::Cold, 1);
+        let after = median(bench, PolicyKind::AfterFirst, 1);
+        let rc = median(bench, PolicyKind::RequestCentric, 1);
+        assert!(cold > after, "{bench}: cold {cold} <= after-1st {after}");
+        assert!(after > rc, "{bench}: after-1st {after} <= request-centric {rc}");
+    }
+}
+
+#[test]
+fn after_init_is_worse_than_after_first() {
+    // §5.1's observation that snapshotting before the first invocation is
+    // inferior (lazy initialization happens on the first request).
+    let init = median("HTMLRendering", PolicyKind::AfterInit, 1);
+    let first = median("HTMLRendering", PolicyKind::AfterFirst, 1);
+    assert!(
+        init > first,
+        "after-init {init} should be slower than after-1st {first}"
+    );
+}

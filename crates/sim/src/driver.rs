@@ -1,0 +1,203 @@
+//! A generic discrete-event simulation driver.
+//!
+//! [`EventQueue`] gives components raw time-ordered delivery; this driver
+//! adds the standard run loop: pop an event, hand it to a handler along
+//! with a [`Scheduler`] for follow-up events, repeat until the queue
+//! drains or a step budget is hit. The fleet and partitioned runners use
+//! the queue directly (their dispatch is trivial); the driver exists for
+//! simulations with richer event vocabularies and is the crate's public
+//! composition point.
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// Scheduling handle passed to event handlers.
+pub struct Scheduler<'q, E> {
+    queue: &'q mut EventQueue<E>,
+    now: SimTime,
+}
+
+impl<E> Scheduler<'_, E> {
+    /// Current virtual time (the timestamp of the event being handled).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules a follow-up event at `at` (clamped to now, like
+    /// [`EventQueue::schedule`]).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        self.queue.schedule(at, event);
+    }
+}
+
+/// Outcome of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained.
+    Drained {
+        /// Events processed.
+        steps: u64,
+    },
+    /// The step budget was exhausted with events still pending.
+    BudgetExhausted {
+        /// Events processed (== the budget).
+        steps: u64,
+    },
+}
+
+/// A discrete-event simulation: shared state plus an event handler.
+///
+/// # Examples
+///
+/// ```
+/// use pronghorn_sim::driver::Simulation;
+/// use pronghorn_sim::{SimDuration, SimTime};
+///
+/// // Count down: each tick schedules the next until zero.
+/// let mut sim = Simulation::new(3u32, |count: &mut u32, sched, ()| {
+///     if *count > 0 {
+///         *count -= 1;
+///         let next = sched.now() + SimDuration::from_millis(1);
+///         sched.schedule(next, ());
+///     }
+/// });
+/// sim.schedule(SimTime::ZERO, ());
+/// sim.run(1_000);
+/// assert_eq!(*sim.state(), 0);
+/// ```
+pub struct Simulation<S, E, H>
+where
+    H: FnMut(&mut S, &mut Scheduler<'_, E>, E),
+{
+    state: S,
+    handler: H,
+    queue: EventQueue<E>,
+}
+
+impl<S, E, H> Simulation<S, E, H>
+where
+    H: FnMut(&mut S, &mut Scheduler<'_, E>, E),
+{
+    /// Creates a simulation over `state` with the given event handler.
+    pub fn new(state: S, handler: H) -> Self {
+        Simulation {
+            state,
+            handler,
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// Schedules an initial event.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        self.queue.schedule(at, event);
+    }
+
+    /// The simulation state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Mutable access to the simulation state.
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Runs until the queue drains or `max_steps` events were processed.
+    pub fn run(&mut self, max_steps: u64) -> RunOutcome {
+        let mut steps = 0;
+        while steps < max_steps {
+            let Some((at, event)) = self.queue.pop() else {
+                return RunOutcome::Drained { steps };
+            };
+            steps += 1;
+            let mut scheduler = Scheduler {
+                queue: &mut self.queue,
+                now: at,
+            };
+            (self.handler)(&mut self.state, &mut scheduler, event);
+        }
+        if self.queue.is_empty() {
+            RunOutcome::Drained { steps }
+        } else {
+            RunOutcome::BudgetExhausted { steps }
+        }
+    }
+
+    /// Consumes the simulation, returning the final state.
+    pub fn into_state(self) -> S {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn runs_until_drained() {
+        let mut sim = Simulation::new(Vec::new(), |log: &mut Vec<u64>, _sched, e: u64| {
+            log.push(e);
+        });
+        sim.schedule(SimTime::from_micros(30), 3);
+        sim.schedule(SimTime::from_micros(10), 1);
+        sim.schedule(SimTime::from_micros(20), 2);
+        assert_eq!(sim.run(100), RunOutcome::Drained { steps: 3 });
+        assert_eq!(sim.into_state(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn handlers_can_schedule_follow_ups() {
+        // A chain of 10 events, each 1ms after its predecessor.
+        let mut sim = Simulation::new(0u32, |count: &mut u32, sched, hop: u32| {
+            *count += 1;
+            if hop > 1 {
+                let next = sched.now() + SimDuration::from_millis(1);
+                sched.schedule(next, hop - 1);
+            }
+        });
+        sim.schedule(SimTime::ZERO, 10);
+        assert_eq!(sim.run(1_000), RunOutcome::Drained { steps: 10 });
+        assert_eq!(*sim.state(), 10);
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_millis(9));
+    }
+
+    #[test]
+    fn budget_stops_runaway_simulations() {
+        let mut sim = Simulation::new((), |(), sched, ()| {
+            let next = sched.now() + SimDuration::from_micros(1);
+            sched.schedule(next, ()); // never terminates on its own
+        });
+        sim.schedule(SimTime::ZERO, ());
+        assert_eq!(sim.run(50), RunOutcome::BudgetExhausted { steps: 50 });
+        assert_eq!(sim.pending(), 1);
+        // Resuming continues where it stopped.
+        assert_eq!(sim.run(25), RunOutcome::BudgetExhausted { steps: 25 });
+    }
+
+    #[test]
+    fn exact_budget_boundary_reports_drained() {
+        let mut sim = Simulation::new(0u32, |n: &mut u32, _sched, ()| *n += 1);
+        for i in 0..5 {
+            sim.schedule(SimTime::from_micros(i), ());
+        }
+        assert_eq!(sim.run(5), RunOutcome::Drained { steps: 5 });
+    }
+
+    #[test]
+    fn state_mut_allows_external_mutation() {
+        let mut sim = Simulation::new(7u32, |_n: &mut u32, _s, ()| {});
+        *sim.state_mut() = 42;
+        assert_eq!(*sim.state(), 42);
+    }
+}

@@ -1,0 +1,276 @@
+//! Virtual time for the simulation.
+//!
+//! All latencies in the Pronghorn paper are reported in microseconds (the
+//! CDF x-axes of Figures 4–6), so the kernel's base unit is the microsecond.
+//! [`SimTime`] is an absolute instant on the virtual timeline and
+//! [`SimDuration`] a span between instants. Both are thin wrappers over
+//! `u64` with saturating arithmetic: a simulation that somehow overflows the
+//! clock (584 thousand years of virtual time) pins at the maximum instead of
+//! wrapping, which keeps event ordering sane.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant on the virtual timeline, in microseconds since the
+/// start of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of the virtual timeline.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `us` microseconds after the origin.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Returns the instant as microseconds since the origin.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant as (fractional) seconds since the origin.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Returns the duration elapsed since `earlier`, or zero if `earlier` is
+    /// in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a span of `us` microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Creates a span of `ms` milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Creates a span of `s` seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Creates a span from fractional microseconds, rounding to the nearest
+    /// whole microsecond and clamping negatives to zero.
+    ///
+    /// Latency models produce `f64` values; this is the single point where
+    /// they are quantized onto the clock.
+    pub fn from_micros_f64(us: f64) -> Self {
+        if us.is_nan() || us <= 0.0 {
+            SimDuration(0)
+        } else if us >= u64::MAX as f64 {
+            SimDuration(u64::MAX)
+        } else {
+            SimDuration(us.round() as u64)
+        }
+    }
+
+    /// Returns the span in whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the span in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the span in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Returns whether the span is empty.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs.max(1))
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimDuration(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let us = self.0;
+        if us >= 1_000_000 {
+            write!(f, "{:.3}s", us as f64 / 1_000_000.0)
+        } else if us >= 1_000 {
+            write!(f, "{:.3}ms", us as f64 / 1_000.0)
+        } else {
+            write!(f, "{us}\u{b5}s")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let start = SimTime::from_micros(1_000);
+        let later = start + SimDuration::from_millis(2);
+        assert_eq!(later.as_micros(), 3_000);
+        assert_eq!(later - start, SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn subtraction_saturates_instead_of_wrapping() {
+        let early = SimTime::from_micros(5);
+        let late = SimTime::from_micros(10);
+        assert_eq!(early - late, SimDuration::ZERO);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(late.saturating_since(early), SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn addition_saturates_at_max() {
+        let t = SimTime::MAX + SimDuration::from_secs(1);
+        assert_eq!(t, SimTime::MAX);
+    }
+
+    #[test]
+    fn from_micros_f64_handles_edge_inputs() {
+        assert_eq!(SimDuration::from_micros_f64(-3.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_micros_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_micros_f64(2.6),
+            SimDuration::from_micros(3)
+        );
+        assert_eq!(
+            SimDuration::from_micros_f64(f64::INFINITY),
+            SimDuration::from_micros(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn display_picks_readable_units() {
+        assert_eq!(SimDuration::from_micros(750).to_string(), "750\u{b5}s");
+        assert_eq!(SimDuration::from_micros(75_500).to_string(), "75.500ms");
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn durations_sum() {
+        let total: SimDuration = [1u64, 2, 3]
+            .iter()
+            .map(|&ms| SimDuration::from_millis(ms))
+            .sum();
+        assert_eq!(total, SimDuration::from_millis(6));
+    }
+
+    #[test]
+    fn division_by_zero_is_clamped() {
+        assert_eq!(
+            SimDuration::from_micros(10) / 0,
+            SimDuration::from_micros(10)
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Content-addressed object store — the paper's MinIO stand-in.
+//!
+//! Pronghorn keeps its snapshot pool in "a global Object Store ...
+//! implemented with MinIO" (§3.1, §4): each worker uploads compressed
+//! snapshots after a checkpoint and downloads the selected snapshot before
+//! a restore. For the cost analysis (Table 5), the paper tracks the
+//! *maximum storage used* and the *cumulative network bandwidth* consumed
+//! by those transfers.
+//!
+//! This crate reproduces that component:
+//!
+//! - [`ObjectStore`]: a cloneable handle to a shared bucket/key blob map
+//!   with integrity-checked reads;
+//! - [`TransferModel`]: latency + bandwidth model converting object sizes
+//!   into virtual transfer times;
+//! - [`StoreStats`]: peak-storage and cumulative-transfer accounting, the
+//!   inputs to Table 5.
+//!
+//! # Examples
+//!
+//! ```
+//! use bytes::Bytes;
+//! use pronghorn_store::ObjectStore;
+//!
+//! let store = ObjectStore::new();
+//! store.put("snapshots", "html/42", Bytes::from_static(b"blob")).unwrap();
+//! let obj = store.get("snapshots", "html/42").unwrap();
+//! assert_eq!(&obj[..], b"blob");
+//! assert_eq!(store.stats().bytes_uploaded, 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod store;
+pub mod transfer;
+
+pub use store::{ObjectMeta, ObjectStore, StoreError, StoreStats};
+pub use transfer::TransferModel;

@@ -1,0 +1,330 @@
+//! The shared blob map with integrity and cost accounting.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use pronghorn_sim::hash::fnv1a;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors returned by the object store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// No such bucket/key.
+    NotFound,
+    /// The stored bytes no longer match their recorded checksum.
+    ChecksumMismatch {
+        /// Checksum recorded at upload.
+        expected: u64,
+        /// Checksum of the bytes actually present.
+        actual: u64,
+    },
+    /// A put would exceed the configured capacity.
+    CapacityExceeded {
+        /// Configured capacity in bytes.
+        capacity: u64,
+        /// Bytes that would be stored after the put.
+        required: u64,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NotFound => write!(f, "object not found"),
+            StoreError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: expected {expected:#x}, got {actual:#x}")
+            }
+            StoreError::CapacityExceeded { capacity, required } => {
+                write!(f, "capacity {capacity} B exceeded (required {required} B)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Metadata of a stored object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectMeta {
+    /// Object size in bytes.
+    pub size: u64,
+    /// FNV-1a checksum of the content.
+    pub checksum: u64,
+}
+
+/// Storage and transfer accounting, the raw inputs of Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Bytes currently stored.
+    pub bytes_stored: u64,
+    /// Peak of `bytes_stored` over the store's lifetime ("Max Storage
+    /// Used" in Table 5).
+    pub peak_bytes_stored: u64,
+    /// Cumulative bytes uploaded (checkpoint transfers).
+    pub bytes_uploaded: u64,
+    /// Cumulative bytes downloaded (restore transfers). Upload + download
+    /// together are Table 5's "Max Network Used".
+    pub bytes_downloaded: u64,
+    /// Number of objects currently stored.
+    pub objects: u64,
+    /// Completed put operations.
+    pub puts: u64,
+    /// Completed get operations.
+    pub gets: u64,
+    /// Completed delete operations.
+    pub deletes: u64,
+}
+
+struct Object {
+    data: Bytes,
+    checksum: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    buckets: HashMap<String, HashMap<String, Object>>,
+    stats: StoreStats,
+    capacity: Option<u64>,
+}
+
+/// Cloneable handle to a shared content-integrity-checked object store.
+#[derive(Clone, Default)]
+pub struct ObjectStore {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl fmt::Debug for ObjectStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("ObjectStore")
+            .field("buckets", &inner.buckets.len())
+            .field("objects", &inner.stats.objects)
+            .finish()
+    }
+}
+
+impl ObjectStore {
+    /// Creates an unbounded store.
+    pub fn new() -> Self {
+        ObjectStore::default()
+    }
+
+    /// Creates a store that rejects puts once `capacity` bytes are resident.
+    ///
+    /// The paper bounds the snapshot pool by *count* (`C`); the capacity
+    /// here additionally lets a provider bound raw bytes (§5.3 "the cloud
+    /// provider can also directly lower the storage overhead").
+    pub fn with_capacity(capacity: u64) -> Self {
+        let store = ObjectStore::new();
+        store.inner.lock().capacity = Some(capacity);
+        store
+    }
+
+    /// Uploads `data` under `bucket`/`key`, replacing any previous object.
+    ///
+    /// Returns the stored object's metadata.
+    pub fn put(&self, bucket: &str, key: &str, data: Bytes) -> Result<ObjectMeta, StoreError> {
+        let mut inner = self.inner.lock();
+        let size = data.len() as u64;
+        let replaced: u64 = inner
+            .buckets
+            .get(bucket)
+            .and_then(|b| b.get(key))
+            .map(|o| o.data.len() as u64)
+            .unwrap_or(0);
+        let required = inner.stats.bytes_stored - replaced + size;
+        if let Some(cap) = inner.capacity {
+            if required > cap {
+                return Err(StoreError::CapacityExceeded {
+                    capacity: cap,
+                    required,
+                });
+            }
+        }
+        let checksum = fnv1a(&data);
+        let object = Object {
+            data,
+            checksum,
+        };
+        let prev = inner
+            .buckets
+            .entry(bucket.to_string())
+            .or_default()
+            .insert(key.to_string(), object);
+        inner.stats.bytes_stored = required;
+        inner.stats.peak_bytes_stored = inner.stats.peak_bytes_stored.max(required);
+        inner.stats.bytes_uploaded += size;
+        inner.stats.puts += 1;
+        if prev.is_none() {
+            inner.stats.objects += 1;
+        }
+        Ok(ObjectMeta { size, checksum })
+    }
+
+    /// Downloads the object at `bucket`/`key`, verifying its checksum.
+    pub fn get(&self, bucket: &str, key: &str) -> Result<Bytes, StoreError> {
+        let mut inner = self.inner.lock();
+        let object = inner
+            .buckets
+            .get(bucket)
+            .and_then(|b| b.get(key))
+            .ok_or(StoreError::NotFound)?;
+        let actual = fnv1a(&object.data);
+        if actual != object.checksum {
+            return Err(StoreError::ChecksumMismatch {
+                expected: object.checksum,
+                actual,
+            });
+        }
+        let data = object.data.clone();
+        inner.stats.bytes_downloaded += data.len() as u64;
+        inner.stats.gets += 1;
+        Ok(data)
+    }
+
+    /// Returns metadata without transferring the object.
+    pub fn head(&self, bucket: &str, key: &str) -> Result<ObjectMeta, StoreError> {
+        let inner = self.inner.lock();
+        inner
+            .buckets
+            .get(bucket)
+            .and_then(|b| b.get(key))
+            .map(|o| ObjectMeta {
+                size: o.data.len() as u64,
+                checksum: o.checksum,
+            })
+            .ok_or(StoreError::NotFound)
+    }
+
+    /// Deletes the object at `bucket`/`key`.
+    pub fn delete(&self, bucket: &str, key: &str) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock();
+        let removed = inner
+            .buckets
+            .get_mut(bucket)
+            .and_then(|b| b.remove(key))
+            .ok_or(StoreError::NotFound)?;
+        inner.stats.bytes_stored -= removed.data.len() as u64;
+        inner.stats.objects -= 1;
+        inner.stats.deletes += 1;
+        Ok(())
+    }
+
+    /// Lists keys in `bucket`, sorted.
+    pub fn list(&self, bucket: &str) -> Vec<String> {
+        let inner = self.inner.lock();
+        let mut keys: Vec<String> = inner
+            .buckets
+            .get(bucket)
+            .map(|b| b.keys().cloned().collect())
+            .unwrap_or_default();
+        keys.sort();
+        keys
+    }
+
+    /// Snapshot of the accounting counters.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(n: usize) -> Bytes {
+        Bytes::from(vec![0xabu8; n])
+    }
+
+    #[test]
+    fn put_get_round_trip_with_checksum() {
+        let s = ObjectStore::new();
+        let meta = s.put("b", "k", Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(meta.size, 5);
+        assert_eq!(meta.checksum, fnv1a(b"hello"));
+        assert_eq!(&s.get("b", "k").unwrap()[..], b"hello");
+    }
+
+    #[test]
+    fn get_missing_is_not_found() {
+        let s = ObjectStore::new();
+        assert_eq!(s.get("b", "k").unwrap_err(), StoreError::NotFound);
+        assert_eq!(s.head("b", "k").unwrap_err(), StoreError::NotFound);
+        assert_eq!(s.delete("b", "k").unwrap_err(), StoreError::NotFound);
+    }
+
+    #[test]
+    fn replace_updates_storage_accounting() {
+        let s = ObjectStore::new();
+        s.put("b", "k", blob(100)).unwrap();
+        s.put("b", "k", blob(40)).unwrap();
+        let st = s.stats();
+        assert_eq!(st.bytes_stored, 40);
+        assert_eq!(st.peak_bytes_stored, 100);
+        assert_eq!(st.bytes_uploaded, 140);
+        assert_eq!(st.objects, 1);
+    }
+
+    #[test]
+    fn delete_releases_storage() {
+        let s = ObjectStore::new();
+        s.put("b", "k", blob(64)).unwrap();
+        s.delete("b", "k").unwrap();
+        let st = s.stats();
+        assert_eq!(st.bytes_stored, 0);
+        assert_eq!(st.objects, 0);
+        // Peak and cumulative transfer survive deletion.
+        assert_eq!(st.peak_bytes_stored, 64);
+        assert_eq!(st.bytes_uploaded, 64);
+    }
+
+    #[test]
+    fn downloads_accumulate() {
+        let s = ObjectStore::new();
+        s.put("b", "k", blob(10)).unwrap();
+        s.get("b", "k").unwrap();
+        s.get("b", "k").unwrap();
+        assert_eq!(s.stats().bytes_downloaded, 20);
+        assert_eq!(s.stats().gets, 2);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let s = ObjectStore::with_capacity(100);
+        s.put("b", "a", blob(60)).unwrap();
+        let err = s.put("b", "b", blob(50)).unwrap_err();
+        assert!(matches!(err, StoreError::CapacityExceeded { capacity: 100, required: 110 }));
+        // Replacement that shrinks usage is allowed.
+        s.put("b", "a", blob(10)).unwrap();
+        s.put("b", "b", blob(50)).unwrap();
+        assert_eq!(s.stats().bytes_stored, 60);
+    }
+
+    #[test]
+    fn buckets_are_isolated() {
+        let s = ObjectStore::new();
+        s.put("snapshots", "k", blob(1)).unwrap();
+        assert_eq!(s.get("other", "k").unwrap_err(), StoreError::NotFound);
+        assert_eq!(s.list("snapshots"), vec!["k".to_string()]);
+        assert!(s.list("other").is_empty());
+    }
+
+    #[test]
+    fn list_is_sorted() {
+        let s = ObjectStore::new();
+        for k in ["zeta", "alpha", "mid"] {
+            s.put("b", k, blob(1)).unwrap();
+        }
+        assert_eq!(s.list("b"), vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let s = ObjectStore::new();
+        let t = s.clone();
+        s.put("b", "k", blob(3)).unwrap();
+        assert_eq!(t.stats().objects, 1);
+        assert!(t.get("b", "k").is_ok());
+    }
+}

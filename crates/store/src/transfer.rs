@@ -1,0 +1,87 @@
+//! Latency + bandwidth transfer-time model.
+//!
+//! Snapshot uploads and downloads traverse the cluster network. The model
+//! is the classic `latency + size/bandwidth` first-order approximation;
+//! defaults are calibrated so a ~55 MB PyPy snapshot (Table 4) transfers in
+//! tens of milliseconds on an intra-cluster link, consistent with the
+//! paper's observation that transfer costs stay off the critical path.
+
+use pronghorn_sim::SimDuration;
+
+/// First-order network transfer model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferModel {
+    /// Fixed per-transfer latency (connection + request overhead), µs.
+    pub latency_us: f64,
+    /// Link bandwidth in bytes per microsecond (= MB/s / 1e6 * 1e6; 1.0
+    /// means 1 MB per second is 1e6 µs... concretely: bytes/µs).
+    pub bytes_per_us: f64,
+}
+
+impl TransferModel {
+    /// Creates a model from a bandwidth expressed in gigabits per second.
+    pub fn from_gbps(latency_us: f64, gbps: f64) -> Self {
+        // 1 Gb/s = 125 MB/s = 125 bytes/µs.
+        TransferModel {
+            latency_us,
+            bytes_per_us: gbps * 125.0,
+        }
+    }
+
+    /// Virtual time to transfer `bytes`.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        if self.bytes_per_us <= 0.0 {
+            return SimDuration::from_micros_f64(self.latency_us);
+        }
+        SimDuration::from_micros_f64(self.latency_us + bytes as f64 / self.bytes_per_us)
+    }
+}
+
+impl Default for TransferModel {
+    /// A 10 Gb/s intra-cluster link with 200µs fixed overhead, typical of
+    /// the paper's three-node VM cluster.
+    fn default() -> Self {
+        TransferModel::from_gbps(200.0, 10.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_costs_fixed_latency() {
+        let m = TransferModel::default();
+        assert_eq!(m.transfer_time(0).as_micros() as f64, m.latency_us);
+    }
+
+    #[test]
+    fn gbps_conversion_is_correct() {
+        let m = TransferModel::from_gbps(0.0, 8.0);
+        // 8 Gb/s = 1000 bytes/µs => 1 MB in 1000µs.
+        assert_eq!(m.transfer_time(1_000_000), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn fifty_five_mb_snapshot_transfers_in_tens_of_ms() {
+        let m = TransferModel::default();
+        let t = m.transfer_time(55 * 1024 * 1024);
+        assert!(t > SimDuration::from_millis(10));
+        assert!(t < SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn degenerate_bandwidth_falls_back_to_latency() {
+        let m = TransferModel {
+            latency_us: 50.0,
+            bytes_per_us: 0.0,
+        };
+        assert_eq!(m.transfer_time(1_000_000), SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn transfer_time_is_monotone_in_size() {
+        let m = TransferModel::default();
+        assert!(m.transfer_time(2_000_000) > m.transfer_time(1_000_000));
+    }
+}

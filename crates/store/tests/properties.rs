@@ -1,0 +1,81 @@
+//! Property-based tests: the object store's accounting invariants hold
+//! under arbitrary operation sequences.
+
+use bytes::Bytes;
+use pronghorn_store::{ObjectStore, StoreError};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, u8, Vec<u8>),
+    Get(u8, u8),
+    Delete(u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, any::<u8>(), prop::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(b, k, v)| Op::Put(b, k, v)),
+        (0u8..4, any::<u8>()).prop_map(|(b, k)| Op::Get(b, k)),
+        (0u8..4, any::<u8>()).prop_map(|(b, k)| Op::Delete(b, k)),
+    ]
+}
+
+proptest! {
+    /// Live-byte accounting equals the sum of live objects; cumulative
+    /// transfer counters are monotone; peak >= current, always.
+    #[test]
+    fn accounting_matches_model(ops in prop::collection::vec(op_strategy(), 0..200)) {
+        let store = ObjectStore::new();
+        let mut model: HashMap<(u8, u8), Vec<u8>> = HashMap::new();
+        let mut last_uploaded = 0u64;
+        let mut last_downloaded = 0u64;
+        for op in ops {
+            match op {
+                Op::Put(b, k, v) => {
+                    store
+                        .put(&format!("b{b}"), &format!("k{k}"), Bytes::from(v.clone()))
+                        .unwrap();
+                    model.insert((b, k), v);
+                }
+                Op::Get(b, k) => {
+                    let got = store.get(&format!("b{b}"), &format!("k{k}"));
+                    match model.get(&(b, k)) {
+                        Some(v) => prop_assert_eq!(&got.unwrap()[..], v.as_slice()),
+                        None => prop_assert_eq!(got.unwrap_err(), StoreError::NotFound),
+                    }
+                }
+                Op::Delete(b, k) => {
+                    let outcome = store.delete(&format!("b{b}"), &format!("k{k}"));
+                    prop_assert_eq!(outcome.is_ok(), model.remove(&(b, k)).is_some());
+                }
+            }
+            let stats = store.stats();
+            let live: u64 = model.values().map(|v| v.len() as u64).sum();
+            prop_assert_eq!(stats.bytes_stored, live);
+            prop_assert_eq!(stats.objects as usize, model.len());
+            prop_assert!(stats.peak_bytes_stored >= stats.bytes_stored);
+            prop_assert!(stats.bytes_uploaded >= last_uploaded);
+            prop_assert!(stats.bytes_downloaded >= last_downloaded);
+            last_uploaded = stats.bytes_uploaded;
+            last_downloaded = stats.bytes_downloaded;
+        }
+    }
+
+    /// A capacity-bounded store never holds more than its capacity.
+    #[test]
+    fn capacity_is_never_exceeded(
+        ops in prop::collection::vec(
+            (any::<u8>(), prop::collection::vec(any::<u8>(), 0..64)),
+            1..100
+        ),
+        capacity in 32u64..256,
+    ) {
+        let store = ObjectStore::with_capacity(capacity);
+        for (k, v) in ops {
+            let _ = store.put("b", &format!("k{k}"), Bytes::from(v));
+            prop_assert!(store.stats().bytes_stored <= capacity);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Property-based tests for the synthetic trace generator.
+
+use pronghorn_sim::{RngFactory, SimDuration, SimTime};
+use pronghorn_traces::{PopularityModel, Trace, TraceSpec};
+use proptest::prelude::*;
+
+proptest! {
+    /// Generated arrivals are sorted and inside the window for any
+    /// percentile and seed.
+    #[test]
+    fn arrivals_are_sorted_and_bounded(percentile in 0.0f64..1.0, seed in any::<u64>()) {
+        let factory = RngFactory::new(seed);
+        let trace = TraceSpec::percentile(percentile).generate(&mut factory.stream("t"));
+        let end = SimTime::ZERO + trace.window();
+        for pair in trace.arrivals().windows(2) {
+            prop_assert!(pair[0] <= pair[1]);
+        }
+        prop_assert!(trace.arrivals().iter().all(|&t| t <= end));
+    }
+
+    /// The popularity model is monotone non-decreasing in the percentile.
+    #[test]
+    fn popularity_is_monotone(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let m = PopularityModel::default();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(m.window_invocations(lo) <= m.window_invocations(hi) + 1e-12);
+        prop_assert!(m.window_invocations(lo) > 0.0);
+    }
+
+    /// `Trace::new` sanitizes arbitrary input: sorts and clips to window.
+    #[test]
+    fn trace_construction_sanitizes(
+        raw in prop::collection::vec(0u64..2_000_000_000, 0..64),
+        window_s in 1u64..3_600,
+    ) {
+        let window = SimDuration::from_secs(window_s);
+        let arrivals: Vec<SimTime> = raw.iter().map(|&us| SimTime::from_micros(us)).collect();
+        let trace = Trace::new(arrivals.clone(), window);
+        let end = SimTime::ZERO + window;
+        prop_assert!(trace.arrivals().iter().all(|&t| t <= end));
+        for pair in trace.arrivals().windows(2) {
+            prop_assert!(pair[0] <= pair[1]);
+        }
+        let expected = arrivals.iter().filter(|&&t| t <= end).count();
+        prop_assert_eq!(trace.len(), expected);
+    }
+
+    /// Same seed, same trace — across any percentile.
+    #[test]
+    fn generation_is_deterministic(percentile in 0.0f64..1.0, seed in any::<u64>()) {
+        let gen_once = || {
+            let factory = RngFactory::new(seed);
+            TraceSpec::percentile(percentile).generate(&mut factory.stream("x"))
+        };
+        prop_assert_eq!(gen_once(), gen_once());
+    }
+}

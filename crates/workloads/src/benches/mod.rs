@@ -1,0 +1,4 @@
+//! Benchmark definitions, split by runtime as in Table 3.
+
+pub mod java;
+pub mod python;

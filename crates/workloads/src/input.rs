@@ -1,0 +1,146 @@
+//! Input-size noise — §5.1's perturbation model.
+//!
+//! "We made slight modifications to each benchmark, adding optional
+//! zero-mean Gaussian noise in the inputs of up to an order of magnitude in
+//! the input sizes." A zero-mean Gaussian on *log* size keeps sizes
+//! positive and symmetric in ratio: the size factor is `exp(N(0, σ))`,
+//! clamped to about an order of magnitude in each direction. Input novelty
+//! — how far a draw sits from the typical size — feeds the JIT simulator's
+//! speculation-failure probability.
+
+use pronghorn_checkpoint::cost::gaussian;
+use rand::RngCore;
+
+/// Log-normal input-size noise, optionally bimodal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InputVariance {
+    /// Standard deviation of the zero-mean Gaussian applied to `ln(size)`.
+    pub sigma: f64,
+    /// When set, the noise is centred on two modes at `1/b` and `b` times
+    /// the base size (a function serving two distinct request populations,
+    /// §6's input-awareness scenario) instead of on the base size.
+    pub bimodal_spread: Option<f64>,
+}
+
+impl InputVariance {
+    /// No perturbation: every request uses the base input size.
+    pub const fn none() -> Self {
+        InputVariance { sigma: 0.0, bimodal_spread: None }
+    }
+
+    /// The paper's high-variance setting: latency interquartile ranges
+    /// "span over an order of magnitude" for compute-bound benchmarks.
+    pub const fn paper() -> Self {
+        InputVariance { sigma: 1.0, bimodal_spread: None }
+    }
+
+    /// A milder setting for the trace-driven experiments (Figure 6 ran at
+    /// much smaller latency scales).
+    pub const fn low() -> Self {
+        InputVariance { sigma: 0.25, bimodal_spread: None }
+    }
+
+    /// A two-population workload: half the requests ~3x smaller than the
+    /// base size, half ~3x larger, each with mild local noise — the
+    /// distinct-code-path scenario of §6's future-work discussion.
+    pub const fn bimodal() -> Self {
+        InputVariance { sigma: 0.25, bimodal_spread: Some(3.0) }
+    }
+
+    /// Samples a size factor, clamped to `[0.08, 12.0]` (roughly an order
+    /// of magnitude around the base in each direction).
+    pub fn sample_factor(&self, rng: &mut dyn RngCore) -> f64 {
+        let centre = match self.bimodal_spread {
+            Some(spread) => {
+                let b = spread.abs().max(1.0);
+                if rng.next_u32() & 1 == 0 {
+                    1.0 / b
+                } else {
+                    b
+                }
+            }
+            None => {
+                if self.sigma <= 0.0 {
+                    return 1.0;
+                }
+                1.0
+            }
+        };
+        (centre * (gaussian(&mut *rng) * self.sigma).exp()).clamp(0.08, 12.0)
+    }
+
+    /// Novelty of a size factor: 0 at the typical size, 1 at an order of
+    /// magnitude away.
+    pub fn novelty_of(factor: f64) -> f64 {
+        (factor.max(1e-9).ln().abs() / std::f64::consts::LN_10).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let v = InputVariance::none();
+        for _ in 0..10 {
+            assert_eq!(v.sample_factor(&mut rng), 1.0);
+        }
+    }
+
+    #[test]
+    fn factors_are_clamped() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let v = InputVariance { sigma: 5.0, bimodal_spread: None };
+        for _ in 0..1000 {
+            let f = v.sample_factor(&mut rng);
+            assert!((0.08..=12.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn paper_variance_spans_an_order_of_magnitude() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let v = InputVariance::paper();
+        let factors: Vec<f64> = (0..5000).map(|_| v.sample_factor(&mut rng)).collect();
+        let mut sorted = factors.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p10 = sorted[500];
+        let p90 = sorted[4500];
+        assert!(p90 / p10 > 8.0, "p90/p10 = {}", p90 / p10);
+        // Median stays near the base size.
+        let median = sorted[2500];
+        assert!((0.8..=1.25).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn novelty_is_zero_at_base_and_one_at_decade() {
+        assert_eq!(InputVariance::novelty_of(1.0), 0.0);
+        assert!((InputVariance::novelty_of(10.0) - 1.0).abs() < 1e-12);
+        assert!((InputVariance::novelty_of(0.1) - 1.0).abs() < 1e-12);
+        let mid = InputVariance::novelty_of(3.0);
+        assert!(mid > 0.3 && mid < 0.7);
+    }
+
+    #[test]
+    fn novelty_handles_degenerate_factor() {
+        assert_eq!(InputVariance::novelty_of(0.0), 1.0);
+    }
+
+    #[test]
+    fn bimodal_variance_has_two_modes() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let v = InputVariance::bimodal();
+        let factors: Vec<f64> = (0..2000).map(|_| v.sample_factor(&mut rng)).collect();
+        let small = factors.iter().filter(|&&f| f < 1.0).count();
+        let large = factors.len() - small;
+        // Roughly half in each mode, and almost nothing near the base size.
+        assert!((800..=1200).contains(&small), "small mode {small}");
+        assert!((800..=1200).contains(&large), "large mode {large}");
+        let near_base = factors.iter().filter(|&&f| (0.8..1.25).contains(&f)).count();
+        assert!(near_base < 200, "{near_base} samples near the base size");
+    }
+}

@@ -1,0 +1,453 @@
+//! A miniature JSON implementation: value model, recursive-descent parser,
+//! serializer, and random document generator.
+//!
+//! Backs the `JSON` benchmark of Table 1 (from the authors' earlier
+//! HotOS'21 study): generate a random document, serialize it, and parse it
+//! back. Parser token counts and serializer byte counts are the work
+//! units.
+
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value (object keys sorted for deterministic serialization).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A finite number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object.
+    Object(BTreeMap<String, Json>),
+}
+
+/// Parse errors with byte offsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parser work counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParseStats {
+    /// Values (nodes) parsed.
+    pub nodes: usize,
+    /// String characters decoded.
+    pub string_chars: usize,
+    /// Bytes consumed.
+    pub bytes: usize,
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    stats: ParseStats,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &'static str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8, message: &'static str) -> Result<(), ParseError> {
+        if self.bump() == Some(byte) {
+            Ok(())
+        } else {
+            self.pos = self.pos.saturating_sub(1);
+            Err(self.err(message))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > 128 {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        self.stats.nodes += 1;
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Json::Null),
+            Some(b't') => self.parse_keyword("true", Json::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::String(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value(depth + 1)?);
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b']') => break,
+                        _ => {
+                            self.pos = self.pos.saturating_sub(1);
+                            return Err(self.err("expected ',' or ']'"));
+                        }
+                    }
+                }
+                Ok(Json::Array(items))
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = BTreeMap::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':', "expected ':'")?;
+                    let value = self.parse_value(depth + 1)?;
+                    map.insert(key, value);
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b'}') => break,
+                        _ => {
+                            self.pos = self.pos.saturating_sub(1);
+                            return Err(self.err("expected ',' or '}'"));
+                        }
+                    }
+                }
+                Ok(Json::Object(map))
+            }
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &'static str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid keyword"))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"', "expected string")?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.bump().ok_or_else(|| self.err("bad \\u escape"))?;
+                            let v = (d as char)
+                                .to_digit(16)
+                                .ok_or_else(|| self.err("bad hex digit"))?;
+                            code = code * 16 + v;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(byte) if byte < 0x80 => out.push(byte as char),
+                Some(byte) => {
+                    // Re-assemble UTF-8 multibyte sequences.
+                    let len = match byte {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        0xf0..=0xf7 => 4,
+                        _ => return Err(self.err("invalid UTF-8")),
+                    };
+                    let start = self.pos - 1;
+                    for _ in 1..len {
+                        self.bump().ok_or_else(|| self.err("truncated UTF-8"))?;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+        self.stats.string_chars += out.chars().count();
+        Ok(out)
+    }
+
+    fn parse_number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        let value: f64 = text.parse().map_err(|_| ParseError {
+            offset: start,
+            message: "invalid number",
+        })?;
+        if !value.is_finite() {
+            return Err(ParseError {
+                offset: start,
+                message: "non-finite number",
+            });
+        }
+        Ok(Json::Number(value))
+    }
+}
+
+/// Parses a JSON document, returning the value and work counters.
+pub fn parse(input: &str) -> Result<(Json, ParseStats), ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        stats: ParseStats::default(),
+    };
+    let value = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    p.stats.bytes = p.bytes.len();
+    Ok((value, p.stats))
+}
+
+/// Serializes a value to compact JSON, returning the text and the node
+/// count visited.
+pub fn serialize(value: &Json) -> (String, usize) {
+    let mut out = String::new();
+    let mut nodes = 0;
+    write_value(value, &mut out, &mut nodes);
+    (out, nodes)
+}
+
+fn write_value(value: &Json, out: &mut String, nodes: &mut usize) {
+    *nodes += 1;
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Number(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n}"));
+            }
+        }
+        Json::String(s) => write_string(s, out),
+        Json::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out, nodes);
+            }
+            out.push(']');
+        }
+        Json::Object(map) => {
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(v, out, nodes);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Generates a random JSON document with roughly `target_nodes` values.
+pub fn random_document<R: Rng + ?Sized>(rng: &mut R, target_nodes: usize) -> Json {
+    fn gen<R: Rng + ?Sized>(rng: &mut R, budget: &mut isize, depth: usize) -> Json {
+        *budget -= 1;
+        if *budget <= 0 || depth >= 6 {
+            return match rng.gen_range(0..4) {
+                0 => Json::Null,
+                1 => Json::Bool(rng.gen()),
+                2 => Json::Number((rng.gen_range(-1e6..1e6f64) * 100.0).round() / 100.0),
+                _ => Json::String(format!("field-{}", rng.gen_range(0..10_000))),
+            };
+        }
+        match rng.gen_range(0..6) {
+            0 => Json::Number(f64::from(rng.gen_range(-1_000_000..1_000_000))),
+            1 => Json::String(format!("value-{}", rng.gen_range(0..100_000))),
+            2 | 3 => {
+                let len = rng.gen_range(1..8);
+                Json::Array((0..len).map(|_| gen(rng, budget, depth + 1)).collect())
+            }
+            _ => {
+                let len = rng.gen_range(1..6);
+                Json::Object(
+                    (0..len)
+                        .map(|i| (format!("k{}_{}", depth, i), gen(rng, budget, depth + 1)))
+                        .collect(),
+                )
+            }
+        }
+    }
+    let mut budget = target_nodes as isize;
+    let len = rng.gen_range(2..6);
+    Json::Object(
+        (0..len)
+            .map(|i| (format!("root{i}"), gen(rng, &mut budget, 1)))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap().0, Json::Null);
+        assert_eq!(parse("true").unwrap().0, Json::Bool(true));
+        assert_eq!(parse("false").unwrap().0, Json::Bool(false));
+        assert_eq!(parse("-12.5e2").unwrap().0, Json::Number(-1250.0));
+        assert_eq!(parse("\"hi\"").unwrap().0, Json::String("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let (v, stats) = parse(r#"{"a": [1, {"b": null}], "c": "x"}"#).unwrap();
+        if let Json::Object(map) = &v {
+            assert_eq!(map.len(), 2);
+            assert!(matches!(map["a"], Json::Array(_)));
+        } else {
+            panic!("expected object");
+        }
+        assert!(stats.nodes >= 5);
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = Json::String("line\nquote\"back\\slash\ttab".into());
+        let (text, _) = serialize(&original);
+        let (parsed, _) = parse(&text).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        assert_eq!(
+            parse(r#""Aé""#).unwrap().0,
+            Json::String("Aé".into())
+        );
+    }
+
+    #[test]
+    fn utf8_passthrough() {
+        let (v, _) = parse("\"héllo ⚡\"").unwrap();
+        assert_eq!(v, Json::String("héllo ⚡".into()));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"unterminated", "[1]]"] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_excessive_nesting() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        let err = parse(&deep).unwrap_err();
+        assert_eq!(err.message, "nesting too deep");
+    }
+
+    #[test]
+    fn random_documents_round_trip() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let doc = random_document(&mut rng, 200);
+            let (text, nodes_out) = serialize(&doc);
+            let (parsed, stats) = parse(&text).unwrap();
+            assert_eq!(parsed, doc);
+            assert!(nodes_out > 0);
+            assert!(stats.nodes > 0);
+        }
+    }
+
+    #[test]
+    fn work_scales_with_document_size() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let small = serialize(&random_document(&mut rng, 20)).0;
+        let large = serialize(&random_document(&mut rng, 2_000)).0;
+        assert!(large.len() > small.len());
+        let (_, s) = parse(&small).unwrap();
+        let (_, l) = parse(&large).unwrap();
+        assert!(l.nodes > s.nodes);
+    }
+}

@@ -1,0 +1,15 @@
+//! Real algorithm kernels backing the benchmark suite.
+//!
+//! Every benchmark in Table 3 (plus Table 1's JSON workload) executes an
+//! actual algorithm on randomized input; the work counters the kernels
+//! return become JIT work units, so latency scales with input size the way
+//! the paper's graph-based benchmarks do.
+
+pub mod compress;
+pub mod graph;
+pub mod hashing;
+pub mod html;
+pub mod json;
+pub mod matrix;
+pub mod media;
+pub mod text;

@@ -1,0 +1,75 @@
+//! Sweep the request-centric policy's tuning knobs — §6's "Tuning
+//! Pronghorn" discussion as a runnable experiment.
+//!
+//! ```text
+//! cargo run --release --example policy_tuning [benchmark]
+//! ```
+//!
+//! Sweeps, one at a time around the paper's defaults: the snapshot-pool
+//! capacity `C`, the search-space bound `W`, the EWMA proportion `α`, and
+//! the eviction fractions `(p, γ)`, printing the median latency each
+//! configuration achieves. Shows the cost/performance trade-off a cloud
+//! provider navigates ("the cloud provider can also directly lower the
+//! storage overhead used by simply reducing the size of the snapshot
+//! pool, e.g., setting C = 2 instead of C = 12").
+
+use pronghorn::prelude::*;
+
+fn median_with(workload: &dyn Workload, config: PolicyConfig) -> f64 {
+    let cfg = RunConfig::paper(PolicyKind::RequestCentric, 1, 77)
+        .with_invocations(400)
+        .with_policy_config(config);
+    run_closed_loop(workload, &cfg).median_us()
+}
+
+fn base_config(kind: RuntimeKind) -> PolicyConfig {
+    match kind {
+        RuntimeKind::PyPy => PolicyConfig::paper_pypy(),
+        RuntimeKind::Jvm => PolicyConfig::paper_jvm(),
+    }
+}
+
+fn main() {
+    let bench = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "PageRank".to_string());
+    let Some(workload) = by_name(&bench) else {
+        eprintln!("unknown benchmark: {bench}");
+        std::process::exit(1);
+    };
+    let base = base_config(workload.kind());
+    println!("tuning {bench} (eviction rate 1, 400 invocations per point)\n");
+
+    let baseline = {
+        let cfg = RunConfig::paper(PolicyKind::AfterFirst, 1, 77).with_invocations(400);
+        run_closed_loop(&workload, &cfg).median_us()
+    };
+    println!("state-of-the-art (after-1st) median: {baseline:>9.0}µs\n");
+
+    println!("pool capacity C (paper: 12) — smaller pools cut storage cost:");
+    for c in [2usize, 4, 8, 12, 24] {
+        let m = median_with(&workload, base.with_capacity(c));
+        println!("  C = {c:<3} median {m:>9.0}µs   storage bound ~{:>5.1} MB/snapshot x {c}", 55.0);
+    }
+
+    println!("\nsearch-space bound W (paper: 100 PyPy / 200 JVM):");
+    for w in [25u32, 50, base.w, base.w * 2] {
+        let m = median_with(&workload, base.with_w(w));
+        println!("  W = {w:<4} median {m:>9.0}µs");
+    }
+
+    println!("\nEWMA proportion α (recency weighting of latency knowledge):");
+    for alpha in [0.05, 0.1, 0.3, 0.6, 0.9] {
+        let m = median_with(&workload, base.with_alpha(alpha));
+        println!("  α = {alpha:<4} median {m:>9.0}µs");
+    }
+
+    println!("\neviction fractions (p, γ) (paper: 40%, 10%):");
+    for (p, g) in [(0.4, 0.1), (0.4, 0.0), (0.2, 0.1), (0.8, 0.1), (0.2, 0.5)] {
+        let m = median_with(&workload, base.with_eviction_fracs(p, g));
+        println!("  p = {p:.1}, γ = {g:.1}   median {m:>9.0}µs");
+    }
+
+    println!("\n(γ = 0 removes the random-survivor exploration; very small W or C");
+    println!(" limits which optimization states the pool can ever capture)");
+}

@@ -1,0 +1,64 @@
+//! Quickstart: compare the three orchestration policies on one benchmark.
+//!
+//! ```text
+//! cargo run --release --example quickstart [benchmark] [eviction_rate]
+//! ```
+//!
+//! Runs the paper's closed-loop protocol (500 invocations, §5.1 input
+//! variance) for the cold-start, checkpoint-after-1st, and request-centric
+//! policies, and prints their median latencies and the Pronghorn
+//! improvement.
+
+use pronghorn::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let bench = args.next().unwrap_or_else(|| "DynamicHTML".to_string());
+    let rate: u32 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+
+    let Some(workload) = by_name(&bench) else {
+        eprintln!("unknown benchmark: {bench}");
+        eprintln!("available:");
+        for b in evaluation_benchmarks() {
+            eprintln!("  {}", b.name());
+        }
+        std::process::exit(1);
+    };
+
+    println!("benchmark: {bench} ({})", workload.kind().label());
+    println!("eviction : every {rate} request(s)");
+    println!("protocol : 500 invocations, paper input variance\n");
+
+    let mut medians = Vec::new();
+    for policy in [
+        PolicyKind::Cold,
+        PolicyKind::AfterFirst,
+        PolicyKind::RequestCentric,
+    ] {
+        let cfg = RunConfig::paper(policy, rate, 0xFEED);
+        let result = run_closed_loop(&workload, &cfg);
+        println!(
+            "{:<16} median {:>9.0}µs   p90 {:>9.0}µs   cold-starts {:>3}   restores {:>3}   checkpoints {:>3}",
+            policy.label(),
+            result.median_us(),
+            result.percentile_us(90.0),
+            result.cold_starts(),
+            result.restores(),
+            result.checkpoint_ms.len(),
+        );
+        medians.push((policy, result.median_us()));
+    }
+
+    let after_first = medians[1].1;
+    let request_centric = medians[2].1;
+    if let Some(imp) =
+        pronghorn::metrics::median_improvement_pct(after_first, request_centric)
+    {
+        println!(
+            "\nrequest-centric vs state-of-the-art (after-1st): {imp:+.1}% median latency"
+        );
+    }
+}

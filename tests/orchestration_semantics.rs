@@ -1,0 +1,184 @@
+//! Integration tests pinning the orchestration semantics the paper
+//! describes, across crate boundaries.
+
+use pronghorn::checkpoint::{Checkpointable, SimCriuEngine, SnapshotMeta};
+use pronghorn::jit::{MethodWork, RequestWork, Runtime};
+use pronghorn::prelude::*;
+
+fn simple_request() -> RequestWork {
+    RequestWork::new(vec![
+        MethodWork { method: 0, units: 500.0, calls: 1.0 },
+        MethodWork { method: 1, units: 500.0, calls: 100.0 },
+        MethodWork { method: 2, units: 500.0, calls: 200.0 },
+        MethodWork { method: 3, units: 500.0, calls: 400.0 },
+    ])
+}
+
+/// A restored runtime must behave as if it had never been evicted: the
+/// "requests to convergence" counted across snapshot generations equals a
+/// single long-lived worker's.
+#[test]
+fn snapshot_chains_preserve_warmup_progress() {
+    let workload = by_name("BFS").expect("bundled benchmark");
+    let engine = SimCriuEngine::new();
+    let factory = RngFactory::new(21);
+    let mut rng = factory.stream("chain");
+
+    // Continuous worker: 120 requests straight.
+    let (mut continuous, _) =
+        Runtime::cold_start(workload.runtime_profile(), workload.method_profiles(), &mut rng);
+    let mut rng_a = factory.stream("exec");
+    for _ in 0..120 {
+        continuous.execute(&simple_request(), &mut rng_a);
+    }
+
+    // Chained worker: checkpoint/restore every 10 requests.
+    let (mut chained, _) =
+        Runtime::cold_start(workload.runtime_profile(), workload.method_profiles(), &mut rng);
+    let mut rng_b = factory.stream("exec"); // same stream seed as rng_a
+    for generation in 0..12 {
+        for _ in 0..10 {
+            chained.execute(&simple_request(), &mut rng_b);
+        }
+        let meta = SnapshotMeta {
+            function: "chain".into(),
+            request_number: (generation + 1) * 10,
+            runtime: "pypy".into(),
+        };
+        let (snapshot, _) = engine.checkpoint(&mut rng, &chained, meta);
+        let (restored, _): (Runtime, _) = engine.restore(&mut rng, &snapshot).unwrap();
+        chained = restored;
+    }
+
+    assert_eq!(continuous.requests_executed(), chained.requests_executed());
+    // Same tiers reached (checkpointing is transparent to JIT progress).
+    let tiers = |r: &Runtime| -> Vec<_> { r.method_states().iter().map(|m| m.tier).collect() };
+    assert_eq!(tiers(&continuous), tiers(&chained));
+}
+
+/// Checkpoint request numbers never exceed `W` ("Largest request number
+/// at which checkpointing is permitted", Table 2), and the provider's
+/// §5.3 cost bound — stop checkpointing after `W + 100` invocations —
+/// caps the checkpoint count without hurting the latency benefit.
+#[test]
+fn checkpointing_is_bounded_by_w_and_the_provider_stop() {
+    let workload = by_name("DFS").expect("bundled benchmark");
+
+    // Faithful evaluation setup: checkpointing continues (one per
+    // lifetime at eviction rate 1) but only inside [0, W].
+    let cfg = RunConfig::paper(PolicyKind::RequestCentric, 1, 77).with_invocations(500);
+    let unbounded = run_closed_loop(&workload, &cfg);
+    assert!(unbounded
+        .snapshot_requests
+        .iter()
+        .all(|&r| r <= 100), "snapshot beyond W taken");
+
+    // Provider stop at W + 100 = 200 invocations.
+    let stopped_cfg = cfg.with_checkpoint_stop(200);
+    let stopped = run_closed_loop(&workload, &stopped_cfg);
+    assert!(
+        stopped.checkpoint_ms.len() <= 201,
+        "{} checkpoints despite the stop",
+        stopped.checkpoint_ms.len()
+    );
+    assert!(stopped.checkpoint_ms.len() < unbounded.checkpoint_ms.len());
+    // The latency benefit survives: medians within 15% of each other.
+    let ratio = stopped.median_us() / unbounded.median_us();
+    assert!((0.85..=1.15).contains(&ratio), "stop cost ratio {ratio}");
+}
+
+/// The image a checkpoint produces must grow as the runtime optimizes
+/// (more machine code in the image) — Table 4's size gradient.
+#[test]
+fn snapshot_size_grows_with_optimization_state() {
+    let workload = by_name("Hash").expect("bundled benchmark");
+    let factory = RngFactory::new(8);
+    let mut rng = factory.stream("x");
+    let (mut runtime, _) =
+        Runtime::cold_start(workload.runtime_profile(), workload.method_profiles(), &mut rng);
+    let cold_size = runtime.image_size_bytes();
+    let mut exec = factory.stream("exec");
+    for i in 0..3_000u64 {
+        let mut input = factory.stream_indexed("input", i);
+        let request = workload.generate(&mut input, InputVariance::none());
+        runtime.execute(&request, &mut exec);
+    }
+    let warm_size = runtime.image_size_bytes();
+    assert!(
+        warm_size > cold_size,
+        "warm image {warm_size} <= cold image {cold_size}"
+    );
+}
+
+/// Baselines restore from exactly one snapshot forever; the request-centric
+/// policy restores from a spread of request numbers (its pool).
+#[test]
+fn policies_differ_in_restore_diversity() {
+    use pronghorn::platform::ProvisionKind;
+    let workload = by_name("MST").expect("bundled benchmark");
+    let distinct_resumes = |policy: PolicyKind| -> usize {
+        let cfg = RunConfig::paper(policy, 1, 13).with_invocations(300);
+        let result = run_closed_loop(&workload, &cfg);
+        let mut resumes: Vec<u32> = result
+            .provisions
+            .iter()
+            .filter_map(|p| match p {
+                ProvisionKind::Restored(r) => Some(*r),
+                ProvisionKind::Cold => None,
+            })
+            .collect();
+        resumes.sort_unstable();
+        resumes.dedup();
+        resumes.len()
+    };
+    assert_eq!(distinct_resumes(PolicyKind::AfterFirst), 1);
+    assert!(distinct_resumes(PolicyKind::RequestCentric) > 20);
+}
+
+/// A custom Checkpointable type works with the engine — the "agnostic to
+/// the underlying checkpoint engine and runtime" claim, inverted: the
+/// engine is agnostic to the process.
+#[test]
+fn engine_is_process_agnostic() {
+    use pronghorn::checkpoint::codec::{CodecError, Decoder, Encoder};
+
+    #[derive(Debug, PartialEq)]
+    struct KvProcess {
+        entries: Vec<(String, u64)>,
+    }
+
+    impl Checkpointable for KvProcess {
+        fn encode_state(&self, enc: &mut Encoder) {
+            enc.put_seq(&self.entries, |e, (k, v)| {
+                e.put_str(k);
+                e.put_u64(*v);
+            });
+        }
+        fn decode_state(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+            Ok(KvProcess {
+                entries: dec.take_seq(16, |d| {
+                    let k = d.take_str()?.to_string();
+                    let v = d.take_u64()?;
+                    Ok((k, v))
+                })?,
+            })
+        }
+        fn image_size_bytes(&self) -> u64 {
+            1024 * 1024
+        }
+    }
+
+    let engine = SimCriuEngine::new();
+    let mut rng = RngFactory::new(3).stream("engine");
+    let process = KvProcess {
+        entries: vec![("a".into(), 1), ("b".into(), 2)],
+    };
+    let meta = SnapshotMeta {
+        function: "kv".into(),
+        request_number: 0,
+        runtime: "custom".into(),
+    };
+    let (snapshot, _) = engine.checkpoint(&mut rng, &process, meta);
+    let (restored, _): (KvProcess, _) = engine.restore(&mut rng, &snapshot).unwrap();
+    assert_eq!(restored, process);
+}
