@@ -1,0 +1,152 @@
+//! String-pattern strategies: `"[a-z]{1,8}"` etc. as `Strategy<Value = String>`.
+//!
+//! Supports the tiny regex subset the workspace's tests use: a sequence
+//! of atoms (`.`, a `[...]` character class with ranges, or a literal
+//! character) each followed by an optional `{n}` / `{lo,hi}` quantifier.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+enum Atom {
+    /// `.` — any printable ASCII character.
+    Any,
+    /// A set of candidate characters from a `[...]` class or a literal.
+    Set(Vec<char>),
+}
+
+impl Atom {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Any => char::from(0x20 + rng.below(0x7f - 0x20) as u8),
+            Atom::Set(chars) => chars[rng.below(chars.len())],
+        }
+    }
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            assert!(lo <= hi, "inverted class range {lo}-{hi}");
+            for c in lo..=hi {
+                set.push(c);
+            }
+            i += 3;
+        } else {
+            set.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "unterminated character class");
+    (set, i + 1)
+}
+
+fn parse_quantifier(chars: &[char], mut i: usize) -> (usize, usize, usize) {
+    if i >= chars.len() || chars[i] != '{' {
+        return (1, 1, i);
+    }
+    i += 1;
+    let mut nums = vec![String::new()];
+    while i < chars.len() && chars[i] != '}' {
+        if chars[i] == ',' {
+            nums.push(String::new());
+        } else {
+            nums.last_mut().unwrap().push(chars[i]);
+        }
+        i += 1;
+    }
+    assert!(i < chars.len(), "unterminated quantifier");
+    let lo: usize = nums[0].parse().expect("quantifier bound");
+    let hi = if nums.len() > 1 {
+        nums[1].parse().expect("quantifier bound")
+    } else {
+        lo
+    };
+    assert!(lo <= hi, "inverted quantifier {lo},{hi}");
+    (lo, hi, i + 1)
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let (atom, next) = match chars[i] {
+            '.' => (Atom::Any, i + 1),
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1);
+                (Atom::Set(set), next)
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "dangling escape");
+                (Atom::Set(vec![chars[i + 1]]), i + 2)
+            }
+            c => (Atom::Set(vec![c]), i + 1),
+        };
+        let (lo, hi, next) = parse_quantifier(&chars, next);
+        let n = lo + rng.below(hi - lo + 1);
+        for _ in 0..n {
+            out.push(atom.sample(rng));
+        }
+        i = next;
+    }
+    out
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(99)
+    }
+
+    #[test]
+    fn class_patterns_respect_alphabet_and_length() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_pattern("[a-z]{1,8}", &mut r);
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_class_with_literals() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_pattern("[a-zA-Z0-9_-]{1,32}", &mut r);
+            assert!((1..=32).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn dot_pattern_allows_empty() {
+        let mut r = rng();
+        let mut saw_empty = false;
+        for _ in 0..300 {
+            let s = generate_pattern(".{0,2}", &mut r);
+            assert!(s.len() <= 2);
+            saw_empty |= s.is_empty();
+        }
+        assert!(saw_empty);
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut r = rng();
+        assert_eq!(generate_pattern("abc", &mut r), "abc");
+    }
+}

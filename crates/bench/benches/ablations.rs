@@ -14,8 +14,7 @@ use pronghorn_workloads::by_name;
 
 fn run_with(config: Option<PolicyConfig>, beta_estimate: Option<u32>) -> f64 {
     let workload = by_name("DFS").expect("bundled");
-    let mut cfg = RunConfig::paper(PolicyKind::RequestCentric, 1, 0xAB1A7E)
-        .with_invocations(300);
+    let mut cfg = RunConfig::paper(PolicyKind::RequestCentric, 1, 0xAB1A7E).with_invocations(300);
     if let Some(pc) = config {
         cfg = cfg.with_policy_config(pc);
     }

@@ -1,0 +1,61 @@
+//! Snapshot codec throughput: the zero-copy fast path against the
+//! pre-fast-path baseline, at checkpoint-sized payloads (10–64 MiB).
+//!
+//! `encode_legacy` replays what the codec did before scratch reuse and
+//! zero-copy framing landed: a fresh allocation per encode, the payload
+//! copied into it, and a byte-at-a-time FNV over the whole frame.
+//! `encode_fast` is the current path (`Snapshot::to_frame_with` on a
+//! reused `Encoder`); `encode_full` additionally re-hashes the payload
+//! (what a brand-new snapshot pays, single word-folded pass). The
+//! acceptance bar is `encode_fast` ≥ 2x `encode_legacy` at 64 MiB —
+//! run `scripts/bench_codec.sh` to collect the numbers as JSON.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pronghorn_checkpoint::{Encoder, Snapshot, SnapshotMeta};
+use pronghorn_experiments::bench_report::{legacy_encode, pattern_payload};
+use pronghorn_sim::hash::{fnv1a, fnv1a_wide};
+
+fn meta() -> SnapshotMeta {
+    SnapshotMeta {
+        function: "bench".to_string(),
+        request_number: 7,
+        runtime: "JVM".to_string(),
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec_throughput");
+    for &mb in &[10usize, 32, 64] {
+        let len = mb << 20;
+        let payload = pattern_payload(len);
+        let snapshot = Snapshot::with_nonce(meta(), payload.clone(), len as u64, 1);
+        let mut enc = Encoder::new();
+        let frame = snapshot.to_frame_with(&mut enc).to_bytes();
+        group.throughput(Throughput::Bytes(len as u64));
+
+        group.bench_function(format!("encode_legacy/{mb}MB"), |b| {
+            b.iter(|| legacy_encode(&snapshot, &payload))
+        });
+        group.bench_function(format!("encode_fast/{mb}MB"), |b| {
+            b.iter(|| snapshot.to_frame_with(&mut enc))
+        });
+        group.bench_function(format!("encode_full/{mb}MB"), |b| {
+            b.iter(|| {
+                Snapshot::with_nonce(meta(), payload.clone(), len as u64, 1).to_frame_with(&mut enc)
+            })
+        });
+        group.bench_function(format!("decode/{mb}MB"), |b| {
+            b.iter(|| Snapshot::from_shared(&frame).expect("round trip"))
+        });
+        group.bench_function(format!("checksum_wide/{mb}MB"), |b| {
+            b.iter(|| fnv1a_wide(&payload))
+        });
+        group.bench_function(format!("checksum_byte/{mb}MB"), |b| {
+            b.iter(|| fnv1a(&payload))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(codec_throughput, bench_codec);
+criterion_main!(codec_throughput);

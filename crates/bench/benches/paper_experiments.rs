@@ -34,9 +34,7 @@ fn bench_fig4(c: &mut Criterion) {
     // One representative compute panel and one IO panel.
     for bench in ["BFS", "Uploader"] {
         group.bench_function(format!("{bench}_3policies_3rates"), |b| {
-            b.iter(|| {
-                grid::run_grid(&ctx, &[bench], &grid::PAPER_POLICIES, &grid::PAPER_RATES)
-            })
+            b.iter(|| grid::run_grid(&ctx, &[bench], &grid::PAPER_POLICIES, &grid::PAPER_RATES))
         });
     }
     group.finish();

@@ -80,7 +80,9 @@ fn bench_jit_execution(c: &mut Criterion) {
         let mut rng = SmallRng::seed_from_u64(7);
         b.iter(|| runtime.execute(&request, &mut rng))
     });
-    group.bench_function("image_size_model", |b| b.iter(|| runtime.image_size_bytes()));
+    group.bench_function("image_size_model", |b| {
+        b.iter(|| runtime.image_size_bytes())
+    });
     group.finish();
 }
 

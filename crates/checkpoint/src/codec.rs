@@ -7,6 +7,7 @@
 //! decode failure is a typed error, never a panic — a corrupted snapshot
 //! must surface as a restore error, not abort the platform.
 
+use pronghorn_sim::hash::Fnv1aWide;
 use std::fmt;
 
 /// Errors produced while decoding.
@@ -46,10 +47,19 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::UnexpectedEof { needed, remaining } => {
-                write!(f, "unexpected EOF: needed {needed} bytes, {remaining} remain")
+                write!(
+                    f,
+                    "unexpected EOF: needed {needed} bytes, {remaining} remain"
+                )
             }
-            CodecError::LengthOutOfBounds { declared, remaining } => {
-                write!(f, "length {declared} out of bounds ({remaining} bytes remain)")
+            CodecError::LengthOutOfBounds {
+                declared,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "length {declared} out of bounds ({remaining} bytes remain)"
+                )
             }
             CodecError::InvalidUtf8 => write!(f, "invalid UTF-8 in string field"),
             CodecError::InvalidTag { tag, context } => {
@@ -64,10 +74,23 @@ impl fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-/// Append-only binary encoder.
+/// Append-only binary encoder with an integrated streaming checksum.
+///
+/// The checksum ([`Fnv1aWide`]) is folded lazily: bytes are appended
+/// freely, and [`Encoder::checksum`] absorbs only the bytes written since
+/// the previous call, so checksumming the output costs a single pass that
+/// overlaps encoding instead of a second full sweep over the buffer.
+///
+/// The encoder is built to be *reused* across checkpoints: [`Encoder::clear`]
+/// drops the contents but keeps the allocation, and [`Encoder::take_buffer`]
+/// hands the filled buffer out while leaving the encoder ready for the
+/// next frame. A long-lived engine therefore amortizes one buffer
+/// allocation across every checkpoint it takes.
 #[derive(Debug, Default, Clone)]
 pub struct Encoder {
     buf: Vec<u8>,
+    hasher: Fnv1aWide,
+    hashed: usize,
 }
 
 impl Encoder {
@@ -80,6 +103,8 @@ impl Encoder {
     pub fn with_capacity(capacity: usize) -> Self {
         Encoder {
             buf: Vec::with_capacity(capacity),
+            hasher: Fnv1aWide::new(),
+            hashed: 0,
         }
     }
 
@@ -101,6 +126,41 @@ impl Encoder {
     /// Borrow the bytes written so far.
     pub fn as_bytes(&self) -> &[u8] {
         &self.buf
+    }
+
+    /// Discards contents and checksum state, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.hasher = Fnv1aWide::new();
+        self.hashed = 0;
+    }
+
+    /// Reserves room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Takes the filled buffer, leaving the encoder empty but with its
+    /// checksum state reset — equivalent to `into_bytes` followed by
+    /// re-creating the encoder, minus the allocation churn of the caller
+    /// needing a fresh `Vec` next time.
+    pub fn take_buffer(&mut self) -> Vec<u8> {
+        self.hasher = Fnv1aWide::new();
+        self.hashed = 0;
+        std::mem::take(&mut self.buf)
+    }
+
+    /// Streaming [`Fnv1aWide`] checksum of everything written so far.
+    ///
+    /// Only bytes appended since the previous `checksum` call are folded
+    /// in, so interleaving writes and checksum reads still hashes the
+    /// buffer exactly once overall.
+    pub fn checksum(&mut self) -> u64 {
+        if self.hashed < self.buf.len() {
+            self.hasher.write(&self.buf[self.hashed..]);
+            self.hashed = self.buf.len();
+        }
+        self.hasher.finish()
     }
 
     /// Writes one byte.
@@ -387,9 +447,7 @@ mod tests {
         e.put_seq(&items, |e, s| e.put_str(s));
         let bytes = e.into_bytes();
         let mut d = Decoder::new(&bytes);
-        let out = d
-            .take_seq(8, |d| d.take_str().map(str::to_string))
-            .unwrap();
+        let out = d.take_seq(8, |d| d.take_str().map(str::to_string)).unwrap();
         assert_eq!(out, items);
     }
 
@@ -398,7 +456,10 @@ mod tests {
         let mut d = Decoder::new(&[1, 2]);
         assert!(matches!(
             d.take_u32(),
-            Err(CodecError::UnexpectedEof { needed: 4, remaining: 2 })
+            Err(CodecError::UnexpectedEof {
+                needed: 4,
+                remaining: 2
+            })
         ));
     }
 
@@ -431,6 +492,42 @@ mod tests {
             d.take_option(|d| d.take_u8()),
             Err(CodecError::InvalidTag { tag: 7, .. })
         ));
+    }
+
+    #[test]
+    fn streaming_checksum_matches_one_shot() {
+        use pronghorn_sim::hash::fnv1a_wide;
+        let mut e = Encoder::new();
+        e.put_u64(0x1122_3344_5566_7788);
+        // Interleave a checksum read mid-stream; the final value must
+        // still equal a one-shot hash of the whole buffer.
+        let _ = e.checksum();
+        e.put_str("interleaved");
+        e.put_bytes(&[9, 8, 7]);
+        assert_eq!(e.checksum(), fnv1a_wide(e.as_bytes()));
+    }
+
+    #[test]
+    fn clear_resets_contents_and_checksum() {
+        let mut e = Encoder::with_capacity(256);
+        e.put_str("first frame");
+        let first = e.checksum();
+        e.clear();
+        assert!(e.is_empty());
+        e.put_str("first frame");
+        assert_eq!(e.checksum(), first);
+    }
+
+    #[test]
+    fn take_buffer_leaves_encoder_reusable() {
+        let mut e = Encoder::new();
+        e.put_u32(1);
+        let cks = e.checksum();
+        let buf = e.take_buffer();
+        assert_eq!(buf.len(), 4);
+        assert!(e.is_empty());
+        e.put_u32(1);
+        assert_eq!(e.checksum(), cks, "fresh state after take_buffer");
     }
 
     #[test]

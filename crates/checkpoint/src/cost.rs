@@ -61,7 +61,11 @@ impl CheckpointCostModel {
 
     /// Samples a jittered checkpoint time, µs (never below 20% of mean).
     pub fn sample_checkpoint_us<R: Rng + ?Sized>(&self, rng: &mut R, size_bytes: u64) -> f64 {
-        jittered(rng, self.mean_checkpoint_us(size_bytes), self.jitter_rel_std)
+        jittered(
+            rng,
+            self.mean_checkpoint_us(size_bytes),
+            self.jitter_rel_std,
+        )
     }
 
     /// Samples a jittered restore time, µs (never below 20% of mean).

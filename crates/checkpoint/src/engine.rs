@@ -9,10 +9,12 @@
 use crate::codec::{CodecError, Decoder, Encoder};
 use crate::cost::CheckpointCostModel;
 use crate::snapshot::{Snapshot, SnapshotFormatError, SnapshotMeta};
+use crate::stats::CodecStats;
 use bytes::Bytes;
 use pronghorn_sim::SimDuration;
 use rand::Rng;
 use std::fmt;
+use std::time::Instant;
 
 /// A process whose state can be checkpointed and restored.
 ///
@@ -29,6 +31,63 @@ pub trait Checkpointable: Sized {
     /// Modeled size in bytes of the process image a real engine would dump
     /// (heap + code cache + runtime metadata), after compression.
     fn image_size_bytes(&self) -> u64;
+
+    /// Cheap dirty-tracking hook: a counter that changes whenever the
+    /// encoded state would change.
+    ///
+    /// Implementations returning `Some(v)` promise that two calls
+    /// returning the same `v` *on the same instance* would produce
+    /// byte-identical [`Self::encode_state`] output, which lets
+    /// [`SimCriuEngine::checkpoint_with`] serve repeat checkpoints from a
+    /// cached encode. The default `None` disables the cache.
+    fn state_version(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Reusable per-engine scratch state for the checkpoint fast path.
+///
+/// Holds the encode buffer reused across checkpoints, the last encoded
+/// payload keyed by its process state version (the dirty-tracking cache),
+/// and the [`CodecStats`] perf counters.
+///
+/// # Cache contract
+///
+/// The cache is keyed on [`Checkpointable::state_version`] *only*, and
+/// versions are meaningful within a single process instance: two freshly
+/// cold-started runtimes both report version 0 with different state.
+/// Whoever owns the scratch MUST call [`CheckpointScratch::invalidate`]
+/// every time the process instance behind it is replaced (new cold start,
+/// restore from snapshot) — the platform session does this on every
+/// worker provision.
+#[derive(Debug, Default)]
+pub struct CheckpointScratch {
+    enc: Encoder,
+    cached: Option<(u64, Bytes)>,
+    stats: CodecStats,
+}
+
+impl CheckpointScratch {
+    /// Creates empty scratch state.
+    pub fn new() -> Self {
+        CheckpointScratch::default()
+    }
+
+    /// Drops the cached encode. Call whenever the process instance this
+    /// scratch serves is swapped for another (see the cache contract).
+    pub fn invalidate(&mut self) {
+        self.cached = None;
+    }
+
+    /// The accumulated perf counters.
+    pub fn stats(&self) -> &CodecStats {
+        &self.stats
+    }
+
+    /// Takes the accumulated perf counters, resetting them to zero.
+    pub fn take_stats(&mut self) -> CodecStats {
+        std::mem::take(&mut self.stats)
+    }
 }
 
 /// Errors surfaced by checkpoint/restore operations.
@@ -107,6 +166,57 @@ impl SimCriuEngine {
         (snapshot, SimDuration::from_micros_f64(cost))
     }
 
+    /// Like [`Self::checkpoint`], but using (and updating) `scratch`: the
+    /// encode buffer is reused across calls, and when the process reports
+    /// an unchanged [`Checkpointable::state_version`] the cached payload
+    /// is reused without re-encoding at all.
+    ///
+    /// Draws exactly the same RNG sequence as [`Self::checkpoint`] (one
+    /// nonce, one cost sample) on both the cached and uncached paths, so
+    /// swapping one for the other never perturbs a seeded simulation.
+    pub fn checkpoint_with<T, R>(
+        &self,
+        scratch: &mut CheckpointScratch,
+        rng: &mut R,
+        process: &T,
+        meta: SnapshotMeta,
+    ) -> (Snapshot, SimDuration)
+    where
+        T: Checkpointable,
+        R: Rng + ?Sized,
+    {
+        let version = process.state_version();
+        let started = Instant::now();
+        let payload = match (&scratch.cached, version) {
+            (Some((cached_version, bytes)), Some(v)) if *cached_version == v => {
+                scratch.stats.encode_skips += 1;
+                scratch.stats.bytes_skipped += bytes.len() as u64;
+                scratch.stats.allocations_avoided += 1;
+                bytes.clone()
+            }
+            _ => {
+                scratch.enc.clear();
+                process.encode_state(&mut scratch.enc);
+                scratch.stats.encodes += 1;
+                scratch.stats.bytes_encoded += scratch.enc.len() as u64;
+                let payload = Bytes::from(scratch.enc.take_buffer());
+                if let Some(v) = version {
+                    scratch.cached = Some((v, payload.clone()));
+                }
+                payload
+            }
+        };
+        scratch.stats.encode_ns += started.elapsed().as_nanos() as u64;
+        let nominal = process.image_size_bytes();
+        // Same draw order as `checkpoint`: nonce, then cost.
+        let nonce: u64 = rng.gen();
+        let hashed = Instant::now();
+        let snapshot = Snapshot::with_nonce(meta, payload, nominal, nonce);
+        scratch.stats.checksum_ns += hashed.elapsed().as_nanos() as u64;
+        let cost = self.costs.sample_checkpoint_us(rng, nominal);
+        (snapshot, SimDuration::from_micros_f64(cost))
+    }
+
     /// Restores a process from `snapshot`, returning it and the restore
     /// latency experienced by the cold-path of the new worker.
     pub fn restore<T, R>(
@@ -139,13 +249,29 @@ impl SimCriuEngine {
         let (process, cost) = self.restore(rng, &snapshot)?;
         Ok((process, snapshot, cost))
     }
+
+    /// Like [`Self::restore_from_bytes`], but zero-copy: the snapshot's
+    /// payload shares `bytes` instead of being copied out of it.
+    pub fn restore_from_shared<T, R>(
+        &self,
+        rng: &mut R,
+        bytes: &Bytes,
+    ) -> Result<(T, Snapshot, SimDuration), EngineError>
+    where
+        T: Checkpointable,
+        R: Rng + ?Sized,
+    {
+        let snapshot = Snapshot::from_shared(bytes)?;
+        let (process, cost) = self.restore(rng, &snapshot)?;
+        Ok((process, snapshot, cost))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use rand::{RngCore, SeedableRng};
 
     /// A toy process for engine tests.
     #[derive(Debug, Clone, PartialEq)]
@@ -209,6 +335,139 @@ mod tests {
         let bytes = snap.to_bytes();
         let (restored, snap2, _) = engine
             .restore_from_bytes::<Counter, _>(&mut rng, &bytes)
+            .unwrap();
+        assert_eq!(restored, process);
+        assert_eq!(snap2, snap);
+    }
+
+    /// Counter variant that reports a state version for dirty tracking.
+    #[derive(Debug, Clone, PartialEq)]
+    struct VersionedCounter {
+        inner: Counter,
+        version: u64,
+    }
+
+    impl Checkpointable for VersionedCounter {
+        fn encode_state(&self, enc: &mut Encoder) {
+            self.inner.encode_state(enc);
+        }
+        fn decode_state(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+            Ok(VersionedCounter {
+                inner: Counter::decode_state(dec)?,
+                version: 0,
+            })
+        }
+        fn image_size_bytes(&self) -> u64 {
+            self.inner.image_size_bytes()
+        }
+        fn state_version(&self) -> Option<u64> {
+            Some(self.version)
+        }
+    }
+
+    #[test]
+    fn checkpoint_with_matches_plain_checkpoint_exactly() {
+        let engine = SimCriuEngine::new();
+        let process = Counter {
+            value: 41,
+            history: vec![1.5, 2.5],
+        };
+        let mut rng_a = SmallRng::seed_from_u64(21);
+        let (plain, cost_a) = engine.checkpoint(&mut rng_a, &process, meta());
+        let mut rng_b = SmallRng::seed_from_u64(21);
+        let mut scratch = CheckpointScratch::new();
+        let (fast, cost_b) = engine.checkpoint_with(&mut scratch, &mut rng_b, &process, meta());
+        assert_eq!(plain, fast, "same seed must yield identical snapshots");
+        assert_eq!(cost_a, cost_b);
+        // And the RNG streams stay in lockstep afterwards.
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+    }
+
+    #[test]
+    fn unchanged_state_version_skips_reencoding() {
+        let engine = SimCriuEngine::new();
+        let mut rng = SmallRng::seed_from_u64(22);
+        let mut scratch = CheckpointScratch::new();
+        let mut process = VersionedCounter {
+            inner: Counter {
+                value: 1,
+                history: vec![2.0],
+            },
+            version: 7,
+        };
+        let (a, _) = engine.checkpoint_with(&mut scratch, &mut rng, &process, meta());
+        assert_eq!(scratch.stats().encodes, 1);
+        assert_eq!(scratch.stats().encode_skips, 0);
+        // Same version: served from cache, payload byte-identical.
+        let (b, _) = engine.checkpoint_with(&mut scratch, &mut rng, &process, meta());
+        assert_eq!(scratch.stats().encodes, 1, "no re-encode");
+        assert_eq!(scratch.stats().encode_skips, 1);
+        assert_eq!(a.payload, b.payload);
+        assert_ne!(a.id, b.id, "nonces still differ");
+        // Mutation bumps the version: cache miss, fresh encode.
+        process.inner.value = 2;
+        process.version = 8;
+        let (c, _) = engine.checkpoint_with(&mut scratch, &mut rng, &process, meta());
+        assert_eq!(scratch.stats().encodes, 2);
+        assert_ne!(c.payload, b.payload);
+    }
+
+    #[test]
+    fn invalidate_prevents_cross_instance_cache_hits() {
+        let engine = SimCriuEngine::new();
+        let mut rng = SmallRng::seed_from_u64(23);
+        let mut scratch = CheckpointScratch::new();
+        let first = VersionedCounter {
+            inner: Counter {
+                value: 10,
+                history: vec![],
+            },
+            version: 0,
+        };
+        // A *different* instance that coincidentally shares version 0 —
+        // exactly the collision the invalidate contract guards against.
+        let second = VersionedCounter {
+            inner: Counter {
+                value: 99,
+                history: vec![],
+            },
+            version: 0,
+        };
+        engine.checkpoint_with(&mut scratch, &mut rng, &first, meta());
+        scratch.invalidate();
+        let (snap, _) = engine.checkpoint_with(&mut scratch, &mut rng, &second, meta());
+        let (restored, _): (VersionedCounter, _) = engine.restore(&mut rng, &snap).unwrap();
+        assert_eq!(restored.inner.value, 99, "stale cache must not leak");
+        assert_eq!(scratch.stats().encodes, 2);
+    }
+
+    #[test]
+    fn versionless_process_never_caches() {
+        let engine = SimCriuEngine::new();
+        let mut rng = SmallRng::seed_from_u64(24);
+        let mut scratch = CheckpointScratch::new();
+        let process = Counter {
+            value: 3,
+            history: vec![],
+        };
+        engine.checkpoint_with(&mut scratch, &mut rng, &process, meta());
+        engine.checkpoint_with(&mut scratch, &mut rng, &process, meta());
+        assert_eq!(scratch.stats().encodes, 2);
+        assert_eq!(scratch.stats().encode_skips, 0);
+    }
+
+    #[test]
+    fn restore_from_shared_is_zero_copy() {
+        let engine = SimCriuEngine::new();
+        let mut rng = SmallRng::seed_from_u64(25);
+        let process = Counter {
+            value: 7,
+            history: vec![4.0],
+        };
+        let (snap, _) = engine.checkpoint(&mut rng, &process, meta());
+        let framed = snap.to_bytes();
+        let (restored, snap2, _) = engine
+            .restore_from_shared::<Counter, _>(&mut rng, &framed)
             .unwrap();
         assert_eq!(restored, process);
         assert_eq!(snap2, snap);

@@ -39,8 +39,10 @@ pub mod codec;
 pub mod cost;
 pub mod engine;
 pub mod snapshot;
+pub mod stats;
 
 pub use codec::{CodecError, Decoder, Encoder};
 pub use cost::CheckpointCostModel;
-pub use engine::{Checkpointable, EngineError, SimCriuEngine};
-pub use snapshot::{Snapshot, SnapshotId, SnapshotMeta};
+pub use engine::{CheckpointScratch, Checkpointable, EngineError, SimCriuEngine};
+pub use snapshot::{EncodedSnapshot, Snapshot, SnapshotId, SnapshotMeta};
+pub use stats::CodecStats;

@@ -1,0 +1,93 @@
+//! Encode-path performance counters.
+//!
+//! Counters are purely observational: they record real wall-clock time and
+//! byte counts spent on the checkpoint fast path, and never feed back into
+//! simulated behavior. A fixed-seed run therefore produces bit-identical
+//! simulation results regardless of how fast the host encodes.
+
+/// Wall-clock and byte accounting for the checkpoint encode path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CodecStats {
+    /// Full state encodes performed.
+    pub encodes: u64,
+    /// Encodes skipped because the process state version was unchanged
+    /// since the cached encode (dirty-tracking fast path).
+    pub encode_skips: u64,
+    /// Payload bytes produced by full encodes.
+    pub bytes_encoded: u64,
+    /// Payload re-encodes avoided, in bytes (the cached payload's size,
+    /// counted once per skip).
+    pub bytes_skipped: u64,
+    /// Buffer allocations avoided via scratch reuse and cache hits.
+    pub allocations_avoided: u64,
+    /// Wall-clock nanoseconds spent encoding process state.
+    pub encode_ns: u64,
+    /// Wall-clock nanoseconds spent hashing payloads (checksum + content
+    /// address, one fused pass).
+    pub checksum_ns: u64,
+}
+
+impl CodecStats {
+    /// Folds another counter set into this one.
+    pub fn merge(&mut self, other: &CodecStats) {
+        self.encodes += other.encodes;
+        self.encode_skips += other.encode_skips;
+        self.bytes_encoded += other.bytes_encoded;
+        self.bytes_skipped += other.bytes_skipped;
+        self.allocations_avoided += other.allocations_avoided;
+        self.encode_ns += other.encode_ns;
+        self.checksum_ns += other.checksum_ns;
+    }
+
+    /// Fraction of checkpoint requests served from the encode cache.
+    pub fn skip_ratio(&self) -> f64 {
+        let total = self.encodes + self.encode_skips;
+        if total == 0 {
+            0.0
+        } else {
+            self.encode_skips as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let mut a = CodecStats {
+            encodes: 1,
+            encode_skips: 2,
+            bytes_encoded: 3,
+            bytes_skipped: 4,
+            allocations_avoided: 5,
+            encode_ns: 6,
+            checksum_ns: 7,
+        };
+        a.merge(&a.clone());
+        assert_eq!(
+            a,
+            CodecStats {
+                encodes: 2,
+                encode_skips: 4,
+                bytes_encoded: 6,
+                bytes_skipped: 8,
+                allocations_avoided: 10,
+                encode_ns: 12,
+                checksum_ns: 14,
+            }
+        );
+    }
+
+    #[test]
+    fn skip_ratio_handles_empty_and_mixed() {
+        assert_eq!(CodecStats::default().skip_ratio(), 0.0);
+        let s = CodecStats {
+            encodes: 1,
+            encode_skips: 3,
+            ..CodecStats::default()
+        };
+        assert!((s.skip_ratio() - 0.75).abs() < 1e-12);
+    }
+}

@@ -148,3 +148,36 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// Re-using one scratch `Encoder` across many encodes (clearing
+    /// between them) produces bytes identical to a fresh encoder per
+    /// encode — the fast path changes allocation behavior only.
+    #[test]
+    fn scratch_reuse_is_byte_identical_to_fresh_encode(
+        sequences in prop::collection::vec(
+            prop::collection::vec(field_strategy(), 0..24), 1..8,
+        )
+    ) {
+        let mut scratch = Encoder::new();
+        for fields in &sequences {
+            scratch.clear();
+            for f in fields {
+                match f {
+                    Field::U8(v) => scratch.put_u8(*v),
+                    Field::U16(v) => scratch.put_u16(*v),
+                    Field::U32(v) => scratch.put_u32(*v),
+                    Field::U64(v) => scratch.put_u64(*v),
+                    Field::F64(v) => scratch.put_f64(*v),
+                    Field::Bool(v) => scratch.put_bool(*v),
+                    Field::Str(v) => scratch.put_str(v),
+                    Field::Bytes(v) => scratch.put_bytes(v),
+                    Field::F64Vec(v) => scratch.put_f64_slice(v),
+                    Field::OptU32(v) => scratch.put_option(v, |e, x| e.put_u32(*x)),
+                }
+            }
+            let reused = scratch.take_buffer();
+            prop_assert_eq!(reused, encode_fields(fields));
+        }
+    }
+}

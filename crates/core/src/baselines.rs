@@ -240,13 +240,19 @@ mod tests {
         assert_eq!(p.plan_checkpoint(0, &mut rng), Some(1));
         assert!(p.on_snapshot_taken(entry(9, 1), &mut rng).is_empty());
         // From now on: always restore the single snapshot, never checkpoint.
-        assert_eq!(p.on_worker_start(&mut rng), StartDecision::Restore(SnapshotId(9)));
+        assert_eq!(
+            p.on_worker_start(&mut rng),
+            StartDecision::Restore(SnapshotId(9))
+        );
         assert_eq!(p.plan_checkpoint(1, &mut rng), None);
         assert_eq!(p.snapshot_request_number(SnapshotId(9)), Some(1));
         assert_eq!(p.pool_len(), 1);
         // Extra snapshots are rejected back for deletion.
         assert_eq!(p.on_snapshot_taken(entry(10, 2), &mut rng).len(), 1);
-        assert_eq!(p.on_worker_start(&mut rng), StartDecision::Restore(SnapshotId(9)));
+        assert_eq!(
+            p.on_worker_start(&mut rng),
+            StartDecision::Restore(SnapshotId(9))
+        );
     }
 
     #[test]

@@ -187,9 +187,15 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_values() {
-        let c = PolicyConfig { mu: 0.0, ..PolicyConfig::default() };
+        let c = PolicyConfig {
+            mu: 0.0,
+            ..PolicyConfig::default()
+        };
         assert!(c.validate().is_err());
-        let c = PolicyConfig { alpha: 0.0, ..PolicyConfig::default() };
+        let c = PolicyConfig {
+            alpha: 0.0,
+            ..PolicyConfig::default()
+        };
         assert!(c.validate().is_err());
         let c = PolicyConfig {
             softmax_scale: f64::NAN,

@@ -84,6 +84,23 @@ pub trait Policy: Send {
 
     /// Restores previously persisted weights, if supported.
     fn import_weights(&mut self, _slots: &[f64]) {}
+
+    /// Whether this policy persists weights to the Database at all. When
+    /// `true` the orchestrator charges the weight-write overhead and
+    /// persists after every request, preferring the single-slot delta from
+    /// [`Self::take_weight_delta`] over a full [`Self::export_weights`]
+    /// re-encode.
+    fn persists_weights(&self) -> bool {
+        false
+    }
+
+    /// Takes the single-slot weight change produced by the most recent
+    /// [`Self::record_latency`] call, if any: `(request_number, new_value)`.
+    /// Returns `None` when the sample was ignored or the policy does not
+    /// track deltas; the orchestrator then falls back to a full export.
+    fn take_weight_delta(&mut self) -> Option<(u32, f64)> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 use crate::config::{PolicyConfig, SelectionStrategy};
 use crate::policy::{Policy, PolicyKind, StartDecision};
 use crate::pool::{PoolEntry, SnapshotPool};
-use crate::weights::{scaled_softmax, weighted_draw, WeightVector};
+use crate::weights::{scaled_softmax_into, weighted_draw, DecisionScratch, WeightVector};
 use pronghorn_checkpoint::SnapshotId;
 use rand::RngCore;
 
@@ -14,6 +14,10 @@ pub struct RequestCentricPolicy {
     config: PolicyConfig,
     weights: WeightVector,
     pool: SnapshotPool,
+    /// Reused across decisions: no per-draw allocation on the hot path.
+    scratch: DecisionScratch,
+    /// Slot updated by the latest `record_latency`, for delta persistence.
+    pending_delta: Option<(u32, f64)>,
 }
 
 impl RequestCentricPolicy {
@@ -30,6 +34,8 @@ impl RequestCentricPolicy {
         RequestCentricPolicy {
             weights: WeightVector::new(config.w, config.alpha),
             pool: SnapshotPool::new(config.capacity),
+            scratch: DecisionScratch::new(),
+            pending_delta: None,
             config,
         }
     }
@@ -49,16 +55,20 @@ impl RequestCentricPolicy {
         &self.pool
     }
 
-    /// `GetSnapshotWeights`: average lifetime weight per pooled snapshot.
-    fn snapshot_weights(&self) -> Vec<f64> {
-        self.pool
-            .entries()
-            .iter()
-            .map(|e| {
-                self.weights
-                    .lifetime_weight(e.request_number, self.config.beta, self.config.mu)
-            })
-            .collect()
+    /// `GetSnapshotWeights`: average lifetime weight per pooled snapshot,
+    /// written into the reusable scratch buffer.
+    fn fill_snapshot_weights(
+        weights: &WeightVector,
+        pool: &SnapshotPool,
+        config: &PolicyConfig,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.extend(
+            pool.entries()
+                .iter()
+                .map(|e| weights.lifetime_weight(e.request_number, config.beta, config.mu)),
+        );
     }
 }
 
@@ -71,14 +81,24 @@ impl Policy for RequestCentricPolicy {
         if self.pool.is_empty() {
             return StartDecision::Cold;
         }
-        let weights = self.snapshot_weights();
-        let picked = match self.config.selection {
+        // Split borrows: scratch is refilled while weights/pool are read.
+        let RequestCentricPolicy {
+            config,
+            weights,
+            pool,
+            scratch,
+            ..
+        } = self;
+        Self::fill_snapshot_weights(weights, pool, config, &mut scratch.weights);
+        let picked = match config.selection {
             // Part 2 (the paper): softmax over snapshot weights, then draw.
             SelectionStrategy::Softmax => {
-                weighted_draw(&scaled_softmax(&weights, self.config.softmax_scale), rng)
+                scaled_softmax_into(&scratch.weights, config.softmax_scale, &mut scratch.probs);
+                weighted_draw(&scratch.probs, rng)
             }
             // Ablation: pure exploitation.
-            SelectionStrategy::Greedy => weights
+            SelectionStrategy::Greedy => scratch
+                .weights
                 .iter()
                 .enumerate()
                 .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
@@ -86,7 +106,7 @@ impl Policy for RequestCentricPolicy {
             // Ablation: pure exploration.
             SelectionStrategy::Uniform => {
                 use rand::Rng as _;
-                Some(rng.gen_range(0..self.pool.len()))
+                Some(rng.gen_range(0..pool.len()))
             }
         };
         match picked {
@@ -98,13 +118,22 @@ impl Policy for RequestCentricPolicy {
     fn plan_checkpoint(&mut self, start_request: u32, rng: &mut dyn RngCore) -> Option<u32> {
         // Part 1: draw from the clipped probability map over the worker's
         // expected lifetime.
-        self.weights
-            .sample_checkpoint_request(start_request, self.config.beta, self.config.mu, rng)
+        self.weights.sample_checkpoint_request_with(
+            &mut self.scratch,
+            start_request,
+            self.config.beta,
+            self.config.mu,
+            rng,
+        )
     }
 
     fn record_latency(&mut self, request_number: u32, latency_us: f64) {
-        // Part 3: EWMA knowledge update.
-        self.weights.update(request_number, latency_us);
+        // Part 3: EWMA knowledge update. The touched slot is remembered so
+        // the orchestrator can persist a single-slot delta.
+        self.pending_delta = self
+            .weights
+            .update(request_number, latency_us)
+            .map(|v| (request_number, v));
     }
 
     fn on_snapshot_taken(&mut self, entry: PoolEntry, rng: &mut dyn RngCore) -> Vec<PoolEntry> {
@@ -136,6 +165,14 @@ impl Policy for RequestCentricPolicy {
         if slots.len() == self.config.w as usize {
             self.weights = WeightVector::from_slots(slots.to_vec(), self.config.alpha);
         }
+    }
+
+    fn persists_weights(&self) -> bool {
+        true
+    }
+
+    fn take_weight_delta(&mut self) -> Option<(u32, f64)> {
+        self.pending_delta.take()
     }
 }
 
@@ -203,7 +240,11 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         // Fully explore: requests 0..99, with [40, 44) the fast region.
         for r in 0..100 {
-            let lat = if (40..44).contains(&r) { 1_000.0 } else { 60_000.0 };
+            let lat = if (40..44).contains(&r) {
+                1_000.0
+            } else {
+                60_000.0
+            };
             p.record_latency(r, lat);
         }
         p.on_snapshot_taken(entry(1, 0), &mut rng);
@@ -251,8 +292,7 @@ mod tests {
 
     #[test]
     fn greedy_selection_always_picks_the_best() {
-        let mut p =
-            RequestCentricPolicy::new(config().with_selection(SelectionStrategy::Greedy));
+        let mut p = RequestCentricPolicy::new(config().with_selection(SelectionStrategy::Greedy));
         let mut rng = SmallRng::seed_from_u64(7);
         for r in 0..100 {
             let lat = if r == 50 { 1_000.0 } else { 80_000.0 };
@@ -261,14 +301,16 @@ mod tests {
         p.on_snapshot_taken(entry(1, 10), &mut rng);
         p.on_snapshot_taken(entry(2, 50), &mut rng);
         for _ in 0..50 {
-            assert_eq!(p.on_worker_start(&mut rng), StartDecision::Restore(SnapshotId(2)));
+            assert_eq!(
+                p.on_worker_start(&mut rng),
+                StartDecision::Restore(SnapshotId(2))
+            );
         }
     }
 
     #[test]
     fn uniform_selection_spreads_over_the_pool() {
-        let mut p =
-            RequestCentricPolicy::new(config().with_selection(SelectionStrategy::Uniform));
+        let mut p = RequestCentricPolicy::new(config().with_selection(SelectionStrategy::Uniform));
         let mut rng = SmallRng::seed_from_u64(8);
         for r in 0..100 {
             p.record_latency(r, 10_000.0);

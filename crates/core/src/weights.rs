@@ -8,6 +8,29 @@
 
 use rand::Rng;
 
+/// Reusable buffers for the per-decision hot path.
+///
+/// Every start decision and checkpoint plan needs a candidate-weight array
+/// and (for softmax selection) a probability array. Holding them here lets
+/// a policy make every decision after the first without allocating: the
+/// buffers are cleared and refilled in place. The float operations and RNG
+/// draw counts are identical to the allocating variants, so fixed-seed
+/// results do not change.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionScratch {
+    /// Per-candidate weight buffer.
+    pub weights: Vec<f64>,
+    /// Per-candidate probability buffer (softmax output).
+    pub probs: Vec<f64>,
+}
+
+impl DecisionScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        DecisionScratch::default()
+    }
+}
+
 /// EWMA latency estimates per request number.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WeightVector {
@@ -59,23 +82,34 @@ impl WeightVector {
     ///
     /// Implements `OnRequest` exactly: first sample initializes, later
     /// samples blend with `θ[R] ← α·L + (1−α)·θ[R]`.
-    pub fn update(&mut self, r: u32, latency_us: f64) {
+    ///
+    /// Returns the slot's new value when the sample landed, `None` when it
+    /// was ignored — the hook delta persistence uses to write a single
+    /// Database slot instead of re-encoding all `W` of them.
+    pub fn update(&mut self, r: u32, latency_us: f64) -> Option<f64> {
         if !(latency_us.is_finite() && latency_us > 0.0) {
-            return;
+            return None;
         }
-        let Some(slot) = self.theta.get_mut(r as usize) else {
-            return;
-        };
+        let slot = self.theta.get_mut(r as usize)?;
         if *slot == 0.0 {
             *slot = latency_us;
         } else {
             *slot = self.alpha * latency_us + (1.0 - self.alpha) * *slot;
         }
+        Some(*slot)
     }
 
     /// The probability map `D`: `Pr[i] ∝ 1/(θ[i]+µ)` (unnormalized).
     pub fn prob_map(&self, mu: f64) -> Vec<f64> {
-        self.theta.iter().map(|&t| 1.0 / (t + mu)).collect()
+        let mut out = Vec::new();
+        self.prob_map_into(mu, &mut out);
+        out
+    }
+
+    /// [`Self::prob_map`] into a reusable buffer (cleared first).
+    pub fn prob_map_into(&self, mu: f64, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.theta.iter().map(|&t| 1.0 / (t + mu)));
     }
 
     /// Inverse weight of one slot, clamping `r` into `[0, W)` — used for
@@ -96,12 +130,30 @@ impl WeightVector {
         mu: f64,
         rng: &mut R,
     ) -> Option<u32> {
+        let mut scratch = DecisionScratch::new();
+        self.sample_checkpoint_request_with(&mut scratch, start, beta, mu, rng)
+    }
+
+    /// [`Self::sample_checkpoint_request`] using caller-provided scratch
+    /// buffers, so repeated decisions allocate nothing. Draws identically
+    /// to the allocating variant under the same RNG state.
+    pub fn sample_checkpoint_request_with<R: Rng + ?Sized>(
+        &self,
+        scratch: &mut DecisionScratch,
+        start: u32,
+        beta: u32,
+        mu: f64,
+        rng: &mut R,
+    ) -> Option<u32> {
         if start >= self.w() {
             return None;
         }
         let end = start.saturating_add(beta).min(self.w().saturating_sub(1));
-        let weights: Vec<f64> = (start..=end).map(|r| self.inv_weight_clamped(r, mu)).collect();
-        let offset = weighted_draw(&weights, rng)?;
+        scratch.weights.clear();
+        scratch
+            .weights
+            .extend((start..=end).map(|r| self.inv_weight_clamped(r, mu)));
+        let offset = weighted_draw(&scratch.weights, rng)?;
         Some(start + offset as u32)
     }
 
@@ -140,7 +192,11 @@ impl WeightVector {
 /// Draws an index proportionally to `weights`. Returns `None` for empty or
 /// degenerate (all-zero/non-finite) weights.
 pub fn weighted_draw<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> Option<usize> {
-    let total: f64 = weights.iter().copied().filter(|w| w.is_finite() && *w > 0.0).sum();
+    let total: f64 = weights
+        .iter()
+        .copied()
+        .filter(|w| w.is_finite() && *w > 0.0)
+        .sum();
     if total <= 0.0 || total.is_nan() || weights.is_empty() {
         return None;
     }
@@ -162,20 +218,34 @@ pub fn weighted_draw<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> Option<us
 /// applied after normalizing `v` to `[0, scale]` so that inverse-µs
 /// weights do not collapse to a uniform distribution.
 pub fn scaled_softmax(values: &[f64], scale: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    scaled_softmax_into(values, scale, &mut out);
+    out
+}
+
+/// [`scaled_softmax`] into a reusable buffer (cleared first). The float
+/// operations run in the same order as the allocating variant, so the
+/// resulting distribution is bit-identical.
+pub fn scaled_softmax_into(values: &[f64], scale: f64, out: &mut Vec<f64>) {
+    out.clear();
     if values.is_empty() {
-        return Vec::new();
+        return;
     }
     let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     if max <= 0.0 || max.is_nan() || !max.is_finite() {
         // Degenerate input: fall back to uniform.
-        return vec![1.0 / values.len() as f64; values.len()];
+        out.extend(std::iter::repeat_n(1.0 / values.len() as f64, values.len()));
+        return;
     }
-    let exps: Vec<f64> = values
-        .iter()
-        .map(|&v| ((v / max).clamp(0.0, 1.0) * scale).exp())
-        .collect();
-    let total: f64 = exps.iter().sum();
-    exps.into_iter().map(|e| e / total).collect()
+    out.extend(
+        values
+            .iter()
+            .map(|&v| ((v / max).clamp(0.0, 1.0) * scale).exp()),
+    );
+    let total: f64 = out.iter().sum();
+    for e in out.iter_mut() {
+        *e /= total;
+    }
 }
 
 #[cfg(test)]
@@ -339,6 +409,42 @@ mod tests {
         assert_eq!(uniform, vec![0.5, 0.5]);
         let with_inf = scaled_softmax(&[f64::INFINITY, 1.0], 6.0);
         assert_eq!(with_inf, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn scratch_variants_match_allocating_variants() {
+        let mut w = WeightVector::new(64, 0.3);
+        for r in 0..40 {
+            w.update(r, 1_000.0 + (r as f64) * 37.0);
+        }
+        // prob_map.
+        let mut buf = vec![99.0; 3]; // polluted scratch
+        w.prob_map_into(1e-3, &mut buf);
+        assert_eq!(buf, w.prob_map(1e-3));
+        // softmax, including the degenerate branches.
+        for values in [vec![1e-4, 2e-4, 5e-5], vec![0.0, 0.0], vec![]] {
+            let mut out = vec![7.0];
+            scaled_softmax_into(&values, 6.0, &mut out);
+            assert_eq!(out, scaled_softmax(&values, 6.0));
+        }
+        // checkpoint draw: identical RNG stream, identical draws.
+        let mut scratch = DecisionScratch::new();
+        let mut rng_a = SmallRng::seed_from_u64(77);
+        let mut rng_b = SmallRng::seed_from_u64(77);
+        for start in 0..60 {
+            let a = w.sample_checkpoint_request(start, 10, 1e-3, &mut rng_a);
+            let b = w.sample_checkpoint_request_with(&mut scratch, start, 10, 1e-3, &mut rng_b);
+            assert_eq!(a, b, "diverged at start {start}");
+        }
+    }
+
+    #[test]
+    fn update_reports_the_new_slot_value() {
+        let mut w = WeightVector::new(4, 0.5);
+        assert_eq!(w.update(1, 100.0), Some(100.0));
+        assert_eq!(w.update(1, 200.0), Some(150.0));
+        assert_eq!(w.update(9, 100.0), None);
+        assert_eq!(w.update(0, f64::NAN), None);
     }
 
     #[test]

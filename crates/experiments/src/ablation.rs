@@ -9,9 +9,7 @@
 use crate::render::write_results_csv;
 use crate::ExperimentContext;
 use pronghorn_core::{PolicyConfig, PolicyKind, SelectionStrategy};
-use pronghorn_platform::{
-    run_closed_loop, run_fleet, run_partitioned, FleetConfig, RunConfig,
-};
+use pronghorn_platform::{run_closed_loop, run_fleet, run_partitioned, FleetConfig, RunConfig};
 use pronghorn_workloads::{by_name, InputVariance};
 
 /// One ablation row.
@@ -112,7 +110,11 @@ pub fn run(ctx: &ExperimentContext) -> AblationResult {
     }
 
     // Lifetime misestimation (§6).
-    push("beta", "accurate".to_string(), closed(ctx, BENCH, None, None));
+    push(
+        "beta",
+        "accurate".to_string(),
+        closed(ctx, BENCH, None, None),
+    );
     push(
         "beta",
         "overestimated 20x".to_string(),
@@ -121,15 +123,29 @@ pub fn run(ctx: &ExperimentContext) -> AblationResult {
 
     // Fleet amortization (§5.3).
     let workload = by_name(BENCH).expect("bench exists");
-    for (label, explorers) in [("4 workers, 1 explorer", 1usize), ("4 workers, 0 explorers", 0)] {
+    for (label, explorers) in [
+        ("4 workers, 1 explorer", 1usize),
+        ("4 workers, 0 explorers", 0),
+    ] {
         let cfg = RunConfig::paper(
             PolicyKind::RequestCentric,
             4,
             ctx.cell_seed(&["ablation-fleet", BENCH]),
         )
         .with_invocations(ctx.invocations.max(300));
-        let r = run_fleet(&workload, &cfg, &FleetConfig { fleet_size: 4, explorers });
-        push("fleet", label.to_string(), (r.median_us(), r.checkpoint_ms.len()));
+        let r = run_fleet(
+            &workload,
+            &cfg,
+            &FleetConfig {
+                fleet_size: 4,
+                explorers,
+            },
+        );
+        push(
+            "fleet",
+            label.to_string(),
+            (r.median_us(), r.checkpoint_ms.len()),
+        );
     }
 
     // Input-aware partitioning (§6) on bimodal traffic.
@@ -225,10 +241,7 @@ mod tests {
             "fleet",
             "partitioning",
         ] {
-            assert!(
-                result.group(group).len() >= 2,
-                "group {group} missing rows"
-            );
+            assert!(result.group(group).len() >= 2, "group {group} missing rows");
         }
         // Uniform selection must be clearly worse than the paper's softmax.
         let sel = result.group("selection");

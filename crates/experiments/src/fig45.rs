@@ -100,7 +100,13 @@ impl FigureResult {
     /// Medians CSV (one row per cell) — the numbers behind the plots.
     pub fn to_csv(&self) -> String {
         let mut table = Table::new(vec![
-            "workload", "rate", "policy", "median_us", "p25_us", "p75_us", "p90_us",
+            "workload",
+            "rate",
+            "policy",
+            "median_us",
+            "p25_us",
+            "p75_us",
+            "p90_us",
         ]);
         for cell in &self.grid.cells {
             table.row(vec![

@@ -66,10 +66,9 @@ pub fn run(ctx: &ExperimentContext) -> Fig6Result {
                 PolicyKind::AfterFirst,
                 PolicyKind::RequestCentric,
             ] {
-                let cfg = RunConfig::paper(policy, 4, trace_seed)
-                    .with_variance(InputVariance::low());
-                let result =
-                    run_trace_with_history(&workload, &cfg, &trace, DEPLOYMENT_HISTORY);
+                let cfg =
+                    RunConfig::paper(policy, 4, trace_seed).with_variance(InputVariance::low());
+                let result = run_trace_with_history(&workload, &cfg, &trace, DEPLOYMENT_HISTORY);
                 cells.push(TraceCell {
                     workload: bench.to_string(),
                     percentile,
@@ -163,7 +162,12 @@ impl Fig6Result {
     /// CSV form.
     pub fn to_csv(&self) -> String {
         let mut table = Table::new(vec![
-            "workload", "percentile", "policy", "trace_len", "median_us", "p90_us",
+            "workload",
+            "percentile",
+            "policy",
+            "trace_len",
+            "median_us",
+            "p90_us",
         ]);
         for c in &self.cells {
             table.row(vec![

@@ -29,12 +29,18 @@ pub struct OverheadRow {
 impl OverheadRow {
     /// Startup overhead ratio (Pronghorn / baseline).
     pub fn startup_ratio(&self) -> f64 {
-        ratio(self.pronghorn.per_startup_us(), self.baseline.per_startup_us())
+        ratio(
+            self.pronghorn.per_startup_us(),
+            self.baseline.per_startup_us(),
+        )
     }
 
     /// Per-request overhead ratio.
     pub fn request_ratio(&self) -> f64 {
-        ratio(self.pronghorn.per_request_us(), self.baseline.per_request_us())
+        ratio(
+            self.pronghorn.per_request_us(),
+            self.baseline.per_request_us(),
+        )
     }
 
     /// Per-checkpoint overhead ratio.
@@ -69,8 +75,7 @@ pub fn run(ctx: &ExperimentContext) -> Fig7Result {
         .map(|b| {
             let seed = ctx.cell_seed(&["fig7", b.name()]);
             let run_with = |policy: PolicyKind| {
-                let cfg =
-                    RunConfig::paper(policy, RATE, seed).with_invocations(ctx.invocations);
+                let cfg = RunConfig::paper(policy, RATE, seed).with_invocations(ctx.invocations);
                 run_closed_loop(b, &cfg).overheads
             };
             OverheadRow {
@@ -170,7 +175,11 @@ mod tests {
             assert!((0.5..2.5).contains(&q), "{}: request ratio {q}", r.workload);
             // Checkpoint at most ~2x.
             let c = r.checkpoint_ratio();
-            assert!((0.5..2.5).contains(&c), "{}: checkpoint ratio {c}", r.workload);
+            assert!(
+                (0.5..2.5).contains(&c),
+                "{}: checkpoint ratio {c}",
+                r.workload
+            );
         }
     }
 }

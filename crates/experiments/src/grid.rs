@@ -41,6 +41,8 @@ pub struct GridCell {
 pub struct Grid {
     /// All cells, in completion order.
     pub cells: Vec<GridCell>,
+    /// Real wall-clock time the grid took to run, seconds.
+    pub wall_clock_s: f64,
 }
 
 impl Grid {
@@ -105,9 +107,10 @@ pub fn run_grid(
     let next = AtomicUsize::new(0);
     let cells = Mutex::new(Vec::with_capacity(tasks.len()));
     let threads = ctx.threads.clamp(1, 32);
-    crossbeam::scope(|scope| {
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some((bench, policy, rate)) = tasks.get(i) else {
                     break;
@@ -115,8 +118,7 @@ pub fn run_grid(
                 let workload = by_name(bench).expect("validated above");
                 // Seed shared across policies of the same (bench, rate).
                 let seed = ctx.cell_seed(&[bench, &rate.to_string()]);
-                let cfg = RunConfig::paper(*policy, *rate, seed)
-                    .with_invocations(ctx.invocations);
+                let cfg = RunConfig::paper(*policy, *rate, seed).with_invocations(ctx.invocations);
                 let result = run_closed_loop(&workload, &cfg);
                 cells.lock().expect("no poisoned lock").push(GridCell {
                     workload: bench.clone(),
@@ -126,10 +128,10 @@ pub fn run_grid(
                 });
             });
         }
-    })
-    .expect("grid threads do not panic");
+    });
     Grid {
         cells: cells.into_inner().expect("no poisoned lock"),
+        wall_clock_s: started.elapsed().as_secs_f64(),
     }
 }
 

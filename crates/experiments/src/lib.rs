@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod bench_report;
 pub mod fig1;
 pub mod fig45;
 pub mod fig6;

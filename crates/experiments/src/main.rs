@@ -19,8 +19,10 @@
 
 #![forbid(unsafe_code)]
 
-use pronghorn_experiments::{ablation, fig1, fig45, fig6, fig7, summary, table1, table4, table5};
 use pronghorn_experiments::ExperimentContext;
+use pronghorn_experiments::{
+    ablation, bench_report, fig1, fig45, fig6, fig7, summary, table1, table4, table5,
+};
 use std::process::ExitCode;
 
 fn parse_args() -> Result<(String, ExperimentContext), String> {
@@ -114,10 +116,22 @@ fn run_command(command: &str, ctx: &ExperimentContext) -> Result<(), String> {
             let s = summary::summarize(&[&f4.grid, &f5.grid]);
             println!("{}", s.render());
             save("summary.csv", s.save());
+            save(
+                "BENCH_grid.json",
+                bench_report::write(&[("fig4", &f4.grid), ("fig5", &f5.grid)]),
+            );
         }
         "all" => {
             for cmd in [
-                "fig1", "table1", "fig4", "fig5", "fig6", "table4", "table5", "fig7", "ablations",
+                "fig1",
+                "table1",
+                "fig4",
+                "fig5",
+                "fig6",
+                "table4",
+                "table5",
+                "fig7",
+                "ablations",
             ] {
                 println!("==================== {cmd} ====================");
                 run_command(cmd, ctx)?;

@@ -98,14 +98,20 @@ pub fn ascii_series(values: &[f64], width: usize, height: usize) -> String {
     out
 }
 
-/// Writes a CSV file under the `results/` directory (created on demand),
+/// Writes a file under the `results/` directory (created on demand),
 /// returning the path written.
-pub fn write_results_csv(name: &str, csv: &str) -> std::io::Result<std::path::PathBuf> {
+pub fn write_results_file(name: &str, contents: &str) -> std::io::Result<std::path::PathBuf> {
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir)?;
     let path = dir.join(name);
-    std::fs::write(&path, csv)?;
+    std::fs::write(&path, contents)?;
     Ok(path)
+}
+
+/// Writes a CSV file under the `results/` directory (created on demand),
+/// returning the path written.
+pub fn write_results_csv(name: &str, csv: &str) -> std::io::Result<std::path::PathBuf> {
+    write_results_file(name, csv)
 }
 
 #[cfg(test)]

@@ -61,7 +61,10 @@ pub fn speedup_column(workload: &dyn Workload, seed: u64) -> SpeedupColumn {
     SpeedupColumn {
         workload: workload.name().to_string(),
         first_request_ms: first / 1_000.0,
-        speedups: CHECKPOINTS.iter().map(|&c| first / local_median(c)).collect(),
+        speedups: CHECKPOINTS
+            .iter()
+            .map(|&c| first / local_median(c))
+            .collect(),
     }
 }
 
@@ -105,7 +108,14 @@ impl Table1Result {
 
     /// CSV form.
     pub fn to_csv(&self) -> String {
-        let mut table = Table::new(vec!["workload", "first_request_ms", "r200", "r400", "r600", "r800"]);
+        let mut table = Table::new(vec![
+            "workload",
+            "first_request_ms",
+            "r200",
+            "r400",
+            "r600",
+            "r800",
+        ]);
         for c in &self.columns {
             let mut row = vec![c.workload.clone(), format!("{:.1}", c.first_request_ms)];
             row.extend(c.speedups.iter().map(|s| format!("{s:.2}")));
@@ -166,7 +176,12 @@ mod tests {
     fn render_contains_all_rows() {
         let ctx = ExperimentContext::quick();
         let text = run(&ctx).render();
-        for needle in ["Request #1 (baseline)", "Request #200", "Request #800", "JSON"] {
+        for needle in [
+            "Request #1 (baseline)",
+            "Request #200",
+            "Request #800",
+            "JSON",
+        ] {
             assert!(text.contains(needle), "missing {needle}\n{text}");
         }
     }

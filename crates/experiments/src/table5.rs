@@ -163,7 +163,12 @@ mod tests {
         assert_eq!(result.lifetimes, 50);
         assert_eq!(result.rows.len(), 13);
         for r in &result.rows {
-            assert!(r.snapshot_mb > 5.0, "{}: snapshot {}", r.workload, r.snapshot_mb);
+            assert!(
+                r.snapshot_mb > 5.0,
+                "{}: snapshot {}",
+                r.workload,
+                r.snapshot_mb
+            );
             assert!((r.max_storage_mb - 12.0 * r.snapshot_mb).abs() < 1e-9);
             assert!((r.max_network_mb - 2.0 * r.baseline_network_mb).abs() < 1e-9);
             // Pronghorn stores up to C× the baseline.

@@ -40,7 +40,12 @@ impl CompileJob {
             0 => Tier::Interpreted,
             1 => Tier::Tier1,
             2 => Tier::Tier2,
-            tag => return Err(CodecError::InvalidTag { tag, context: "CompileJob tier" }),
+            tag => {
+                return Err(CodecError::InvalidTag {
+                    tag,
+                    context: "CompileJob tier",
+                })
+            }
         };
         Ok(CompileJob {
             method,

@@ -35,7 +35,10 @@ impl Tier {
             0 => Ok(Tier::Interpreted),
             1 => Ok(Tier::Tier1),
             2 => Ok(Tier::Tier2),
-            tag => Err(CodecError::InvalidTag { tag, context: "Tier" }),
+            tag => Err(CodecError::InvalidTag {
+                tag,
+                context: "Tier",
+            }),
         }
     }
 }

@@ -141,8 +141,16 @@ mod tests {
     #[test]
     fn interpreted_compute_sums_units() {
         let w = RequestWork::new(vec![
-            MethodWork { method: 0, units: 100.0, calls: 1.0 },
-            MethodWork { method: 1, units: 50.0, calls: 2.0 },
+            MethodWork {
+                method: 0,
+                units: 100.0,
+                calls: 1.0,
+            },
+            MethodWork {
+                method: 1,
+                units: 50.0,
+                calls: 2.0,
+            },
         ])
         .us_per_unit(2.0);
         assert_eq!(w.interpreted_compute_us(), 300.0);

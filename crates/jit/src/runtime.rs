@@ -34,6 +34,7 @@ pub struct Runtime {
     pub(crate) code_cache_used: u64,
     pub(crate) requests_executed: u64,
     pub(crate) lazy_initialized: bool,
+    pub(crate) state_version: u64,
 }
 
 /// Samples `mean * (1 + N(0,1) * rel)`, floored at 20% of the mean.
@@ -66,6 +67,7 @@ impl Runtime {
                 code_cache_used: 0,
                 requests_executed: 0,
                 lazy_initialized: false,
+                state_version: 0,
             },
             SimDuration::from_micros_f64(init),
         )
@@ -108,6 +110,20 @@ impl Runtime {
         self.code_cache_used
     }
 
+    /// Monotonic counter bumped on every checkpoint-visible mutation
+    /// (request execution, tier promotions, deoptimizations, code-cache
+    /// installs, compile-queue changes).
+    ///
+    /// Two observations with the same version are guaranteed to have
+    /// byte-identical encoded state, which lets a checkpoint engine skip
+    /// re-encoding entirely. The converse is *not* a guarantee across
+    /// runtime instances: two different lineages can coincidentally share
+    /// version numbers, so version-keyed caches must be invalidated
+    /// whenever the underlying runtime instance is swapped.
+    pub fn state_version(&self) -> u64 {
+        self.state_version
+    }
+
     /// Number of methods at the given tier.
     pub fn count_at_tier(&self, tier: Tier) -> usize {
         self.methods.iter().filter(|m| m.tier == tier).count()
@@ -127,6 +143,7 @@ impl Runtime {
         let new = self.installed_bytes(method, tier);
         self.code_cache_used = self.code_cache_used - old + new;
         self.methods[method].install(tier);
+        self.state_version += 1;
     }
 
     fn compile_work_us<R: Rng + ?Sized>(&self, rng: &mut R, method: usize, tier: Tier) -> f64 {
@@ -199,6 +216,7 @@ impl Runtime {
                 self.code_cache_used -= old;
                 self.methods[idx].deoptimize(self.profile.max_deopt_rounds);
                 self.queue.cancel_method(idx as u32);
+                self.state_version += 1;
                 breakdown.deopt_pause_us += jittered(rng, self.profile.deopt_pause_us, 0.3);
             }
         }
@@ -220,6 +238,7 @@ impl Runtime {
             if self.profile.background_compile {
                 self.methods[idx].inflight = Some(tier);
                 self.queue.enqueue(idx as u32, tier, work_us);
+                self.state_version += 1;
             } else {
                 // Tracing JIT: the request pauses while the trace compiles.
                 breakdown.compile_pause_us += work_us;
@@ -229,8 +248,8 @@ impl Runtime {
 
         // 5. Background compiler progress and CPU interference.
         if self.profile.background_compile && self.queue.is_busy() {
-            breakdown.interference_us = (breakdown.compute_us + breakdown.overhead_us)
-                * self.profile.compile_interference;
+            breakdown.interference_us =
+                (breakdown.compute_us + breakdown.overhead_us) * self.profile.compile_interference;
             let budget = jittered(rng, self.profile.compile_us_per_request, 0.25);
             for (method, tier) in self.queue.advance(budget) {
                 let idx = method as usize;
@@ -241,13 +260,17 @@ impl Runtime {
                 let new = self.installed_bytes(idx, tier);
                 if self.code_cache_used - old + new > self.profile.code_cache_bytes {
                     self.methods[idx].inflight = None;
+                    self.state_version += 1;
                     continue;
                 }
                 self.install(idx, tier);
             }
         }
 
+        // Invocation counters and the lineage request count advanced, so
+        // the encoded state is guaranteed different from before this call.
         self.requests_executed += 1;
+        self.state_version += 1;
         breakdown
     }
 
@@ -283,8 +306,16 @@ mod tests {
 
     fn work() -> RequestWork {
         RequestWork::new(vec![
-            MethodWork { method: 0, units: 2_000.0, calls: 10.0 },
-            MethodWork { method: 1, units: 1_000.0, calls: 1.0 },
+            MethodWork {
+                method: 0,
+                units: 2_000.0,
+                calls: 10.0,
+            },
+            MethodWork {
+                method: 1,
+                units: 1_000.0,
+                calls: 1.0,
+            },
         ])
     }
 
@@ -348,7 +379,11 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(6);
         let methods = vec![MethodProfile::new("loop").calls_per_request(50.0)];
         let (mut rt, _) = Runtime::cold_start(RuntimeProfile::pypy(), methods, &mut rng);
-        let w = RequestWork::new(vec![MethodWork { method: 0, units: 3_000.0, calls: 50.0 }]);
+        let w = RequestWork::new(vec![MethodWork {
+            method: 0,
+            units: 3_000.0,
+            calls: 50.0,
+        }]);
         let mut saw_pause = false;
         for _ in 0..200 {
             let b = rt.execute(&w, &mut rng);
@@ -386,8 +421,12 @@ mod tests {
         profile.tier1_threshold = 10;
         profile.tier2_threshold = 50;
         let (mut rt, _) = Runtime::cold_start(profile, methods, &mut rng);
-        let w = RequestWork::new(vec![MethodWork { method: 0, units: 100.0, calls: 100.0 }])
-            .novelty(1.0);
+        let w = RequestWork::new(vec![MethodWork {
+            method: 0,
+            units: 100.0,
+            calls: 100.0,
+        }])
+        .novelty(1.0);
         let mut saw_deopt = false;
         for _ in 0..3_000 {
             if rt.execute(&w, &mut rng).deopt_pause_us > 0.0 {
@@ -411,8 +450,12 @@ mod tests {
         profile.tier2_threshold = 20;
         profile.max_deopt_rounds = 2;
         let (mut rt, _) = Runtime::cold_start(profile, methods, &mut rng);
-        let w = RequestWork::new(vec![MethodWork { method: 0, units: 100.0, calls: 100.0 }])
-            .novelty(1.0);
+        let w = RequestWork::new(vec![MethodWork {
+            method: 0,
+            units: 100.0,
+            calls: 100.0,
+        }])
+        .novelty(1.0);
         rt.execute_n(&w, 5_000, &mut rng);
         let m = &rt.method_states()[0];
         assert!(m.barred_from_tier2);
@@ -446,7 +489,11 @@ mod tests {
     fn out_of_range_method_panics() {
         let mut rng = SmallRng::seed_from_u64(12);
         let (mut rt, _) = Runtime::cold_start(RuntimeProfile::jvm(), simple_methods(), &mut rng);
-        let w = RequestWork::new(vec![MethodWork { method: 9, units: 1.0, calls: 1.0 }]);
+        let w = RequestWork::new(vec![MethodWork {
+            method: 9,
+            units: 1.0,
+            calls: 1.0,
+        }]);
         rt.execute(&w, &mut rng);
     }
 

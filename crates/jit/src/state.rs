@@ -27,6 +27,7 @@ impl Checkpointable for Runtime {
         enc.put_u64(self.code_cache_used);
         enc.put_u64(self.requests_executed);
         enc.put_bool(self.lazy_initialized);
+        enc.put_u64(self.state_version);
     }
 
     fn decode_state(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
@@ -48,7 +49,12 @@ impl Checkpointable for Runtime {
             code_cache_used: dec.take_u64()?,
             requests_executed: dec.take_u64()?,
             lazy_initialized: dec.take_bool()?,
+            state_version: dec.take_u64()?,
         })
+    }
+
+    fn state_version(&self) -> Option<u64> {
+        Some(self.state_version)
     }
 
     fn image_size_bytes(&self) -> u64 {
@@ -77,8 +83,16 @@ mod tests {
 
     fn work() -> RequestWork {
         RequestWork::new(vec![
-            MethodWork { method: 0, units: 500.0, calls: 20.0 },
-            MethodWork { method: 1, units: 500.0, calls: 2.0 },
+            MethodWork {
+                method: 0,
+                units: 500.0,
+                calls: 20.0,
+            },
+            MethodWork {
+                method: 1,
+                units: 500.0,
+                calls: 2.0,
+            },
         ])
     }
 
@@ -125,6 +139,27 @@ mod tests {
         let first = restored.execute(&work(), &mut rng);
         assert_eq!(first.lazy_init_us, 0.0);
         assert_eq!(restored.requests_executed(), 501);
+    }
+
+    #[test]
+    fn state_version_tracks_mutations() {
+        let mut rt = warm_runtime(100);
+        let v = rt.state_version();
+        assert!(v > 0, "100 executed requests must have bumped the version");
+        // No mutation, no bump: encoding is read-only.
+        let mut enc = Encoder::new();
+        rt.encode_state(&mut enc);
+        assert_eq!(rt.state_version(), v);
+        // Any further request bumps it.
+        let mut rng = SmallRng::seed_from_u64(1);
+        rt.execute(&work(), &mut rng);
+        assert!(rt.state_version() > v);
+        // Equal versions come with equal encoded bytes (round-trip).
+        let mut enc2 = Encoder::new();
+        rt.encode_state(&mut enc2);
+        let mut enc3 = Encoder::new();
+        rt.encode_state(&mut enc3);
+        assert_eq!(enc2.as_bytes(), enc3.as_bytes());
     }
 
     #[test]

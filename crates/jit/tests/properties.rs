@@ -8,21 +8,19 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn methods_strategy() -> impl Strategy<Value = Vec<MethodProfile>> {
-    prop::collection::vec(
-        (1.0f64..200.0, 1.2f64..4.0, 1.0f64..8.0, 0.0f64..1.0),
-        1..6,
+    prop::collection::vec((1.0f64..200.0, 1.2f64..4.0, 1.0f64..8.0, 0.0f64..1.0), 1..6).prop_map(
+        |rows| {
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, (calls, t1, t2_mult, spec))| {
+                    MethodProfile::new(format!("m{i}"))
+                        .calls_per_request(calls)
+                        .tier_speedups(t1, t1 * t2_mult)
+                        .speculation(spec)
+                })
+                .collect()
+        },
     )
-    .prop_map(|rows| {
-        rows.into_iter()
-            .enumerate()
-            .map(|(i, (calls, t1, t2_mult, spec))| {
-                MethodProfile::new(format!("m{i}"))
-                    .calls_per_request(calls)
-                    .tier_speedups(t1, t1 * t2_mult)
-                    .speculation(spec)
-            })
-            .collect()
-    })
 }
 
 fn work_for(methods: &[MethodProfile], units: f64, novelty: f64) -> RequestWork {
@@ -30,7 +28,11 @@ fn work_for(methods: &[MethodProfile], units: f64, novelty: f64) -> RequestWork 
         methods
             .iter()
             .enumerate()
-            .map(|(i, m)| MethodWork { method: i, units, calls: m.calls })
+            .map(|(i, m)| MethodWork {
+                method: i,
+                units,
+                calls: m.calls,
+            })
             .collect(),
     )
     .us_per_unit(2.0)

@@ -179,6 +179,31 @@ impl KvStore {
         version
     }
 
+    /// Patches `key` in place under the write lock: `f` mutates the stored
+    /// bytes directly and returns whether it changed anything. Returns
+    /// `true` (and bumps the version, counting one write) only when the key
+    /// existed **and** `f` reported success; otherwise the store is
+    /// untouched and the caller should fall back to a full `put`.
+    ///
+    /// This is the Database half of delta persistence: updating one `θ`
+    /// slot writes 8 bytes at a fixed offset instead of re-encoding the
+    /// whole `W`-element vector.
+    pub fn patch<F>(&self, key: &str, f: F) -> bool
+    where
+        F: FnOnce(&mut Vec<u8>) -> bool,
+    {
+        let mut map = self.inner.map.write();
+        let Some(entry) = map.get_mut(key) else {
+            return false;
+        };
+        if !f(&mut entry.value) {
+            return false;
+        }
+        self.inner.writes.fetch_add(1, Ordering::Relaxed);
+        entry.version = self.bump_version();
+        true
+    }
+
     /// Deletes `key`, returning its last value if it existed.
     pub fn delete(&self, key: &str) -> Result<Versioned, KvError> {
         let removed = self.inner.map.write().remove(key);
@@ -289,6 +314,33 @@ mod tests {
             vec![1]
         });
         assert_eq!(kv.get("fresh").unwrap().value, vec![1]);
+    }
+
+    #[test]
+    fn patch_mutates_in_place_and_bumps_version() {
+        let kv = KvStore::new();
+        let v1 = kv.put("k", vec![1, 2, 3]);
+        assert!(kv.patch("k", |buf| {
+            buf[1] = 9;
+            true
+        }));
+        let got = kv.get("k").unwrap();
+        assert_eq!(got.value, vec![1, 9, 3]);
+        assert!(got.version > v1);
+        assert_eq!(kv.stats().writes, 2);
+    }
+
+    #[test]
+    fn failed_patch_leaves_store_untouched() {
+        let kv = KvStore::new();
+        // Missing key: closure never runs.
+        assert!(!kv.patch("missing", |_| true));
+        // Closure declines: no version bump, no write counted.
+        let v1 = kv.put("k", vec![5]);
+        assert!(!kv.patch("k", |_| false));
+        let got = kv.get("k").unwrap();
+        assert_eq!(got.version, v1);
+        assert_eq!(kv.stats().writes, 1);
     }
 
     #[test]

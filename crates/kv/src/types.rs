@@ -73,6 +73,27 @@ pub fn decode_f64_vec(bytes: &[u8]) -> Result<Vec<f64>, DecodeError> {
     Ok(out)
 }
 
+/// Overwrites slot `idx` of an [`encode_f64_vec`] buffer in place.
+///
+/// Slot `i` lives at byte offset `4 + 8·i` (after the `u32` length prefix).
+/// Returns `false` — leaving the buffer untouched — when the buffer is not
+/// a well-formed f64 vector or `idx` is out of range; callers then fall
+/// back to a full re-encode.
+pub fn patch_f64_slot(buf: &mut [u8], idx: usize, value: f64) -> bool {
+    if buf.len() < 4 {
+        return false;
+    }
+    let mut len_bytes = [0u8; 4];
+    len_bytes.copy_from_slice(&buf[..4]);
+    let declared = u32::from_le_bytes(len_bytes) as usize;
+    if buf.len() != 4 + declared * 8 || idx >= declared {
+        return false;
+    }
+    let at = 4 + idx * 8;
+    buf[at..at + 8].copy_from_slice(&value.to_le_bytes());
+    true
+}
+
 /// Encodes a `u64` little-endian.
 pub fn encode_u64(value: u64) -> Vec<u8> {
     value.to_le_bytes().to_vec()
@@ -101,7 +122,10 @@ mod tests {
 
     #[test]
     fn empty_vec_round_trips() {
-        assert_eq!(decode_f64_vec(&encode_f64_vec(&[])).unwrap(), Vec::<f64>::new());
+        assert_eq!(
+            decode_f64_vec(&encode_f64_vec(&[])).unwrap(),
+            Vec::<f64>::new()
+        );
     }
 
     #[test]
@@ -124,8 +148,34 @@ mod tests {
         bytes[0] = 5; // claim 5 elements
         assert!(matches!(
             decode_f64_vec(&bytes),
-            Err(DecodeError::LengthMismatch { declared: 5, available: 1 })
+            Err(DecodeError::LengthMismatch {
+                declared: 5,
+                available: 1
+            })
         ));
+    }
+
+    #[test]
+    fn patch_matches_full_reencode() {
+        let mut values = vec![1.0, 2.0, 3.0];
+        let mut buf = encode_f64_vec(&values);
+        assert!(patch_f64_slot(&mut buf, 1, 42.5));
+        values[1] = 42.5;
+        assert_eq!(buf, encode_f64_vec(&values));
+        assert_eq!(decode_f64_vec(&buf).unwrap(), values);
+    }
+
+    #[test]
+    fn patch_rejects_bad_buffers_and_indices() {
+        let mut buf = encode_f64_vec(&[1.0, 2.0]);
+        let before = buf.clone();
+        assert!(!patch_f64_slot(&mut buf, 2, 9.0));
+        assert_eq!(buf, before, "failed patch must not mutate");
+        assert!(!patch_f64_slot(&mut [0u8; 3], 0, 9.0));
+        // Truncated body disagreeing with the prefix.
+        let mut bad = encode_f64_vec(&[1.0, 2.0]);
+        bad.pop();
+        assert!(!patch_f64_slot(&mut bad, 0, 9.0));
     }
 
     #[test]

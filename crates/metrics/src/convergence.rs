@@ -40,15 +40,22 @@ impl ConvergenceCriteria {
     }
 }
 
-/// Median of a small window (copy + sort; windows are ~20 elements).
+/// Median of a small window via O(n) selection rather than a full sort.
+/// The detector calls this once per sliding-window position, so it is the
+/// hot inner loop of [`convergence_request`].
 fn window_median(window: &[f64]) -> f64 {
     let mut w = window.to_vec();
-    w.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let n = w.len();
+    // Selecting the upper-middle element partitions everything smaller
+    // into the left slice, so for even windows the lower-middle value is
+    // the left slice's maximum — no second selection pass needed.
+    let (left, upper_mid, _) =
+        w.select_nth_unstable_by(n / 2, |a, b| a.partial_cmp(b).expect("finite latencies"));
     if n % 2 == 1 {
-        w[n / 2]
+        *upper_mid
     } else {
-        (w[n / 2 - 1] + w[n / 2]) / 2.0
+        let lower_mid = left.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        (lower_mid + *upper_mid) / 2.0
     }
 }
 
@@ -83,12 +90,10 @@ pub fn convergence_request(latencies: &[f64], criteria: ConvergenceCriteria) -> 
     let final_median = window_median(&latencies[latencies.len() - reference..]);
     let lo = final_median * (1.0 - criteria.tolerance);
     let hi = final_median * (1.0 + criteria.tolerance);
-    latencies
-        .windows(w)
-        .position(|win| {
-            let m = window_median(win);
-            m >= lo && m <= hi
-        })
+    latencies.windows(w).position(|win| {
+        let m = window_median(win);
+        m >= lo && m <= hi
+    })
 }
 
 #[cfg(test)]

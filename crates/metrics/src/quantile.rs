@@ -101,7 +101,9 @@ impl Quantiles {
 
     /// Converts into an empirical CDF.
     pub fn into_cdf(self) -> Cdf {
-        Cdf { sorted: self.sorted }
+        Cdf {
+            sorted: self.sorted,
+        }
     }
 }
 

@@ -20,7 +20,7 @@ use crate::config::RunConfig;
 use crate::result::{ProvisionKind, RunResult};
 use crate::stale::IoStaleModel;
 use crate::worker::Worker;
-use pronghorn_checkpoint::{SimCriuEngine, SnapshotMeta};
+use pronghorn_checkpoint::{CheckpointScratch, CodecStats, SimCriuEngine, SnapshotMeta};
 use pronghorn_core::{baselines::make_policy, Orchestrator};
 use pronghorn_jit::Runtime;
 use pronghorn_kv::KvStore;
@@ -86,9 +86,8 @@ pub fn run_fleet(workload: &dyn Workload, cfg: &RunConfig, fleet: &FleetConfig) 
     let stale = IoStaleModel::default();
 
     let mut queue: EventQueue<Event> = EventQueue::new();
-    let gap = SimDuration::from_micros(
-        (cfg.request_gap.as_micros() / fleet.fleet_size as u64).max(1),
-    );
+    let gap =
+        SimDuration::from_micros((cfg.request_gap.as_micros() / fleet.fleet_size as u64).max(1));
     let mut at = SimTime::ZERO;
     for i in 0..u64::from(cfg.invocations) {
         at += gap;
@@ -98,6 +97,11 @@ pub fn run_fleet(workload: &dyn Workload, cfg: &RunConfig, fleet: &FleetConfig) 
     // Worker slots: None = needs provisioning. `served_since_start` drives
     // per-slot eviction at the configured rate.
     let mut slots: Vec<Option<Worker>> = (0..fleet.fleet_size).map(|_| None).collect();
+    // One encode cache per slot: caches are only valid per process
+    // instance, and slots swap instances independently.
+    let mut scratches: Vec<CheckpointScratch> = (0..fleet.fleet_size)
+        .map(|_| CheckpointScratch::new())
+        .collect();
     let mut worker_seq = 0u64;
 
     let mut latencies = Vec::with_capacity(cfg.invocations as usize);
@@ -118,12 +122,14 @@ pub fn run_fleet(workload: &dyn Workload, cfg: &RunConfig, fleet: &FleetConfig) 
             }
         }
         if slots[slot].is_none() {
+            // New process instance in this slot: its cached encode (if any)
+            // must not be reused.
+            scratches[slot].invalidate();
             let plan = orch.begin_worker(&mut policy_rng);
             let mut cost = plan.startup_overhead.as_micros() as f64;
             let wrng = factory.stream_indexed("worker", worker_seq);
             let (runtime, resume, restored) = match plan.snapshot {
-                Some(snapshot) => match engine.restore::<Runtime, _>(&mut engine_rng, &snapshot)
-                {
+                Some(snapshot) => match engine.restore::<Runtime, _>(&mut engine_rng, &snapshot) {
                     Ok((rt, c)) => {
                         cost += c.as_micros() as f64;
                         restore_ms.push(c.as_millis_f64());
@@ -197,8 +203,12 @@ pub fn run_fleet(workload: &dyn Workload, cfg: &RunConfig, fleet: &FleetConfig) 
                 request_number: worker.runtime.requests_executed() as u32,
                 runtime: workload.kind().label().to_string(),
             };
-            let (snapshot, downtime) =
-                engine.checkpoint(&mut engine_rng, &worker.runtime, meta);
+            let (snapshot, downtime) = engine.checkpoint_with(
+                &mut scratches[slot],
+                &mut engine_rng,
+                &worker.runtime,
+                meta,
+            );
             checkpoint_ms.push(downtime.as_millis_f64());
             snapshot_mb.push(snapshot.nominal_size_mb());
             snapshot_requests.push(snapshot.meta.request_number);
@@ -222,6 +232,13 @@ pub fn run_fleet(workload: &dyn Workload, cfg: &RunConfig, fleet: &FleetConfig) 
         snapshot_mb,
         snapshot_requests,
         provision_us,
+        codec: {
+            let mut codec = CodecStats::default();
+            for s in &scratches {
+                codec.merge(s.stats());
+            }
+            codec
+        },
     }
 }
 
@@ -240,7 +257,10 @@ mod tests {
     #[test]
     fn fleet_serves_every_arrival() {
         let bench = by_name("DFS").unwrap();
-        let fleet = FleetConfig { fleet_size: 4, explorers: 1 };
+        let fleet = FleetConfig {
+            fleet_size: 4,
+            explorers: 1,
+        };
         let r = run_fleet(&bench, &cfg(PolicyKind::RequestCentric), &fleet);
         assert_eq!(r.latencies_us.len(), 240);
         assert!(r.checkpoint_ms.len() > 1);
@@ -249,7 +269,10 @@ mod tests {
     #[test]
     fn single_worker_fleet_matches_closed_loop_shape() {
         let bench = by_name("DFS").unwrap();
-        let fleet = FleetConfig { fleet_size: 1, explorers: 1 };
+        let fleet = FleetConfig {
+            fleet_size: 1,
+            explorers: 1,
+        };
         let r = run_fleet(&bench, &cfg(PolicyKind::RequestCentric), &fleet);
         // Same protocol as the closed loop: one provision per lifetime.
         assert_eq!(r.provisions.len(), 240 / 4);
@@ -261,7 +284,10 @@ mod tests {
         let none = run_fleet(
             &bench,
             &cfg(PolicyKind::RequestCentric),
-            &FleetConfig { fleet_size: 4, explorers: 0 },
+            &FleetConfig {
+                fleet_size: 4,
+                explorers: 0,
+            },
         );
         assert!(none.checkpoint_ms.is_empty());
         // With zero explorers there are never snapshots: every provision is
@@ -271,12 +297,18 @@ mod tests {
         let all = run_fleet(
             &bench,
             &cfg(PolicyKind::RequestCentric),
-            &FleetConfig { fleet_size: 4, explorers: 4 },
+            &FleetConfig {
+                fleet_size: 4,
+                explorers: 4,
+            },
         );
         let one = run_fleet(
             &bench,
             &cfg(PolicyKind::RequestCentric),
-            &FleetConfig { fleet_size: 4, explorers: 1 },
+            &FleetConfig {
+                fleet_size: 4,
+                explorers: 1,
+            },
         );
         assert!(all.checkpoint_ms.len() > one.checkpoint_ms.len());
     }
@@ -286,7 +318,10 @@ mod tests {
         // §5.3's amortization: one explorer is enough for the whole fleet
         // to hot-start.
         let bench = by_name("DFS").unwrap();
-        let fleet = FleetConfig { fleet_size: 4, explorers: 1 };
+        let fleet = FleetConfig {
+            fleet_size: 4,
+            explorers: 1,
+        };
         let shared = run_fleet(&bench, &cfg(PolicyKind::RequestCentric), &fleet);
         assert!(
             shared.restores() > shared.provisions.len() / 2,

@@ -24,7 +24,7 @@ use crate::config::RunConfig;
 use crate::result::{ProvisionKind, RunResult};
 use crate::stale::IoStaleModel;
 use crate::worker::Worker;
-use pronghorn_checkpoint::{SimCriuEngine, SnapshotMeta};
+use pronghorn_checkpoint::{CheckpointScratch, CodecStats, SimCriuEngine, SnapshotMeta};
 use pronghorn_core::{baselines::make_policy, Orchestrator};
 use pronghorn_jit::Runtime;
 use pronghorn_kv::KvStore;
@@ -37,6 +37,8 @@ struct ClassDeployment {
     orch: Orchestrator,
     store: ObjectStore,
     worker: Option<Worker>,
+    /// Encode cache for this class's worker; invalidated on every swap.
+    scratch: CheckpointScratch,
     /// Geometric centre of the class's size-factor range.
     centre: f64,
     worker_seq: u64,
@@ -98,6 +100,7 @@ pub fn run_partitioned(workload: &dyn Workload, cfg: &RunConfig, classes: usize)
                 ),
                 store,
                 worker: None,
+                scratch: CheckpointScratch::new(),
                 centre: class_centre(k, classes),
                 worker_seq: 0,
             }
@@ -126,13 +129,12 @@ pub fn run_partitioned(workload: &dyn Workload, cfg: &RunConfig, classes: usize)
         request = request.novelty(rebased_novelty);
 
         if deployment.worker.is_none() {
+            deployment.scratch.invalidate();
             let plan = deployment.orch.begin_worker(&mut policy_rng);
             let mut cost = plan.startup_overhead.as_micros() as f64;
-            let wrng = factory
-                .stream_indexed(&format!("worker-c{class}"), deployment.worker_seq);
+            let wrng = factory.stream_indexed(&format!("worker-c{class}"), deployment.worker_seq);
             let (runtime, resume, restored) = match plan.snapshot {
-                Some(snapshot) => match engine.restore::<Runtime, _>(&mut engine_rng, &snapshot)
-                {
+                Some(snapshot) => match engine.restore::<Runtime, _>(&mut engine_rng, &snapshot) {
                     Ok((rt, c)) => {
                         cost += c.as_micros() as f64;
                         restore_ms.push(c.as_millis_f64());
@@ -151,8 +153,8 @@ pub fn run_partitioned(workload: &dyn Workload, cfg: &RunConfig, classes: usize)
                     }
                 },
                 None => {
-                    let mut boot = factory
-                        .stream_indexed(&format!("boot-c{class}"), deployment.worker_seq);
+                    let mut boot =
+                        factory.stream_indexed(&format!("boot-c{class}"), deployment.worker_seq);
                     let (rt, c) = Runtime::cold_start(
                         workload.runtime_profile(),
                         workload.method_profiles(),
@@ -202,8 +204,12 @@ pub fn run_partitioned(workload: &dyn Workload, cfg: &RunConfig, classes: usize)
                 request_number: worker.runtime.requests_executed() as u32,
                 runtime: workload.kind().label().to_string(),
             };
-            let (snapshot, downtime) =
-                engine.checkpoint(&mut engine_rng, &worker.runtime, meta);
+            let (snapshot, downtime) = engine.checkpoint_with(
+                &mut deployment.scratch,
+                &mut engine_rng,
+                &worker.runtime,
+                meta,
+            );
             checkpoint_ms.push(downtime.as_millis_f64());
             snapshot_mb.push(snapshot.nominal_size_mb());
             snapshot_requests.push(snapshot.meta.request_number);
@@ -224,6 +230,7 @@ pub fn run_partitioned(workload: &dyn Workload, cfg: &RunConfig, classes: usize)
         store_stats.peak_bytes_stored += s.peak_bytes_stored;
         store_stats.bytes_uploaded += s.bytes_uploaded;
         store_stats.bytes_downloaded += s.bytes_downloaded;
+        store_stats.bytes_deduped += s.bytes_deduped;
         store_stats.objects += s.objects;
         store_stats.puts += s.puts;
         store_stats.gets += s.gets;
@@ -256,6 +263,13 @@ pub fn run_partitioned(workload: &dyn Workload, cfg: &RunConfig, classes: usize)
         snapshot_mb,
         snapshot_requests,
         provision_us,
+        codec: {
+            let mut codec = CodecStats::default();
+            for d in &deployments {
+                codec.merge(d.scratch.stats());
+            }
+            codec
+        },
     }
 }
 

@@ -1,5 +1,6 @@
 //! Results of one experiment run.
 
+use pronghorn_checkpoint::CodecStats;
 use pronghorn_core::{OverheadTotals, PolicyKind};
 use pronghorn_metrics::{convergence_request, Cdf, ConvergenceCriteria, Quantiles};
 use pronghorn_store::StoreStats;
@@ -40,6 +41,9 @@ pub struct RunResult {
     pub snapshot_requests: Vec<u32>,
     /// Total provisioning time spent off the critical path, µs.
     pub provision_us: f64,
+    /// Encode-path performance counters (real wall-clock, observational
+    /// only — never feeds back into simulated behavior).
+    pub codec: CodecStats,
 }
 
 impl RunResult {
@@ -109,6 +113,7 @@ mod tests {
             snapshot_mb: vec![10.0, 14.0],
             snapshot_requests: vec![1, 5],
             provision_us: 1000.0,
+            codec: CodecStats::default(),
         }
     }
 

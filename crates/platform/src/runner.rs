@@ -5,7 +5,7 @@ use crate::config::RunConfig;
 use crate::result::{ProvisionKind, RunResult};
 use crate::stale::IoStaleModel;
 use crate::worker::Worker;
-use pronghorn_checkpoint::{SimCriuEngine, SnapshotMeta};
+use pronghorn_checkpoint::{CheckpointScratch, SimCriuEngine, SnapshotMeta};
 use pronghorn_core::{baselines::make_policy, Orchestrator};
 use pronghorn_jit::Runtime;
 use pronghorn_kv::KvStore;
@@ -21,6 +21,8 @@ struct Session<'w> {
     cfg: RunConfig,
     orch: Orchestrator,
     engine: SimCriuEngine,
+    /// Encoder scratch + dirty-tracking cache, reused across checkpoints.
+    scratch: CheckpointScratch,
     factory: RngFactory,
     policy_rng: SmallRng,
     engine_rng: SmallRng,
@@ -52,6 +54,7 @@ impl<'w> Session<'w> {
             cfg,
             orch,
             engine: SimCriuEngine::new(),
+            scratch: CheckpointScratch::new(),
             policy_rng: factory.stream("policy"),
             engine_rng: factory.stream("engine"),
             factory,
@@ -73,13 +76,19 @@ impl<'w> Session<'w> {
     /// Provisions a worker per the orchestration policy — entirely off the
     /// request critical path (§5.3).
     fn provision(&mut self, now: SimTime) -> Worker {
+        // A new worker is a new process instance: its state-version counter
+        // restarts, so the encode cache must not match across instances.
+        self.scratch.invalidate();
         let plan = self.orch.begin_worker(&mut self.policy_rng);
         let mut provision_us = plan.startup_overhead.as_micros() as f64;
         let wrng = self.factory.stream_indexed("worker", self.worker_seq);
         self.worker_seq += 1;
 
         let (runtime, resume, restored) = match plan.snapshot {
-            Some(snapshot) => match self.engine.restore::<Runtime, _>(&mut self.engine_rng, &snapshot) {
+            Some(snapshot) => match self
+                .engine
+                .restore::<Runtime, _>(&mut self.engine_rng, &snapshot)
+            {
                 Ok((runtime, cost)) => {
                     provision_us += cost.as_micros() as f64;
                     self.restore_ms.push(cost.as_millis_f64());
@@ -144,9 +153,12 @@ impl<'w> Session<'w> {
             request_number: worker.runtime.requests_executed() as u32,
             runtime: self.workload.kind().label().to_string(),
         };
-        let (snapshot, downtime) = self
-            .engine
-            .checkpoint(&mut self.engine_rng, &worker.runtime, meta);
+        let (snapshot, downtime) = self.engine.checkpoint_with(
+            &mut self.scratch,
+            &mut self.engine_rng,
+            &worker.runtime,
+            meta,
+        );
         self.checkpoint_ms.push(downtime.as_millis_f64());
         self.snapshot_mb.push(snapshot.nominal_size_mb());
         self.snapshot_requests.push(snapshot.meta.request_number);
@@ -210,6 +222,7 @@ impl<'w> Session<'w> {
             snapshot_mb: self.snapshot_mb,
             snapshot_requests: self.snapshot_requests,
             provision_us: self.provision_us,
+            codec: *self.scratch.stats(),
         }
     }
 }
@@ -364,7 +377,11 @@ mod tests {
     fn request_centric_checkpoints_and_pools_snapshots() {
         let bench = by_name("DFS").unwrap();
         let r = run_closed_loop(&bench, &cfg(PolicyKind::RequestCentric, 1));
-        assert!(r.checkpoint_ms.len() > 5, "{} checkpoints", r.checkpoint_ms.len());
+        assert!(
+            r.checkpoint_ms.len() > 5,
+            "{} checkpoints",
+            r.checkpoint_ms.len()
+        );
         assert!(r.restores() > 50);
         // Pool capacity (C = 12) bounds live blobs.
         assert!(r.store_stats.objects <= 12);

@@ -81,7 +81,11 @@ mod tests {
         let mut w = Worker::new(rt, rng, 0, Some(2), false, SimTime::ZERO);
         assert_eq!(w.next_request_number(), 0);
         assert!(!w.checkpoint_due());
-        let work = RequestWork::new(vec![MethodWork { method: 0, units: 10.0, calls: 1.0 }]);
+        let work = RequestWork::new(vec![MethodWork {
+            method: 0,
+            units: 10.0,
+            calls: 1.0,
+        }]);
         w.runtime.execute(&work, &mut w.rng);
         w.runtime.execute(&work, &mut w.rng);
         assert_eq!(w.next_request_number(), 2);

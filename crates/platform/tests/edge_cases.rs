@@ -112,7 +112,10 @@ fn partitioned_with_many_classes_still_serves_everything() {
         .with_variance(InputVariance::paper());
     let result = run_partitioned(&bench, &run_cfg, 5);
     assert_eq!(result.latencies_us.len(), 90);
-    assert!(result.latencies_us.iter().all(|&l| l.is_finite() && l > 0.0));
+    assert!(result
+        .latencies_us
+        .iter()
+        .all(|&l| l.is_finite() && l > 0.0));
 }
 
 #[test]

@@ -29,7 +29,10 @@ fn compute_benchmarks_improve_significantly_at_rate_one() {
             imp > 10.0,
             "{bench}: request-centric improvement {imp:.1}% too small"
         );
-        assert!(imp < 80.0, "{bench}: improvement {imp:.1}% implausibly large");
+        assert!(
+            imp < 80.0,
+            "{bench}: improvement {imp:.1}% implausibly large"
+        );
     }
 }
 
@@ -57,7 +60,10 @@ fn io_bound_benchmarks_are_on_par() {
 fn uploader_regresses() {
     let imp = improvement("Uploader", 1);
     assert!(imp < 0.0, "Uploader should regress, got {imp:.1}%");
-    assert!(imp > -25.0, "Uploader regression {imp:.1}% implausibly large");
+    assert!(
+        imp > -25.0,
+        "Uploader regression {imp:.1}% implausibly large"
+    );
 }
 
 #[test]
@@ -79,7 +85,10 @@ fn cold_start_is_the_worst_policy_for_compute_benchmarks() {
         let after = median(bench, PolicyKind::AfterFirst, 1);
         let rc = median(bench, PolicyKind::RequestCentric, 1);
         assert!(cold > after, "{bench}: cold {cold} <= after-1st {after}");
-        assert!(after > rc, "{bench}: after-1st {after} <= request-centric {rc}");
+        assert!(
+            after > rc,
+            "{bench}: after-1st {after} <= request-centric {rc}"
+        );
     }
 }
 

@@ -71,6 +71,119 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h.finish()
 }
 
+/// Word-folded incremental FNV-1a over 8-byte little-endian lanes.
+///
+/// The byte-wise [`Fnv1a`] performs one multiply per input byte, which
+/// caps it near memory-copy speed divided by eight; that is far too slow
+/// to sit on the checkpoint encode path for multi-megabyte payloads.
+/// `Fnv1aWide` folds whole 8-byte words into the state per multiply —
+/// roughly 8x the throughput — at the cost of *not* being byte-compatible
+/// with [`Fnv1a`]: the two hashers produce different values for the same
+/// input and must never be mixed on one artifact.
+///
+/// Streaming writes are chunk-boundary independent: hashing a buffer in
+/// arbitrary slices yields the same value as hashing it in one shot (a
+/// pending-byte buffer carries partial words across calls). `finish` is
+/// non-consuming and may be called repeatedly as more data arrives.
+///
+/// # Examples
+///
+/// ```
+/// use pronghorn_sim::hash::{fnv1a_wide, Fnv1aWide};
+///
+/// let mut h = Fnv1aWide::new();
+/// h.write(b"prong");
+/// h.write(b"horn!");
+/// assert_eq!(h.finish(), fnv1a_wide(b"pronghorn!"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1aWide {
+    state: u64,
+    pending: [u8; 8],
+    pending_len: usize,
+    total_len: u64,
+}
+
+impl Fnv1aWide {
+    /// Creates a hasher at the FNV offset basis.
+    pub const fn new() -> Self {
+        Fnv1aWide {
+            state: FNV_OFFSET,
+            pending: [0u8; 8],
+            pending_len: 0,
+            total_len: 0,
+        }
+    }
+
+    #[inline]
+    fn fold(state: u64, word: u64) -> u64 {
+        (state ^ word).wrapping_mul(FNV_PRIME)
+    }
+
+    /// Absorbs `bytes` into the hash state.
+    pub fn write(&mut self, bytes: &[u8]) {
+        self.total_len += bytes.len() as u64;
+        let mut rest = bytes;
+        // Top up a partial word left by a previous write.
+        if self.pending_len > 0 {
+            let need = 8 - self.pending_len;
+            let take = need.min(rest.len());
+            self.pending[self.pending_len..self.pending_len + take].copy_from_slice(&rest[..take]);
+            self.pending_len += take;
+            rest = &rest[take..];
+            if self.pending_len < 8 {
+                return;
+            }
+            self.state = Self::fold(self.state, u64::from_le_bytes(self.pending));
+            self.pending_len = 0;
+        }
+        let mut chunks = rest.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut arr = [0u8; 8];
+            arr.copy_from_slice(chunk);
+            self.state = Self::fold(self.state, u64::from_le_bytes(arr));
+        }
+        let tail = chunks.remainder();
+        self.pending[..tail.len()].copy_from_slice(tail);
+        self.pending_len = tail.len();
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write(&value.to_le_bytes());
+    }
+
+    /// Returns the hash of everything written so far.
+    ///
+    /// Folds in any partial trailing word (zero-padded) plus the total
+    /// length, so `"a"` and `"a\0"` hash differently. Non-consuming:
+    /// further writes may follow.
+    pub fn finish(&self) -> u64 {
+        let mut state = self.state;
+        if self.pending_len > 0 {
+            let mut arr = [0u8; 8];
+            arr[..self.pending_len].copy_from_slice(&self.pending[..self.pending_len]);
+            state = Self::fold(state, u64::from_le_bytes(arr));
+        }
+        Self::fold(state, self.total_len)
+    }
+}
+
+impl Default for Fnv1aWide {
+    fn default() -> Self {
+        Fnv1aWide::new()
+    }
+}
+
+/// Hashes `bytes` in one shot with the word-folded variant.
+///
+/// Not byte-compatible with [`fnv1a`]; see [`Fnv1aWide`].
+pub fn fnv1a_wide(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1aWide::new();
+    h.write(bytes);
+    h.finish()
+}
+
 /// Mixes a 64-bit value with SplitMix64 finalization.
 ///
 /// FNV output has weak avalanche in the low bits; routing it through a
@@ -123,5 +236,47 @@ mod tests {
     #[test]
     fn mix64_is_deterministic() {
         assert_eq!(mix64(42), mix64(42));
+    }
+
+    #[test]
+    fn wide_streaming_is_chunk_boundary_independent() {
+        let data: Vec<u8> = (0u16..4099).map(|i| (i % 251) as u8).collect();
+        let one_shot = fnv1a_wide(&data);
+        for split in [0, 1, 3, 7, 8, 9, 63, 1024, 4098, 4099] {
+            let mut h = Fnv1aWide::new();
+            h.write(&data[..split]);
+            h.write(&data[split..]);
+            assert_eq!(h.finish(), one_shot, "split at {split}");
+        }
+        // Byte-at-a-time streaming.
+        let mut h = Fnv1aWide::new();
+        for b in &data {
+            h.write(std::slice::from_ref(b));
+        }
+        assert_eq!(h.finish(), one_shot);
+    }
+
+    #[test]
+    fn wide_length_padding_disambiguates() {
+        // Zero-padding of the final partial word must not collide with
+        // explicit trailing zeros.
+        assert_ne!(fnv1a_wide(b"a"), fnv1a_wide(b"a\0"));
+        assert_ne!(fnv1a_wide(b""), fnv1a_wide(b"\0"));
+    }
+
+    #[test]
+    fn wide_finish_is_non_consuming() {
+        let mut h = Fnv1aWide::new();
+        h.write(b"abc");
+        let first = h.finish();
+        assert_eq!(h.finish(), first);
+        h.write(b"def");
+        assert_eq!(h.finish(), fnv1a_wide(b"abcdef"));
+    }
+
+    #[test]
+    fn wide_differs_from_byte_fnv() {
+        // Documented incompatibility — they must never be mixed.
+        assert_ne!(fnv1a_wide(b"pronghorn"), fnv1a(b"pronghorn"));
     }
 }

@@ -69,7 +69,9 @@ impl EventLog {
 
     /// Returns retained records emitted by `component`.
     pub fn by_component<'a>(&'a self, component: &'a str) -> impl Iterator<Item = &'a LogEntry> {
-        self.entries.iter().filter(move |e| e.component == component)
+        self.entries
+            .iter()
+            .filter(move |e| e.component == component)
     }
 
     /// Number of retained records.

@@ -88,8 +88,16 @@ mod tests {
     #[test]
     fn same_label_reproduces_stream() {
         let f = RngFactory::new(7);
-        let xs: Vec<u32> = f.stream("a").sample_iter(rand::distributions::Standard).take(8).collect();
-        let ys: Vec<u32> = f.stream("a").sample_iter(rand::distributions::Standard).take(8).collect();
+        let xs: Vec<u32> = f
+            .stream("a")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let ys: Vec<u32> = f
+            .stream("a")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(xs, ys);
     }
 

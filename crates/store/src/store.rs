@@ -1,8 +1,24 @@
-//! The shared blob map with integrity and cost accounting.
+//! The shared blob map with integrity, dedup, and cost accounting.
+//!
+//! Objects come in two physical shapes:
+//!
+//! - **plain**: one contiguous byte buffer (the original API);
+//! - **chunked**: a small head + a content-addressed payload blob + a small
+//!   tail, written via [`ObjectStore::put_chunked`]. Payload blobs are
+//!   deduplicated across keys by their `Fnv1aWide` content hash with
+//!   refcounting — byte-identical snapshot payloads from twin lineages
+//!   occupy storage once, and a blob is only freed when its *last*
+//!   referencing object is deleted (the §7.2 twin-eviction guard: evicting
+//!   one twin must never corrupt the other).
+//!
+//! Both shapes share the same key namespace, accounting counters, and
+//! integrity checks; logical sizes (what a `get` returns) are what the
+//! transfer counters record, while `bytes_stored` tracks physical
+//! (deduplicated) residency.
 
 use bytes::Bytes;
 use parking_lot::Mutex;
-use pronghorn_sim::hash::fnv1a;
+use pronghorn_sim::hash::{fnv1a_wide, Fnv1aWide};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -33,7 +49,10 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::NotFound => write!(f, "object not found"),
             StoreError::ChecksumMismatch { expected, actual } => {
-                write!(f, "checksum mismatch: expected {expected:#x}, got {actual:#x}")
+                write!(
+                    f,
+                    "checksum mismatch: expected {expected:#x}, got {actual:#x}"
+                )
             }
             StoreError::CapacityExceeded { capacity, required } => {
                 write!(f, "capacity {capacity} B exceeded (required {required} B)")
@@ -47,25 +66,30 @@ impl std::error::Error for StoreError {}
 /// Metadata of a stored object.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ObjectMeta {
-    /// Object size in bytes.
+    /// Logical object size in bytes (what a `get` returns).
     pub size: u64,
-    /// FNV-1a checksum of the content.
+    /// `Fnv1aWide` checksum of the object's own (non-deduplicated) bytes:
+    /// the whole buffer for plain objects, head + tail for chunked ones.
     pub checksum: u64,
 }
 
 /// Storage and transfer accounting, the raw inputs of Table 5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StoreStats {
-    /// Bytes currently stored.
+    /// Physical bytes currently stored (deduplicated blobs counted once).
     pub bytes_stored: u64,
     /// Peak of `bytes_stored` over the store's lifetime ("Max Storage
     /// Used" in Table 5).
     pub peak_bytes_stored: u64,
-    /// Cumulative bytes uploaded (checkpoint transfers).
+    /// Cumulative bytes uploaded (checkpoint transfers). Deduplicated
+    /// payloads are not re-transferred: a content-addressed client sends
+    /// the hash and skips the body.
     pub bytes_uploaded: u64,
     /// Cumulative bytes downloaded (restore transfers). Upload + download
     /// together are Table 5's "Max Network Used".
     pub bytes_downloaded: u64,
+    /// Payload bytes that dedup avoided storing and uploading.
+    pub bytes_deduped: u64,
     /// Number of objects currently stored.
     pub objects: u64,
     /// Completed put operations.
@@ -76,16 +100,104 @@ pub struct StoreStats {
     pub deletes: u64,
 }
 
-struct Object {
+/// A refcounted, content-addressed payload blob.
+struct BlobEntry {
     data: Bytes,
+    refs: u64,
+}
+
+struct Object {
+    /// Plain objects: the whole buffer. Chunked objects: the frame head.
+    head: Bytes,
+    /// Content address into the blob table (chunked objects only).
+    blob: Option<u64>,
+    /// Frame tail (chunked objects only; empty otherwise).
+    tail: Bytes,
+    /// `Fnv1aWide` over head ++ tail.
     checksum: u64,
+}
+
+impl Object {
+    fn own_len(&self) -> u64 {
+        (self.head.len() + self.tail.len()) as u64
+    }
 }
 
 #[derive(Default)]
 struct Inner {
     buckets: HashMap<String, HashMap<String, Object>>,
+    blobs: HashMap<u64, BlobEntry>,
     stats: StoreStats,
     capacity: Option<u64>,
+}
+
+impl Inner {
+    fn logical_len(&self, object: &Object) -> u64 {
+        let blob_len = object
+            .blob
+            .map(|h| self.blobs[&h].data.len() as u64)
+            .unwrap_or(0);
+        object.own_len() + blob_len
+    }
+
+    /// Removes the object under `bucket`/`key` (if any), releasing its
+    /// blob reference, and returns the physical bytes freed.
+    fn remove_object(&mut self, bucket: &str, key: &str) -> Option<u64> {
+        let object = self.buckets.get_mut(bucket)?.remove(key)?;
+        let mut freed = object.own_len();
+        if let Some(hash) = object.blob {
+            let entry = self.blobs.get_mut(&hash).expect("blob for live ref");
+            entry.refs -= 1;
+            if entry.refs == 0 {
+                freed += entry.data.len() as u64;
+                self.blobs.remove(&hash);
+            }
+        }
+        Some(freed)
+    }
+
+    /// Physical bytes that removing `bucket`/`key` would free, assuming a
+    /// blob with hash `incoming` is about to gain a reference (so a blob
+    /// shared with the incoming object is not counted as freed).
+    fn would_free(&self, bucket: &str, key: &str, incoming: Option<u64>) -> u64 {
+        let Some(object) = self.buckets.get(bucket).and_then(|b| b.get(key)) else {
+            return 0;
+        };
+        let mut freed = object.own_len();
+        if let Some(hash) = object.blob {
+            if self.blobs[&hash].refs == 1 && incoming != Some(hash) {
+                freed += self.blobs[&hash].data.len() as u64;
+            }
+        }
+        freed
+    }
+
+    fn checksum_of(head: &[u8], tail: &[u8]) -> u64 {
+        let mut h = Fnv1aWide::new();
+        h.write(head);
+        h.write(tail);
+        h.finish()
+    }
+
+    fn verify(&self, object: &Object) -> Result<(), StoreError> {
+        let actual = Inner::checksum_of(&object.head, &object.tail);
+        if actual != object.checksum {
+            return Err(StoreError::ChecksumMismatch {
+                expected: object.checksum,
+                actual,
+            });
+        }
+        if let Some(hash) = object.blob {
+            let actual = fnv1a_wide(&self.blobs[&hash].data);
+            if actual != hash {
+                return Err(StoreError::ChecksumMismatch {
+                    expected: hash,
+                    actual,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Cloneable handle to a shared content-integrity-checked object store.
@@ -100,6 +212,7 @@ impl fmt::Debug for ObjectStore {
         f.debug_struct("ObjectStore")
             .field("buckets", &inner.buckets.len())
             .field("objects", &inner.stats.objects)
+            .field("blobs", &inner.blobs.len())
             .finish()
     }
 }
@@ -127,13 +240,8 @@ impl ObjectStore {
     pub fn put(&self, bucket: &str, key: &str, data: Bytes) -> Result<ObjectMeta, StoreError> {
         let mut inner = self.inner.lock();
         let size = data.len() as u64;
-        let replaced: u64 = inner
-            .buckets
-            .get(bucket)
-            .and_then(|b| b.get(key))
-            .map(|o| o.data.len() as u64)
-            .unwrap_or(0);
-        let required = inner.stats.bytes_stored - replaced + size;
+        let released = inner.would_free(bucket, key, None);
+        let required = inner.stats.bytes_stored - released + size;
         if let Some(cap) = inner.capacity {
             if required > cap {
                 return Err(StoreError::CapacityExceeded {
@@ -142,12 +250,15 @@ impl ObjectStore {
                 });
             }
         }
-        let checksum = fnv1a(&data);
+        let replaced = inner.remove_object(bucket, key).is_some();
+        let checksum = fnv1a_wide(&data);
         let object = Object {
-            data,
+            head: data,
+            blob: None,
+            tail: Bytes::new(),
             checksum,
         };
-        let prev = inner
+        inner
             .buckets
             .entry(bucket.to_string())
             .or_default()
@@ -156,13 +267,83 @@ impl ObjectStore {
         inner.stats.peak_bytes_stored = inner.stats.peak_bytes_stored.max(required);
         inner.stats.bytes_uploaded += size;
         inner.stats.puts += 1;
-        if prev.is_none() {
+        if !replaced {
             inner.stats.objects += 1;
         }
         Ok(ObjectMeta { size, checksum })
     }
 
-    /// Downloads the object at `bucket`/`key`, verifying its checksum.
+    /// Uploads a chunked object — head, payload, tail — deduplicating the
+    /// payload by content across all keys and buckets.
+    ///
+    /// If a byte-identical payload is already resident (a twin lineage's
+    /// snapshot), only the small head and tail are stored and transferred;
+    /// the payload gains a reference instead. The returned metadata's
+    /// `size` is the logical (reassembled) size.
+    pub fn put_chunked(
+        &self,
+        bucket: &str,
+        key: &str,
+        head: Bytes,
+        payload: Bytes,
+        tail: Bytes,
+    ) -> Result<ObjectMeta, StoreError> {
+        let mut inner = self.inner.lock();
+        let hash = fnv1a_wide(&payload);
+        let blob_is_new = !inner.blobs.contains_key(&hash);
+        let own = (head.len() + tail.len()) as u64;
+        let payload_len = payload.len() as u64;
+        let added = own + if blob_is_new { payload_len } else { 0 };
+        let released = inner.would_free(bucket, key, Some(hash));
+        let required = inner.stats.bytes_stored - released + added;
+        if let Some(cap) = inner.capacity {
+            if required > cap {
+                return Err(StoreError::CapacityExceeded {
+                    capacity: cap,
+                    required,
+                });
+            }
+        }
+        let replaced = inner.remove_object(bucket, key).is_some();
+        inner
+            .blobs
+            .entry(hash)
+            .or_insert_with(|| BlobEntry {
+                data: payload,
+                refs: 0,
+            })
+            .refs += 1;
+        let checksum = Inner::checksum_of(&head, &tail);
+        let object = Object {
+            head,
+            blob: Some(hash),
+            tail,
+            checksum,
+        };
+        inner
+            .buckets
+            .entry(bucket.to_string())
+            .or_default()
+            .insert(key.to_string(), object);
+        inner.stats.bytes_stored = required;
+        inner.stats.peak_bytes_stored = inner.stats.peak_bytes_stored.max(required);
+        inner.stats.bytes_uploaded += added;
+        if !blob_is_new {
+            inner.stats.bytes_deduped += payload_len;
+        }
+        inner.stats.puts += 1;
+        if !replaced {
+            inner.stats.objects += 1;
+        }
+        Ok(ObjectMeta {
+            size: own + payload_len,
+            checksum,
+        })
+    }
+
+    /// Downloads the object at `bucket`/`key` as one contiguous buffer,
+    /// verifying its checksums. Chunked objects are reassembled (copied);
+    /// prefer [`Self::get_chunks`] for those on hot paths.
     pub fn get(&self, bucket: &str, key: &str) -> Result<Bytes, StoreError> {
         let mut inner = self.inner.lock();
         let object = inner
@@ -170,42 +351,71 @@ impl ObjectStore {
             .get(bucket)
             .and_then(|b| b.get(key))
             .ok_or(StoreError::NotFound)?;
-        let actual = fnv1a(&object.data);
-        if actual != object.checksum {
-            return Err(StoreError::ChecksumMismatch {
-                expected: object.checksum,
-                actual,
-            });
-        }
-        let data = object.data.clone();
+        inner.verify(object)?;
+        let data = match object.blob {
+            None => object.head.clone(),
+            Some(hash) => {
+                let blob = &inner.blobs[&hash].data;
+                let mut out =
+                    Vec::with_capacity(object.head.len() + blob.len() + object.tail.len());
+                out.extend_from_slice(&object.head);
+                out.extend_from_slice(blob);
+                out.extend_from_slice(&object.tail);
+                Bytes::from(out)
+            }
+        };
         inner.stats.bytes_downloaded += data.len() as u64;
         inner.stats.gets += 1;
         Ok(data)
     }
 
-    /// Returns metadata without transferring the object.
-    pub fn head(&self, bucket: &str, key: &str) -> Result<ObjectMeta, StoreError> {
-        let inner = self.inner.lock();
-        inner
+    /// Downloads the object at `bucket`/`key` as its stored chunks,
+    /// zero-copy: the returned [`Bytes`] share the store's buffers.
+    /// Plain objects yield a single chunk; chunked objects yield
+    /// `[head, payload, tail]`.
+    pub fn get_chunks(&self, bucket: &str, key: &str) -> Result<Vec<Bytes>, StoreError> {
+        let mut inner = self.inner.lock();
+        let object = inner
             .buckets
             .get(bucket)
             .and_then(|b| b.get(key))
-            .map(|o| ObjectMeta {
-                size: o.data.len() as u64,
-                checksum: o.checksum,
-            })
-            .ok_or(StoreError::NotFound)
+            .ok_or(StoreError::NotFound)?;
+        inner.verify(object)?;
+        let chunks = match object.blob {
+            None => vec![object.head.clone()],
+            Some(hash) => vec![
+                object.head.clone(),
+                inner.blobs[&hash].data.clone(),
+                object.tail.clone(),
+            ],
+        };
+        inner.stats.bytes_downloaded += chunks.iter().map(|c| c.len() as u64).sum::<u64>();
+        inner.stats.gets += 1;
+        Ok(chunks)
     }
 
-    /// Deletes the object at `bucket`/`key`.
+    /// Returns metadata without transferring the object.
+    pub fn head(&self, bucket: &str, key: &str) -> Result<ObjectMeta, StoreError> {
+        let inner = self.inner.lock();
+        let object = inner
+            .buckets
+            .get(bucket)
+            .and_then(|b| b.get(key))
+            .ok_or(StoreError::NotFound)?;
+        Ok(ObjectMeta {
+            size: inner.logical_len(object),
+            checksum: object.checksum,
+        })
+    }
+
+    /// Deletes the object at `bucket`/`key`. A deduplicated payload blob
+    /// is freed only when its last referencing object goes away.
     pub fn delete(&self, bucket: &str, key: &str) -> Result<(), StoreError> {
         let mut inner = self.inner.lock();
-        let removed = inner
-            .buckets
-            .get_mut(bucket)
-            .and_then(|b| b.remove(key))
+        let freed = inner
+            .remove_object(bucket, key)
             .ok_or(StoreError::NotFound)?;
-        inner.stats.bytes_stored -= removed.data.len() as u64;
+        inner.stats.bytes_stored -= freed;
         inner.stats.objects -= 1;
         inner.stats.deletes += 1;
         Ok(())
@@ -227,6 +437,11 @@ impl ObjectStore {
     pub fn stats(&self) -> StoreStats {
         self.inner.lock().stats
     }
+
+    /// Number of distinct payload blobs resident in the dedup table.
+    pub fn blob_count(&self) -> usize {
+        self.inner.lock().blobs.len()
+    }
 }
 
 #[cfg(test)]
@@ -242,7 +457,7 @@ mod tests {
         let s = ObjectStore::new();
         let meta = s.put("b", "k", Bytes::from_static(b"hello")).unwrap();
         assert_eq!(meta.size, 5);
-        assert_eq!(meta.checksum, fnv1a(b"hello"));
+        assert_eq!(meta.checksum, fnv1a_wide(b"hello"));
         assert_eq!(&s.get("b", "k").unwrap()[..], b"hello");
     }
 
@@ -252,6 +467,7 @@ mod tests {
         assert_eq!(s.get("b", "k").unwrap_err(), StoreError::NotFound);
         assert_eq!(s.head("b", "k").unwrap_err(), StoreError::NotFound);
         assert_eq!(s.delete("b", "k").unwrap_err(), StoreError::NotFound);
+        assert_eq!(s.get_chunks("b", "k").unwrap_err(), StoreError::NotFound);
     }
 
     #[test]
@@ -294,7 +510,13 @@ mod tests {
         let s = ObjectStore::with_capacity(100);
         s.put("b", "a", blob(60)).unwrap();
         let err = s.put("b", "b", blob(50)).unwrap_err();
-        assert!(matches!(err, StoreError::CapacityExceeded { capacity: 100, required: 110 }));
+        assert!(matches!(
+            err,
+            StoreError::CapacityExceeded {
+                capacity: 100,
+                required: 110
+            }
+        ));
         // Replacement that shrinks usage is allowed.
         s.put("b", "a", blob(10)).unwrap();
         s.put("b", "b", blob(50)).unwrap();
@@ -326,5 +548,118 @@ mod tests {
         s.put("b", "k", blob(3)).unwrap();
         assert_eq!(t.stats().objects, 1);
         assert!(t.get("b", "k").is_ok());
+    }
+
+    fn chunked(tag: u8, payload: &Bytes) -> (Bytes, Bytes, Bytes) {
+        (
+            Bytes::from(vec![tag; 16]),
+            payload.clone(),
+            Bytes::from(vec![tag ^ 0xff; 8]),
+        )
+    }
+
+    #[test]
+    fn chunked_round_trips_contiguously_and_by_chunks() {
+        let s = ObjectStore::new();
+        let payload = blob(100);
+        let (h, p, t) = chunked(1, &payload);
+        let meta = s.put_chunked("b", "k", h.clone(), p, t.clone()).unwrap();
+        assert_eq!(meta.size, 16 + 100 + 8);
+        // Contiguous read reassembles.
+        let whole = s.get("b", "k").unwrap();
+        assert_eq!(whole.len(), 124);
+        assert_eq!(&whole[..16], &h[..]);
+        assert_eq!(&whole[16..116], &payload[..]);
+        assert_eq!(&whole[116..], &t[..]);
+        // Chunked read is exact.
+        let chunks = s.get_chunks("b", "k").unwrap();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[1], payload);
+        assert_eq!(s.head("b", "k").unwrap().size, 124);
+    }
+
+    #[test]
+    fn twin_payloads_are_stored_once() {
+        let s = ObjectStore::new();
+        let payload = blob(1000);
+        let (h1, p1, t1) = chunked(1, &payload);
+        let (h2, p2, t2) = chunked(2, &payload);
+        s.put_chunked("b", "twin-a", h1, p1, t1).unwrap();
+        let before = s.stats();
+        assert_eq!(before.bytes_stored, 24 + 1000);
+        s.put_chunked("b", "twin-b", h2, p2, t2).unwrap();
+        let after = s.stats();
+        // Second twin adds only head+tail physically.
+        assert_eq!(after.bytes_stored, before.bytes_stored + 24);
+        assert_eq!(after.bytes_deduped, 1000);
+        assert_eq!(after.bytes_uploaded, before.bytes_uploaded + 24);
+        assert_eq!(after.objects, 2);
+        assert_eq!(s.blob_count(), 1);
+    }
+
+    #[test]
+    fn twin_eviction_preserves_the_survivor() {
+        // The §7.2 guard: deleting one twin must not free the shared blob.
+        let s = ObjectStore::new();
+        let payload = blob(500);
+        let (h1, p1, t1) = chunked(1, &payload);
+        let (h2, p2, t2) = chunked(2, &payload);
+        s.put_chunked("b", "twin-a", h1, p1, t1).unwrap();
+        s.put_chunked("b", "twin-b", h2, p2, t2).unwrap();
+        s.delete("b", "twin-a").unwrap();
+        assert_eq!(s.blob_count(), 1, "blob must survive the first eviction");
+        let chunks = s.get_chunks("b", "twin-b").unwrap();
+        assert_eq!(chunks[1], payload);
+        // Last reference gone: blob is freed, storage returns to zero.
+        s.delete("b", "twin-b").unwrap();
+        assert_eq!(s.blob_count(), 0);
+        assert_eq!(s.stats().bytes_stored, 0);
+    }
+
+    #[test]
+    fn replacing_chunked_object_releases_blob_reference() {
+        let s = ObjectStore::new();
+        let payload = blob(300);
+        let (h, p, t) = chunked(1, &payload);
+        s.put_chunked("b", "k", h, p, t).unwrap();
+        // Replace with a plain object: the orphaned blob must be freed.
+        s.put("b", "k", blob(10)).unwrap();
+        assert_eq!(s.blob_count(), 0);
+        assert_eq!(s.stats().bytes_stored, 10);
+        assert_eq!(s.stats().objects, 1);
+    }
+
+    #[test]
+    fn chunked_capacity_counts_physical_bytes() {
+        let s = ObjectStore::with_capacity(1100);
+        let payload = blob(1000);
+        let (h1, p1, t1) = chunked(1, &payload);
+        s.put_chunked("b", "a", h1, p1, t1).unwrap();
+        // 1024 resident; a twin fits because only head+tail (24 B) are new.
+        let (h2, p2, t2) = chunked(2, &payload);
+        s.put_chunked("b", "b", h2, p2, t2).unwrap();
+        assert_eq!(s.stats().bytes_stored, 1048);
+        // A distinct payload of the same size does not fit.
+        let other = Bytes::from(vec![0x11u8; 1000]);
+        let (h3, p3, t3) = chunked(3, &other);
+        assert!(matches!(
+            s.put_chunked("b", "c", h3, p3, t3),
+            Err(StoreError::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn dedup_spans_buckets_and_plain_objects_do_not_dedup() {
+        let s = ObjectStore::new();
+        let payload = blob(200);
+        let (h1, p1, t1) = chunked(1, &payload);
+        let (h2, p2, t2) = chunked(2, &payload);
+        s.put_chunked("x", "k", h1, p1, t1).unwrap();
+        s.put_chunked("y", "k", h2, p2, t2).unwrap();
+        assert_eq!(s.blob_count(), 1);
+        // Plain puts of identical bytes still store twice (opaque blobs).
+        s.put("z", "a", payload.clone()).unwrap();
+        s.put("z", "b", payload.clone()).unwrap();
+        assert_eq!(s.stats().bytes_stored, 24 * 2 + 200 + 200 + 200);
     }
 }

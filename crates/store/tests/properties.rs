@@ -15,7 +15,11 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u8..4, any::<u8>(), prop::collection::vec(any::<u8>(), 0..64))
+        (
+            0u8..4,
+            any::<u8>(),
+            prop::collection::vec(any::<u8>(), 0..64)
+        )
             .prop_map(|(b, k, v)| Op::Put(b, k, v)),
         (0u8..4, any::<u8>()).prop_map(|(b, k)| Op::Get(b, k)),
         (0u8..4, any::<u8>()).prop_map(|(b, k)| Op::Delete(b, k)),
@@ -76,6 +80,57 @@ proptest! {
         for (k, v) in ops {
             let _ = store.put("b", &format!("k{k}"), Bytes::from(v));
             prop_assert!(store.stats().bytes_stored <= capacity);
+        }
+    }
+}
+
+proptest! {
+    /// Twin-lineage snapshots (identical payloads, distinct heads/keys)
+    /// share one refcounted blob; deleting twins in any order never
+    /// corrupts a survivor, and the blob is freed only with the last
+    /// reference — the DESIGN.md §7.2 regression guard.
+    #[test]
+    fn twin_blob_survives_arbitrary_eviction_order(
+        payload in prop::collection::vec(any::<u8>(), 1..512),
+        twins in 2usize..6,
+        order_seed in any::<u64>(),
+    ) {
+        let store = ObjectStore::new();
+        let payload = Bytes::from(payload);
+        for i in 0..twins {
+            store
+                .put_chunked(
+                    "pool",
+                    &format!("twin{i}"),
+                    Bytes::from(format!("head{i}").into_bytes()),
+                    payload.clone(),
+                    Bytes::from_static(b"tail"),
+                )
+                .unwrap();
+        }
+        prop_assert_eq!(store.blob_count(), 1);
+
+        // Deterministic pseudo-shuffled eviction order derived from the seed.
+        let mut keys: Vec<usize> = (0..twins).collect();
+        let mut s = order_seed;
+        for i in (1..keys.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            keys.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        for (evicted, i) in keys.iter().enumerate() {
+            store.delete("pool", &format!("twin{i}")).unwrap();
+            for j in &keys[evicted + 1..] {
+                let body = store.get("pool", &format!("twin{j}")).unwrap();
+                let expect: Vec<u8> = format!("head{j}")
+                    .into_bytes()
+                    .into_iter()
+                    .chain(payload.iter().copied())
+                    .chain(b"tail".iter().copied())
+                    .collect();
+                prop_assert_eq!(body.as_ref(), expect.as_slice());
+            }
+            let expect_blobs = if evicted + 1 < twins { 1 } else { 0 };
+            prop_assert_eq!(store.blob_count(), expect_blobs);
         }
     }
 }

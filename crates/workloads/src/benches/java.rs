@@ -23,10 +23,26 @@ use std::collections::HashMap;
 /// Figure 1b's ~2 500-request convergence.
 fn jvm_methods(driver: &'static str, mid: &'static str, hot: &'static str) -> Vec<MethodSpec> {
     vec![
-        MethodSpec { name: driver, base_calls: 1.0, share: 0.10 },
-        MethodSpec { name: "setup_path", base_calls: 5.0, share: 0.15 },
-        MethodSpec { name: mid, base_calls: 45.0, share: 0.35 },
-        MethodSpec { name: hot, base_calls: 140.0, share: 0.40 },
+        MethodSpec {
+            name: driver,
+            base_calls: 1.0,
+            share: 0.10,
+        },
+        MethodSpec {
+            name: "setup_path",
+            base_calls: 5.0,
+            share: 0.15,
+        },
+        MethodSpec {
+            name: mid,
+            base_calls: 45.0,
+            share: 0.35,
+        },
+        MethodSpec {
+            name: hot,
+            base_calls: 140.0,
+            share: 0.40,
+        },
     ]
 }
 
@@ -158,8 +174,7 @@ pub fn json_bench() -> SpecWorkload {
             let doc = json::random_document(rng, nodes);
             let (serialized, ser_nodes) = json::serialize(&doc);
             let (_, stats) = json::parse(&serialized).expect("round trip parses");
-            (6 * stats.nodes + 2 * ser_nodes + stats.string_chars) as f64
-                + stats.bytes as f64 / 8.0
+            (6 * stats.nodes + 2 * ser_nodes + stats.string_chars) as f64 + stats.bytes as f64 / 8.0
         }),
     })
 }
@@ -211,7 +226,11 @@ mod tests {
         for (b, target) in table1().into_iter().zip(targets_ms) {
             let spec_first_ms = (b.spec().lazy_init_us + b.spec().interp_exec_us) / 1_000.0;
             let rel = (spec_first_ms - target).abs() / target;
-            assert!(rel < 0.05, "{}: {spec_first_ms} ms vs {target} ms", b.name());
+            assert!(
+                rel < 0.05,
+                "{}: {spec_first_ms} ms vs {target} ms",
+                b.name()
+            );
         }
     }
 

@@ -26,10 +26,26 @@ use std::collections::HashMap;
 /// convergence point.
 fn pypy_methods(driver: &'static str, mid: &'static str, hot: &'static str) -> Vec<MethodSpec> {
     vec![
-        MethodSpec { name: driver, base_calls: 1.05, share: 0.10 },
-        MethodSpec { name: mid, base_calls: 100.0, share: 0.35 },
-        MethodSpec { name: "loop_body", base_calls: 200.0, share: 0.20 },
-        MethodSpec { name: hot, base_calls: 400.0, share: 0.35 },
+        MethodSpec {
+            name: driver,
+            base_calls: 1.05,
+            share: 0.10,
+        },
+        MethodSpec {
+            name: mid,
+            base_calls: 100.0,
+            share: 0.35,
+        },
+        MethodSpec {
+            name: "loop_body",
+            base_calls: 200.0,
+            share: 0.20,
+        },
+        MethodSpec {
+            name: hot,
+            base_calls: 400.0,
+            share: 0.35,
+        },
     ]
 }
 
@@ -140,7 +156,10 @@ pub fn dynamic_html() -> SpecWorkload {
             )
             .expect("static template parses");
             let mut ctx = HashMap::new();
-            ctx.insert("title".to_string(), html::Value::Text("Random numbers".into()));
+            ctx.insert(
+                "title".to_string(),
+                html::Value::Text("Random numbers".into()),
+            );
             ctx.insert("footer".to_string(), html::Value::Text("generated".into()));
             ctx.insert(
                 "rows".to_string(),

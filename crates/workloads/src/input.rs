@@ -25,26 +25,38 @@ pub struct InputVariance {
 impl InputVariance {
     /// No perturbation: every request uses the base input size.
     pub const fn none() -> Self {
-        InputVariance { sigma: 0.0, bimodal_spread: None }
+        InputVariance {
+            sigma: 0.0,
+            bimodal_spread: None,
+        }
     }
 
     /// The paper's high-variance setting: latency interquartile ranges
     /// "span over an order of magnitude" for compute-bound benchmarks.
     pub const fn paper() -> Self {
-        InputVariance { sigma: 1.0, bimodal_spread: None }
+        InputVariance {
+            sigma: 1.0,
+            bimodal_spread: None,
+        }
     }
 
     /// A milder setting for the trace-driven experiments (Figure 6 ran at
     /// much smaller latency scales).
     pub const fn low() -> Self {
-        InputVariance { sigma: 0.25, bimodal_spread: None }
+        InputVariance {
+            sigma: 0.25,
+            bimodal_spread: None,
+        }
     }
 
     /// A two-population workload: half the requests ~3x smaller than the
     /// base size, half ~3x larger, each with mild local noise — the
     /// distinct-code-path scenario of §6's future-work discussion.
     pub const fn bimodal() -> Self {
-        InputVariance { sigma: 0.25, bimodal_spread: Some(3.0) }
+        InputVariance {
+            sigma: 0.25,
+            bimodal_spread: Some(3.0),
+        }
     }
 
     /// Samples a size factor, clamped to `[0.08, 12.0]` (roughly an order
@@ -94,7 +106,10 @@ mod tests {
     #[test]
     fn factors_are_clamped() {
         let mut rng = SmallRng::seed_from_u64(2);
-        let v = InputVariance { sigma: 5.0, bimodal_spread: None };
+        let v = InputVariance {
+            sigma: 5.0,
+            bimodal_spread: None,
+        };
         for _ in 0..1000 {
             let f = v.sample_factor(&mut rng);
             assert!((0.08..=12.0).contains(&f));
@@ -140,7 +155,10 @@ mod tests {
         // Roughly half in each mode, and almost nothing near the base size.
         assert!((800..=1200).contains(&small), "small mode {small}");
         assert!((800..=1200).contains(&large), "large mode {large}");
-        let near_base = factors.iter().filter(|&&f| (0.8..1.25).contains(&f)).count();
+        let near_base = factors
+            .iter()
+            .filter(|&&f| (0.8..1.25).contains(&f))
+            .count();
         assert!(near_base < 200, "{near_base} samples near the base size");
     }
 }

@@ -235,7 +235,10 @@ mod tests {
     #[test]
     fn decompress_rejects_corrupt_streams() {
         assert_eq!(decompress(&[0x00]), Err(DecompressError::Truncated));
-        assert_eq!(decompress(&[0x00, 5, 1, 2]), Err(DecompressError::Truncated));
+        assert_eq!(
+            decompress(&[0x00, 5, 1, 2]),
+            Err(DecompressError::Truncated)
+        );
         assert_eq!(decompress(&[0x01, 0, 1]), Err(DecompressError::Truncated));
         assert!(matches!(
             decompress(&[0x01, 0, 9, 3]),

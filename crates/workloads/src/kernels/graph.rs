@@ -272,11 +272,7 @@ pub fn pagerank(g: &Graph, max_iters: usize, tol: f64) -> PageRankResult {
                 edge_updates += 1;
             }
         }
-        let delta: f64 = ranks
-            .iter()
-            .zip(&next)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f64 = ranks.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
         ranks = next;
         if delta < tol {
             break;

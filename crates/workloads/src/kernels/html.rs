@@ -105,7 +105,13 @@ impl Template {
         let mut stack: Vec<(Option<Node>, Vec<Node>)> = vec![(None, Vec::new())];
         let mut rest = source;
         while !rest.is_empty() {
-            if let Some(start) = rest.find("{{").map(|v| (v, true)).into_iter().chain(rest.find("{%").map(|v| (v, false))).min_by_key(|&(pos, _)| pos) {
+            if let Some(start) = rest
+                .find("{{")
+                .map(|v| (v, true))
+                .into_iter()
+                .chain(rest.find("{%").map(|v| (v, false)))
+                .min_by_key(|&(pos, _)| pos)
+            {
                 let (pos, is_var) = start;
                 if pos > 0 {
                     stack
@@ -155,11 +161,7 @@ impl Template {
                             Node::For { body: b, .. } | Node::If { body: b, .. } => *b = body,
                             _ => unreachable!("only blocks are pushed with headers"),
                         }
-                        stack
-                            .last_mut()
-                            .expect("stack never empty")
-                            .1
-                            .push(node);
+                        stack.last_mut().expect("stack never empty").1.push(node);
                     }
                     _ => return Err(TemplateError::UnknownTag(inner)),
                 }
@@ -352,11 +354,15 @@ mod tests {
 
     #[test]
     fn nested_loops_render() {
-        let t = Template::parse("{% for row in rows %}{% for c in cols %}{{ c }}{% end %};{% end %}")
-            .unwrap();
+        let t =
+            Template::parse("{% for row in rows %}{% for c in cols %}{{ c }}{% end %};{% end %}")
+                .unwrap();
         let (html, _) = t
             .render(&ctx(&[
-                ("rows", Value::List(vec![Value::Number(0.0), Value::Number(1.0)])),
+                (
+                    "rows",
+                    Value::List(vec![Value::Number(0.0), Value::Number(1.0)]),
+                ),
                 (
                     "cols",
                     Value::List(vec![Value::Text("a".into()), Value::Text("b".into())]),
@@ -391,12 +397,18 @@ mod tests {
             Template::parse("{% for x in %}"),
             Err(TemplateError::UnknownTag("for x in".into()))
         );
-        assert_eq!(Template::parse("{% end %}"), Err(TemplateError::UnexpectedEnd));
+        assert_eq!(
+            Template::parse("{% end %}"),
+            Err(TemplateError::UnexpectedEnd)
+        );
         assert_eq!(
             Template::parse("{% if a %}x"),
             Err(TemplateError::UnclosedBlock("if"))
         );
-        assert_eq!(Template::parse("{{ a "), Err(TemplateError::UnclosedDelimiter));
+        assert_eq!(
+            Template::parse("{{ a "),
+            Err(TemplateError::UnclosedDelimiter)
+        );
     }
 
     #[test]

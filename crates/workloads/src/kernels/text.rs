@@ -11,11 +11,42 @@ use std::collections::HashMap;
 /// A small vocabulary mixing short and long words, so tokenization work
 /// varies realistically with text length.
 const VOCAB: &[&str] = &[
-    "the", "of", "serverless", "function", "latency", "snapshot", "worker",
-    "request", "jit", "compile", "cold", "warm", "start", "pool", "policy",
-    "orchestrator", "checkpoint", "restore", "runtime", "profile", "tier",
-    "optimization", "speculative", "deoptimize", "container", "eviction",
-    "and", "a", "to", "in", "is", "with", "for", "over", "under", "between",
+    "the",
+    "of",
+    "serverless",
+    "function",
+    "latency",
+    "snapshot",
+    "worker",
+    "request",
+    "jit",
+    "compile",
+    "cold",
+    "warm",
+    "start",
+    "pool",
+    "policy",
+    "orchestrator",
+    "checkpoint",
+    "restore",
+    "runtime",
+    "profile",
+    "tier",
+    "optimization",
+    "speculative",
+    "deoptimize",
+    "container",
+    "eviction",
+    "and",
+    "a",
+    "to",
+    "in",
+    "is",
+    "with",
+    "for",
+    "over",
+    "under",
+    "between",
 ];
 
 /// Generates `words` words of pseudo-prose with sentence punctuation.

@@ -83,8 +83,19 @@ mod tests {
         assert_eq!(benches.len(), 13);
         let names: Vec<&str> = benches.iter().map(|b| b.name()).collect();
         for expected in [
-            "BFS", "DFS", "MST", "DynamicHTML", "PageRank", "Uploader", "Thumbnailer", "Video",
-            "Compression", "HTMLRendering", "MatrixMult", "Hash", "WordCount",
+            "BFS",
+            "DFS",
+            "MST",
+            "DynamicHTML",
+            "PageRank",
+            "Uploader",
+            "Thumbnailer",
+            "Video",
+            "Compression",
+            "HTMLRendering",
+            "MatrixMult",
+            "Hash",
+            "WordCount",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }

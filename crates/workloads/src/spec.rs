@@ -219,8 +219,16 @@ mod tests {
             io_rel_jitter: 0.0,
             io_stale_sensitivity: 1.0,
             methods: vec![
-                MethodSpec { name: "driver", base_calls: 1.0, share: 0.3 },
-                MethodSpec { name: "inner", base_calls: 20.0, share: 0.7 },
+                MethodSpec {
+                    name: "driver",
+                    base_calls: 1.0,
+                    share: 0.3,
+                },
+                MethodSpec {
+                    name: "inner",
+                    base_calls: 20.0,
+                    share: 0.7,
+                },
             ],
             kernel: Box::new(|_rng, factor| 500.0 * factor),
         }

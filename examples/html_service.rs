@@ -60,11 +60,9 @@ fn main() {
             &workload,
             &RunConfig::paper(PolicyKind::RequestCentric, rate, 11),
         );
-        let imp = pronghorn::metrics::median_improvement_pct(
-            baseline.median_us(),
-            pronghorn.median_us(),
-        )
-        .unwrap_or(f64::NAN);
+        let imp =
+            pronghorn::metrics::median_improvement_pct(baseline.median_us(), pronghorn.median_us())
+                .unwrap_or(f64::NAN);
         println!(
             "eviction every {rate:>2} request(s): after-1st {:>7.0}µs  ->  request-centric {:>7.0}µs  ({imp:+.1}%)",
             baseline.median_us(),

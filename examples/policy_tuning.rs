@@ -49,7 +49,10 @@ fn main() {
     println!("pool capacity C (paper: 12) — smaller pools cut storage cost:");
     for c in [2usize, 4, 8, 12, 24] {
         let m = median_with(&workload, base.with_capacity(c));
-        println!("  C = {c:<3} median {m:>9.0}µs   storage bound ~{:>5.1} MB/snapshot x {c}", 55.0);
+        println!(
+            "  C = {c:<3} median {m:>9.0}µs   storage bound ~{:>5.1} MB/snapshot x {c}",
+            55.0
+        );
     }
 
     println!("\nsearch-space bound W (paper: 100 PyPy / 200 JVM):");

@@ -14,10 +14,7 @@ use pronghorn::prelude::*;
 fn main() {
     let mut args = std::env::args().skip(1);
     let bench = args.next().unwrap_or_else(|| "DynamicHTML".to_string());
-    let rate: u32 = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let rate: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
 
     let Some(workload) = by_name(&bench) else {
         eprintln!("unknown benchmark: {bench}");
@@ -54,11 +51,7 @@ fn main() {
 
     let after_first = medians[1].1;
     let request_centric = medians[2].1;
-    if let Some(imp) =
-        pronghorn::metrics::median_improvement_pct(after_first, request_centric)
-    {
-        println!(
-            "\nrequest-centric vs state-of-the-art (after-1st): {imp:+.1}% median latency"
-        );
+    if let Some(imp) = pronghorn::metrics::median_improvement_pct(after_first, request_centric) {
+        println!("\nrequest-centric vs state-of-the-art (after-1st): {imp:+.1}% median latency");
     }
 }

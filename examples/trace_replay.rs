@@ -80,8 +80,7 @@ fn main() {
              the policy cannot learn anything useful in one window.",
             trace.len()
         );
-    } else if let Some(imp) =
-        pronghorn::metrics::median_improvement_pct(medians[1].1, medians[2].1)
+    } else if let Some(imp) = pronghorn::metrics::median_improvement_pct(medians[1].1, medians[2].1)
     {
         println!("request-centric vs after-1st: {imp:+.1}% median");
     }

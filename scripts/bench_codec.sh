@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Collects the codec performance numbers the PR claims:
+#
+#   1. runs the codec_throughput bench with PRONGHORN_BENCH_JSON set, so
+#      every result is also appended to results/codec_throughput.jsonl
+#      (one JSON object per line: group, bench, ns_per_iter, MB/s);
+#   2. runs `experiments summary`, which writes results/BENCH_grid.json
+#      (grid wall-clock + merged codec counters + the inline
+#      legacy-vs-fast micro-bench at 10/32/64 MiB).
+#
+# Usage: scripts/bench_codec.sh [--quick]
+#   --quick  forwards the experiments harness's reduced-size mode.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p results
+JSONL=results/codec_throughput.jsonl
+: > "$JSONL"
+
+echo "== codec_throughput bench (JSON -> $JSONL) =="
+# Absolute path: cargo runs the bench binary from the package directory.
+PRONGHORN_BENCH_JSON="$PWD/$JSONL" cargo bench -q -p pronghorn-bench --bench codec_throughput
+
+echo
+echo "== experiments summary (writes results/BENCH_grid.json) =="
+cargo run -q --release -p pronghorn-experiments -- summary "$@"
+
+echo
+echo "== artifacts =="
+ls -l "$JSONL" results/BENCH_grid.json

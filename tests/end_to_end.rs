@@ -31,7 +31,10 @@ fn every_benchmark_runs_under_every_policy() {
                 policy
             );
             assert!(
-                result.latencies_us.iter().all(|&l| l.is_finite() && l > 0.0),
+                result
+                    .latencies_us
+                    .iter()
+                    .all(|&l| l.is_finite() && l > 0.0),
                 "{} produced a non-finite latency",
                 workload.name()
             );

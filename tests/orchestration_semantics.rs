@@ -7,10 +7,26 @@ use pronghorn::prelude::*;
 
 fn simple_request() -> RequestWork {
     RequestWork::new(vec![
-        MethodWork { method: 0, units: 500.0, calls: 1.0 },
-        MethodWork { method: 1, units: 500.0, calls: 100.0 },
-        MethodWork { method: 2, units: 500.0, calls: 200.0 },
-        MethodWork { method: 3, units: 500.0, calls: 400.0 },
+        MethodWork {
+            method: 0,
+            units: 500.0,
+            calls: 1.0,
+        },
+        MethodWork {
+            method: 1,
+            units: 500.0,
+            calls: 100.0,
+        },
+        MethodWork {
+            method: 2,
+            units: 500.0,
+            calls: 200.0,
+        },
+        MethodWork {
+            method: 3,
+            units: 500.0,
+            calls: 400.0,
+        },
     ])
 }
 
@@ -25,16 +41,22 @@ fn snapshot_chains_preserve_warmup_progress() {
     let mut rng = factory.stream("chain");
 
     // Continuous worker: 120 requests straight.
-    let (mut continuous, _) =
-        Runtime::cold_start(workload.runtime_profile(), workload.method_profiles(), &mut rng);
+    let (mut continuous, _) = Runtime::cold_start(
+        workload.runtime_profile(),
+        workload.method_profiles(),
+        &mut rng,
+    );
     let mut rng_a = factory.stream("exec");
     for _ in 0..120 {
         continuous.execute(&simple_request(), &mut rng_a);
     }
 
     // Chained worker: checkpoint/restore every 10 requests.
-    let (mut chained, _) =
-        Runtime::cold_start(workload.runtime_profile(), workload.method_profiles(), &mut rng);
+    let (mut chained, _) = Runtime::cold_start(
+        workload.runtime_profile(),
+        workload.method_profiles(),
+        &mut rng,
+    );
     let mut rng_b = factory.stream("exec"); // same stream seed as rng_a
     for generation in 0..12 {
         for _ in 0..10 {
@@ -68,10 +90,10 @@ fn checkpointing_is_bounded_by_w_and_the_provider_stop() {
     // lifetime at eviction rate 1) but only inside [0, W].
     let cfg = RunConfig::paper(PolicyKind::RequestCentric, 1, 77).with_invocations(500);
     let unbounded = run_closed_loop(&workload, &cfg);
-    assert!(unbounded
-        .snapshot_requests
-        .iter()
-        .all(|&r| r <= 100), "snapshot beyond W taken");
+    assert!(
+        unbounded.snapshot_requests.iter().all(|&r| r <= 100),
+        "snapshot beyond W taken"
+    );
 
     // Provider stop at W + 100 = 200 invocations.
     let stopped_cfg = cfg.with_checkpoint_stop(200);
@@ -94,8 +116,11 @@ fn snapshot_size_grows_with_optimization_state() {
     let workload = by_name("Hash").expect("bundled benchmark");
     let factory = RngFactory::new(8);
     let mut rng = factory.stream("x");
-    let (mut runtime, _) =
-        Runtime::cold_start(workload.runtime_profile(), workload.method_profiles(), &mut rng);
+    let (mut runtime, _) = Runtime::cold_start(
+        workload.runtime_profile(),
+        workload.method_profiles(),
+        &mut rng,
+    );
     let cold_size = runtime.image_size_bytes();
     let mut exec = factory.stream("exec");
     for i in 0..3_000u64 {
