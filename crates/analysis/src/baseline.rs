@@ -1,0 +1,317 @@
+//! The ratcheted baseline: pre-existing findings are tolerated, new ones
+//! fail, fixed ones are pruned.
+//!
+//! The baseline file (`analysis/baseline.toml` at the workspace root)
+//! records a finding **count** per `(rule, file)` pair rather than line
+//! numbers, so unrelated edits that shift lines do not churn it. The
+//! ratchet semantics per pair:
+//!
+//! - current > baselined → **regression**, pronglint exits nonzero;
+//! - current = baselined → pass (the debt is known);
+//! - current < baselined → pass, and `--update-baseline` rewrites the file
+//!   with the lower count (a zero count prunes the entry entirely).
+//!
+//! The file is a restricted TOML subset (comments, `[[finding]]` array
+//! headers, `key = "string" | integer`) parsed in-tree — the build
+//! environment has no registry access for a real TOML crate.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Baselined finding counts, keyed by `(rule, file)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), u64>,
+}
+
+/// A malformed baseline file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineParseError {
+    /// 1-based line of the offending text.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for BaselineParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "baseline line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for BaselineParseError {}
+
+impl Baseline {
+    /// An empty baseline (no tolerated findings).
+    pub fn empty() -> Self {
+        Baseline::default()
+    }
+
+    /// Number of `(rule, file)` entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the baseline tolerates nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The tolerated count for a `(rule, file)` pair (0 when absent).
+    pub fn tolerated(&self, rule: &str, file: &str) -> u64 {
+        self.entries
+            .get(&(rule.to_string(), file.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Parses the restricted-TOML baseline format.
+    pub fn parse(text: &str) -> Result<Self, BaselineParseError> {
+        let mut entries = BTreeMap::new();
+        let mut current: Option<(Option<String>, Option<String>, Option<u64>)> = None;
+        let mut flush = |cur: &mut Option<(Option<String>, Option<String>, Option<u64>)>,
+                         line_no: usize|
+         -> Result<(), BaselineParseError> {
+            if let Some((rule, file, count)) = cur.take() {
+                match (rule, file, count) {
+                    (Some(r), Some(f), Some(c)) => {
+                        *entries.entry((r, f)).or_insert(0) += c;
+                        Ok(())
+                    }
+                    _ => Err(BaselineParseError {
+                        line: line_no,
+                        reason: "incomplete [[finding]]: need rule, file and count".into(),
+                    }),
+                }
+            } else {
+                Ok(())
+            }
+        };
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[finding]]" {
+                flush(&mut current, line_no)?;
+                current = Some((None, None, None));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(BaselineParseError {
+                    line: line_no,
+                    reason: format!("expected `key = value`, got `{line}`"),
+                });
+            };
+            let Some(entry) = current.as_mut() else {
+                return Err(BaselineParseError {
+                    line: line_no,
+                    reason: "key outside a [[finding]] block".into(),
+                });
+            };
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "rule" | "file" => {
+                    let unquoted = value
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| BaselineParseError {
+                            line: line_no,
+                            reason: format!("`{key}` must be a quoted string"),
+                        })?;
+                    if key == "rule" {
+                        entry.0 = Some(unquoted.to_string());
+                    } else {
+                        entry.1 = Some(unquoted.to_string());
+                    }
+                }
+                "count" => {
+                    let n: u64 = value.parse().map_err(|_| BaselineParseError {
+                        line: line_no,
+                        reason: format!("`count` must be a non-negative integer, got `{value}`"),
+                    })?;
+                    entry.2 = Some(n);
+                }
+                other => {
+                    return Err(BaselineParseError {
+                        line: line_no,
+                        reason: format!("unknown key `{other}`"),
+                    });
+                }
+            }
+        }
+        let total = text.lines().count();
+        flush(&mut current, total)?;
+        Ok(Baseline { entries })
+    }
+
+    /// Serializes back to the baseline file format (stable order).
+    pub fn to_toml(&self) -> String {
+        let mut out = String::from(
+            "# pronglint baseline — pre-existing findings being ratcheted down.\n\
+             # New findings beyond these counts fail CI; fixing a finding and\n\
+             # running `cargo run -p analysis --bin pronglint -- --update-baseline`\n\
+             # prunes its entry. Do not add entries by hand without a reason.\n",
+        );
+        for ((rule, file), count) in &self.entries {
+            if *count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "\n[[finding]]\nrule = \"{rule}\"\nfile = \"{file}\"\ncount = {count}\n"
+            ));
+        }
+        out
+    }
+
+    /// Builds the baseline that exactly tolerates `findings`.
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        let mut entries: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for f in findings {
+            *entries
+                .entry((f.rule.to_string(), f.file.clone()))
+                .or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+}
+
+/// Outcome of comparing current findings against the baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Ratchet {
+    /// Findings in excess of the baseline — these fail the run. For a
+    /// `(rule, file)` pair with `b` baselined and `c > b` current findings,
+    /// the `c - b` highest-line findings are reported as new.
+    pub regressions: Vec<Finding>,
+    /// Findings covered by the baseline (known debt, passing).
+    pub baselined: Vec<Finding>,
+    /// `(rule, file)` pairs whose baselined count exceeds the current
+    /// count — the baseline can be tightened (`--update-baseline`).
+    pub improvements: Vec<(String, String, u64, u64)>,
+}
+
+impl Ratchet {
+    /// Whether the run passes (no findings beyond the baseline).
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Applies the ratchet: splits `findings` into regressions vs baselined
+/// debt and reports improvements.
+pub fn ratchet(findings: &[Finding], baseline: &Baseline) -> Ratchet {
+    let mut by_pair: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
+    for f in findings {
+        by_pair
+            .entry((f.rule.to_string(), f.file.clone()))
+            .or_default()
+            .push(f.clone());
+    }
+    let mut out = Ratchet::default();
+    for ((rule, file), mut group) in by_pair {
+        group.sort();
+        let tolerated = baseline.tolerated(&rule, &file) as usize;
+        if group.len() > tolerated {
+            out.baselined.extend_from_slice(&group[..tolerated]);
+            out.regressions.extend_from_slice(&group[tolerated..]);
+        } else {
+            out.baselined.extend_from_slice(&group);
+        }
+    }
+    for ((rule, file), &count) in &baseline.entries {
+        let current = out
+            .baselined
+            .iter()
+            .filter(|f| f.rule == rule && &f.file == file)
+            .count() as u64;
+        if current < count {
+            out.improvements
+                .push((rule.clone(), file.clone(), count, current));
+        }
+    }
+    out.regressions.sort();
+    out.baselined.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, line: u32) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        let b = Baseline::from_findings(&[
+            finding("panic-path", "crates/core/src/a.rs", 3),
+            finding("panic-path", "crates/core/src/a.rs", 9),
+            finding("unordered-iter", "crates/store/src/s.rs", 1),
+        ]);
+        let text = b.to_toml();
+        let reparsed = Baseline::parse(&text).unwrap();
+        assert_eq!(b, reparsed);
+        assert_eq!(reparsed.tolerated("panic-path", "crates/core/src/a.rs"), 2);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Baseline::parse("rule = \"x\"\n").is_err()); // key outside block
+        assert!(Baseline::parse("[[finding]]\nrule = \"x\"\n").is_err()); // incomplete
+        assert!(Baseline::parse("[[finding]]\nrule = x\n").is_err()); // unquoted
+        assert!(Baseline::parse("[[finding]]\nbogus = 1\n").is_err()); // unknown key
+        assert!(Baseline::parse("[[finding]]\nrule = \"r\"\nfile = \"f\"\ncount = -1\n").is_err());
+        assert!(Baseline::parse("# just a comment\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn new_finding_regresses_baselined_passes() {
+        let base = Baseline::from_findings(&[finding("panic-path", "f.rs", 3)]);
+        let current = vec![
+            finding("panic-path", "f.rs", 3),
+            finding("panic-path", "f.rs", 8),
+        ];
+        let r = ratchet(&current, &base);
+        assert!(!r.passed());
+        assert_eq!(r.regressions.len(), 1);
+        assert_eq!(r.regressions[0].line, 8);
+        assert_eq!(r.baselined.len(), 1);
+    }
+
+    #[test]
+    fn fixed_finding_is_an_improvement_and_prunes_on_update() {
+        let base = Baseline::from_findings(&[
+            finding("panic-path", "f.rs", 3),
+            finding("panic-path", "f.rs", 8),
+        ]);
+        let current = vec![finding("panic-path", "f.rs", 3)];
+        let r = ratchet(&current, &base);
+        assert!(r.passed());
+        assert_eq!(r.improvements.len(), 1);
+        assert_eq!(r.improvements[0].2, 2);
+        assert_eq!(r.improvements[0].3, 1);
+        // Updating from current findings prunes the count; a fully fixed
+        // file disappears from the serialized baseline.
+        let updated = Baseline::from_findings(&current);
+        assert_eq!(updated.tolerated("panic-path", "f.rs"), 1);
+        let fully_fixed = Baseline::from_findings(&[]);
+        assert!(!fully_fixed.to_toml().contains("[[finding]]"));
+    }
+
+    #[test]
+    fn distinct_rules_do_not_share_budget() {
+        let base = Baseline::from_findings(&[finding("panic-path", "f.rs", 1)]);
+        let current = vec![finding("unordered-iter", "f.rs", 1)];
+        let r = ratchet(&current, &base);
+        assert!(!r.passed(), "a different rule must not consume the budget");
+    }
+}

@@ -1,0 +1,419 @@
+//! A hand-rolled Rust lexer, just deep enough for lint rules.
+//!
+//! The goal is not a faithful `rustc` tokenizer but a total function from
+//! arbitrary text to a token stream with three guarantees the rule engine
+//! and the property tests rely on:
+//!
+//! 1. **Totality** — lexing never panics, whatever the input (including
+//!    text that is not valid Rust, truncated literals, or lossy-decoded
+//!    binary garbage);
+//! 2. **Span round-trip** — tokens tile the input exactly: the first token
+//!    starts at byte 0, each token starts where the previous one ended,
+//!    and the last token ends at `src.len()`;
+//! 3. **Comment/string opacity** — identifiers inside comments and string
+//!    literals are never reported as [`TokenKind::Ident`], so a rule can
+//!    match on identifier tokens without tripping over prose or test data.
+//!
+//! Lexical subtleties that matter for those guarantees and are handled:
+//! raw strings (`r#"…"#`), byte and raw-byte strings, char literals vs
+//! lifetimes (`'a'` vs `'a`), nested block comments, and numeric literals
+//! adjacent to range operators (`0..n` must not lex `0.` as a float).
+
+/// Classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers `r#ident`).
+    Ident,
+    /// Lifetime such as `'a` (including the quote).
+    Lifetime,
+    /// Numeric literal, loosely scanned (suffixes included).
+    Number,
+    /// String, byte-string, raw-string, or char literal, quotes included.
+    Str,
+    /// `// …` comment, newline excluded. Doc comments (`///`, `//!`) too.
+    LineComment,
+    /// `/* … */` comment, possibly nested, possibly unterminated.
+    BlockComment,
+    /// A single punctuation character (`.`, `:`, `#`, braces, …).
+    Punct,
+    /// A run of whitespace.
+    Whitespace,
+    /// Anything else (stray non-ASCII, lone backslashes, …), one char.
+    Unknown,
+}
+
+/// One lexed token: a classification plus its byte span and start line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next()
+    }
+
+    fn peek3(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes chars while `pred` holds.
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if !pred(c) {
+                break;
+            }
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into a token stream tiling the whole input.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src,
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while cur.pos < src.len() {
+        let start = cur.pos;
+        let line = cur.line;
+        let kind = next_kind(&mut cur);
+        debug_assert!(cur.pos > start, "lexer must always make progress");
+        out.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+        });
+    }
+    out
+}
+
+fn next_kind(cur: &mut Cursor<'_>) -> TokenKind {
+    let c = match cur.peek() {
+        Some(c) => c,
+        None => {
+            // Unreachable in practice (lex checks pos < len), but stay total.
+            return TokenKind::Unknown;
+        }
+    };
+    if c.is_whitespace() {
+        cur.eat_while(char::is_whitespace);
+        return TokenKind::Whitespace;
+    }
+    if c == '/' {
+        match cur.peek2() {
+            Some('/') => {
+                cur.eat_while(|c| c != '\n');
+                return TokenKind::LineComment;
+            }
+            Some('*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek2()) {
+                        (Some('*'), Some('/')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth -= 1;
+                        }
+                        (Some('/'), Some('*')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth += 1;
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break, // unterminated: consume to EOF
+                    }
+                }
+                return TokenKind::BlockComment;
+            }
+            _ => {
+                cur.bump();
+                return TokenKind::Punct;
+            }
+        }
+    }
+    // Raw strings / raw identifiers / byte strings, before plain idents.
+    if (c == 'r' || c == 'b') && try_prefixed_literal(cur) {
+        return TokenKind::Str;
+    }
+    if c == 'r' && cur.peek2() == Some('#') && cur.peek3().is_some_and(is_ident_start) {
+        // Raw identifier `r#ident`.
+        cur.bump();
+        cur.bump();
+        cur.eat_while(is_ident_continue);
+        return TokenKind::Ident;
+    }
+    if is_ident_start(c) {
+        cur.eat_while(is_ident_continue);
+        return TokenKind::Ident;
+    }
+    if c.is_ascii_digit() {
+        lex_number(cur);
+        return TokenKind::Number;
+    }
+    if c == '"' {
+        lex_quoted(cur, '"');
+        return TokenKind::Str;
+    }
+    if c == '\'' {
+        // Lifetime (`'a` not followed by a closing quote) vs char literal.
+        let is_lifetime = cur.peek2().is_some_and(is_ident_start) && cur.peek3() != Some('\'');
+        if is_lifetime {
+            cur.bump();
+            cur.eat_while(is_ident_continue);
+            return TokenKind::Lifetime;
+        }
+        lex_quoted(cur, '\'');
+        return TokenKind::Str;
+    }
+    if c.is_ascii_punctuation() {
+        cur.bump();
+        return TokenKind::Punct;
+    }
+    cur.bump();
+    TokenKind::Unknown
+}
+
+/// Attempts to consume `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, or `b'…'`
+/// starting at the cursor. Returns false (cursor untouched) if the shape
+/// does not match.
+fn try_prefixed_literal(cur: &mut Cursor<'_>) -> bool {
+    let rest = &cur.src[cur.pos..];
+    let mut chars = rest.chars();
+    let first = chars.next();
+    let mut prefix_len = 1;
+    let mut raw = first == Some('r');
+    let mut next = chars.next();
+    if first == Some('b') {
+        if next == Some('r') {
+            raw = true;
+            prefix_len = 2;
+            next = chars.next();
+        } else if next == Some('\'') {
+            // Byte char literal b'…'.
+            cur.bump();
+            lex_quoted(cur, '\'');
+            return true;
+        }
+    }
+    if raw {
+        // Count hashes after the r.
+        let mut hashes = 0;
+        while next == Some('#') {
+            hashes += 1;
+            next = chars.next();
+        }
+        if next != Some('"') {
+            return false;
+        }
+        for _ in 0..prefix_len + hashes + 1 {
+            cur.bump();
+        }
+        // Scan until `"` followed by `hashes` hash marks.
+        loop {
+            match cur.bump() {
+                None => return true, // unterminated raw string
+                Some('"') => {
+                    let tail = &cur.src[cur.pos..];
+                    if tail.bytes().take(hashes).filter(|&b| b == b'#').count() == hashes {
+                        for _ in 0..hashes {
+                            cur.bump();
+                        }
+                        return true;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    if first == Some('b') && next == Some('"') {
+        cur.bump();
+        lex_quoted(cur, '"');
+        return true;
+    }
+    false
+}
+
+/// Consumes a quoted literal with backslash escapes, starting at the
+/// opening quote. Unterminated literals consume to end of input.
+fn lex_quoted(cur: &mut Cursor<'_>, quote: char) {
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            None => return,
+            Some('\\') => {
+                cur.bump();
+            }
+            Some(c) if c == quote => return,
+            Some(_) => {}
+        }
+    }
+}
+
+/// Loosely consumes a numeric literal: digits, underscores, alphanumeric
+/// suffixes/prefixes (`0x…`, `1u64`, `1e9`), an exponent sign, and a
+/// decimal point only when followed by a digit (so `0..n` stays a range).
+fn lex_number(cur: &mut Cursor<'_>) {
+    cur.bump(); // leading digit
+    loop {
+        match cur.peek() {
+            Some(c) if c.is_ascii_alphanumeric() || c == '_' => {
+                let was_exp = c == 'e' || c == 'E';
+                cur.bump();
+                // `1e-9` / `1E+9`: sign directly after the exponent char.
+                if was_exp && matches!(cur.peek(), Some('+') | Some('-')) {
+                    cur.bump();
+                }
+            }
+            Some('.') if cur.peek2().is_some_and(|d| d.is_ascii_digit()) => {
+                cur.bump();
+            }
+            _ => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, &src[t.start..t.end]))
+            .collect()
+    }
+
+    #[test]
+    fn spans_tile_the_input() {
+        let src = "fn main() { let x = 1.5; } // done";
+        let toks = lex(src);
+        assert_eq!(toks.first().unwrap().start, 0);
+        assert_eq!(toks.last().unwrap().end, src.len());
+        for pair in toks.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+    }
+
+    #[test]
+    fn idents_in_strings_and_comments_are_opaque() {
+        let src = r#"let s = "HashMap"; // HashMap
+        /* HashMap */ let m: HashMap<u8, u8>;"#;
+        let idents: Vec<&str> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(idents, ["let", "s", "let", "m", "HashMap", "u8", "u8"]);
+    }
+
+    #[test]
+    fn ranges_do_not_eat_the_dots() {
+        let got = kinds("0..total");
+        assert_eq!(
+            got,
+            vec![
+                (TokenKind::Number, "0"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Punct, "."),
+                (TokenKind::Ident, "total"),
+            ]
+        );
+        assert_eq!(kinds("1.5")[0], (TokenKind::Number, "1.5"));
+        assert_eq!(kinds("1e-9")[0], (TokenKind::Number, "1e-9"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let got = kinds("&'a str 'x' '\\n'");
+        assert!(got.contains(&(TokenKind::Lifetime, "'a")));
+        assert!(got.contains(&(TokenKind::Str, "'x'")));
+        assert!(got.contains(&(TokenKind::Str, "'\\n'")));
+    }
+
+    #[test]
+    fn raw_strings_and_nested_comments() {
+        let src = "r#\"quote \" inside\"# /* outer /* inner */ still */ b\"bytes\"";
+        let got = kinds(src);
+        assert_eq!(got[0], (TokenKind::Str, "r#\"quote \" inside\"#"));
+        assert!(got
+            .iter()
+            .any(|(k, s)| *k == TokenKind::BlockComment && s.contains("inner")));
+        assert!(got
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Str && *s == "b\"bytes\""));
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        for src in ["\"never closed", "r#\"open", "/* open", "'x", "b\"oops"] {
+            let toks = lex(src);
+            assert_eq!(toks.last().unwrap().end, src.len());
+        }
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let src = "a\nb\n  c";
+        let toks: Vec<Token> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .collect();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+}

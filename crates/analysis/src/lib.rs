@@ -1,0 +1,50 @@
+//! `pronglint`: workspace-native determinism & invariant static analysis.
+//!
+//! Pronghorn's headline numbers are reproducible only because every policy
+//! decision — EWMA updates, softmax restore sampling, pool eviction — runs
+//! under a fixed-seed deterministic simulation. A single `HashMap`
+//! iteration or float-reduction-order change silently invalidates every
+//! `results/` artifact. This crate is the guard for that contract: a
+//! hand-rolled Rust [`lexer`] (no `syn`, no network — in the spirit of the
+//! `compat/` stubs), a line/context-aware [`rules`] engine enforcing the
+//! D1–D5 invariants of DESIGN.md §10, a ratcheted [`baseline`] so
+//! pre-existing debt burns down without blocking CI, and [`report`]
+//! rendering in human and JSON form.
+//!
+//! Run it as:
+//!
+//! ```text
+//! cargo run -p analysis --bin pronglint
+//! ```
+//!
+//! Exit status: 0 when no findings exceed the baseline, 1 on regressions,
+//! 2 on usage or I/O errors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+pub use baseline::{ratchet, Baseline, Ratchet};
+pub use lexer::{lex, Token, TokenKind};
+pub use rules::{analyze_source, FileContext, Finding};
+pub use walk::{workspace_sources, SourceFile};
+
+use std::io;
+use std::path::Path;
+
+/// Analyzes every in-scope source file under `root`, returning all
+/// findings sorted by path and line.
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for file in workspace_sources(root)? {
+        let src = std::fs::read_to_string(&file.abs_path)?;
+        findings.extend(analyze_source(&file.ctx, &src));
+    }
+    findings.sort();
+    Ok(findings)
+}

@@ -1,0 +1,135 @@
+//! Human and JSON rendering of a pronglint run.
+
+use crate::baseline::Ratchet;
+use crate::rules::Finding;
+use std::fmt::Write as _;
+
+/// Renders the human-readable report: one `file:line: [rule] message` per
+/// finding (regressions first), then the improvement notes and a summary.
+pub fn human(r: &Ratchet) -> String {
+    let mut out = String::new();
+    for f in &r.regressions {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    if !r.baselined.is_empty() {
+        let _ = writeln!(
+            out,
+            "note: {} baselined finding(s) tolerated (see analysis/baseline.toml)",
+            r.baselined.len()
+        );
+    }
+    for (rule, file, was, now) in &r.improvements {
+        let _ = writeln!(
+            out,
+            "note: {file} [{rule}] improved {was} -> {now}; run with --update-baseline to ratchet"
+        );
+    }
+    if r.passed() {
+        let _ = writeln!(out, "pronglint: OK");
+    } else {
+        let _ = writeln!(
+            out,
+            "pronglint: FAILED — {} new finding(s) beyond the baseline",
+            r.regressions.len()
+        );
+    }
+    out
+}
+
+/// Renders the machine-readable JSON report.
+pub fn json(r: &Ratchet) -> String {
+    let mut out = String::from("{\n  \"regressions\": [");
+    append_findings(&mut out, &r.regressions);
+    out.push_str("],\n  \"baselined\": [");
+    append_findings(&mut out, &r.baselined);
+    out.push_str("],\n  \"improvements\": [");
+    for (i, (rule, file, was, now)) in r.improvements.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"baselined\": {}, \"current\": {}}}",
+            escape(rule),
+            escape(file),
+            was,
+            now
+        );
+    }
+    if !r.improvements.is_empty() {
+        out.push_str("\n  ");
+    }
+    let _ = write!(out, "],\n  \"passed\": {}\n}}\n", r.passed());
+    out
+}
+
+fn append_findings(out: &mut String, findings: &[Finding]) {
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            escape(f.rule),
+            escape(&f.file),
+            f.line,
+            escape(&f.message)
+        );
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{ratchet, Baseline};
+
+    fn sample() -> Ratchet {
+        let findings = vec![Finding {
+            file: "crates/core/src/x.rs".into(),
+            line: 4,
+            rule: "panic-path",
+            message: "say \"no\" to panics".into(),
+        }];
+        ratchet(&findings, &Baseline::empty())
+    }
+
+    #[test]
+    fn human_report_names_file_line_rule() {
+        let text = human(&sample());
+        assert!(text.contains("crates/core/src/x.rs:4: [panic-path]"));
+        assert!(text.contains("FAILED"));
+        let ok = human(&ratchet(&[], &Baseline::empty()));
+        assert_eq!(ok, "pronglint: OK\n");
+    }
+
+    #[test]
+    fn json_report_escapes_and_flags() {
+        let text = json(&sample());
+        assert!(text.contains("\\\"no\\\""));
+        assert!(text.contains("\"passed\": false"));
+        assert!(json(&ratchet(&[], &Baseline::empty())).contains("\"passed\": true"));
+    }
+}

@@ -1,0 +1,646 @@
+//! The Pronghorn invariant rules (D1–D5) and the context engine that
+//! evaluates them over a lexed file.
+//!
+//! Every rule guards the determinism contract the evaluation grid depends
+//! on (see DESIGN.md §10): fixed-seed runs must replay bit-identically, so
+//! nothing order-sensitive, clock-sensitive, or panicky may sit on a
+//! sim-visible path. Rules are line/context aware, not purely textual:
+//! comments and string literals are opaque (the lexer classifies them),
+//! test code is exempt where the rule says so, and per-line suppressions
+//! plus the `det-order` marker are honored.
+//!
+//! | rule id | invariant |
+//! |---|---|
+//! | `unordered-iter` | no `HashMap`/`HashSet` in sim-visible crates |
+//! | `wall-clock` | no `Instant::now`/`SystemTime::now`/`thread_rng` outside bench/experiments |
+//! | `panic-path` | no `unwrap()`/`expect()`/`panic!` in policy-crate library code |
+//! | `crate-hygiene` | crate roots carry `#![forbid(unsafe_code)]` (+ missing-docs lint for libs) |
+//! | `float-accum` | f64 reductions in core/metrics carry the `det-order` marker |
+//!
+//! Suppression syntax, trailing the offending line or in a comment
+//! (possibly multi-line) directly above it:
+//!
+//! ```text
+//! // pronglint: allow(unordered-iter): justification here
+//! ```
+//!
+//! Deterministic-order marker (rule `float-accum` only), anywhere in the
+//! statement or on the line above it:
+//!
+//! ```text
+//! // pronglint: det-order — slice iteration, fixed order
+//! ```
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// Crates whose state or RNG draws are visible to the deterministic
+/// simulation: any iteration-order dependence here can shift fixed-seed
+/// results (rule `unordered-iter`).
+pub const SIM_VISIBLE_CRATES: &[&str] = &[
+    "core",
+    "sim",
+    "checkpoint",
+    "store",
+    "kv",
+    "jit",
+    "platform",
+    "metrics",
+];
+
+/// Crates allowed to read wall clocks and OS entropy (rule `wall-clock`):
+/// the host-side measurement harnesses, never the simulation itself.
+pub const CLOCK_EXEMPT_CRATES: &[&str] = &["bench", "experiments"];
+
+/// Policy crates whose library paths must surface typed errors instead of
+/// panicking (rule `panic-path`).
+pub const POLICY_CRATES: &[&str] = &["core", "checkpoint"];
+
+/// Crates whose f64 reductions must be marked order-deterministic (rule
+/// `float-accum`): the policy math and the statistics it feeds.
+pub const FLOAT_ORDER_CRATES: &[&str] = &["core", "metrics"];
+
+/// All rule identifiers, in catalog order.
+pub const ALL_RULES: &[&str] = &[
+    "unordered-iter",
+    "wall-clock",
+    "panic-path",
+    "crate-hygiene",
+    "float-accum",
+];
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Rule identifier (one of [`ALL_RULES`]).
+    pub rule: &'static str,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+/// What kind of file is being analyzed, derived from its path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileContext {
+    /// Crate the file belongs to (`core`, `sim`, …; the workspace facade
+    /// is `pronghorn`).
+    pub crate_name: String,
+    /// Repo-relative path, forward slashes.
+    pub path: String,
+    /// Whole file is test/bench scope (`tests/` or `benches/` directory).
+    pub is_test_file: bool,
+    /// File is a crate root (`src/lib.rs`, `src/main.rs`, `src/bin/*.rs`).
+    pub is_crate_root: bool,
+    /// Crate root is a library root (`src/lib.rs`), which additionally
+    /// requires a missing-docs lint level.
+    pub is_lib_root: bool,
+}
+
+/// Analyzes one file's source, returning its findings sorted by line.
+pub fn analyze_source(ctx: &FileContext, src: &str) -> Vec<Finding> {
+    let tokens = lex(src);
+    let file = FileAnalysis::new(ctx, src, &tokens);
+    let mut findings = Vec::new();
+    file.rule_unordered_iter(&mut findings);
+    file.rule_wall_clock(&mut findings);
+    file.rule_panic_path(&mut findings);
+    file.rule_crate_hygiene(&mut findings);
+    file.rule_float_accum(&mut findings);
+    findings.retain(|f| !file.is_suppressed(f.rule, f.line));
+    findings.sort();
+    findings
+}
+
+/// Pre-computed per-file context shared by all rules.
+struct FileAnalysis<'a> {
+    ctx: &'a FileContext,
+    src: &'a str,
+    tokens: &'a [Token],
+    /// Indices (into `tokens`) of significant tokens: everything except
+    /// whitespace and comments.
+    sig: Vec<usize>,
+    /// Byte ranges of test scope (`#[cfg(test)]` / `#[test]` item bodies).
+    test_regions: Vec<(usize, usize)>,
+    /// Lines *covered by* a `pronglint: allow(rule)` comment, per rule:
+    /// the comment's own line for trailing comments, else the next code
+    /// line after the comment (block).
+    allows: Vec<(String, u32)>,
+    /// Lines carrying the `pronglint: det-order` marker.
+    det_order_lines: BTreeSet<u32>,
+}
+
+impl<'a> FileAnalysis<'a> {
+    fn new(ctx: &'a FileContext, src: &'a str, tokens: &'a [Token]) -> Self {
+        let sig: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                !matches!(
+                    t.kind,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .map(|(i, _)| i)
+            .collect();
+        // Lines holding code, for resolving which line a suppression
+        // comment targets: a trailing comment covers its own line, a
+        // comment-only line (or block of them) covers the next code line.
+        let code_lines: BTreeSet<u32> = sig.iter().map(|&i| tokens[i].line).collect();
+        let target_of = |line: u32| -> u32 {
+            if code_lines.contains(&line) {
+                line
+            } else {
+                code_lines.range(line..).next().copied().unwrap_or(line)
+            }
+        };
+        let mut allows = Vec::new();
+        let mut det_order_lines = BTreeSet::new();
+        for t in tokens {
+            if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+                continue;
+            }
+            let text = t.text(src);
+            let Some(rest) = text.split("pronglint:").nth(1) else {
+                continue;
+            };
+            let rest = rest.trim_start();
+            if rest.starts_with("det-order") {
+                det_order_lines.insert(t.line);
+            } else if let Some(inner) = rest.strip_prefix("allow(") {
+                if let Some(end) = inner.find(')') {
+                    for rule in inner[..end].split(',') {
+                        allows.push((rule.trim().to_string(), target_of(t.line)));
+                    }
+                }
+            }
+        }
+        let mut analysis = FileAnalysis {
+            ctx,
+            src,
+            tokens,
+            sig,
+            test_regions: Vec::new(),
+            allows,
+            det_order_lines,
+        };
+        analysis.test_regions = analysis.find_test_regions();
+        analysis
+    }
+
+    fn tok(&self, sig_idx: usize) -> &Token {
+        &self.tokens[self.sig[sig_idx]]
+    }
+
+    fn text(&self, sig_idx: usize) -> &str {
+        self.tok(sig_idx).text(self.src)
+    }
+
+    fn is_punct(&self, sig_idx: usize, ch: &str) -> bool {
+        let t = self.tok(sig_idx);
+        t.kind == TokenKind::Punct && t.text(self.src) == ch
+    }
+
+    fn is_ident(&self, sig_idx: usize, name: &str) -> bool {
+        let t = self.tok(sig_idx);
+        t.kind == TokenKind::Ident && t.text(self.src) == name
+    }
+
+    /// Scans for `#[cfg(test)]` / `#[test]` attributes and records the byte
+    /// range of the brace-block of the item that follows (skipping any
+    /// further attributes in between). An item ended by `;` before any `{`
+    /// yields no region.
+    fn find_test_regions(&self) -> Vec<(usize, usize)> {
+        let mut regions = Vec::new();
+        let n = self.sig.len();
+        let mut i = 0;
+        while i < n {
+            if !(self.is_punct(i, "#") && i + 1 < n && self.is_punct(i + 1, "[")) {
+                i += 1;
+                continue;
+            }
+            // Collect the attribute's tokens up to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut attr_idents: Vec<&str> = Vec::new();
+            while j < n && depth > 0 {
+                if self.is_punct(j, "[") {
+                    depth += 1;
+                } else if self.is_punct(j, "]") {
+                    depth -= 1;
+                } else if self.tok(j).kind == TokenKind::Ident {
+                    attr_idents.push(self.text(j));
+                }
+                j += 1;
+            }
+            let is_test_attr = match attr_idents.first() {
+                Some(&"test") => true,
+                Some(&"cfg") => attr_idents.contains(&"test"),
+                _ => false,
+            };
+            if !is_test_attr {
+                i = j;
+                continue;
+            }
+            // Find the item body: the next `{` at attribute level, skipping
+            // further `#[…]` attributes; `;` first means no body.
+            let mut k = j;
+            while k < n {
+                if self.is_punct(k, "#") && k + 1 < n && self.is_punct(k + 1, "[") {
+                    let mut d = 1usize;
+                    k += 2;
+                    while k < n && d > 0 {
+                        if self.is_punct(k, "[") {
+                            d += 1;
+                        } else if self.is_punct(k, "]") {
+                            d -= 1;
+                        }
+                        k += 1;
+                    }
+                    continue;
+                }
+                if self.is_punct(k, ";") {
+                    break;
+                }
+                if self.is_punct(k, "{") {
+                    let start = self.tok(k).start;
+                    let mut d = 1usize;
+                    let mut m = k + 1;
+                    while m < n && d > 0 {
+                        if self.is_punct(m, "{") {
+                            d += 1;
+                        } else if self.is_punct(m, "}") {
+                            d -= 1;
+                        }
+                        m += 1;
+                    }
+                    let end = if m > 0 && m <= n {
+                        self.tok(m - 1).end
+                    } else {
+                        self.src.len()
+                    };
+                    regions.push((start, end));
+                    break;
+                }
+                k += 1;
+            }
+            i = j;
+        }
+        regions
+    }
+
+    fn in_test_scope(&self, byte: usize) -> bool {
+        self.ctx.is_test_file
+            || self
+                .test_regions
+                .iter()
+                .any(|&(s, e)| byte >= s && byte < e)
+    }
+
+    fn is_suppressed(&self, rule: &str, line: u32) -> bool {
+        // Targets were resolved at parse time: a trailing comment covers
+        // its own line, a comment block covers the code line that follows.
+        self.allows.iter().any(|(r, l)| r == rule && *l == line)
+    }
+
+    fn finding(&self, rule: &'static str, line: u32, message: String) -> Finding {
+        Finding {
+            file: self.ctx.path.clone(),
+            line,
+            rule,
+            message,
+        }
+    }
+
+    /// D1: unordered containers in sim-visible crates.
+    fn rule_unordered_iter(&self, out: &mut Vec<Finding>) {
+        if !SIM_VISIBLE_CRATES.contains(&self.ctx.crate_name.as_str()) {
+            return;
+        }
+        for idx in 0..self.sig.len() {
+            let t = self.tok(idx);
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let name = t.text(self.src);
+            if (name == "HashMap" || name == "HashSet") && !self.in_test_scope(t.start) {
+                out.push(self.finding(
+                    "unordered-iter",
+                    t.line,
+                    format!(
+                        "`{name}` in sim-visible crate `{}`: iteration order is \
+                         nondeterministic and can shift fixed-seed results; use \
+                         `BTreeMap`/`BTreeSet` (or another ordered container), or \
+                         annotate `// pronglint: allow(unordered-iter): <why>`",
+                        self.ctx.crate_name
+                    ),
+                ));
+            }
+        }
+    }
+
+    /// D2: wall clocks and OS entropy outside the measurement harnesses.
+    fn rule_wall_clock(&self, out: &mut Vec<Finding>) {
+        if CLOCK_EXEMPT_CRATES.contains(&self.ctx.crate_name.as_str()) {
+            return;
+        }
+        for idx in 0..self.sig.len() {
+            let t = self.tok(idx);
+            if t.kind != TokenKind::Ident || self.in_test_scope(t.start) {
+                continue;
+            }
+            let name = t.text(self.src);
+            let call = match name {
+                "Instant" | "SystemTime" => {
+                    // Only flag the `::now` call, not the import.
+                    idx + 3 < self.sig.len()
+                        && self.is_punct(idx + 1, ":")
+                        && self.is_punct(idx + 2, ":")
+                        && self.is_ident(idx + 3, "now")
+                }
+                "thread_rng" => true,
+                _ => false,
+            };
+            if call {
+                out.push(self.finding(
+                    "wall-clock",
+                    t.line,
+                    format!(
+                        "`{name}` reads the host clock/entropy in crate `{}`: \
+                         sim-visible time must come from `pronghorn_sim` virtual \
+                         time and seeded RNGs; move measurement into bench/\
+                         experiments or annotate `// pronglint: allow(wall-clock): <why>`",
+                        self.ctx.crate_name
+                    ),
+                ));
+            }
+        }
+    }
+
+    /// D3: panicky library code in the policy crates.
+    fn rule_panic_path(&self, out: &mut Vec<Finding>) {
+        if !POLICY_CRATES.contains(&self.ctx.crate_name.as_str()) {
+            return;
+        }
+        for idx in 0..self.sig.len() {
+            let t = self.tok(idx);
+            if t.kind != TokenKind::Ident || self.in_test_scope(t.start) {
+                continue;
+            }
+            let name = t.text(self.src);
+            let hit = match name {
+                // `.unwrap()` / `.expect(` — method position only, so
+                // `unwrap_or` and friends (distinct idents) never match.
+                "unwrap" | "expect" => {
+                    idx > 0
+                        && self.is_punct(idx - 1, ".")
+                        && idx + 1 < self.sig.len()
+                        && self.is_punct(idx + 1, "(")
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented" => {
+                    idx + 1 < self.sig.len() && self.is_punct(idx + 1, "!")
+                }
+                _ => false,
+            };
+            if hit {
+                out.push(self.finding(
+                    "panic-path",
+                    t.line,
+                    format!(
+                        "`{name}` on a library path of policy crate `{}`: surface a \
+                         typed error (see `pronghorn_core::ConfigError` for the \
+                         in-tree pattern) or annotate \
+                         `// pronglint: allow(panic-path): <why>`",
+                        self.ctx.crate_name
+                    ),
+                ));
+            }
+        }
+    }
+
+    /// D4: crate-root hygiene attributes.
+    fn rule_crate_hygiene(&self, out: &mut Vec<Finding>) {
+        if !self.ctx.is_crate_root {
+            return;
+        }
+        let mut has_forbid_unsafe = false;
+        let mut has_missing_docs = false;
+        let n = self.sig.len();
+        for i in 0..n {
+            // Inner attribute: `# ! [ level ( lint ) ]`.
+            if !(self.is_punct(i, "#")
+                && i + 2 < n
+                && self.is_punct(i + 1, "!")
+                && self.is_punct(i + 2, "["))
+            {
+                continue;
+            }
+            let mut idents: Vec<&str> = Vec::new();
+            let mut j = i + 3;
+            let mut depth = 1usize;
+            while j < n && depth > 0 {
+                if self.is_punct(j, "[") {
+                    depth += 1;
+                } else if self.is_punct(j, "]") {
+                    depth -= 1;
+                } else if self.tok(j).kind == TokenKind::Ident {
+                    idents.push(self.text(j));
+                }
+                j += 1;
+            }
+            if idents.first() == Some(&"forbid") && idents.contains(&"unsafe_code") {
+                has_forbid_unsafe = true;
+            }
+            if matches!(idents.first(), Some(&"deny") | Some(&"warn"))
+                && idents.contains(&"missing_docs")
+            {
+                has_missing_docs = true;
+            }
+        }
+        if !has_forbid_unsafe {
+            out.push(self.finding(
+                "crate-hygiene",
+                1,
+                format!(
+                    "crate root `{}` lacks `#![forbid(unsafe_code)]`",
+                    self.ctx.path
+                ),
+            ));
+        }
+        if self.ctx.is_lib_root && !has_missing_docs {
+            out.push(self.finding(
+                "crate-hygiene",
+                1,
+                format!(
+                    "library root `{}` lacks `#![deny(missing_docs)]` or \
+                     `#![warn(missing_docs)]`",
+                    self.ctx.path
+                ),
+            ));
+        }
+    }
+
+    /// D5: f64 reductions without the deterministic-order marker.
+    fn rule_float_accum(&self, out: &mut Vec<Finding>) {
+        if !FLOAT_ORDER_CRATES.contains(&self.ctx.crate_name.as_str()) {
+            return;
+        }
+        let n = self.sig.len();
+        for idx in 0..n {
+            let t = self.tok(idx);
+            if t.kind != TokenKind::Ident || self.in_test_scope(t.start) {
+                continue;
+            }
+            let name = t.text(self.src);
+            if !matches!(name, "sum" | "product" | "fold") {
+                continue;
+            }
+            // Method position: preceded by `.`, followed by `(` or `::`.
+            if !(idx > 0 && self.is_punct(idx - 1, ".")) {
+                continue;
+            }
+            let called = idx + 1 < n
+                && (self.is_punct(idx + 1, "(")
+                    || (self.is_punct(idx + 1, ":") && self.is_punct(idx + 2, ":")));
+            if !called {
+                continue;
+            }
+            // Statement span: back to the previous `;`/`{`/`}`, forward to
+            // the next `;` (or `}`), inclusive.
+            let mut lo = idx;
+            while lo > 0 {
+                let p = lo - 1;
+                if self.is_punct(p, ";") || self.is_punct(p, "{") || self.is_punct(p, "}") {
+                    break;
+                }
+                lo = p;
+            }
+            let mut hi = idx;
+            while hi + 1 < n && !(self.is_punct(hi, ";") || self.is_punct(hi, "}")) {
+                hi += 1;
+            }
+            // `f64` evidence: the type ident, or a float literal with an
+            // `f64` suffix (`0.0_f64` lexes as one Number token).
+            let about_f64 = (lo..=hi).any(|k| {
+                self.is_ident(k, "f64")
+                    || (self.tok(k).kind == TokenKind::Number && self.text(k).ends_with("f64"))
+            });
+            if !about_f64 {
+                continue;
+            }
+            let stmt_first_line = self.tok(lo).line;
+            let marked = self
+                .det_order_lines
+                .iter()
+                .any(|&m| m + 1 >= stmt_first_line && m <= t.line);
+            if !marked {
+                out.push(self.finding(
+                    "float-accum",
+                    t.line,
+                    format!(
+                        "f64 `{name}` reduction in crate `{}` without the \
+                         deterministic-order marker: float addition is not \
+                         associative, so the reduction order is part of the \
+                         determinism contract; verify the iteration order is \
+                         fixed and annotate `// pronglint: det-order — <why>`",
+                        self.ctx.crate_name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(crate_name: &str) -> FileContext {
+        FileContext {
+            crate_name: crate_name.to_string(),
+            path: format!("crates/{crate_name}/src/x.rs"),
+            is_test_file: false,
+            is_crate_root: false,
+            is_lib_root: false,
+        }
+    }
+
+    #[test]
+    fn hashmap_flagged_only_in_sim_visible_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(analyze_source(&ctx("store"), src).len(), 1);
+        assert_eq!(analyze_source(&ctx("workloads"), src).len(), 0);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip_rules() {
+        let src = "// HashMap in prose\nlet s = \"HashMap\";\n";
+        assert!(analyze_source(&ctx("store"), src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn f() { x.unwrap(); }\n}\n";
+        assert!(analyze_source(&ctx("core"), src).is_empty());
+    }
+
+    #[test]
+    fn suppression_on_line_or_line_above() {
+        let same = "use std::collections::HashMap; // pronglint: allow(unordered-iter): test\n";
+        let above = "// pronglint: allow(unordered-iter): keyed lookups only\nuse std::collections::HashMap;\n";
+        let wrong_rule = "// pronglint: allow(wall-clock): nope\nuse std::collections::HashMap;\n";
+        assert!(analyze_source(&ctx("store"), same).is_empty());
+        assert!(analyze_source(&ctx("store"), above).is_empty());
+        assert_eq!(analyze_source(&ctx("store"), wrong_rule).len(), 1);
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n";
+        assert!(analyze_source(&ctx("core"), src).is_empty());
+        let bad = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(analyze_source(&ctx("core"), bad).len(), 1);
+    }
+
+    #[test]
+    fn instant_import_ok_now_call_flagged() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        let findings = analyze_source(&ctx("checkpoint"), src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 2);
+        assert!(analyze_source(&ctx("experiments"), src).is_empty());
+    }
+
+    #[test]
+    fn float_sum_needs_marker() {
+        let bad = "fn f(xs: &[f64]) -> f64 { let t: f64 = xs.iter().sum(); t }\n";
+        assert_eq!(analyze_source(&ctx("core"), bad).len(), 1);
+        let good =
+            "fn f(xs: &[f64]) -> f64 {\n    // pronglint: det-order — slice order\n    let t: f64 = xs.iter().sum();\n    t\n}\n";
+        assert!(analyze_source(&ctx("core"), good).is_empty());
+        // usize sums are not float reductions.
+        let usize_sum = "fn f(xs: &[usize]) -> usize { xs.iter().sum::<usize>() }\n";
+        assert!(analyze_source(&ctx("metrics"), usize_sum).is_empty());
+    }
+
+    #[test]
+    fn crate_root_hygiene() {
+        let root = FileContext {
+            crate_name: "kv".into(),
+            path: "crates/kv/src/lib.rs".into(),
+            is_test_file: false,
+            is_crate_root: true,
+            is_lib_root: true,
+        };
+        let good = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n";
+        assert!(analyze_source(&root, good).is_empty());
+        let missing = "#![forbid(unsafe_code)]\n";
+        let findings = analyze_source(&root, missing);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("missing_docs"));
+        let neither = "pub fn f() {}\n";
+        assert_eq!(analyze_source(&root, neither).len(), 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Golden-file tests: each fixture under `tests/fixtures/` pairs a
+//! `*.rs.txt` source (the `.txt` suffix keeps it out of the workspace
+//! walk, rustfmt, and clippy) with a `*.expected` file listing
+//! `line rule` per finding, or the single word `none`.
+//!
+//! The fixture's first lines carry `//@ crate:` and `//@ path:` headers
+//! that build the [`FileContext`] the rule engine sees.
+
+use analysis::rules::{analyze_source, FileContext};
+use std::path::{Path, PathBuf};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+}
+
+fn header<'a>(src: &'a str, key: &str) -> &'a str {
+    src.lines()
+        .find_map(|l| l.strip_prefix(&format!("//@ {key}:")))
+        .unwrap_or_else(|| panic!("fixture missing `//@ {key}:` header"))
+        .trim()
+}
+
+fn context_of(src: &str) -> FileContext {
+    let path = header(src, "path").to_string();
+    FileContext {
+        crate_name: header(src, "crate").to_string(),
+        is_test_file: path.contains("/tests/") || path.contains("/benches/"),
+        is_lib_root: path.ends_with("src/lib.rs"),
+        is_crate_root: path.ends_with("src/lib.rs")
+            || path.ends_with("src/main.rs")
+            || path.contains("/src/bin/"),
+        path,
+    }
+}
+
+fn parse_expected(text: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line == "none" {
+            continue;
+        }
+        let (no, rule) = line
+            .split_once(' ')
+            .unwrap_or_else(|| panic!("bad expected line `{line}`"));
+        out.push((no.parse().unwrap(), rule.trim().to_string()));
+    }
+    out
+}
+
+fn check_fixture(stem: &str) {
+    let dir = fixtures_dir();
+    let src = std::fs::read_to_string(dir.join(format!("{stem}.rs.txt"))).unwrap();
+    let expected =
+        parse_expected(&std::fs::read_to_string(dir.join(format!("{stem}.expected"))).unwrap());
+    let ctx = context_of(&src);
+    let got: Vec<(u32, String)> = analyze_source(&ctx, &src)
+        .into_iter()
+        .map(|f| (f.line, f.rule.to_string()))
+        .collect();
+    assert_eq!(
+        got, expected,
+        "fixture `{stem}` findings diverge from golden file"
+    );
+}
+
+#[test]
+fn d1_unordered_containers() {
+    check_fixture("d1_unordered");
+}
+
+#[test]
+fn d2_wall_clock_and_entropy() {
+    check_fixture("d2_wall_clock");
+}
+
+#[test]
+fn d2_measurement_crates_are_exempt() {
+    check_fixture("d2_exempt_crate");
+}
+
+#[test]
+fn d3_panic_paths() {
+    check_fixture("d3_panic");
+}
+
+#[test]
+fn d4_crate_hygiene_missing_attrs() {
+    check_fixture("d4_hygiene_missing");
+}
+
+#[test]
+fn d4_crate_hygiene_compliant_root() {
+    check_fixture("d4_hygiene_ok");
+}
+
+#[test]
+fn d5_float_accumulation() {
+    check_fixture("d5_float");
+}
+
+#[test]
+fn every_fixture_has_a_test() {
+    // Guards against adding a fixture and forgetting to wire it up.
+    let mut stems: Vec<String> = std::fs::read_dir(fixtures_dir())
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            e.file_name()
+                .to_str()?
+                .strip_suffix(".rs.txt")
+                .map(str::to_string)
+        })
+        .collect();
+    stems.sort();
+    assert_eq!(
+        stems,
+        [
+            "d1_unordered",
+            "d2_exempt_crate",
+            "d2_wall_clock",
+            "d3_panic",
+            "d4_hygiene_missing",
+            "d4_hygiene_ok",
+            "d5_float",
+        ]
+    );
+}

@@ -1,0 +1,46 @@
+//! Property tests for the hand-rolled lexer: totality and span fidelity.
+//!
+//! The rule engine trusts two lexer invariants — it must never panic on
+//! any input (pronglint walks files it did not write), and the returned
+//! token spans must tile the source exactly (suppression and statement
+//! scans index into the source by span).
+
+use analysis::lexer::lex;
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary bytes (lossily decoded) never panic the lexer, and the
+    /// token spans are contiguous, in order, and cover the whole input.
+    #[test]
+    fn lex_is_total_and_spans_tile(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let tokens = lex(&src);
+        let mut cursor = 0usize;
+        for t in &tokens {
+            prop_assert_eq!(t.start, cursor, "gap or overlap before token");
+            prop_assert!(t.end > t.start, "empty token span");
+            cursor = t.end;
+        }
+        prop_assert_eq!(cursor, src.len(), "spans do not cover the input");
+    }
+
+    /// Concatenating every token's text round-trips the source exactly.
+    #[test]
+    fn token_texts_round_trip(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let joined: String = lex(&src).iter().map(|t| t.text(&src)).collect();
+        prop_assert_eq!(joined, src);
+    }
+
+    /// Rust-looking inputs (printable ASCII with lexer-relevant
+    /// punctuation) keep line numbers monotonic and 1-based.
+    #[test]
+    fn line_numbers_are_monotonic(src in "[a-z0-9/*'\"# \\n{}().!]{0,256}") {
+        let tokens = lex(&src);
+        let mut last = 1u32;
+        for t in &tokens {
+            prop_assert!(t.line >= last, "line numbers must not decrease");
+            last = t.line;
+        }
+    }
+}

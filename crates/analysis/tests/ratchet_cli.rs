@@ -1,0 +1,142 @@
+//! End-to-end tests of the `pronglint` binary: exit codes, the ratcheted
+//! baseline lifecycle, and the real workspace staying clean.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf()
+}
+
+fn pronglint(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_pronglint"))
+        .args(args)
+        .output()
+        .expect("spawn pronglint")
+}
+
+/// A scratch workspace seeded with one D1 violation in a sim-visible crate.
+struct SeededWorkspace {
+    root: PathBuf,
+}
+
+impl SeededWorkspace {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("pronglint-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let src = root.join("crates").join("core").join("src");
+        fs::create_dir_all(&src).unwrap();
+        fs::write(
+            src.join("lib.rs"),
+            "#![forbid(unsafe_code)]\n\
+             #![warn(missing_docs)]\n\
+             //! Seeded fixture crate.\n\
+             use std::collections::HashMap;\n\
+             /// Violates unordered-iter.\n\
+             pub struct Bad(pub HashMap<u32, u32>);\n",
+        )
+        .unwrap();
+        SeededWorkspace { root }
+    }
+
+    fn root(&self) -> &str {
+        self.root.to_str().unwrap()
+    }
+
+    fn baseline(&self) -> PathBuf {
+        self.root.join("analysis").join("baseline.toml")
+    }
+}
+
+impl Drop for SeededWorkspace {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn real_workspace_is_clean_under_checked_in_baseline() {
+    let root = workspace_root();
+    let out = pronglint(&["--root", root.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "pronglint must pass on the workspace; output:\n{stdout}"
+    );
+    assert!(stdout.contains("pronglint: OK"));
+}
+
+#[test]
+fn seeded_violation_fails_with_exit_code_one() {
+    let ws = SeededWorkspace::new("seeded");
+    let out = pronglint(&["--root", ws.root(), "--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"rule\": \"unordered-iter\""));
+    assert!(stdout.contains("\"passed\": false"));
+}
+
+#[test]
+fn update_baseline_then_clean_then_ratchet_blocks_new_findings() {
+    let ws = SeededWorkspace::new("ratchet");
+
+    // 1. Capture the debt into the baseline; the run itself still fails
+    //    (the finding was new when the run started).
+    let out = pronglint(&["--root", ws.root(), "--update-baseline"]);
+    assert_eq!(out.status.code(), Some(1));
+    let baseline = fs::read_to_string(ws.baseline()).unwrap();
+    // Two findings: the `use` line and the struct field.
+    assert!(baseline.contains("unordered-iter"));
+    assert!(baseline.contains("count = 2"));
+
+    // 2. With the debt baselined, the same tree passes.
+    let out = pronglint(&["--root", ws.root()]);
+    assert_eq!(out.status.code(), Some(0));
+
+    // 3. A second violation exceeds the baselined count and fails again.
+    let lib = ws.root.join("crates/core/src/lib.rs");
+    let mut src = fs::read_to_string(&lib).unwrap();
+    src.push_str("/// A second violation.\npub struct Worse(pub HashMap<u64, u64>);\n");
+    fs::write(&lib, src).unwrap();
+    let out = pronglint(&["--root", ws.root()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAILED — 1 new finding"));
+
+    // 4. Fixing everything turns the stale entry into an improvement, and
+    //    --update-baseline prunes it.
+    fs::write(
+        &lib,
+        "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n//! Clean now.\n",
+    )
+    .unwrap();
+    let out = pronglint(&["--root", ws.root()]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("--update-baseline"));
+    let out = pronglint(&["--root", ws.root(), "--update-baseline"]);
+    assert_eq!(out.status.code(), Some(0));
+    let baseline = fs::read_to_string(ws.baseline()).unwrap();
+    assert!(!baseline.contains("[[finding]]"), "entry must be pruned");
+}
+
+#[test]
+fn malformed_baseline_is_a_usage_error() {
+    let ws = SeededWorkspace::new("badbase");
+    fs::create_dir_all(ws.baseline().parent().unwrap()).unwrap();
+    fs::write(ws.baseline(), "rule = \"dangling\"\n").unwrap();
+    let out = pronglint(&["--root", ws.root()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("baseline"));
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = pronglint(&["--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}

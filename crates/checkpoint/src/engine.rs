@@ -186,6 +186,8 @@ impl SimCriuEngine {
         R: Rng + ?Sized,
     {
         let version = process.state_version();
+        // pronglint: allow(wall-clock): host-side perf counter (encode_ns);
+        // measures real encoder time, never feeds a sim decision.
         let started = Instant::now();
         let payload = match (&scratch.cached, version) {
             (Some((cached_version, bytes)), Some(v)) if *cached_version == v => {
@@ -210,6 +212,8 @@ impl SimCriuEngine {
         let nominal = process.image_size_bytes();
         // Same draw order as `checkpoint`: nonce, then cost.
         let nonce: u64 = rng.gen();
+        // pronglint: allow(wall-clock): host-side perf counter (checksum_ns);
+        // measures real hashing time, never feeds a sim decision.
         let hashed = Instant::now();
         let snapshot = Snapshot::with_nonce(meta, payload, nominal, nonce);
         scratch.stats.checksum_ns += hashed.elapsed().as_nanos() as u64;

@@ -10,6 +10,8 @@
 //! | `γ` | [`PolicyConfig::keep_random_frac`] | 10% |
 //! | `µ` | [`PolicyConfig::mu`] | tiny positive constant |
 
+use crate::error::ConfigError;
+
 /// How the policy picks a snapshot from the pool at worker start.
 ///
 /// The paper uses softmax sampling (§3.4) so that "even snapshots that
@@ -124,23 +126,28 @@ impl PolicyConfig {
 
     /// Validates internal consistency; the orchestrator asserts this once
     /// at startup.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if !(self.alpha > 0.0 && self.alpha <= 1.0) {
-            return Err(format!("alpha {} outside (0, 1]", self.alpha));
+            return Err(ConfigError::AlphaOutOfRange { alpha: self.alpha });
         }
         if self.beta == 0 || self.w == 0 || self.capacity == 0 {
-            return Err("beta, w and capacity must be positive".to_string());
+            return Err(ConfigError::NonPositiveDimension);
         }
         if !(self.mu > 0.0 && self.mu.is_finite()) {
-            return Err(format!("mu {} must be a tiny positive constant", self.mu));
+            return Err(ConfigError::InvalidMu { mu: self.mu });
         }
         if !(self.softmax_scale > 0.0 && self.softmax_scale.is_finite()) {
-            return Err(format!("softmax_scale {} invalid", self.softmax_scale));
+            return Err(ConfigError::InvalidSoftmaxScale {
+                scale: self.softmax_scale,
+            });
         }
         if !(0.0..=1.0).contains(&self.keep_top_frac)
             || !(0.0..=1.0).contains(&self.keep_random_frac)
         {
-            return Err("eviction fractions must lie in [0, 1]".to_string());
+            return Err(ConfigError::EvictionFracOutOfRange {
+                p: self.keep_top_frac,
+                gamma: self.keep_random_frac,
+            });
         }
         Ok(())
     }

@@ -1,0 +1,88 @@
+//! Typed errors for the policy crate's library paths.
+//!
+//! The pronglint `panic-path` rule (DESIGN.md §10, D3) forbids
+//! `unwrap`/`expect`/`panic!` in non-test library code of the policy
+//! crates: a malformed deployment configuration must surface as a value a
+//! caller can match on and report, not as a process abort deep inside the
+//! policy. This is the thiserror pattern written out by hand — the build
+//! environment has no registry access, so the derive crate is not
+//! available.
+
+use std::fmt;
+
+/// A [`crate::PolicyConfig`] that fails validation, one variant per
+/// invariant of Table 2's parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `α` must lie in `(0, 1]` for the EWMA update to converge.
+    AlphaOutOfRange {
+        /// The rejected proportion.
+        alpha: f64,
+    },
+    /// `β`, `W`, and `C` must all be positive.
+    NonPositiveDimension,
+    /// `µ` must be a tiny positive finite constant: `Pr[i] = 1/(θ[i]+µ)`
+    /// divides by it when a slot is unexplored.
+    InvalidMu {
+        /// The rejected constant.
+        mu: f64,
+    },
+    /// The softmax temperature scale must be positive and finite.
+    InvalidSoftmaxScale {
+        /// The rejected scale.
+        scale: f64,
+    },
+    /// The eviction fractions `p` and `γ` must lie in `[0, 1]`.
+    EvictionFracOutOfRange {
+        /// The rejected top fraction `p`.
+        p: f64,
+        /// The rejected random fraction `γ`.
+        gamma: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::AlphaOutOfRange { alpha } => {
+                write!(f, "alpha {alpha} outside (0, 1]")
+            }
+            ConfigError::NonPositiveDimension => {
+                write!(f, "beta, w and capacity must be positive")
+            }
+            ConfigError::InvalidMu { mu } => {
+                write!(f, "mu {mu} must be a tiny positive constant")
+            }
+            ConfigError::InvalidSoftmaxScale { scale } => {
+                write!(f, "softmax_scale {scale} invalid")
+            }
+            ConfigError::EvictionFracOutOfRange { p, gamma } => {
+                write!(
+                    f,
+                    "eviction fractions p={p}, gamma={gamma} must lie in [0, 1]"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offending_value() {
+        let e = ConfigError::AlphaOutOfRange { alpha: 2.0 };
+        assert_eq!(e.to_string(), "alpha 2 outside (0, 1]");
+        let e = ConfigError::InvalidMu { mu: 0.0 };
+        assert!(e.to_string().contains("mu 0"));
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&ConfigError::NonPositiveDimension);
+    }
+}

@@ -42,6 +42,7 @@
 
 pub mod baselines;
 pub mod config;
+pub mod error;
 pub mod orchestrator;
 pub mod policy;
 pub mod pool;
@@ -50,6 +51,7 @@ pub mod weights;
 
 pub use baselines::{CheckpointAfterFirstPolicy, CheckpointAfterInitPolicy, ColdStartPolicy};
 pub use config::{PolicyConfig, SelectionStrategy};
+pub use error::ConfigError;
 pub use orchestrator::{Orchestrator, OverheadTotals, WorkerPlan};
 pub use policy::{Policy, PolicyKind, StartDecision};
 pub use pool::{PoolEntry, SnapshotPool};

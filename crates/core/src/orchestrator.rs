@@ -22,7 +22,7 @@ use pronghorn_kv::{types as kvtypes, KvCosts, KvStore};
 use pronghorn_sim::SimDuration;
 use pronghorn_store::{ObjectStore, StoreError, TransferModel};
 use rand::RngCore;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Object-store bucket holding snapshot blobs.
 pub const SNAPSHOT_BUCKET: &str = "snapshots";
@@ -134,7 +134,7 @@ pub struct Orchestrator {
     /// Nominal size of each pooled snapshot, maintained incrementally on
     /// record/evict so the Table 5 peak is O(pool) bookkeeping rather than
     /// a download-and-decode scan of every blob.
-    pool_sizes: HashMap<SnapshotId, u64>,
+    pool_sizes: BTreeMap<SnapshotId, u64>,
 }
 
 impl Orchestrator {
@@ -154,7 +154,7 @@ impl Orchestrator {
             transfer: TransferModel::default(),
             overheads: OverheadTotals::default(),
             frame_scratch: Encoder::new(),
-            pool_sizes: HashMap::new(),
+            pool_sizes: BTreeMap::new(),
         }
     }
 

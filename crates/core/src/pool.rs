@@ -9,7 +9,7 @@
 use pronghorn_checkpoint::SnapshotId;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// One pooled snapshot's metadata (the blob itself lives in the Object
 /// Store).
@@ -126,7 +126,7 @@ impl SnapshotPool {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(b.cmp(&a))
         });
-        let mut keep: HashSet<usize> = ranked[..k_top].iter().copied().collect();
+        let mut keep: BTreeSet<usize> = ranked[..k_top].iter().copied().collect();
 
         // "Add γ% of snapshots in P chosen uniformly at random" — drawn
         // from the whole pool, so overlap with the top set is possible.
@@ -140,7 +140,7 @@ impl SnapshotPool {
         // pool's capacity; trim the keep set in rank order so the capacity
         // bound always holds.
         if keep.len() > self.capacity {
-            let mut trimmed = HashSet::with_capacity(self.capacity);
+            let mut trimmed = BTreeSet::new();
             for &idx in ranked.iter() {
                 if keep.contains(&idx) {
                     trimmed.insert(idx);

@@ -1,6 +1,7 @@
 //! Algorithm 1: the request-centric orchestration policy.
 
 use crate::config::{PolicyConfig, SelectionStrategy};
+use crate::error::ConfigError;
 use crate::policy::{Policy, PolicyKind, StartDecision};
 use crate::pool::{PoolEntry, SnapshotPool};
 use crate::weights::{scaled_softmax_into, weighted_draw, DecisionScratch, WeightVector};
@@ -26,18 +27,28 @@ impl RequestCentricPolicy {
     /// # Panics
     ///
     /// Panics if `config` fails validation — a deployment configuration
-    /// bug that must fail at startup.
+    /// bug that must fail at startup. Callers that want to surface the
+    /// [`ConfigError`] instead should use [`Self::try_new`].
     pub fn new(config: PolicyConfig) -> Self {
-        if let Err(e) = config.validate() {
-            panic!("invalid policy config: {e}");
+        match Self::try_new(config) {
+            Ok(policy) => policy,
+            // pronglint: allow(panic-path): documented fail-at-startup
+            // contract; fallible construction is Self::try_new.
+            Err(e) => panic!("invalid policy config: {e}"),
         }
-        RequestCentricPolicy {
+    }
+
+    /// Fallible construction: validates `config` and returns the typed
+    /// error instead of panicking.
+    pub fn try_new(config: PolicyConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(RequestCentricPolicy {
             weights: WeightVector::new(config.w, config.alpha),
             pool: SnapshotPool::new(config.capacity),
             scratch: DecisionScratch::new(),
             pending_delta: None,
             config,
-        }
+        })
     }
 
     /// The configuration in force.
@@ -333,5 +344,16 @@ mod tests {
         let mut c = config();
         c.mu = -1.0;
         let _ = RequestCentricPolicy::new(c);
+    }
+
+    #[test]
+    fn try_new_surfaces_the_typed_error() {
+        let mut c = config();
+        c.mu = -1.0;
+        assert_eq!(
+            RequestCentricPolicy::try_new(c).err(),
+            Some(ConfigError::InvalidMu { mu: -1.0 })
+        );
+        assert!(RequestCentricPolicy::try_new(config()).is_ok());
     }
 }

@@ -168,6 +168,7 @@ impl WeightVector {
     /// whole `[0, W)` search space.
     pub fn lifetime_weight(&self, r0: u32, beta: u32, mu: f64) -> f64 {
         let beta = beta.max(1);
+        // pronglint: det-order — sums over the ascending range [r0, r0+beta].
         let total: f64 = (r0..=r0 + beta)
             .map(|r| self.inv_weight_clamped(r, mu))
             .sum();
@@ -179,6 +180,7 @@ impl WeightVector {
     /// [`Self::lifetime_weight`], with unexplored slots contributing zero.
     pub fn lifetime_latency(&self, r0: u32, beta: u32) -> f64 {
         let beta = beta.max(1);
+        // pronglint: det-order — sums over the ascending range [r0, r0+beta].
         let total: f64 = (r0..=r0 + beta)
             .map(|r| {
                 let idx = (r as usize).min(self.theta.len().saturating_sub(1));
@@ -192,6 +194,7 @@ impl WeightVector {
 /// Draws an index proportionally to `weights`. Returns `None` for empty or
 /// degenerate (all-zero/non-finite) weights.
 pub fn weighted_draw<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> Option<usize> {
+    // pronglint: det-order — sums in slice order, fixed by the caller.
     let total: f64 = weights
         .iter()
         .copied()
@@ -231,6 +234,7 @@ pub fn scaled_softmax_into(values: &[f64], scale: f64, out: &mut Vec<f64>) {
     if values.is_empty() {
         return;
     }
+    // pronglint: det-order — max in slice order (and max is associative).
     let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     if max <= 0.0 || max.is_nan() || !max.is_finite() {
         // Degenerate input: fall back to uniform.
@@ -242,6 +246,7 @@ pub fn scaled_softmax_into(values: &[f64], scale: f64, out: &mut Vec<f64>) {
             .iter()
             .map(|&v| ((v / max).clamp(0.0, 1.0) * scale).exp()),
     );
+    // pronglint: det-order — sums the exponentials in slice order.
     let total: f64 = out.iter().sum();
     for e in out.iter_mut() {
         *e /= total;

@@ -7,7 +7,7 @@
 //! paper's per-worker Orchestrators all talk to one Database.
 
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -64,7 +64,7 @@ pub struct KvStats {
 
 #[derive(Default)]
 struct Inner {
-    map: RwLock<HashMap<String, Versioned>>,
+    map: RwLock<BTreeMap<String, Versioned>>,
     next_version: AtomicU64,
     reads: AtomicU64,
     writes: AtomicU64,
@@ -216,17 +216,15 @@ impl KvStore {
         }
     }
 
-    /// Lists keys starting with `prefix`, sorted, with their versions.
+    /// Lists keys starting with `prefix`, sorted, with their versions
+    /// (the map is ordered, so the scan yields keys in order).
     pub fn list_prefix(&self, prefix: &str) -> Vec<(String, u64)> {
         self.inner.scans.fetch_add(1, Ordering::Relaxed);
         let map = self.inner.map.read();
-        let mut out: Vec<(String, u64)> = map
-            .iter()
-            .filter(|(k, _)| k.starts_with(prefix))
+        map.range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
             .map(|(k, v)| (k.clone(), v.version))
-            .collect();
-        out.sort();
-        out
+            .collect()
     }
 
     /// Number of keys currently stored.

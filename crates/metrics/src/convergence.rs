@@ -54,6 +54,7 @@ fn window_median(window: &[f64]) -> f64 {
     if n % 2 == 1 {
         *upper_mid
     } else {
+        // pronglint: det-order — max over the partition (max is associative).
         let lower_mid = left.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         (lower_mid + *upper_mid) / 2.0
     }

@@ -19,7 +19,7 @@
 use bytes::Bytes;
 use parking_lot::Mutex;
 use pronghorn_sim::hash::{fnv1a_wide, Fnv1aWide};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -125,8 +125,8 @@ impl Object {
 
 #[derive(Default)]
 struct Inner {
-    buckets: HashMap<String, HashMap<String, Object>>,
-    blobs: HashMap<u64, BlobEntry>,
+    buckets: BTreeMap<String, BTreeMap<String, Object>>,
+    blobs: BTreeMap<u64, BlobEntry>,
     stats: StoreStats,
     capacity: Option<u64>,
 }
@@ -421,16 +421,14 @@ impl ObjectStore {
         Ok(())
     }
 
-    /// Lists keys in `bucket`, sorted.
+    /// Lists keys in `bucket`, sorted (the bucket map is ordered).
     pub fn list(&self, bucket: &str) -> Vec<String> {
         let inner = self.inner.lock();
-        let mut keys: Vec<String> = inner
+        inner
             .buckets
             .get(bucket)
             .map(|b| b.keys().cloned().collect())
-            .unwrap_or_default();
-        keys.sort();
-        keys
+            .unwrap_or_default()
     }
 
     /// Snapshot of the accounting counters.

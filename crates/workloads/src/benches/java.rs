@@ -248,7 +248,6 @@ mod tests {
     fn matrix_latency_scales_linearly_with_factor() {
         let b = matrix_mult();
         let mut rng = SmallRng::seed_from_u64(5);
-        #[allow(unused_mut)]
         let mut at = |f: f64| -> f64 {
             let spec = b.spec();
             (spec.kernel)(&mut rng, f)

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Run every lint gate CI runs, in the same order, failing fast.
+#
+# Usage: scripts/lint.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== pronglint (determinism & invariant rules)"
+cargo run -q -p analysis --bin pronglint
+
+echo "lint: all gates passed"
