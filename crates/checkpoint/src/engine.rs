@@ -239,6 +239,21 @@ impl SimCriuEngine {
         Ok((process, SimDuration::from_micros_f64(cost)))
     }
 
+    /// Decodes a process from `snapshot` without charging restore time —
+    /// the entry point for page-granular lazy restore, where the clock
+    /// cost is modelled per mapped/faulted page by the caller instead of
+    /// as one up-front draw. Consumes no RNG, so the engine's cost stream
+    /// stays in lockstep with eager runs that never call this.
+    pub fn restore_mapped<T>(&self, snapshot: &Snapshot) -> Result<T, EngineError>
+    where
+        T: Checkpointable,
+    {
+        let mut dec = Decoder::new(&snapshot.payload);
+        let process = T::decode_state(&mut dec)?;
+        dec.finish().map_err(EngineError::State)?;
+        Ok(process)
+    }
+
     /// Restores from transport bytes (store download), validating framing.
     pub fn restore_from_bytes<T, R>(
         &self,

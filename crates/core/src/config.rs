@@ -58,6 +58,13 @@ pub struct PolicyConfig {
     /// Snapshot-selection strategy (softmax in the paper; greedy/uniform
     /// for ablations).
     pub selection: SelectionStrategy,
+    /// Expected extra restore cost in µs for a snapshot whose working
+    /// set has *not* been recorded yet (it must fault its pages in one
+    /// by one instead of prefetching them). Zero — the default — leaves
+    /// selection untouched; under a record-prefetch restore path the
+    /// platform sets this so the softmax slightly favours
+    /// prefetch-ready snapshots.
+    pub restore_penalty_us: f64,
 }
 
 impl PolicyConfig {
@@ -74,6 +81,7 @@ impl PolicyConfig {
             mu: 1e-3,
             softmax_scale: 6.0,
             selection: SelectionStrategy::Softmax,
+            restore_penalty_us: 0.0,
         }
     }
 
@@ -124,6 +132,17 @@ impl PolicyConfig {
         self
     }
 
+    /// Sets the expected restore penalty (µs) for snapshots without a
+    /// recorded working set, clamped to non-negative.
+    pub fn with_restore_penalty(mut self, penalty_us: f64) -> Self {
+        self.restore_penalty_us = if penalty_us.is_finite() {
+            penalty_us.max(0.0)
+        } else {
+            0.0
+        };
+        self
+    }
+
     /// Validates internal consistency; the orchestrator asserts this once
     /// at startup.
     pub fn validate(&self) -> Result<(), ConfigError> {
@@ -147,6 +166,11 @@ impl PolicyConfig {
             return Err(ConfigError::EvictionFracOutOfRange {
                 p: self.keep_top_frac,
                 gamma: self.keep_random_frac,
+            });
+        }
+        if !(self.restore_penalty_us.is_finite() && self.restore_penalty_us >= 0.0) {
+            return Err(ConfigError::InvalidRestorePenalty {
+                penalty: self.restore_penalty_us,
             });
         }
         Ok(())
@@ -209,6 +233,35 @@ mod tests {
             ..PolicyConfig::default()
         };
         assert!(c.validate().is_err());
+        let c = PolicyConfig {
+            restore_penalty_us: f64::NAN,
+            ..PolicyConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = PolicyConfig {
+            restore_penalty_us: -1.0,
+            ..PolicyConfig::default()
+        };
+        assert!(c.validate().is_err());
         assert!(PolicyConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn restore_penalty_builder_clamps() {
+        assert_eq!(
+            PolicyConfig::default()
+                .with_restore_penalty(-5.0)
+                .restore_penalty_us,
+            0.0
+        );
+        assert_eq!(
+            PolicyConfig::default()
+                .with_restore_penalty(f64::INFINITY)
+                .restore_penalty_us,
+            0.0
+        );
+        let c = PolicyConfig::default().with_restore_penalty(10_000.0);
+        assert_eq!(c.restore_penalty_us, 10_000.0);
+        c.validate().unwrap();
     }
 }

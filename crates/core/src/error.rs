@@ -39,6 +39,11 @@ pub enum ConfigError {
         /// The rejected random fraction `γ`.
         gamma: f64,
     },
+    /// The restore penalty must be finite and non-negative µs.
+    InvalidRestorePenalty {
+        /// The rejected penalty.
+        penalty: f64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -60,6 +65,12 @@ impl fmt::Display for ConfigError {
                 write!(
                     f,
                     "eviction fractions p={p}, gamma={gamma} must lie in [0, 1]"
+                )
+            }
+            ConfigError::InvalidRestorePenalty { penalty } => {
+                write!(
+                    f,
+                    "restore penalty {penalty} must be finite and non-negative"
                 )
             }
         }

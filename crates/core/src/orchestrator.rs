@@ -19,6 +19,7 @@ use crate::policy::{Policy, PolicyKind, StartDecision};
 use crate::pool::PoolEntry;
 use pronghorn_checkpoint::{Encoder, Snapshot, SnapshotId};
 use pronghorn_kv::{types as kvtypes, KvCosts, KvStore};
+use pronghorn_restore::{PageMap, PagedSnapshotStore};
 use pronghorn_sim::SimDuration;
 use pronghorn_store::{ObjectStore, StoreError, TransferModel};
 use rand::RngCore;
@@ -135,6 +136,16 @@ pub struct Orchestrator {
     /// record/evict so the Table 5 peak is O(pool) bookkeeping rather than
     /// a download-and-decode scan of every blob.
     pool_sizes: BTreeMap<SnapshotId, u64>,
+    /// Page-granular publication state; present only when a lazy restore
+    /// strategy is active (eager runs never touch the page buckets).
+    paging: Option<PagingState>,
+}
+
+/// Bookkeeping for page-granular snapshot publication.
+struct PagingState {
+    pages: PagedSnapshotStore,
+    /// Published page count per snapshot, for exact unpublish on evict.
+    published: BTreeMap<SnapshotId, u32>,
 }
 
 impl Orchestrator {
@@ -155,6 +166,7 @@ impl Orchestrator {
             overheads: OverheadTotals::default(),
             frame_scratch: Encoder::new(),
             pool_sizes: BTreeMap::new(),
+            paging: None,
         }
     }
 
@@ -168,6 +180,31 @@ impl Orchestrator {
     pub fn with_transfer(mut self, transfer: TransferModel) -> Self {
         self.transfer = transfer;
         self
+    }
+
+    /// Enables page-granular snapshot publication at `page_size`: every
+    /// recorded snapshot additionally publishes its page map into the
+    /// store's page bucket (deduplicated per page), and evictions
+    /// unpublish the pages and drop any recorded working-set manifest.
+    pub fn with_paging(mut self, page_size: u64) -> Self {
+        self.paging = Some(PagingState {
+            pages: PagedSnapshotStore::new(self.store.clone(), page_size),
+            published: BTreeMap::new(),
+        });
+        self
+    }
+
+    /// The paged store view, when paging is enabled — the platform's
+    /// handle for prefetching and demand-faulting pages.
+    pub fn paged_store(&self) -> Option<PagedSnapshotStore> {
+        self.paging.as_ref().map(|p| p.pages.clone())
+    }
+
+    /// Tells the policy a working-set manifest now exists for `id` (the
+    /// recording restore persisted it): selection may stop charging that
+    /// snapshot the unrecorded-restore penalty.
+    pub fn note_manifest_recorded(&mut self, id: SnapshotId) {
+        self.policy.note_prefetch_ready(id);
     }
 
     /// The policy being orchestrated.
@@ -346,6 +383,22 @@ impl Orchestrator {
 
         if upload_ok {
             self.pool_sizes.insert(snapshot.id, snapshot.nominal_size);
+            if let Some(paging) = &mut self.paging {
+                // Publish the page map alongside the blob. Page descriptors
+                // are content-addressed, so base-region pages dedup across
+                // snapshots and twin heaps share blobs (one extra metadata
+                // write's worth of orchestration cost).
+                let map = PageMap::for_snapshot(
+                    &self.function,
+                    snapshot.payload_hash(),
+                    snapshot.nominal_size,
+                    paging.pages.page_size(),
+                );
+                if let Ok(count) = paging.pages.publish(&self.function, snapshot.id.0, &map) {
+                    paging.published.insert(snapshot.id, count);
+                    overhead_us += self.kv_costs.write_us;
+                }
+            }
             let evicted = self.policy.on_snapshot_taken(
                 PoolEntry {
                     id: snapshot.id,
@@ -359,6 +412,12 @@ impl Orchestrator {
             for entry in evicted {
                 let _ = self.store.delete(SNAPSHOT_BUCKET, &self.blob_key(entry.id));
                 self.pool_sizes.remove(&entry.id);
+                if let Some(paging) = &mut self.paging {
+                    if let Some(count) = paging.published.remove(&entry.id) {
+                        paging.pages.unpublish(&self.function, entry.id.0, count);
+                    }
+                    paging.pages.delete_manifest(&self.function, entry.id.0);
+                }
                 overhead_us += self.kv_costs.write_us;
             }
         }
@@ -557,6 +616,59 @@ mod tests {
             store.stats().objects
         );
         assert_eq!(orch.policy().pool_len(), store.stats().objects as usize);
+    }
+
+    #[test]
+    fn paging_publishes_and_evicts_pages_and_manifests() {
+        use pronghorn_restore::{WorkingSetManifest, DEFAULT_PAGE_SIZE, PAGES_BUCKET};
+        let config = PolicyConfig::paper_pypy().with_capacity(2).with_beta(4);
+        let store = ObjectStore::new();
+        let mut orch = Orchestrator::new(
+            Box::new(RequestCentricPolicy::new(config)),
+            KvStore::new(),
+            store.clone(),
+            "f",
+        )
+        .with_paging(DEFAULT_PAGE_SIZE);
+        let paged = orch.paged_store().unwrap();
+        let mut rng = SmallRng::seed_from_u64(31);
+        let first = snapshot(0, 0);
+        orch.record_snapshot(&first, SimDuration::from_millis(70), &mut rng);
+        // 12 MiB at 256 KiB pages = 48 page objects.
+        assert_eq!(store.list(PAGES_BUCKET).len(), 48);
+        // Record a manifest for the first snapshot, then force evictions.
+        let mut manifest = WorkingSetManifest::new("f", first.id.0, DEFAULT_PAGE_SIZE);
+        manifest.record_all(&[0, 1, 5]);
+        paged.store_manifest(&manifest).unwrap();
+        orch.note_manifest_recorded(first.id);
+        for i in 1..8 {
+            let snap = snapshot(i, i as u8);
+            orch.record_snapshot(&snap, SimDuration::from_millis(70), &mut rng);
+        }
+        // Pages of evicted snapshots are unpublished; at most two
+        // snapshots' worth of page objects remain.
+        assert!(store.list(PAGES_BUCKET).len() <= 2 * 48);
+        // If the first snapshot was evicted, its manifest went with it.
+        if orch.policy().snapshot_request_number(first.id).is_none() {
+            assert!(paged.load_manifest("f", first.id.0).is_none());
+        }
+    }
+
+    #[test]
+    fn eager_orchestrator_never_touches_page_buckets() {
+        use pronghorn_restore::{MANIFESTS_BUCKET, PAGES_BUCKET};
+        let store = ObjectStore::new();
+        let mut orch = Orchestrator::new(
+            Box::new(CheckpointAfterFirstPolicy::new()),
+            KvStore::new(),
+            store.clone(),
+            "f",
+        );
+        assert!(orch.paged_store().is_none());
+        let mut rng = SmallRng::seed_from_u64(32);
+        orch.record_snapshot(&snapshot(1, 1), SimDuration::from_millis(65), &mut rng);
+        assert!(store.list(PAGES_BUCKET).is_empty());
+        assert!(store.list(MANIFESTS_BUCKET).is_empty());
     }
 
     #[test]

@@ -101,6 +101,11 @@ pub trait Policy: Send {
     fn take_weight_delta(&mut self) -> Option<(u32, f64)> {
         None
     }
+
+    /// Marks a pooled snapshot as having a recorded working-set manifest
+    /// (prefetch-ready). Policies that price restore cost into selection
+    /// may stop penalizing it; the default ignores the hint.
+    fn note_prefetch_ready(&mut self, _id: SnapshotId) {}
 }
 
 #[cfg(test)]

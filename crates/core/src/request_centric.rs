@@ -19,6 +19,9 @@ pub struct RequestCentricPolicy {
     scratch: DecisionScratch,
     /// Slot updated by the latest `record_latency`, for delta persistence.
     pending_delta: Option<(u32, f64)>,
+    /// Pooled snapshots with a recorded working-set manifest; only
+    /// consulted when `config.restore_penalty_us > 0`.
+    prefetch_ready: std::collections::BTreeSet<u64>,
 }
 
 impl RequestCentricPolicy {
@@ -47,6 +50,7 @@ impl RequestCentricPolicy {
             pool: SnapshotPool::new(config.capacity),
             scratch: DecisionScratch::new(),
             pending_delta: None,
+            prefetch_ready: std::collections::BTreeSet::new(),
             config,
         })
     }
@@ -68,18 +72,28 @@ impl RequestCentricPolicy {
 
     /// `GetSnapshotWeights`: average lifetime weight per pooled snapshot,
     /// written into the reusable scratch buffer.
+    ///
+    /// Weights are inverse expected latency (`1/(θ̄+µ)`), so a restore
+    /// penalty `P` µs for snapshots without a recorded working set folds
+    /// in *harmonically*: `w → w / (1 + P·w) = 1/(θ̄+µ+P)`. Penalizing a
+    /// snapshot only relative to prefetch-ready peers keeps the zero-
+    /// penalty configuration bit-identical to the unpenalized policy.
     fn fill_snapshot_weights(
         weights: &WeightVector,
         pool: &SnapshotPool,
         config: &PolicyConfig,
+        prefetch_ready: &std::collections::BTreeSet<u64>,
         out: &mut Vec<f64>,
     ) {
         out.clear();
-        out.extend(
-            pool.entries()
-                .iter()
-                .map(|e| weights.lifetime_weight(e.request_number, config.beta, config.mu)),
-        );
+        out.extend(pool.entries().iter().map(|e| {
+            let w = weights.lifetime_weight(e.request_number, config.beta, config.mu);
+            if config.restore_penalty_us > 0.0 && !prefetch_ready.contains(&e.id.0) {
+                w / (1.0 + config.restore_penalty_us * w)
+            } else {
+                w
+            }
+        }));
     }
 }
 
@@ -98,9 +112,10 @@ impl Policy for RequestCentricPolicy {
             weights,
             pool,
             scratch,
+            prefetch_ready,
             ..
         } = self;
-        Self::fill_snapshot_weights(weights, pool, config, &mut scratch.weights);
+        Self::fill_snapshot_weights(weights, pool, config, prefetch_ready, &mut scratch.weights);
         let picked = match config.selection {
             // Part 2 (the paper): softmax over snapshot weights, then draw.
             SelectionStrategy::Softmax => {
@@ -151,13 +166,17 @@ impl Policy for RequestCentricPolicy {
         // Part 4 fires inside insert when capacity is exceeded.
         let weights = &self.weights;
         let (beta, mu) = (self.config.beta, self.config.mu);
-        self.pool.insert(
+        let evicted = self.pool.insert(
             entry,
             self.config.keep_top_frac,
             self.config.keep_random_frac,
             |e| weights.lifetime_weight(e.request_number, beta, mu),
             rng,
-        )
+        );
+        for e in &evicted {
+            self.prefetch_ready.remove(&e.id.0);
+        }
+        evicted
     }
 
     fn snapshot_request_number(&self, id: SnapshotId) -> Option<u32> {
@@ -184,6 +203,12 @@ impl Policy for RequestCentricPolicy {
 
     fn take_weight_delta(&mut self) -> Option<(u32, f64)> {
         self.pending_delta.take()
+    }
+
+    fn note_prefetch_ready(&mut self, id: SnapshotId) {
+        if self.pool.get(id).is_some() {
+            self.prefetch_ready.insert(id.0);
+        }
     }
 }
 
@@ -336,6 +361,44 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), 4, "uniform selection missed pool entries");
+    }
+
+    #[test]
+    fn restore_penalty_prefers_prefetch_ready_snapshots() {
+        // Two snapshots at the same request number have identical lifetime
+        // weights; under a restore penalty, the one with a recorded
+        // working set must win a greedy selection.
+        let mut p = RequestCentricPolicy::new(
+            config()
+                .with_selection(SelectionStrategy::Greedy)
+                .with_restore_penalty(50_000.0),
+        );
+        let mut rng = SmallRng::seed_from_u64(9);
+        for r in 0..100 {
+            p.record_latency(r, 20_000.0);
+        }
+        p.on_snapshot_taken(entry(1, 10), &mut rng);
+        p.on_snapshot_taken(entry(2, 10), &mut rng);
+        p.note_prefetch_ready(SnapshotId(2));
+        assert_eq!(
+            p.on_worker_start(&mut rng),
+            StartDecision::Restore(SnapshotId(2))
+        );
+        // Marking an unpooled snapshot is a no-op.
+        p.note_prefetch_ready(SnapshotId(99));
+        // Zero penalty ignores readiness entirely: both weights are equal
+        // again, and greedy max_by returns the last maximal entry either way.
+        let mut q = RequestCentricPolicy::new(config().with_selection(SelectionStrategy::Greedy));
+        for r in 0..100 {
+            q.record_latency(r, 20_000.0);
+        }
+        q.on_snapshot_taken(entry(1, 10), &mut rng);
+        q.on_snapshot_taken(entry(2, 10), &mut rng);
+        q.note_prefetch_ready(SnapshotId(2));
+        assert!(matches!(
+            q.on_worker_start(&mut rng),
+            StartDecision::Restore(_)
+        ));
     }
 
     #[test]

@@ -248,6 +248,8 @@ mod tests {
                     bytes_encoded: encodes * 100,
                     ..CodecStats::default()
                 },
+                restore_strategy: pronghorn_platform::RestoreStrategy::Eager,
+                restore_infos: vec![],
             },
         }
     }

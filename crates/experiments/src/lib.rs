@@ -11,6 +11,7 @@
 //! | [`fig7`] | Figure 7: per-operation orchestrator overheads vs the baseline |
 //! | [`summary`] | §5.2's headline numbers: per-rate improvement counts and geometric means |
 //! | [`ablation`] | the design-choice ablation study (selection strategy, γ, C, W, β misestimation, fleet amortization, input partitioning) |
+//! | [`restore_ablation`] | the restore-strategy ablation: eager vs lazy vs REAP-style record-&-prefetch |
 //!
 //! Each module exposes a `run(ctx)` returning a structured result with a
 //! `render()` that prints paper-style rows and a `to_csv()` for the
@@ -28,6 +29,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod grid;
 pub mod render;
+pub mod restore_ablation;
 pub mod summary;
 pub mod table1;
 pub mod table4;

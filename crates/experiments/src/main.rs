@@ -14,6 +14,7 @@
 //!   fig7     orchestrator overheads (Figure 7)
 //!   summary  §5.2 headline aggregation (runs fig4 + fig5 grids)
 //!   ablations design-choice ablation study
+//!   restore-ablation  restore strategies: eager vs lazy vs record-prefetch
 //!   all      everything above, CSVs written to results/
 //! ```
 
@@ -21,7 +22,8 @@
 
 use pronghorn_experiments::ExperimentContext;
 use pronghorn_experiments::{
-    ablation, bench_report, fig1, fig45, fig6, fig7, summary, table1, table4, table5,
+    ablation, bench_report, fig1, fig45, fig6, fig7, restore_ablation, summary, table1, table4,
+    table5,
 };
 use std::process::ExitCode;
 
@@ -51,8 +53,8 @@ fn parse_args() -> Result<(String, ExperimentContext), String> {
 }
 
 fn usage() -> String {
-    "usage: experiments <fig1|table1|fig4|fig5|fig6|table4|table5|fig7|ablations|summary|all> \
-     [--quick] [--seed N] [--invocations N] [--threads N]"
+    "usage: experiments <fig1|table1|fig4|fig5|fig6|table4|table5|fig7|ablations|\
+     restore-ablation|summary|all> [--quick] [--seed N] [--invocations N] [--threads N]"
         .to_string()
 }
 
@@ -110,6 +112,12 @@ fn run_command(command: &str, ctx: &ExperimentContext) -> Result<(), String> {
             println!("{}", r.render());
             save("ablations.csv", r.save());
         }
+        "restore-ablation" => {
+            let r = restore_ablation::run(ctx);
+            println!("{}", r.render());
+            save("restore_ablation.csv", r.save());
+            save("BENCH_restore.json", r.save_bench_report());
+        }
         "summary" => {
             let f4 = fig45::run_fig4(ctx);
             let f5 = fig45::run_fig5(ctx);
@@ -119,6 +127,13 @@ fn run_command(command: &str, ctx: &ExperimentContext) -> Result<(), String> {
             save(
                 "BENCH_grid.json",
                 bench_report::write(&[("fig4", &f4.grid), ("fig5", &f5.grid)]),
+            );
+            save(
+                "BENCH_restore.json",
+                restore_ablation::write_bench_restore(
+                    &s.restore,
+                    f4.grid.wall_clock_s + f5.grid.wall_clock_s,
+                ),
             );
         }
         "all" => {
@@ -139,6 +154,10 @@ fn run_command(command: &str, ctx: &ExperimentContext) -> Result<(), String> {
             // Reuse fresh grids for the summary.
             println!("==================== summary ====================");
             run_command("summary", ctx)?;
+            // Last, so its three-strategy BENCH_restore.json is the one
+            // that survives (summary writes an eager-only version).
+            println!("==================== restore-ablation ====================");
+            run_command("restore-ablation", ctx)?;
         }
         other => return Err(format!("unknown command: {other}\n{}", usage())),
     }

@@ -1,0 +1,473 @@
+//! The restore-strategy ablation: eager vs lazy vs record-&-prefetch.
+//!
+//! Sweeps the 13 paper benchmarks × the §5.1 eviction rates under the
+//! request-centric policy, once per [`RestoreStrategy`]. Cells that differ
+//! only in strategy share a seed, so the workload-input stream — and hence
+//! the comparison — is paired, exactly like the policy grid. The REAP
+//! claim under test: after one recording restore, bulk-prefetching the
+//! recorded working set restores faster than both demand paging (fault
+//! service dominates) and eager restoration (the full image transfer
+//! dominates), while moving fewer bytes than eager on compute-bound
+//! benchmarks whose working set is a fraction of the image.
+
+use crate::fig45::{FIG4_BENCHMARKS, FIG5_BENCHMARKS};
+use crate::grid::PAPER_RATES;
+use crate::render::{write_results_csv, write_results_file};
+use crate::ExperimentContext;
+use pronghorn_core::PolicyKind;
+use pronghorn_metrics::{mean_and_std, Quantiles, Table, TableStyle};
+use pronghorn_platform::{run_closed_loop, RestoreInfo, RestoreStrategy, RunConfig, RunResult};
+use pronghorn_workloads::{by_name, Workload};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One benchmark × rate × strategy measurement.
+#[derive(Debug, Clone)]
+pub struct AblationCell {
+    /// Benchmark name.
+    pub workload: String,
+    /// Eviction rate.
+    pub rate: u32,
+    /// Restore strategy the cell ran under.
+    pub strategy: RestoreStrategy,
+    /// Whether the benchmark is IO-bound (bytes comparisons exclude these).
+    pub io_bound: bool,
+    /// Full run measurements.
+    pub result: RunResult,
+}
+
+/// A completed restore ablation.
+#[derive(Debug, Clone, Default)]
+pub struct RestoreAblation {
+    /// All cells, in completion order (lookups are keyed, so order does
+    /// not affect any rendered output).
+    pub cells: Vec<AblationCell>,
+    /// Real wall-clock time the sweep took, seconds.
+    pub wall_clock_s: f64,
+}
+
+/// Pooled per-strategy restore statistics (across every restore of every
+/// cell run under that strategy).
+#[derive(Debug, Clone)]
+pub struct StrategyAggregate {
+    /// The strategy.
+    pub strategy: RestoreStrategy,
+    /// Number of restores pooled.
+    pub restores: usize,
+    /// Median end-to-end restore time, µs (NaN with no restores).
+    pub median_restore_us: f64,
+    /// Mean and standard deviation of the restore times, µs.
+    pub mean_restore_us: f64,
+    /// Standard deviation companion to [`Self::mean_restore_us`].
+    pub std_restore_us: f64,
+    /// Total bytes moved from the store for restores.
+    pub total_bytes: u64,
+    /// Total demand faults served.
+    pub faults: u64,
+    /// Total pages brought in by batched prefetches.
+    pub prefetched_pages: u64,
+}
+
+/// The paper's 13 benchmarks (Figure 4's nine Python + Figure 5's four
+/// Java), in figure order.
+pub fn benchmarks() -> Vec<&'static str> {
+    FIG4_BENCHMARKS
+        .iter()
+        .chain(FIG5_BENCHMARKS.iter())
+        .copied()
+        .collect()
+}
+
+/// Runs the full ablation: 13 benchmarks × paper rates × all strategies.
+pub fn run(ctx: &ExperimentContext) -> RestoreAblation {
+    run_for(ctx, &benchmarks(), &PAPER_RATES)
+}
+
+/// Runs the ablation over an explicit benchmark and rate set.
+///
+/// # Panics
+///
+/// Panics if a benchmark name is unknown — experiment tables are static
+/// and must fail loudly.
+pub fn run_for(ctx: &ExperimentContext, benchmarks: &[&str], rates: &[u32]) -> RestoreAblation {
+    for name in benchmarks {
+        assert!(by_name(name).is_some(), "unknown benchmark {name}");
+    }
+    let mut tasks: Vec<(String, u32, RestoreStrategy)> = Vec::new();
+    for &bench in benchmarks {
+        for &rate in rates {
+            for strategy in RestoreStrategy::ALL {
+                tasks.push((bench.to_string(), rate, strategy));
+            }
+        }
+    }
+    let next = AtomicUsize::new(0);
+    let cells = Mutex::new(Vec::with_capacity(tasks.len()));
+    let threads = ctx.threads.clamp(1, 32);
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((bench, rate, strategy)) = tasks.get(i) else {
+                    break;
+                };
+                let workload = by_name(bench).expect("validated above");
+                // Seed shared across strategies of the same (bench, rate):
+                // the paired-comparison trick of the policy grid.
+                let seed = ctx.cell_seed(&["restore", bench, &rate.to_string()]);
+                let cfg = RunConfig::paper(PolicyKind::RequestCentric, *rate, seed)
+                    .with_invocations(ctx.invocations)
+                    .with_restore(*strategy);
+                let result = run_closed_loop(&workload, &cfg);
+                cells.lock().expect("no poisoned lock").push(AblationCell {
+                    workload: bench.clone(),
+                    rate: *rate,
+                    strategy: *strategy,
+                    io_bound: workload.io_bound(),
+                    result,
+                });
+            });
+        }
+    });
+    RestoreAblation {
+        cells: cells.into_inner().expect("no poisoned lock"),
+        wall_clock_s: started.elapsed().as_secs_f64(),
+    }
+}
+
+impl RestoreAblation {
+    /// Finds a cell.
+    pub fn cell(
+        &self,
+        workload: &str,
+        rate: u32,
+        strategy: RestoreStrategy,
+    ) -> Option<&AblationCell> {
+        self.cells
+            .iter()
+            .find(|c| c.workload == workload && c.rate == rate && c.strategy == strategy)
+    }
+
+    /// Median end-to-end restore time of a cell, µs (NaN when absent or
+    /// the cell never restored).
+    pub fn median_restore_us(&self, workload: &str, rate: u32, strategy: RestoreStrategy) -> f64 {
+        self.cell(workload, rate, strategy)
+            .map(|c| c.result.median_restore_us())
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Distinct workloads present, in first-seen deterministic order.
+    pub fn workloads(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for bench in benchmarks() {
+            if self.cells.iter().any(|c| c.workload == bench) && !seen.contains(&bench.to_string())
+            {
+                seen.push(bench.to_string());
+            }
+        }
+        // Any non-paper benchmarks (tests) follow, in cell order.
+        for cell in &self.cells {
+            if !seen.contains(&cell.workload) {
+                seen.push(cell.workload.clone());
+            }
+        }
+        seen
+    }
+
+    /// Distinct rates present, ascending.
+    pub fn rates(&self) -> Vec<u32> {
+        let mut rates: Vec<u32> = self.cells.iter().map(|c| c.rate).collect();
+        rates.sort_unstable();
+        rates.dedup();
+        rates
+    }
+
+    /// Pooled per-strategy aggregates, in [`RestoreStrategy::ALL`] order.
+    pub fn strategy_aggregates(&self) -> Vec<StrategyAggregate> {
+        RestoreStrategy::ALL
+            .iter()
+            .map(|&strategy| {
+                let infos: Vec<&RestoreInfo> = self
+                    .cells
+                    .iter()
+                    .filter(|c| c.strategy == strategy)
+                    .flat_map(|c| c.result.restore_infos.iter())
+                    .collect();
+                aggregate(strategy, &infos)
+            })
+            .collect()
+    }
+
+    /// How many benchmarks at `rate` satisfy the REAP claim: the
+    /// record-&-prefetch median restore is strictly below lazy's and at or
+    /// below eager's.
+    pub fn wins_at_rate(&self, rate: u32) -> usize {
+        self.workloads()
+            .iter()
+            .filter(|w| {
+                let eager = self.median_restore_us(w, rate, RestoreStrategy::Eager);
+                let lazy = self.median_restore_us(w, rate, RestoreStrategy::Lazy);
+                let rp = self.median_restore_us(w, rate, RestoreStrategy::RecordPrefetch);
+                rp.is_finite() && lazy.is_finite() && eager.is_finite() && rp < lazy && rp <= eager
+            })
+            .count()
+    }
+
+    /// Compute-bound benchmarks at `rate` where record-&-prefetch moved
+    /// strictly fewer bytes than eager, as `(wins, total)`.
+    pub fn byte_wins_at_rate(&self, rate: u32) -> (usize, usize) {
+        let mut wins = 0;
+        let mut total = 0;
+        for w in self.workloads() {
+            let Some(rp) = self.cell(&w, rate, RestoreStrategy::RecordPrefetch) else {
+                continue;
+            };
+            if rp.io_bound {
+                continue;
+            }
+            let Some(eager) = self.cell(&w, rate, RestoreStrategy::Eager) else {
+                continue;
+            };
+            total += 1;
+            if rp.result.restore_bytes() < eager.result.restore_bytes() {
+                wins += 1;
+            }
+        }
+        (wins, total)
+    }
+
+    /// Paper-style rendering: per-strategy pooled stats, then per-rate
+    /// benchmark win counts.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(vec![
+            "Strategy",
+            "Restores",
+            "Median restore",
+            "Mean ± std",
+            "Bytes moved",
+            "Faults",
+            "Prefetched pages",
+        ]);
+        for agg in self.strategy_aggregates() {
+            table.row(vec![
+                agg.strategy.label().to_string(),
+                agg.restores.to_string(),
+                format_us(agg.median_restore_us),
+                format!(
+                    "{} ± {}",
+                    format_us(agg.mean_restore_us),
+                    format_us(agg.std_restore_us)
+                ),
+                format!("{:.1} MB", agg.total_bytes as f64 / 1e6),
+                agg.faults.to_string(),
+                agg.prefetched_pages.to_string(),
+            ]);
+        }
+        let mut out = format!(
+            "Restore-strategy ablation (request-centric policy)\n\n{}\n",
+            table.render(TableStyle::Plain)
+        );
+        let n = self.workloads().len();
+        for rate in self.rates() {
+            let (bw, bt) = self.byte_wins_at_rate(rate);
+            out.push_str(&format!(
+                "rate {:>2}: record-prefetch beats lazy and eager restore latency on \
+                 {}/{} benchmarks; moves fewer bytes than eager on {bw}/{bt} compute-bound\n",
+                rate,
+                self.wins_at_rate(rate),
+                n,
+            ));
+        }
+        out
+    }
+
+    /// CSV form: one row per cell, in fixed benchmark × rate × strategy
+    /// order (byte-identical across same-seed reruns).
+    pub fn to_csv(&self) -> String {
+        let mut table = Table::new(vec![
+            "workload",
+            "rate",
+            "strategy",
+            "restores",
+            "median_restore_us",
+            "restore_bytes",
+            "faults",
+            "prefetched_pages",
+            "median_latency_us",
+        ]);
+        for w in self.workloads() {
+            for rate in self.rates() {
+                for strategy in RestoreStrategy::ALL {
+                    let Some(cell) = self.cell(&w, rate, strategy) else {
+                        continue;
+                    };
+                    table.row(vec![
+                        w.clone(),
+                        rate.to_string(),
+                        strategy.label().to_string(),
+                        cell.result.restore_infos.len().to_string(),
+                        csv_f64(cell.result.median_restore_us()),
+                        cell.result.restore_bytes().to_string(),
+                        cell.result.total_faults().to_string(),
+                        cell.result.prefetched_pages().to_string(),
+                        csv_f64(cell.result.median_us()),
+                    ]);
+                }
+            }
+        }
+        table.to_csv()
+    }
+
+    /// Writes `results/restore_ablation.csv`.
+    pub fn save(&self) -> std::io::Result<std::path::PathBuf> {
+        write_results_csv("restore_ablation.csv", &self.to_csv())
+    }
+
+    /// Writes `results/BENCH_restore.json` from this ablation's pooled
+    /// per-strategy stats.
+    pub fn save_bench_report(&self) -> std::io::Result<std::path::PathBuf> {
+        write_bench_restore(&self.strategy_aggregates(), self.wall_clock_s)
+    }
+}
+
+/// Pools restore infos into one [`StrategyAggregate`].
+pub fn aggregate(strategy: RestoreStrategy, infos: &[&RestoreInfo]) -> StrategyAggregate {
+    let times: Vec<f64> = infos.iter().map(|i| i.total_restore_us()).collect();
+    let (mean, std) = mean_and_std(&times).unwrap_or((f64::NAN, f64::NAN));
+    StrategyAggregate {
+        strategy,
+        restores: infos.len(),
+        median_restore_us: Quantiles::new(times)
+            .map(|q| q.median())
+            .unwrap_or(f64::NAN),
+        mean_restore_us: mean,
+        std_restore_us: std,
+        total_bytes: infos.iter().map(|i| i.bytes_transferred).sum(),
+        faults: infos.iter().map(|i| u64::from(i.faults)).sum(),
+        prefetched_pages: infos.iter().map(|i| u64::from(i.prefetched_pages)).sum(),
+    }
+}
+
+/// Writes `results/BENCH_restore.json`: per-strategy median restore time
+/// and bytes moved — the restore counterpart of `BENCH_grid.json`.
+pub fn write_bench_restore(
+    aggregates: &[StrategyAggregate],
+    wall_clock_s: f64,
+) -> std::io::Result<std::path::PathBuf> {
+    let mut out = String::from("{\n  \"report\": \"pronghorn-restore\",\n");
+    out.push_str(&format!("  \"wall_clock_s\": {wall_clock_s:.3},\n"));
+    out.push_str("  \"strategies\": [\n");
+    for (i, agg) in aggregates.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"strategy\": \"{}\", \"restores\": {}, \"median_restore_us\": {}, \
+             \"mean_restore_us\": {}, \"std_restore_us\": {}, \"total_bytes\": {}, \
+             \"faults\": {}, \"prefetched_pages\": {}}}",
+            agg.strategy.label(),
+            agg.restores,
+            json_f64(agg.median_restore_us),
+            json_f64(agg.mean_restore_us),
+            json_f64(agg.std_restore_us),
+            agg.total_bytes,
+            agg.faults,
+            agg.prefetched_pages,
+        ));
+        if i + 1 < aggregates.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    write_results_file("BENCH_restore.json", &out)
+}
+
+/// Formats a µs value for human tables; NaN renders as "-".
+fn format_us(us: f64) -> String {
+    if us.is_finite() {
+        format!("{us:.0} µs")
+    } else {
+        "-".to_string()
+    }
+}
+
+/// Formats a float for CSV; NaN renders as the empty field.
+fn csv_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        String::new()
+    }
+}
+
+/// Formats a float for JSON; NaN renders as null.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_ablation() -> RestoreAblation {
+        let ctx = ExperimentContext {
+            invocations: 120,
+            ..ExperimentContext::quick()
+        };
+        run_for(&ctx, &["DFS", "Uploader", "Hash"], &[4])
+    }
+
+    #[test]
+    fn ablation_runs_every_strategy_per_cell() {
+        let ablation = quick_ablation();
+        assert_eq!(ablation.cells.len(), 3 * 3);
+        assert_eq!(ablation.workloads(), vec!["DFS", "Uploader", "Hash"]);
+        assert_eq!(ablation.rates(), vec![4]);
+        for strategy in RestoreStrategy::ALL {
+            let cell = ablation.cell("DFS", 4, strategy).unwrap();
+            assert_eq!(cell.result.restore_strategy, strategy);
+            assert!(!cell.result.restore_infos.is_empty());
+        }
+    }
+
+    #[test]
+    fn record_prefetch_wins_on_quick_subset() {
+        let ablation = quick_ablation();
+        // All three benchmarks: RP < Lazy strictly, RP <= Eager.
+        assert_eq!(ablation.wins_at_rate(4), 3, "{}", ablation.render());
+        // DFS and Hash are compute-bound; Uploader is IO-bound and
+        // excluded from the bytes comparison.
+        assert_eq!(ablation.byte_wins_at_rate(4), (2, 2));
+    }
+
+    #[test]
+    fn csv_is_deterministic_and_shaped() {
+        let ablation = quick_ablation();
+        let csv = ablation.to_csv();
+        assert_eq!(csv.lines().count(), 1 + 9);
+        assert!(csv.starts_with("workload,rate,strategy,"));
+        // Same-seed rerun produces byte-identical CSV.
+        let again = quick_ablation();
+        assert_eq!(csv, again.to_csv());
+    }
+
+    #[test]
+    fn render_and_report_cover_all_strategies() {
+        let ablation = quick_ablation();
+        let text = ablation.render();
+        for strategy in RestoreStrategy::ALL {
+            assert!(text.contains(strategy.label()), "{text}");
+        }
+        let aggs = ablation.strategy_aggregates();
+        assert_eq!(aggs.len(), 3);
+        assert!(aggs.iter().all(|a| a.restores > 0));
+        // Eager accrues no faults; lazy strategies accrue no full-image
+        // transfers beyond their pages.
+        assert_eq!(aggs[0].faults, 0);
+        assert!(aggs[1].faults > 0);
+        assert!(aggs[2].prefetched_pages > 0);
+    }
+}

@@ -8,7 +8,9 @@
 
 use crate::grid::{Grid, PAPER_RATES};
 use crate::render::write_results_csv;
+use crate::restore_ablation::{aggregate, StrategyAggregate};
 use pronghorn_metrics::{classify, geo_mean_of_improvements, Table, TableStyle, Verdict};
+use pronghorn_platform::{RestoreInfo, RestoreStrategy};
 
 /// Aggregate for one eviction rate.
 #[derive(Debug, Clone)]
@@ -30,6 +32,12 @@ pub struct RateSummary {
 pub struct SummaryResult {
     /// One aggregate per eviction rate.
     pub rates: Vec<RateSummary>,
+    /// Pooled restore-path statistics per strategy present in the grids
+    /// (the policy grids run eagerly, so this is usually one row; the
+    /// restore ablation produces all three). Rendered as an extra
+    /// section and exported to `BENCH_restore.json` — never into
+    /// `summary.csv`, whose bytes are a compatibility surface.
+    pub restore: Vec<StrategyAggregate>,
 }
 
 /// Summarizes one or more completed grids (typically Figure 4's plus
@@ -63,7 +71,23 @@ pub fn summarize(grids: &[&Grid]) -> SummaryResult {
             }
         })
         .collect();
-    SummaryResult { rates }
+    let restore = RestoreStrategy::ALL
+        .iter()
+        .filter_map(|&strategy| {
+            let infos: Vec<&RestoreInfo> = grids
+                .iter()
+                .flat_map(|g| g.cells.iter())
+                .filter(|c| c.result.restore_strategy == strategy)
+                .flat_map(|c| c.result.restore_infos.iter())
+                .collect();
+            if infos.is_empty() {
+                None
+            } else {
+                Some(aggregate(strategy, &infos))
+            }
+        })
+        .collect();
+    SummaryResult { rates, restore }
 }
 
 impl SummaryResult {
@@ -105,6 +129,18 @@ impl SummaryResult {
             out.push_str(&format!("rate {}:\n", r.rate));
             for (name, imp) in r.better.iter().chain(&r.on_par).chain(&r.worse) {
                 out.push_str(&format!("  {name:<14} {imp:+.1}%\n"));
+            }
+        }
+        if !self.restore.is_empty() {
+            out.push_str("\nrestore path:\n");
+            for agg in &self.restore {
+                out.push_str(&format!(
+                    "  {:<16} median {:.0} µs over {} restores, {:.1} MB moved\n",
+                    agg.strategy.label(),
+                    agg.median_restore_us,
+                    agg.restores,
+                    agg.total_bytes as f64 / 1e6,
+                ));
             }
         }
         out
@@ -176,7 +212,14 @@ mod tests {
         let summary = summarize(&[&grid]);
         let text = summary.render();
         assert!(text.contains("Headline summary"));
+        // Restore-path stats surface in the render, never in the CSV —
+        // summary.csv's bytes are a compatibility surface.
+        assert!(text.contains("restore path"));
+        assert!(text.contains("eager"));
         let csv = summary.to_csv();
         assert_eq!(csv.lines().count(), 1 + 3);
+        assert!(!csv.contains("eager"));
+        assert_eq!(summary.restore.len(), 1);
+        assert!(summary.restore[0].restores > 0);
     }
 }

@@ -129,6 +129,57 @@ impl Runtime {
         self.methods.iter().filter(|m| m.tier == tier).count()
     }
 
+    /// The snapshot pages this request would touch, as ascending page
+    /// indices into a `page_count`-page image of this runtime.
+    ///
+    /// This is the deterministic access-trace hook for page-granular lazy
+    /// restore: a pure function of the runtime's checkpoint-visible state
+    /// and the request's work — it consumes no RNG and mutates nothing,
+    /// so the same seed always produces the same fault sequence. The
+    /// model mirrors how a restored image is touched:
+    ///
+    /// - a handful of **base-region** pages (runtime text, never-written
+    ///   data) are always touched, scaling gently with image size;
+    /// - each worked method touches **heap pages** hashed from its index,
+    ///   more of them at higher tiers (compiled code + profiling data
+    ///   occupy more of the image);
+    /// - the request's payload size selects a couple of **input-buffer**
+    ///   pages from a quantized size bucket.
+    pub fn page_access_trace(&self, work: &RequestWork, page_count: u32) -> Vec<u32> {
+        use pronghorn_sim::hash::{fnv1a, mix64};
+        if page_count == 0 {
+            return Vec::new();
+        }
+        let base_pages = (page_count / 4).max(1).min(page_count);
+        let mut touched = std::collections::BTreeSet::new();
+        let always = base_pages.min(4 + page_count / 32).max(1);
+        for p in 0..always {
+            touched.insert(p);
+        }
+        let heap_pages = page_count - base_pages;
+        if heap_pages > 0 {
+            let salt = fnv1a(b"page-trace");
+            for entry in &work.entries {
+                let spread = match self.methods.get(entry.method).map(|m| m.tier) {
+                    Some(Tier::Interpreted) | None => 1u64,
+                    Some(Tier::Tier1) => 2,
+                    Some(Tier::Tier2) => 3,
+                };
+                for k in 0..spread {
+                    let h = mix64(salt ^ mix64(entry.method as u64) ^ mix64(k));
+                    touched.insert(base_pages + (h % u64::from(heap_pages)) as u32);
+                }
+            }
+            // Input buffers: two pages from a quantized size bucket.
+            let bucket = (work.size_factor.clamp(0.0, 16.0) * 8.0).round() as u64;
+            for k in 0..2u64 {
+                let h = mix64(salt ^ mix64(0x1b0f ^ bucket) ^ mix64(k));
+                touched.insert(base_pages + (h % u64::from(heap_pages)) as u32);
+            }
+        }
+        touched.into_iter().collect()
+    }
+
     fn installed_bytes(&self, method: usize, tier: Tier) -> u64 {
         let p = &self.method_profiles[method];
         match tier {
@@ -360,6 +411,33 @@ mod tests {
         rt.execute_n(&work(), 20_000, &mut rng);
         assert!(rt.count_at_tier(Tier::Tier2) >= 1);
         assert!(rt.code_cache_used() > 0);
+    }
+
+    #[test]
+    fn page_trace_is_deterministic_and_sorted() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let (rt, _) = Runtime::cold_start(RuntimeProfile::jvm(), simple_methods(), &mut rng);
+        let a = rt.page_access_trace(&work(), 48);
+        let b = rt.page_access_trace(&work(), 48);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "{a:?}");
+        assert!(a.iter().all(|&p| p < 48));
+        assert!(!a.is_empty());
+        // A small working set: well below the full image.
+        assert!(a.len() < 48, "{a:?}");
+        assert!(rt.page_access_trace(&work(), 0).is_empty());
+    }
+
+    #[test]
+    fn page_trace_grows_with_tier_promotions() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let (mut rt, _) = Runtime::cold_start(RuntimeProfile::jvm(), simple_methods(), &mut rng);
+        let cold = rt.page_access_trace(&work(), 256);
+        rt.execute_n(&work(), 20_000, &mut rng);
+        let hot = rt.page_access_trace(&work(), 256);
+        // Promoted methods spread over more heap pages.
+        assert!(hot.len() >= cold.len(), "cold {cold:?} hot {hot:?}");
+        assert_ne!(cold, hot);
     }
 
     #[test]

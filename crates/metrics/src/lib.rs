@@ -36,8 +36,8 @@ pub use ewma::Ewma;
 pub use histogram::Histogram;
 pub use quantile::{Cdf, Quantiles};
 pub use stats::{
-    classify, geo_mean_of_improvements, geometric_mean, median_improvement_pct, percent_change,
-    Verdict,
+    classify, geo_mean_of_improvements, geometric_mean, mean_and_std, median_improvement_pct,
+    percent_change, Verdict,
 };
 pub use summary::Summary;
 pub use table::{Table, TableStyle};

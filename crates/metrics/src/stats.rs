@@ -32,6 +32,33 @@ pub fn geometric_mean(values: &[f64]) -> Option<f64> {
     Some((acc / values.len() as f64).exp())
 }
 
+/// Arithmetic mean and (population) standard deviation of `values`.
+///
+/// Returns `None` for an empty slice or any non-finite element. A single
+/// sample has zero deviation.
+///
+/// # Examples
+///
+/// ```
+/// use pronghorn_metrics::mean_and_std;
+///
+/// let (mean, std) = mean_and_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+/// assert_eq!(mean, 5.0);
+/// assert_eq!(std, 2.0);
+/// assert_eq!(mean_and_std(&[]), None);
+/// ```
+pub fn mean_and_std(values: &[f64]) -> Option<(f64, f64)> {
+    if values.is_empty() || values.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
+    let n = values.len() as f64;
+    // pronglint: det-order — slice iteration, fixed caller-supplied order.
+    let mean = values.iter().sum::<f64>() / n;
+    // pronglint: det-order — slice iteration, fixed caller-supplied order.
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    Some((mean, var.sqrt()))
+}
+
 /// Percentage change from `baseline` to `new`: positive means `new` is
 /// *smaller* (an improvement, in latency terms).
 ///
@@ -112,6 +139,16 @@ mod tests {
         let a = geometric_mean(&xs).unwrap();
         let b = geometric_mean(&scaled).unwrap();
         assert!((b / a - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_and_std_handles_edges() {
+        assert_eq!(mean_and_std(&[3.0]), Some((3.0, 0.0)));
+        assert_eq!(mean_and_std(&[1.0, f64::NAN]), None);
+        assert_eq!(mean_and_std(&[1.0, f64::INFINITY]), None);
+        let (m, s) = mean_and_std(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(m, 2.0);
+        assert!((s - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
     }
 
     #[test]

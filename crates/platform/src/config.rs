@@ -2,6 +2,7 @@
 
 use pronghorn_core::{PolicyConfig, PolicyKind};
 use pronghorn_jit::RuntimeKind;
+use pronghorn_restore::RestoreStrategy;
 use pronghorn_sim::SimDuration;
 use pronghorn_workloads::InputVariance;
 
@@ -38,6 +39,10 @@ pub struct RunConfig {
     /// checkpointing after W + 100 invocations"). `None` reproduces the
     /// paper's evaluation, which never stops.
     pub stop_checkpointing_after: Option<u32>,
+    /// How restores materialize snapshot memory: eager (the paper's
+    /// behaviour, bit-identical to runs predating this knob), lazy
+    /// map-on-fault, or REAP-style record & prefetch.
+    pub restore: RestoreStrategy,
 }
 
 impl RunConfig {
@@ -54,6 +59,7 @@ impl RunConfig {
             policy_config: None,
             beta_estimate: None,
             stop_checkpointing_after: None,
+            restore: RestoreStrategy::Eager,
         }
     }
 
@@ -101,6 +107,12 @@ impl RunConfig {
         self.beta_estimate = Some(beta.max(1));
         self
     }
+
+    /// Sets the restore strategy.
+    pub fn with_restore(mut self, restore: RestoreStrategy) -> Self {
+        self.restore = restore;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +125,9 @@ mod tests {
         assert_eq!(c.invocations, 500);
         assert_eq!(c.eviction_rate, 4);
         assert_eq!(c.variance, InputVariance::paper());
+        assert_eq!(c.restore, RestoreStrategy::Eager);
+        let lazy = c.with_restore(RestoreStrategy::Lazy);
+        assert_eq!(lazy.restore, RestoreStrategy::Lazy);
     }
 
     #[test]

@@ -24,6 +24,7 @@ use pronghorn_checkpoint::{CheckpointScratch, CodecStats, SimCriuEngine, Snapsho
 use pronghorn_core::{baselines::make_policy, Orchestrator};
 use pronghorn_jit::Runtime;
 use pronghorn_kv::KvStore;
+use pronghorn_restore::{RestoreInfo, RestoreStrategy};
 use pronghorn_sim::{EventQueue, RngFactory, SimDuration, SimTime};
 use pronghorn_store::ObjectStore;
 use pronghorn_workloads::Workload;
@@ -57,7 +58,10 @@ enum Event {
 /// Runs an open-loop fleet: `cfg.invocations` arrivals spaced by
 /// `cfg.request_gap / fleet_size` (so per-worker load matches the
 /// closed-loop runs), dispatched across `fleet.fleet_size` workers sharing
-/// one orchestrator.
+/// one orchestrator. The fleet path restores eagerly regardless of
+/// `cfg.restore` — lazy strategies are a closed-loop/trace concern; here
+/// the restore statistics are still reported so fleet runs feed the same
+/// summaries.
 ///
 /// # Examples
 ///
@@ -111,6 +115,7 @@ pub fn run_fleet(workload: &dyn Workload, cfg: &RunConfig, fleet: &FleetConfig) 
     let mut snapshot_mb = Vec::new();
     let mut snapshot_requests = Vec::new();
     let mut provision_us = 0.0;
+    let mut restore_infos = Vec::new();
 
     while let Some((now, Event::Arrival(index))) = queue.pop() {
         // Round-robin dispatch over slots.
@@ -128,12 +133,13 @@ pub fn run_fleet(workload: &dyn Workload, cfg: &RunConfig, fleet: &FleetConfig) 
             let plan = orch.begin_worker(&mut policy_rng);
             let mut cost = plan.startup_overhead.as_micros() as f64;
             let wrng = factory.stream_indexed("worker", worker_seq);
-            let (runtime, resume, restored) = match plan.snapshot {
+            let (runtime, resume, restore) = match plan.snapshot {
                 Some(snapshot) => match engine.restore::<Runtime, _>(&mut engine_rng, &snapshot) {
                     Ok((rt, c)) => {
                         cost += c.as_micros() as f64;
                         restore_ms.push(c.as_millis_f64());
-                        (rt, plan.resume_request, true)
+                        let info = RestoreInfo::eager(c.as_micros() as f64, snapshot.nominal_size);
+                        (rt, plan.resume_request, Some(info))
                     }
                     Err(_) => {
                         let mut boot = factory.stream_indexed("boot", worker_seq);
@@ -143,7 +149,7 @@ pub fn run_fleet(workload: &dyn Workload, cfg: &RunConfig, fleet: &FleetConfig) 
                             &mut boot,
                         );
                         cost += c.as_micros() as f64;
-                        (rt, 0, false)
+                        (rt, 0, None)
                     }
                 },
                 None => {
@@ -154,15 +160,20 @@ pub fn run_fleet(workload: &dyn Workload, cfg: &RunConfig, fleet: &FleetConfig) 
                         &mut boot,
                     );
                     cost += c.as_micros() as f64;
-                    (rt, 0, false)
+                    (rt, 0, None)
                 }
             };
             provision_us += cost;
-            provisions.push(if restored {
+            provisions.push(if restore.is_some() {
                 ProvisionKind::Restored(resume)
             } else {
                 ProvisionKind::Cold
             });
+            // Eager restores accrue no per-request fault stats, so the
+            // info is final at provision time.
+            if let Some(info) = restore {
+                restore_infos.push(info);
+            }
             // Non-explorer slots never checkpoint: the amortization knob.
             let checkpoint_at = if slot < fleet.explorers {
                 plan.checkpoint_at
@@ -174,7 +185,7 @@ pub fn run_fleet(workload: &dyn Workload, cfg: &RunConfig, fleet: &FleetConfig) 
                 wrng,
                 resume,
                 checkpoint_at,
-                restored,
+                restore,
                 now,
             ));
             worker_seq += 1;
@@ -186,7 +197,7 @@ pub fn run_fleet(workload: &dyn Workload, cfg: &RunConfig, fleet: &FleetConfig) 
         let request_number = worker.next_request_number();
         let breakdown = worker.runtime.execute(&request, &mut worker.rng);
         let mut latency = breakdown.total_us();
-        if worker.restored {
+        if worker.freshly_restored(stale.horizon) {
             latency += request.io_us
                 * workload.io_stale_sensitivity()
                 * stale.penalty_frac(worker.resume_request, policy_config.w, worker.served);
@@ -239,6 +250,8 @@ pub fn run_fleet(workload: &dyn Workload, cfg: &RunConfig, fleet: &FleetConfig) 
             }
             codec
         },
+        restore_strategy: RestoreStrategy::Eager,
+        restore_infos,
     }
 }
 

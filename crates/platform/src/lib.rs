@@ -18,7 +18,11 @@
 //! - **IO-state staleness**: a restored process re-establishes external
 //!   connections lazily, briefly inflating IO-bound requests after a
 //!   restore — the mechanism behind the paper's Uploader regression
-//!   (see [`stale::IoStaleModel`]).
+//!   (see [`stale::IoStaleModel`]);
+//! - **restore strategies**: [`RunConfig::with_restore`] selects how
+//!   snapshot memory materializes — eager (the paper's behaviour), lazy
+//!   map-on-fault, or REAP-style record & prefetch; per-restore fault and
+//!   prefetch statistics surface in [`RunResult::restore_infos`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +38,7 @@ pub mod worker;
 pub use config::RunConfig;
 pub use fleet::{run_fleet, FleetConfig};
 pub use partitioned::run_partitioned;
+pub use pronghorn_restore::{RestoreInfo, RestoreStrategy};
 pub use result::{ProvisionKind, RunResult};
 pub use runner::{run_closed_loop, run_trace, run_trace_with_history};
 pub use stale::IoStaleModel;

@@ -28,6 +28,7 @@ use pronghorn_checkpoint::{CheckpointScratch, CodecStats, SimCriuEngine, Snapsho
 use pronghorn_core::{baselines::make_policy, Orchestrator};
 use pronghorn_jit::Runtime;
 use pronghorn_kv::KvStore;
+use pronghorn_restore::{RestoreInfo, RestoreStrategy};
 use pronghorn_sim::{RngFactory, SimTime};
 use pronghorn_store::ObjectStore;
 use pronghorn_workloads::{InputVariance, Workload};
@@ -114,6 +115,7 @@ pub fn run_partitioned(workload: &dyn Workload, cfg: &RunConfig, classes: usize)
     let mut snapshot_mb = Vec::new();
     let mut snapshot_requests = Vec::new();
     let mut provision_us = 0.0;
+    let mut restore_infos = Vec::new();
 
     let mut now = SimTime::ZERO;
     for i in 0..u64::from(cfg.invocations) {
@@ -133,12 +135,13 @@ pub fn run_partitioned(workload: &dyn Workload, cfg: &RunConfig, classes: usize)
             let plan = deployment.orch.begin_worker(&mut policy_rng);
             let mut cost = plan.startup_overhead.as_micros() as f64;
             let wrng = factory.stream_indexed(&format!("worker-c{class}"), deployment.worker_seq);
-            let (runtime, resume, restored) = match plan.snapshot {
+            let (runtime, resume, restore) = match plan.snapshot {
                 Some(snapshot) => match engine.restore::<Runtime, _>(&mut engine_rng, &snapshot) {
                     Ok((rt, c)) => {
                         cost += c.as_micros() as f64;
                         restore_ms.push(c.as_millis_f64());
-                        (rt, plan.resume_request, true)
+                        let info = RestoreInfo::eager(c.as_micros() as f64, snapshot.nominal_size);
+                        (rt, plan.resume_request, Some(info))
                     }
                     Err(_) => {
                         let mut boot = factory
@@ -149,7 +152,7 @@ pub fn run_partitioned(workload: &dyn Workload, cfg: &RunConfig, classes: usize)
                             &mut boot,
                         );
                         cost += c.as_micros() as f64;
-                        (rt, 0, false)
+                        (rt, 0, None)
                     }
                 },
                 None => {
@@ -161,21 +164,26 @@ pub fn run_partitioned(workload: &dyn Workload, cfg: &RunConfig, classes: usize)
                         &mut boot,
                     );
                     cost += c.as_micros() as f64;
-                    (rt, 0, false)
+                    (rt, 0, None)
                 }
             };
             provision_us += cost;
-            provisions.push(if restored {
+            provisions.push(if restore.is_some() {
                 ProvisionKind::Restored(resume)
             } else {
                 ProvisionKind::Cold
             });
+            // The partitioned path restores eagerly regardless of
+            // `cfg.restore`, so the info is final at provision time.
+            if let Some(info) = restore {
+                restore_infos.push(info);
+            }
             deployment.worker = Some(Worker::new(
                 runtime,
                 wrng,
                 resume,
                 plan.checkpoint_at,
-                restored,
+                restore,
                 now,
             ));
             deployment.worker_seq += 1;
@@ -185,7 +193,7 @@ pub fn run_partitioned(workload: &dyn Workload, cfg: &RunConfig, classes: usize)
         let request_number = worker.next_request_number();
         let breakdown = worker.runtime.execute(&request, &mut worker.rng);
         let mut latency = breakdown.total_us();
-        if worker.restored {
+        if worker.freshly_restored(stale.horizon) {
             latency += request.io_us
                 * workload.io_stale_sensitivity()
                 * stale.penalty_frac(worker.resume_request, policy_config.w, worker.served);
@@ -270,6 +278,8 @@ pub fn run_partitioned(workload: &dyn Workload, cfg: &RunConfig, classes: usize)
             }
             codec
         },
+        restore_strategy: RestoreStrategy::Eager,
+        restore_infos,
     }
 }
 

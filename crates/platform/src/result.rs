@@ -3,6 +3,7 @@
 use pronghorn_checkpoint::CodecStats;
 use pronghorn_core::{OverheadTotals, PolicyKind};
 use pronghorn_metrics::{convergence_request, Cdf, ConvergenceCriteria, Quantiles};
+use pronghorn_restore::{RestoreInfo, RestoreStrategy};
 use pronghorn_store::StoreStats;
 
 /// How a worker was provisioned.
@@ -44,6 +45,11 @@ pub struct RunResult {
     /// Encode-path performance counters (real wall-clock, observational
     /// only — never feeds back into simulated behavior).
     pub codec: CodecStats,
+    /// Restore strategy the run executed under.
+    pub restore_strategy: RestoreStrategy,
+    /// Per-restore fault/prefetch stats, one entry per restored worker
+    /// (cold boots contribute none), in retirement order.
+    pub restore_infos: Vec<RestoreInfo>,
 }
 
 impl RunResult {
@@ -93,6 +99,38 @@ impl RunResult {
             self.snapshot_mb.iter().sum::<f64>() / self.snapshot_mb.len() as f64
         }
     }
+
+    /// Median end-to-end restore cost across restored workers, µs
+    /// (up-front restore plus all fault service); NaN with no restores.
+    pub fn median_restore_us(&self) -> f64 {
+        Quantiles::new(
+            self.restore_infos
+                .iter()
+                .map(RestoreInfo::total_restore_us)
+                .collect(),
+        )
+        .map(|q| q.median())
+        .unwrap_or(f64::NAN)
+    }
+
+    /// Total bytes moved from the store for restores (payloads, prefetch
+    /// batches, and demand-fetched pages).
+    pub fn restore_bytes(&self) -> u64 {
+        self.restore_infos.iter().map(|i| i.bytes_transferred).sum()
+    }
+
+    /// Total first-touch page faults served across all restored workers.
+    pub fn total_faults(&self) -> u64 {
+        self.restore_infos.iter().map(|i| u64::from(i.faults)).sum()
+    }
+
+    /// Total pages brought in by batched manifest prefetches.
+    pub fn prefetched_pages(&self) -> u64 {
+        self.restore_infos
+            .iter()
+            .map(|i| u64::from(i.prefetched_pages))
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +152,8 @@ mod tests {
             snapshot_requests: vec![1, 5],
             provision_us: 1000.0,
             codec: CodecStats::default(),
+            restore_strategy: RestoreStrategy::Eager,
+            restore_infos: vec![],
         }
     }
 
@@ -138,6 +178,28 @@ mod tests {
         let mut r = result(vec![1.0]);
         r.snapshot_mb.clear();
         assert_eq!(r.mean_snapshot_mb(), 0.0);
+    }
+
+    #[test]
+    fn restore_info_aggregates() {
+        let mut r = result(vec![1.0]);
+        assert!(r.median_restore_us().is_nan());
+        assert_eq!(r.restore_bytes(), 0);
+        r.restore_infos = vec![
+            RestoreInfo::eager(40_000.0, 1_000),
+            RestoreInfo {
+                strategy: RestoreStrategy::Lazy,
+                faults: 3,
+                prefetched_pages: 2,
+                restore_us: 9_000.0,
+                fault_us: 1_000.0,
+                bytes_transferred: 500,
+            },
+        ];
+        assert_eq!(r.median_restore_us(), (40_000.0 + 10_000.0) / 2.0);
+        assert_eq!(r.restore_bytes(), 1_500);
+        assert_eq!(r.total_faults(), 3);
+        assert_eq!(r.prefetched_pages(), 2);
     }
 
     #[test]

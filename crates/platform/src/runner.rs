@@ -5,15 +5,26 @@ use crate::config::RunConfig;
 use crate::result::{ProvisionKind, RunResult};
 use crate::stale::IoStaleModel;
 use crate::worker::Worker;
-use pronghorn_checkpoint::{CheckpointScratch, SimCriuEngine, SnapshotMeta};
+use pronghorn_checkpoint::{CheckpointScratch, SimCriuEngine, Snapshot, SnapshotId, SnapshotMeta};
 use pronghorn_core::{baselines::make_policy, Orchestrator};
 use pronghorn_jit::Runtime;
 use pronghorn_kv::KvStore;
+use pronghorn_restore::{
+    FaultCostModel, LazyImage, PageMap, PagedSnapshotStore, RestoreInfo, RestoreStrategy,
+    DEFAULT_PAGE_SIZE,
+};
 use pronghorn_sim::{RngFactory, SimTime};
-use pronghorn_store::ObjectStore;
+use pronghorn_store::{ObjectStore, TransferModel};
 use pronghorn_traces::Trace;
 use pronghorn_workloads::Workload;
 use rand::rngs::SmallRng;
+
+/// Selection penalty (µs) the record-&-prefetch strategy charges pooled
+/// snapshots that have no recorded working-set manifest yet: restoring one
+/// means paying the recording restore (map + demand faults) instead of a
+/// batched prefetch. Folded into snapshot weights harmonically, so it
+/// biases — never vetoes — selection toward prefetch-ready snapshots.
+const RECORD_PREFETCH_PENALTY_US: f64 = 10_000.0;
 
 /// Shared machinery of both runners.
 struct Session<'w> {
@@ -30,6 +41,10 @@ struct Session<'w> {
     policy_w: u32,
     worker_seq: u64,
     store: ObjectStore,
+    /// Page-granular store view; `Some` iff the strategy is non-eager.
+    paged: Option<PagedSnapshotStore>,
+    fault_costs: FaultCostModel,
+    transfer: TransferModel,
     // accumulators
     latencies: Vec<f64>,
     provisions: Vec<ProvisionKind>,
@@ -39,6 +54,7 @@ struct Session<'w> {
     snapshot_requests: Vec<u32>,
     provision_us: f64,
     served_total: u32,
+    restore_infos: Vec<RestoreInfo>,
 }
 
 impl<'w> Session<'w> {
@@ -46,9 +62,16 @@ impl<'w> Session<'w> {
         let factory = RngFactory::new(cfg.seed);
         let kv = KvStore::new();
         let store = ObjectStore::new();
-        let policy_config = cfg.resolve_policy_config(workload.kind());
+        let mut policy_config = cfg.resolve_policy_config(workload.kind());
+        if cfg.restore == RestoreStrategy::RecordPrefetch {
+            policy_config = policy_config.with_restore_penalty(RECORD_PREFETCH_PENALTY_US);
+        }
         let policy = make_policy(cfg.policy, policy_config);
-        let orch = Orchestrator::new(policy, kv, store.clone(), workload.name());
+        let mut orch = Orchestrator::new(policy, kv, store.clone(), workload.name());
+        if cfg.restore != RestoreStrategy::Eager {
+            orch = orch.with_paging(DEFAULT_PAGE_SIZE);
+        }
+        let paged = orch.paged_store();
         Session {
             workload,
             cfg,
@@ -62,6 +85,9 @@ impl<'w> Session<'w> {
             policy_w: policy_config.w,
             worker_seq: 0,
             store,
+            paged,
+            fault_costs: FaultCostModel::default(),
+            transfer: TransferModel::default(),
             latencies: Vec::with_capacity(cfg.invocations as usize),
             provisions: Vec::new(),
             checkpoint_ms: Vec::new(),
@@ -70,6 +96,7 @@ impl<'w> Session<'w> {
             snapshot_requests: Vec::new(),
             provision_us: 0.0,
             served_total: 0,
+            restore_infos: Vec::new(),
         }
     }
 
@@ -84,17 +111,14 @@ impl<'w> Session<'w> {
         let wrng = self.factory.stream_indexed("worker", self.worker_seq);
         self.worker_seq += 1;
 
-        let (runtime, resume, restored) = match plan.snapshot {
-            Some(snapshot) => match self
-                .engine
-                .restore::<Runtime, _>(&mut self.engine_rng, &snapshot)
-            {
-                Ok((runtime, cost)) => {
-                    provision_us += cost.as_micros() as f64;
-                    self.restore_ms.push(cost.as_millis_f64());
-                    (runtime, plan.resume_request, true)
+        let (runtime, resume, restore, image) = match plan.snapshot {
+            Some(snapshot) => match self.restore_worker(&snapshot) {
+                Some((runtime, info, image)) => {
+                    provision_us += info.restore_us;
+                    self.restore_ms.push(info.restore_us / 1_000.0);
+                    (runtime, plan.resume_request, Some(info), image)
                 }
-                Err(_) => {
+                None => {
                     // Corrupt snapshot: degrade to a cold start.
                     let mut boot_rng = self.factory.stream_indexed("boot", self.worker_seq);
                     let (rt, cost) = Runtime::cold_start(
@@ -103,7 +127,7 @@ impl<'w> Session<'w> {
                         &mut boot_rng,
                     );
                     provision_us += cost.as_micros() as f64;
-                    (rt, 0, false)
+                    (rt, 0, None, None)
                 }
             },
             None => {
@@ -114,21 +138,115 @@ impl<'w> Session<'w> {
                     &mut boot_rng,
                 );
                 provision_us += cost.as_micros() as f64;
-                (rt, 0, false)
+                (rt, 0, None, None)
             }
         };
         self.provision_us += provision_us;
-        self.provisions.push(if restored {
+        self.provisions.push(if restore.is_some() {
             ProvisionKind::Restored(resume)
         } else {
             ProvisionKind::Cold
         });
 
-        let mut worker = Worker::new(runtime, wrng, resume, plan.checkpoint_at, restored, now);
+        let mut worker = Worker::new(runtime, wrng, resume, plan.checkpoint_at, restore, now);
+        worker.image = image;
         // An immediately-due plan (e.g. checkpoint-after-init's request 0)
         // snapshots before the first request is served.
         self.maybe_checkpoint(&mut worker);
         worker
+    }
+
+    /// Materializes a runtime from `snapshot` under the configured restore
+    /// strategy; `None` means the snapshot is corrupt and the caller
+    /// degrades to a cold start. The eager arm is the pre-paging engine
+    /// path verbatim — exactly one cost sample from the engine RNG stream —
+    /// so eager runs stay bit-identical. The lazy arms decode without
+    /// consuming any RNG ([`SimCriuEngine::restore_mapped`]) and charge
+    /// only the page-table mapping (plus, with a recorded working set, one
+    /// batched prefetch) up front; the rest is paid via demand faults
+    /// during [`Session::serve`].
+    fn restore_worker(
+        &mut self,
+        snapshot: &Snapshot,
+    ) -> Option<(Runtime, RestoreInfo, Option<LazyImage>)> {
+        match self.cfg.restore {
+            RestoreStrategy::Eager => {
+                let (runtime, cost) = self
+                    .engine
+                    .restore::<Runtime, _>(&mut self.engine_rng, snapshot)
+                    .ok()?;
+                let info = RestoreInfo::eager(cost.as_micros() as f64, snapshot.nominal_size);
+                Some((runtime, info, None))
+            }
+            RestoreStrategy::Lazy => {
+                let runtime = self.engine.restore_mapped::<Runtime>(snapshot).ok()?;
+                let info = RestoreInfo {
+                    strategy: RestoreStrategy::Lazy,
+                    restore_us: self.fault_costs.map_base_us,
+                    ..RestoreInfo::default()
+                };
+                let image =
+                    LazyImage::new(self.workload.name(), snapshot.id.0, self.page_map(snapshot));
+                Some((runtime, info, Some(image)))
+            }
+            RestoreStrategy::RecordPrefetch => {
+                let runtime = self.engine.restore_mapped::<Runtime>(snapshot).ok()?;
+                let function = self.workload.name();
+                let mut info = RestoreInfo {
+                    strategy: RestoreStrategy::RecordPrefetch,
+                    restore_us: self.fault_costs.map_base_us,
+                    ..RestoreInfo::default()
+                };
+                let recorded = self
+                    .paged
+                    .as_ref()
+                    .and_then(|p| p.load_manifest(function, snapshot.id.0));
+                let image = match recorded {
+                    Some(manifest) => {
+                        // A prior restore recorded this snapshot's working
+                        // set: bulk-prefetch it in one batched transfer and
+                        // fault only the cold tail.
+                        let pages = manifest.to_sorted_vec();
+                        let mut image =
+                            LazyImage::new(function, snapshot.id.0, self.page_map(snapshot));
+                        let bytes = match &self.paged {
+                            Some(paged) => paged
+                                .fetch_pages(function, snapshot.id.0, image.map(), &pages)
+                                .unwrap_or(0),
+                            None => 0,
+                        };
+                        image.mark_prefetched(&pages);
+                        info.prefetched_pages = pages.len() as u32;
+                        info.bytes_transferred = bytes;
+                        info.restore_us =
+                            self.fault_costs
+                                .prefetch_us(&self.transfer, bytes, pages.len() as u32);
+                        image
+                    }
+                    // First restore of this snapshot: record the working
+                    // set; serve() persists it as the manifest.
+                    None => {
+                        LazyImage::with_recording(function, snapshot.id.0, self.page_map(snapshot))
+                    }
+                };
+                Some((runtime, info, Some(image)))
+            }
+        }
+    }
+
+    /// The deterministic page decomposition of `snapshot`, matching what
+    /// the orchestrator published into the page bucket.
+    fn page_map(&self, snapshot: &Snapshot) -> PageMap {
+        let page_size = self
+            .paged
+            .as_ref()
+            .map_or(DEFAULT_PAGE_SIZE, PagedSnapshotStore::page_size);
+        PageMap::for_snapshot(
+            self.workload.name(),
+            snapshot.payload_hash(),
+            snapshot.nominal_size,
+            page_size,
+        )
     }
 
     /// Takes the planned checkpoint if the worker has reached it. Runs
@@ -174,9 +292,59 @@ impl<'w> Session<'w> {
         let breakdown = worker.runtime.execute(&request, &mut worker.rng);
         let mut latency = breakdown.total_us();
 
+        // Lazily-mapped images pay for first-touched pages on the request
+        // critical path: each fault is a demand fetch from the store.
+        if let Some(image) = worker.image.as_mut() {
+            let trace = worker
+                .runtime
+                .page_access_trace(&request, image.map().page_count());
+            let touches = image.first_touches(&trace);
+            if !touches.is_empty() {
+                let fetched = match &self.paged {
+                    Some(paged) => paged
+                        .fetch_pages(image.function(), image.snapshot_id(), image.map(), &touches)
+                        .unwrap_or(0),
+                    None => 0,
+                };
+                // Faults are served one at a time (no batching on the
+                // demand path), so each pays the full service + transfer.
+                let fault_us: f64 = touches
+                    .iter()
+                    .map(|&p| {
+                        self.fault_costs
+                            .fault_us(&self.transfer, image.map().page_len(p))
+                    })
+                    .sum();
+                latency += fault_us;
+                if let Some(info) = worker.restore.as_mut() {
+                    info.faults += touches.len() as u32;
+                    info.fault_us += fault_us;
+                    info.bytes_transferred += fetched;
+                }
+            }
+            // A recording restore persists its working set once the trace
+            // grows — but only while the snapshot is still pooled (an
+            // evicted snapshot's manifest would leak forever).
+            if image.recording_dirty() {
+                if let (Some(paged), Some(manifest)) = (&self.paged, image.recording()) {
+                    let id = SnapshotId(image.snapshot_id());
+                    if self.orch.policy().snapshot_request_number(id).is_some() {
+                        if let Ok(was_new) = paged.store_manifest(manifest) {
+                            if was_new {
+                                self.orch.note_manifest_recorded(id);
+                            }
+                        }
+                    }
+                }
+                image.clear_dirty();
+            }
+        }
+
         // Restored processes re-establish stale IO state lazily; how much
-        // of it there is to re-establish is workload-specific.
-        if worker.restored {
+        // of it there is to re-establish is workload-specific. Staleness
+        // decays with requests served, so only *freshly* restored workers
+        // pay it (the old `restored` bool conflated the two).
+        if worker.freshly_restored(self.stale.horizon) {
             let nth = worker.served;
             latency += request.io_us
                 * self.workload.io_stale_sensitivity()
@@ -195,6 +363,14 @@ impl<'w> Session<'w> {
         latency
     }
 
+    /// Retires a worker at eviction (or end of run), harvesting its
+    /// accumulated restore/fault statistics.
+    fn retire(&mut self, worker: Worker) {
+        if let Some(info) = worker.restore {
+            self.restore_infos.push(info);
+        }
+    }
+
     /// Clears the measurement accumulators while keeping all learned state
     /// (orchestrator knowledge, pooled snapshots, object-store contents) —
     /// used to measure a window of an already-deployed function.
@@ -206,6 +382,7 @@ impl<'w> Session<'w> {
         self.snapshot_mb.clear();
         self.snapshot_requests.clear();
         self.provision_us = 0.0;
+        self.restore_infos.clear();
     }
 
     fn finish(self) -> RunResult {
@@ -223,6 +400,8 @@ impl<'w> Session<'w> {
             snapshot_requests: self.snapshot_requests,
             provision_us: self.provision_us,
             codec: *self.scratch.stats(),
+            restore_strategy: self.cfg.restore,
+            restore_infos: self.restore_infos,
         }
     }
 }
@@ -259,7 +438,12 @@ pub fn run_closed_loop(workload: &dyn Workload, cfg: &RunConfig) -> RunResult {
         // worker stays warm for the next request.
         if w.served < cfg.eviction_rate {
             worker = Some(w);
+        } else {
+            session.retire(w);
         }
+    }
+    if let Some(w) = worker.take() {
+        session.retire(w);
     }
     session.finish()
 }
@@ -295,7 +479,12 @@ pub fn run_trace_with_history(
         session.serve(&mut w, i, now);
         if w.served < cfg.eviction_rate {
             worker = Some(w);
+        } else {
+            session.retire(w);
         }
+    }
+    if let Some(w) = worker.take() {
+        session.retire(w);
     }
     // The measured window starts with whatever state the deployment has;
     // in-flight workers from the history are evicted (the window is a
@@ -305,9 +494,12 @@ pub fn run_trace_with_history(
     let mut worker: Option<Worker> = None;
     for (i, &arrival) in trace.arrivals().iter().enumerate() {
         // Idle eviction.
-        if let Some(w) = &worker {
-            if arrival.saturating_since(w.last_active) > cfg.idle_timeout {
-                worker = None;
+        let idle = worker
+            .as_ref()
+            .is_some_and(|w| arrival.saturating_since(w.last_active) > cfg.idle_timeout);
+        if idle {
+            if let Some(w) = worker.take() {
+                session.retire(w);
             }
         }
         let mut w = match worker.take() {
@@ -316,6 +508,9 @@ pub fn run_trace_with_history(
         };
         session.serve(&mut w, u64::from(history_invocations) + i as u64, arrival);
         worker = Some(w);
+    }
+    if let Some(w) = worker.take() {
+        session.retire(w);
     }
     session.finish()
 }
@@ -440,6 +635,114 @@ mod tests {
         let r = run_trace(&bench, &cfg(PolicyKind::Cold, 4), &trace);
         // First burst shares a worker; the third arrival needs a new one.
         assert_eq!(r.provisions.len(), 2);
+    }
+
+    #[test]
+    fn lazy_restore_faults_on_the_critical_path() {
+        let bench = by_name("DFS").unwrap();
+        let r = run_closed_loop(
+            &bench,
+            &cfg(PolicyKind::AfterFirst, 4).with_restore(RestoreStrategy::Lazy),
+        );
+        assert_eq!(r.restore_strategy, RestoreStrategy::Lazy);
+        assert_eq!(r.restore_infos.len(), r.restores());
+        assert!(r.total_faults() > 0, "lazy restores must demand-fault");
+        assert_eq!(r.prefetched_pages(), 0);
+        // Every fault moved bytes from the page bucket.
+        assert!(r.restore_bytes() > 0);
+    }
+
+    #[test]
+    fn record_prefetch_records_once_then_prefetches() {
+        let bench = by_name("DFS").unwrap();
+        let r = run_closed_loop(
+            &bench,
+            &cfg(PolicyKind::AfterFirst, 4).with_restore(RestoreStrategy::RecordPrefetch),
+        );
+        assert!(r.prefetched_pages() > 0, "later restores must prefetch");
+        // The recording restore faults its working set in; prefetched
+        // restores fault only the cold tail, so faults stay well below
+        // what the all-lazy run pays.
+        let lazy = run_closed_loop(
+            &bench,
+            &cfg(PolicyKind::AfterFirst, 4).with_restore(RestoreStrategy::Lazy),
+        );
+        assert!(
+            r.total_faults() < lazy.total_faults() / 2,
+            "record-prefetch {} faults vs lazy {}",
+            r.total_faults(),
+            lazy.total_faults()
+        );
+    }
+
+    #[test]
+    fn record_prefetch_beats_lazy_and_eager_restore_latency() {
+        let bench = by_name("DFS").unwrap();
+        let eager = run_closed_loop(&bench, &cfg(PolicyKind::AfterFirst, 4));
+        let lazy = run_closed_loop(
+            &bench,
+            &cfg(PolicyKind::AfterFirst, 4).with_restore(RestoreStrategy::Lazy),
+        );
+        let rp = run_closed_loop(
+            &bench,
+            &cfg(PolicyKind::AfterFirst, 4).with_restore(RestoreStrategy::RecordPrefetch),
+        );
+        assert!(
+            rp.median_restore_us() < lazy.median_restore_us(),
+            "record-prefetch {} vs lazy {}",
+            rp.median_restore_us(),
+            lazy.median_restore_us()
+        );
+        assert!(
+            rp.median_restore_us() <= eager.median_restore_us(),
+            "record-prefetch {} vs eager {}",
+            rp.median_restore_us(),
+            eager.median_restore_us()
+        );
+        // Compute-bound benchmark: the working set is a fraction of the
+        // image, so record-prefetch also moves fewer bytes than eager's
+        // full-payload download.
+        assert!(
+            rp.restore_bytes() < eager.restore_bytes(),
+            "record-prefetch {} bytes vs eager {}",
+            rp.restore_bytes(),
+            eager.restore_bytes()
+        );
+    }
+
+    #[test]
+    fn lazy_strategies_are_reproducible_by_seed() {
+        let bench = by_name("Hash").unwrap();
+        for strategy in [RestoreStrategy::Lazy, RestoreStrategy::RecordPrefetch] {
+            let c = cfg(PolicyKind::RequestCentric, 4).with_restore(strategy);
+            let a = run_closed_loop(&bench, &c);
+            let b = run_closed_loop(&bench, &c);
+            assert_eq!(a.latencies_us, b.latencies_us, "{strategy}");
+            assert_eq!(a.restore_infos, b.restore_infos, "{strategy}");
+            assert_eq!(a.provisions, b.provisions, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn eager_runs_never_touch_page_or_manifest_buckets() {
+        let bench = by_name("DFS").unwrap();
+        let r = run_closed_loop(&bench, &cfg(PolicyKind::RequestCentric, 1));
+        assert_eq!(r.restore_strategy, RestoreStrategy::Eager);
+        assert_eq!(r.total_faults(), 0);
+        assert_eq!(r.prefetched_pages(), 0);
+        assert_eq!(r.restore_infos.len(), r.restores());
+        // Eager restore cost comes straight from the engine sample; the
+        // info mirrors the restore_ms accumulator exactly.
+        let from_infos: Vec<f64> = r
+            .restore_infos
+            .iter()
+            .map(|i| i.restore_us / 1_000.0)
+            .collect();
+        let mut sorted_ms = r.restore_ms.clone();
+        let mut sorted_infos = from_infos.clone();
+        sorted_ms.sort_by(f64::total_cmp);
+        sorted_infos.sort_by(f64::total_cmp);
+        assert_eq!(sorted_ms, sorted_infos);
     }
 
     #[test]

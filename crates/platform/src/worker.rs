@@ -1,6 +1,7 @@
 //! A function worker: one runtime instance plus its lifecycle state.
 
 use pronghorn_jit::Runtime;
+use pronghorn_restore::{LazyImage, RestoreInfo};
 use pronghorn_sim::SimTime;
 use rand::rngs::SmallRng;
 
@@ -17,8 +18,12 @@ pub struct Worker {
     pub resume_request: u32,
     /// Absolute request number at which the policy wants a checkpoint.
     pub checkpoint_at: Option<u32>,
-    /// Whether the worker was restored from a snapshot.
-    pub restored: bool,
+    /// How this worker was restored, with its accumulated fault/prefetch
+    /// stats; `None` for a cold boot.
+    pub restore: Option<RestoreInfo>,
+    /// The lazily-mapped snapshot image, when restored under a lazy
+    /// strategy; eager restores and cold boots have none.
+    pub image: Option<LazyImage>,
     /// Virtual time of the last served request (idle-eviction clock).
     pub last_active: SimTime,
 }
@@ -30,7 +35,7 @@ impl Worker {
         rng: SmallRng,
         resume_request: u32,
         checkpoint_at: Option<u32>,
-        restored: bool,
+        restore: Option<RestoreInfo>,
         now: SimTime,
     ) -> Self {
         Worker {
@@ -39,9 +44,25 @@ impl Worker {
             served: 0,
             resume_request,
             checkpoint_at,
-            restored,
+            restore,
+            image: None,
             last_active: now,
         }
+    }
+
+    /// Whether the worker was restored from a snapshot (at any point in
+    /// its history — not the same thing as being *freshly* restored).
+    pub fn restored(&self) -> bool {
+        self.restore.is_some()
+    }
+
+    /// Whether the worker was restored *and* is still within its first
+    /// `horizon` requests — the window in which restored IO state is
+    /// stale. The old `restored: bool` conflated this with "was ever
+    /// restored"; staleness decays with served requests, so the two
+    /// diverge as soon as a restored worker warms back up.
+    pub fn freshly_restored(&self, horizon: u32) -> bool {
+        self.restore.is_some() && self.served < horizon
     }
 
     /// 0-based request number of the *next* request this worker will serve
@@ -78,7 +99,7 @@ mod tests {
     #[test]
     fn next_request_number_tracks_lineage() {
         let (rt, rng) = runtime();
-        let mut w = Worker::new(rt, rng, 0, Some(2), false, SimTime::ZERO);
+        let mut w = Worker::new(rt, rng, 0, Some(2), None, SimTime::ZERO);
         assert_eq!(w.next_request_number(), 0);
         assert!(!w.checkpoint_due());
         let work = RequestWork::new(vec![MethodWork {
@@ -95,10 +116,30 @@ mod tests {
     #[test]
     fn checkpoint_at_zero_is_due_immediately() {
         let (rt, rng) = runtime();
-        let w = Worker::new(rt, rng, 0, Some(0), false, SimTime::ZERO);
+        let w = Worker::new(rt, rng, 0, Some(0), None, SimTime::ZERO);
         assert!(w.checkpoint_due());
         let (rt, rng) = runtime();
-        let w = Worker::new(rt, rng, 0, None, false, SimTime::ZERO);
+        let w = Worker::new(rt, rng, 0, None, None, SimTime::ZERO);
         assert!(!w.checkpoint_due());
+    }
+
+    #[test]
+    fn freshly_restored_decays_with_served_requests() {
+        let (rt, rng) = runtime();
+        let info = RestoreInfo::eager(50_000.0, 12 << 20);
+        let mut w = Worker::new(rt, rng, 5, None, Some(info), SimTime::ZERO);
+        assert!(w.restored());
+        assert!(w.freshly_restored(4));
+        w.served = 3;
+        assert!(w.freshly_restored(4));
+        w.served = 4;
+        // Still "restored", but no longer fresh: stale-IO penalties stop.
+        assert!(w.restored());
+        assert!(!w.freshly_restored(4));
+        // A cold worker is never fresh.
+        let (rt, rng) = runtime();
+        let cold = Worker::new(rt, rng, 0, None, None, SimTime::ZERO);
+        assert!(!cold.restored());
+        assert!(!cold.freshly_restored(4));
     }
 }

@@ -1,0 +1,45 @@
+//! Page-granular snapshot restore: the REAP subsystem.
+//!
+//! The paper treats restore as a monolithic blob load priced by
+//! `CheckpointCostModel`. REAP ("Benchmarking, Analysis, and Optimization
+//! of Serverless Function Snapshots", Ustiugov et al., ASPLOS '21) showed
+//! that a function touches only a small, stable working set of its
+//! snapshot, and that *recording* that set once, then *prefetching* it in
+//! one batched transfer on later restores, cuts restore latency several
+//! fold. This crate models that mechanism on the simulator's virtual
+//! clock:
+//!
+//! - [`PageMap`] slices a snapshot payload into fixed-size pages with
+//!   deterministic content addresses, so the object store's dedup
+//!   refcounting applies at page granularity;
+//! - [`PagedSnapshotStore`] publishes page descriptors and working-set
+//!   manifests into an [`pronghorn_store::ObjectStore`];
+//! - [`WorkingSetManifest`] is the recorded set of touched pages, with a
+//!   versioned binary codec;
+//! - [`LazyImage`] is a restored-but-unmapped snapshot image that tracks
+//!   residency and first-touch faults per request;
+//! - [`RestoreStrategy`] selects eager / lazy / record-prefetch restore,
+//!   and [`RestoreInfo`] carries per-restore stats up through `RunResult`;
+//! - [`FaultCostModel`] prices page mapping, fault service, and batched
+//!   prefetch on the virtual clock.
+//!
+//! Everything here is deterministic: page maps and manifests iterate in
+//! ascending page order, page keys are zero-padded so store listings sort
+//! numerically, and no RNG is consumed anywhere in the crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod image;
+pub mod manifest;
+pub mod page;
+pub mod paged;
+pub mod strategy;
+
+pub use fault::FaultCostModel;
+pub use image::LazyImage;
+pub use manifest::{ManifestError, WorkingSetManifest, MANIFEST_MAGIC, MANIFEST_VERSION};
+pub use page::{PageMap, DEFAULT_PAGE_SIZE};
+pub use paged::{PagedSnapshotStore, MANIFESTS_BUCKET, PAGES_BUCKET};
+pub use strategy::{RestoreInfo, RestoreStrategy};

@@ -1,0 +1,207 @@
+//! Page descriptors and manifests in the object store.
+//!
+//! Each page of a published snapshot becomes one small chunked object:
+//! the *payload* is a 16-byte descriptor (content address + length) that
+//! is deduplicated by content across all keys — so two snapshots whose
+//! page maps share a page share one blob and one refcount, exactly like
+//! PR 1's whole-payload dedup but at page granularity. Page keys are
+//! zero-padded so the bucket's ordered listing sorts numerically and a
+//! prefetch batch issued in ascending page-id order reads the store in
+//! key order.
+
+use bytes::Bytes;
+use pronghorn_store::{ObjectStore, StoreError};
+
+use crate::manifest::WorkingSetManifest;
+use crate::page::PageMap;
+
+/// Bucket holding per-page descriptor objects.
+pub const PAGES_BUCKET: &str = "pages";
+
+/// Bucket holding working-set manifests.
+pub const MANIFESTS_BUCKET: &str = "manifests";
+
+/// A paged view over the shared [`ObjectStore`].
+#[derive(Debug, Clone)]
+pub struct PagedSnapshotStore {
+    store: ObjectStore,
+    page_size: u64,
+}
+
+impl PagedSnapshotStore {
+    /// Wraps `store` with a fixed `page_size`.
+    pub fn new(store: ObjectStore, page_size: u64) -> Self {
+        PagedSnapshotStore {
+            store,
+            page_size: page_size.max(1),
+        }
+    }
+
+    /// The page size this view publishes at.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    fn page_key(function: &str, snapshot_id: u64, idx: u32) -> String {
+        // Zero-padded so lexicographic key order == numeric page order.
+        format!("{function}/{snapshot_id:020}/{idx:08}")
+    }
+
+    fn manifest_key(function: &str, snapshot_id: u64) -> String {
+        format!("{function}/{snapshot_id:020}")
+    }
+
+    /// Publishes every page of `map` for one snapshot, ascending by page
+    /// index; returns the page count. Identical pages (by content
+    /// address) share one deduplicated blob in the store.
+    pub fn publish(
+        &self,
+        function: &str,
+        snapshot_id: u64,
+        map: &PageMap,
+    ) -> Result<u32, StoreError> {
+        for idx in 0..map.page_count() {
+            let hash = map.page_hash(idx).unwrap_or_default();
+            let mut descriptor = Vec::with_capacity(16);
+            descriptor.extend_from_slice(&hash.to_le_bytes());
+            descriptor.extend_from_slice(&map.page_len(idx).to_le_bytes());
+            self.store.put_chunked(
+                PAGES_BUCKET,
+                &Self::page_key(function, snapshot_id, idx),
+                Bytes::new(),
+                Bytes::from(descriptor),
+                Bytes::new(),
+            )?;
+        }
+        Ok(map.page_count())
+    }
+
+    /// Removes the published pages of one snapshot (descending refcounts;
+    /// shared page blobs survive until their last reference goes).
+    pub fn unpublish(&self, function: &str, snapshot_id: u64, page_count: u32) {
+        for idx in 0..page_count {
+            // Missing pages are fine: unpublish must be idempotent.
+            let _ = self
+                .store
+                .delete(PAGES_BUCKET, &Self::page_key(function, snapshot_id, idx));
+        }
+    }
+
+    /// Fetches the descriptors for `pages` (ascending page ids) in one
+    /// batched store operation; returns the total payload bytes the
+    /// fetched pages cover. Unknown pages are skipped.
+    pub fn fetch_pages(
+        &self,
+        function: &str,
+        snapshot_id: u64,
+        map: &PageMap,
+        pages: &[u32],
+    ) -> Result<u64, StoreError> {
+        if pages.is_empty() {
+            return Ok(0);
+        }
+        let keys: Vec<String> = pages
+            .iter()
+            .map(|&idx| Self::page_key(function, snapshot_id, idx))
+            .collect();
+        let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        let fetched = self.store.get_many(PAGES_BUCKET, &key_refs)?;
+        let mut bytes = 0u64;
+        for (slot, &idx) in fetched.iter().zip(pages) {
+            if slot.is_some() {
+                bytes += map.page_len(idx);
+            }
+        }
+        Ok(bytes)
+    }
+
+    /// Persists `manifest`, returning `true` if no manifest existed for
+    /// that snapshot before (i.e. this restore is the recording one).
+    pub fn store_manifest(&self, manifest: &WorkingSetManifest) -> Result<bool, StoreError> {
+        let key = Self::manifest_key(manifest.function(), manifest.snapshot_id());
+        let was_new = self.store.head(MANIFESTS_BUCKET, &key).is_err();
+        self.store
+            .put(MANIFESTS_BUCKET, &key, Bytes::from(manifest.to_bytes()))?;
+        Ok(was_new)
+    }
+
+    /// Loads the manifest recorded for one snapshot, if any. A corrupt
+    /// manifest decodes as `None` — the restore falls back to recording.
+    pub fn load_manifest(&self, function: &str, snapshot_id: u64) -> Option<WorkingSetManifest> {
+        let key = Self::manifest_key(function, snapshot_id);
+        let bytes = self.store.get(MANIFESTS_BUCKET, &key).ok()?;
+        WorkingSetManifest::from_bytes(&bytes).ok()
+    }
+
+    /// Deletes the manifest of an evicted snapshot (idempotent).
+    pub fn delete_manifest(&self, function: &str, snapshot_id: u64) {
+        let _ = self
+            .store
+            .delete(MANIFESTS_BUCKET, &Self::manifest_key(function, snapshot_id));
+    }
+
+    /// The wrapped store handle.
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::DEFAULT_PAGE_SIZE;
+
+    fn map(function: &str, payload_hash: u64) -> PageMap {
+        PageMap::for_snapshot(function, payload_hash, 2 << 20, DEFAULT_PAGE_SIZE)
+    }
+
+    #[test]
+    fn publish_fetch_unpublish_round_trip() {
+        let store = ObjectStore::new();
+        let paged = PagedSnapshotStore::new(store.clone(), DEFAULT_PAGE_SIZE);
+        let m = map("BFS", 7);
+        let count = paged.publish("BFS", 1, &m).unwrap();
+        assert_eq!(count, m.page_count());
+        let bytes = paged.fetch_pages("BFS", 1, &m, &[0, 1, 2]).unwrap();
+        assert_eq!(bytes, m.bytes_for(&[0, 1, 2]));
+        paged.unpublish("BFS", 1, count);
+        assert_eq!(paged.fetch_pages("BFS", 1, &m, &[0]).unwrap(), 0);
+        // Idempotent.
+        paged.unpublish("BFS", 1, count);
+    }
+
+    #[test]
+    fn shared_pages_dedup_across_snapshots() {
+        let store = ObjectStore::new();
+        let paged = PagedSnapshotStore::new(store.clone(), DEFAULT_PAGE_SIZE);
+        paged.publish("BFS", 1, &map("BFS", 7)).unwrap();
+        let blobs_one = store.blob_count();
+        // A second snapshot of the same function shares its base-region
+        // pages; only the heap pages add blobs.
+        paged.publish("BFS", 2, &map("BFS", 8)).unwrap();
+        let m = map("BFS", 8);
+        let heap_pages = m.page_count() - m.base_region_pages();
+        assert_eq!(store.blob_count(), blobs_one + heap_pages as usize);
+        // Twin payloads add none.
+        paged.publish("BFS", 3, &map("BFS", 8)).unwrap();
+        assert_eq!(store.blob_count(), blobs_one + heap_pages as usize);
+    }
+
+    #[test]
+    fn manifest_lifecycle() {
+        let store = ObjectStore::new();
+        let paged = PagedSnapshotStore::new(store, DEFAULT_PAGE_SIZE);
+        assert!(paged.load_manifest("BFS", 1).is_none());
+        let mut manifest = WorkingSetManifest::new("BFS", 1, DEFAULT_PAGE_SIZE);
+        manifest.record_all(&[3, 1, 4]);
+        assert!(paged.store_manifest(&manifest).unwrap());
+        // Re-storing an updated manifest is not "new".
+        manifest.record(5);
+        assert!(!paged.store_manifest(&manifest).unwrap());
+        let loaded = paged.load_manifest("BFS", 1).unwrap();
+        assert_eq!(loaded, manifest);
+        paged.delete_manifest("BFS", 1);
+        assert!(paged.load_manifest("BFS", 1).is_none());
+        paged.delete_manifest("BFS", 1);
+    }
+}

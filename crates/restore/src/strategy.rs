@@ -1,0 +1,121 @@
+//! Restore strategies and per-restore statistics.
+
+use std::fmt;
+
+/// How a worker's snapshot is materialized at restore time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestoreStrategy {
+    /// Load the whole payload up front — the paper's behaviour, with
+    /// bit-identical costs to the pre-paging engine.
+    #[default]
+    Eager,
+    /// Map pages on demand: each first touch pays a fault service time
+    /// plus a store fetch on the virtual clock.
+    Lazy,
+    /// REAP: the first restore records the touched-page working set into
+    /// a manifest; later restores bulk-prefetch it in one batched
+    /// transfer and fault in only the cold tail.
+    RecordPrefetch,
+}
+
+impl RestoreStrategy {
+    /// All strategies, in ablation-sweep order.
+    pub const ALL: [RestoreStrategy; 3] = [
+        RestoreStrategy::Eager,
+        RestoreStrategy::Lazy,
+        RestoreStrategy::RecordPrefetch,
+    ];
+
+    /// Stable lowercase label used in CSV columns and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            RestoreStrategy::Eager => "eager",
+            RestoreStrategy::Lazy => "lazy",
+            RestoreStrategy::RecordPrefetch => "record-prefetch",
+        }
+    }
+
+    /// Parses a [`Self::label`] back into a strategy.
+    pub fn parse(s: &str) -> Option<RestoreStrategy> {
+        RestoreStrategy::ALL.into_iter().find(|r| r.label() == s)
+    }
+}
+
+impl fmt::Display for RestoreStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-restore statistics threaded from the provisioning path up through
+/// `RunResult` — the typed replacement for the old `restored: bool`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RestoreInfo {
+    /// The strategy that produced this restore.
+    pub strategy: RestoreStrategy,
+    /// First-touch page faults served over the worker's lifetime.
+    pub faults: u32,
+    /// Pages brought in by the batched manifest prefetch (0 for eager
+    /// and lazy restores, and for the recording restore).
+    pub prefetched_pages: u32,
+    /// Up-front restore time in µs: full load (eager), map-only (lazy),
+    /// or map + batched prefetch (record-prefetch).
+    pub restore_us: f64,
+    /// Total fault service time in µs accrued after the up-front phase.
+    pub fault_us: f64,
+    /// Bytes moved from the store for this restore (payload, prefetch
+    /// batch, and demand-fetched pages).
+    pub bytes_transferred: u64,
+}
+
+impl RestoreInfo {
+    /// Stats for an eager restore: the whole payload up front, no faults.
+    pub fn eager(restore_us: f64, bytes: u64) -> Self {
+        RestoreInfo {
+            strategy: RestoreStrategy::Eager,
+            restore_us,
+            bytes_transferred: bytes,
+            ..RestoreInfo::default()
+        }
+    }
+
+    /// End-to-end restore cost: up-front time plus all fault service.
+    pub fn total_restore_us(&self) -> f64 {
+        self.restore_us + self.fault_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for s in RestoreStrategy::ALL {
+            assert_eq!(RestoreStrategy::parse(s.label()), Some(s));
+            assert_eq!(format!("{s}"), s.label());
+        }
+        assert_eq!(RestoreStrategy::parse("warm"), None);
+    }
+
+    #[test]
+    fn eager_info_has_no_faults() {
+        let info = RestoreInfo::eager(50_000.0, 12 << 20);
+        assert_eq!(info.strategy, RestoreStrategy::Eager);
+        assert_eq!(info.faults, 0);
+        assert_eq!(info.prefetched_pages, 0);
+        assert_eq!(info.total_restore_us(), 50_000.0);
+        assert_eq!(info.bytes_transferred, 12 << 20);
+    }
+
+    #[test]
+    fn total_adds_fault_service() {
+        let info = RestoreInfo {
+            strategy: RestoreStrategy::Lazy,
+            restore_us: 9_000.0,
+            fault_us: 1_200.0,
+            ..RestoreInfo::default()
+        };
+        assert_eq!(info.total_restore_us(), 10_200.0);
+    }
+}

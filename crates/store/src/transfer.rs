@@ -35,6 +35,18 @@ impl TransferModel {
         }
         SimDuration::from_micros_f64(self.latency_us + bytes as f64 / self.bytes_per_us)
     }
+
+    /// Virtual time to transfer `total_bytes` spread over `blobs` objects
+    /// as one batched request: the fixed per-transfer latency is paid
+    /// once for the whole batch instead of once per object — the reason a
+    /// working-set prefetch beats faulting the same pages in one by one.
+    /// An empty batch costs nothing.
+    pub fn batched_transfer_time(&self, total_bytes: u64, blobs: usize) -> SimDuration {
+        if blobs == 0 {
+            return SimDuration::ZERO;
+        }
+        self.transfer_time(total_bytes)
+    }
 }
 
 impl Default for TransferModel {
@@ -83,5 +95,21 @@ mod tests {
     fn transfer_time_is_monotone_in_size() {
         let m = TransferModel::default();
         assert!(m.transfer_time(2_000_000) > m.transfer_time(1_000_000));
+    }
+
+    #[test]
+    fn batched_transfer_amortizes_fixed_latency() {
+        let m = TransferModel::default();
+        let one_by_one: SimDuration = (0..10).map(|_| m.transfer_time(100_000)).sum();
+        let batched = m.batched_transfer_time(1_000_000, 10);
+        assert_eq!(batched, m.transfer_time(1_000_000));
+        assert!(batched < one_by_one);
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let m = TransferModel::default();
+        assert_eq!(m.batched_transfer_time(0, 0), SimDuration::ZERO);
+        assert!(m.batched_transfer_time(0, 1) > SimDuration::ZERO);
     }
 }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Collects the restore-path numbers the PR claims:
+#
+#   1. runs `experiments restore-ablation`, which sweeps the 13 paper
+#      benchmarks x {eager, lazy, record-prefetch} x the paper eviction
+#      rates under the request-centric policy (paired seeds, so cells
+#      differing only in strategy see identical inputs) and writes
+#      results/restore_ablation.csv plus results/BENCH_restore.json
+#      (pooled per-strategy median/mean restore time, bytes moved,
+#      faults, prefetched pages).
+#
+# Usage: scripts/bench_restore.sh [--quick]
+#   --quick  forwards the experiments harness's reduced-size mode.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p results
+
+echo "== experiments restore-ablation (writes results/restore_ablation.csv + BENCH_restore.json) =="
+cargo run -q --release -p pronghorn-experiments -- restore-ablation "$@"
+
+echo
+echo "== artifacts =="
+ls -l results/restore_ablation.csv results/BENCH_restore.json
