@@ -32,6 +32,11 @@ pub struct CheckpointCostModel {
     /// Relative standard deviation of the multiplicative jitter (Table 4's
     /// "±" columns are 10–30% of the mean).
     pub jitter_rel_std: f64,
+    /// Fraction of the fixed checkpoint base a *delta* checkpoint still
+    /// pays. Incremental capture skips most of the page-out but not the
+    /// freeze/quiesce: CRIU's pre-dump measurements put the irreducible
+    /// stop-the-world share at roughly 60% of a small image's dump time.
+    pub delta_base_frac: f64,
 }
 
 impl Default for CheckpointCostModel {
@@ -42,6 +47,7 @@ impl Default for CheckpointCostModel {
             restore_base_us: 45_000.0,
             restore_per_mb_us: 480.0,
             jitter_rel_std: 0.18,
+            delta_base_frac: 0.6,
         }
     }
 }
@@ -71,6 +77,28 @@ impl CheckpointCostModel {
     /// Samples a jittered restore time, µs (never below 20% of mean).
     pub fn sample_restore_us<R: Rng + ?Sized>(&self, rng: &mut R, size_bytes: u64) -> f64 {
         jittered(rng, self.mean_restore_us(size_bytes), self.jitter_rel_std)
+    }
+
+    /// Mean *delta* checkpoint time: the reduced fixed base plus page-out
+    /// on only the dirty bytes, µs.
+    pub fn mean_delta_checkpoint_us(&self, dirty_bytes: u64) -> f64 {
+        let mb = dirty_bytes as f64 / (1024.0 * 1024.0);
+        self.checkpoint_base_us * self.delta_base_frac + self.checkpoint_per_mb_us * mb
+    }
+
+    /// Samples a jittered delta checkpoint time, µs. Draws exactly as
+    /// much randomness as [`Self::sample_checkpoint_us`] (one Gaussian),
+    /// so full and delta arms of a paired-seed run stay in RNG lockstep.
+    pub fn sample_delta_checkpoint_us<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        dirty_bytes: u64,
+    ) -> f64 {
+        jittered(
+            rng,
+            self.mean_delta_checkpoint_us(dirty_bytes),
+            self.jitter_rel_std,
+        )
     }
 }
 
@@ -141,6 +169,25 @@ mod tests {
         let m = CheckpointCostModel::default();
         assert!(m.mean_checkpoint_us(64 * MB) > m.mean_checkpoint_us(10 * MB));
         assert!(m.mean_restore_us(64 * MB) > m.mean_restore_us(10 * MB));
+    }
+
+    #[test]
+    fn delta_checkpoints_undercut_full_and_stay_in_rng_lockstep() {
+        let m = CheckpointCostModel::default();
+        // A 2 MB dirty set against a 55 MB PyPy image: the delta pays the
+        // reduced freeze base plus page-out on just the dirty bytes.
+        assert!(m.mean_delta_checkpoint_us(2 * MB) < m.mean_checkpoint_us(55 * MB));
+        assert!(
+            m.mean_delta_checkpoint_us(55 * MB) < m.mean_checkpoint_us(55 * MB),
+            "even an all-dirty delta saves the base fraction"
+        );
+        // Both samplers draw exactly one Gaussian: after sampling either,
+        // identically-seeded RNGs are at the same stream position.
+        let mut a = SmallRng::seed_from_u64(3);
+        let mut b = SmallRng::seed_from_u64(3);
+        m.sample_checkpoint_us(&mut a, 55 * MB);
+        m.sample_delta_checkpoint_us(&mut b, 2 * MB);
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
     }
 
     #[test]

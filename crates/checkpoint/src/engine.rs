@@ -8,6 +8,9 @@
 
 use crate::codec::{CodecError, Decoder, Encoder};
 use crate::cost::CheckpointCostModel;
+use crate::delta::{
+    diff_payload, CheckpointOutcome, DeltaBase, SnapshotDelta, PAYLOAD_DIFF_PAGE_SIZE,
+};
 use crate::snapshot::{Snapshot, SnapshotFormatError, SnapshotMeta};
 use crate::stats::CodecStats;
 use bytes::Bytes;
@@ -185,6 +188,34 @@ impl SimCriuEngine {
         T: Checkpointable,
         R: Rng + ?Sized,
     {
+        let (snapshot, _, cost) = self.checkpoint_delta_with(scratch, rng, process, meta, None);
+        (snapshot, cost)
+    }
+
+    /// Like [`Self::checkpoint_with`], but when `base` names a parent
+    /// snapshot the result is additionally expressed as a page delta
+    /// against it: the full [`Snapshot`] is still returned (the pool and
+    /// restore paths reason about composed state), alongside a
+    /// [`CheckpointOutcome`] telling the caller what to *persist* — the
+    /// whole payload, or only the changed pages plus a parent reference.
+    ///
+    /// The delta arm charges [`CheckpointCostModel::sample_delta_checkpoint_us`]
+    /// on the base's dirty nominal bytes instead of the full-image cost.
+    /// Both arms draw identical randomness (one nonce, one Gaussian), so
+    /// toggling delta checkpointing never shifts the RNG stream of a
+    /// seeded run — the property the `full_invariance` golden pins.
+    pub fn checkpoint_delta_with<T, R>(
+        &self,
+        scratch: &mut CheckpointScratch,
+        rng: &mut R,
+        process: &T,
+        meta: SnapshotMeta,
+        base: Option<&DeltaBase>,
+    ) -> (Snapshot, CheckpointOutcome, SimDuration)
+    where
+        T: Checkpointable,
+        R: Rng + ?Sized,
+    {
         let version = process.state_version();
         // pronglint: allow(wall-clock): host-side perf counter (encode_ns);
         // measures real encoder time, never feeds a sim decision.
@@ -217,8 +248,47 @@ impl SimCriuEngine {
         let hashed = Instant::now();
         let snapshot = Snapshot::with_nonce(meta, payload, nominal, nonce);
         scratch.stats.checksum_ns += hashed.elapsed().as_nanos() as u64;
-        let cost = self.costs.sample_checkpoint_us(rng, nominal);
-        (snapshot, SimDuration::from_micros_f64(cost))
+        match base {
+            None => {
+                let cost = self.costs.sample_checkpoint_us(rng, nominal);
+                (
+                    snapshot,
+                    CheckpointOutcome::Full,
+                    SimDuration::from_micros_f64(cost),
+                )
+            }
+            Some(base) => {
+                let pages = diff_payload(
+                    &base.parent_payload,
+                    &snapshot.payload,
+                    PAYLOAD_DIFF_PAGE_SIZE,
+                );
+                let page_count = snapshot
+                    .payload
+                    .len()
+                    .div_ceil(PAYLOAD_DIFF_PAGE_SIZE as usize);
+                let delta = SnapshotDelta {
+                    parent: base.parent,
+                    parent_payload_hash: base.parent_payload_hash,
+                    page_size: PAYLOAD_DIFF_PAGE_SIZE,
+                    total_len: snapshot.payload.len() as u64,
+                    pages,
+                    dirty_nominal_bytes: base.dirty_nominal_bytes,
+                };
+                scratch.stats.delta_encodes += 1;
+                scratch.stats.delta_pages_written += delta.pages.len() as u64;
+                scratch.stats.delta_pages_total += page_count as u64;
+                scratch.stats.delta_bytes_written += delta.payload_bytes();
+                let cost = self
+                    .costs
+                    .sample_delta_checkpoint_us(rng, base.dirty_nominal_bytes);
+                (
+                    snapshot,
+                    CheckpointOutcome::Delta(delta),
+                    SimDuration::from_micros_f64(cost),
+                )
+            }
+        }
     }
 
     /// Restores a process from `snapshot`, returning it and the restore
@@ -429,6 +499,54 @@ mod tests {
         let (c, _) = engine.checkpoint_with(&mut scratch, &mut rng, &process, meta());
         assert_eq!(scratch.stats().encodes, 2);
         assert_ne!(c.payload, b.payload);
+    }
+
+    #[test]
+    fn delta_checkpoint_composes_back_and_keeps_rng_lockstep() {
+        let engine = SimCriuEngine::new();
+        let parent_process = Counter {
+            value: 41,
+            history: vec![1.5, 2.5],
+        };
+        let mut scratch = CheckpointScratch::new();
+        let mut rng = SmallRng::seed_from_u64(31);
+        let (parent, _) = engine.checkpoint_with(&mut scratch, &mut rng, &parent_process, meta());
+        // The child mutates a little state on top of the parent.
+        let child_process = Counter {
+            value: 42,
+            history: vec![1.5, 2.5],
+        };
+        let base = DeltaBase {
+            parent: parent.id,
+            parent_payload: parent.payload.clone(),
+            parent_payload_hash: parent.payload_hash(),
+            dirty_nominal_bytes: 2 * 1024 * 1024,
+        };
+        let mut rng_full = rng.clone();
+        let (snap, outcome, cost) = engine.checkpoint_delta_with(
+            &mut scratch,
+            &mut rng,
+            &child_process,
+            meta(),
+            Some(&base),
+        );
+        let delta = match outcome {
+            CheckpointOutcome::Delta(d) => d,
+            CheckpointOutcome::Full => panic!("expected a delta outcome"),
+        };
+        // The delta re-applies onto the parent payload byte-exactly.
+        let composed = crate::delta::apply(&parent.payload, &delta).unwrap();
+        assert_eq!(composed, snap.payload);
+        assert_eq!(scratch.stats().delta_encodes, 1);
+        assert_eq!(scratch.stats().delta_bytes_written, delta.payload_bytes());
+        assert!(scratch.stats().delta_pages_total >= scratch.stats().delta_pages_written);
+        // Delta is cheaper than the full checkpoint the same draw buys.
+        let (full_snap, full_cost) =
+            engine.checkpoint_with(&mut scratch, &mut rng_full, &child_process, meta());
+        assert_eq!(full_snap, snap, "same RNG draw, same snapshot");
+        assert!(cost < full_cost);
+        // Both arms left the RNGs at the same stream position.
+        assert_eq!(rng.next_u64(), rng_full.next_u64());
     }
 
     #[test]

@@ -37,12 +37,17 @@
 
 pub mod codec;
 pub mod cost;
+pub mod delta;
 pub mod engine;
 pub mod snapshot;
 pub mod stats;
 
 pub use codec::{CodecError, Decoder, Encoder};
 pub use cost::CheckpointCostModel;
+pub use delta::{
+    CheckpointOutcome, DeltaBase, DeltaFormatError, DeltaFrame, DeltaPolicy, EncodedDelta,
+    SnapshotDelta, DELTA_MAGIC, PAYLOAD_DIFF_PAGE_SIZE,
+};
 pub use engine::{CheckpointScratch, Checkpointable, EngineError, SimCriuEngine};
 pub use snapshot::{EncodedSnapshot, Snapshot, SnapshotId, SnapshotMeta};
 pub use stats::CodecStats;

@@ -219,6 +219,28 @@ impl Snapshot {
         }
     }
 
+    /// Rebuilds a snapshot from parts whose payload hash the caller has
+    /// already verified against `payload` — the delta compose path, which
+    /// checks the composed hash before construction and must reproduce
+    /// the original snapshot's id exactly (ids mix in a nonce that is not
+    /// persisted, so they cannot be re-derived here).
+    pub(crate) fn from_verified_parts(
+        id: SnapshotId,
+        meta: SnapshotMeta,
+        payload: Bytes,
+        nominal_size: u64,
+        payload_hash: u64,
+    ) -> Self {
+        debug_assert_eq!(fnv1a_wide(&payload), payload_hash);
+        Snapshot {
+            id,
+            meta,
+            payload,
+            nominal_size,
+            payload_hash,
+        }
+    }
+
     /// Content address of the payload: its cached [`fnv1a_wide`] hash.
     ///
     /// Byte-identical payloads (twin lineages checkpointed at the same

@@ -25,6 +25,16 @@ pub struct CodecStats {
     /// Wall-clock nanoseconds spent hashing payloads (checksum + content
     /// address, one fused pass).
     pub checksum_ns: u64,
+    /// Checkpoints persisted as page deltas against a parent snapshot.
+    pub delta_encodes: u64,
+    /// Physical payload bytes written by delta checkpoints (changed pages
+    /// only — compare `bytes_encoded` for the full-encode equivalent).
+    pub delta_bytes_written: u64,
+    /// Changed pages written across all delta checkpoints.
+    pub delta_pages_written: u64,
+    /// Total payload pages scanned while diffing (changed + unchanged);
+    /// `delta_pages_written / delta_pages_total` is the dirty ratio.
+    pub delta_pages_total: u64,
 }
 
 impl CodecStats {
@@ -37,6 +47,10 @@ impl CodecStats {
         self.allocations_avoided += other.allocations_avoided;
         self.encode_ns += other.encode_ns;
         self.checksum_ns += other.checksum_ns;
+        self.delta_encodes += other.delta_encodes;
+        self.delta_bytes_written += other.delta_bytes_written;
+        self.delta_pages_written += other.delta_pages_written;
+        self.delta_pages_total += other.delta_pages_total;
     }
 
     /// Fraction of checkpoint requests served from the encode cache.
@@ -64,6 +78,10 @@ mod tests {
             allocations_avoided: 5,
             encode_ns: 6,
             checksum_ns: 7,
+            delta_encodes: 8,
+            delta_bytes_written: 9,
+            delta_pages_written: 10,
+            delta_pages_total: 11,
         };
         a.merge(&a.clone());
         assert_eq!(
@@ -76,6 +94,10 @@ mod tests {
                 allocations_avoided: 10,
                 encode_ns: 12,
                 checksum_ns: 14,
+                delta_encodes: 16,
+                delta_bytes_written: 18,
+                delta_pages_written: 20,
+                delta_pages_total: 22,
             }
         );
     }

@@ -181,3 +181,99 @@ proptest! {
         }
     }
 }
+
+/// One mutation of a process payload between checkpoints.
+#[derive(Debug, Clone)]
+enum Mutation {
+    /// Overwrite a run of bytes somewhere in the payload (offset taken
+    /// modulo the payload length at apply time).
+    Overwrite(u16, Vec<u8>),
+    /// Grow the payload at the end.
+    Append(Vec<u8>),
+    /// Shrink the payload (length factor taken modulo at apply time,
+    /// never to zero).
+    Truncate(u16),
+}
+
+fn mutation_strategy() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        (any::<u16>(), prop::collection::vec(any::<u8>(), 1..64))
+            .prop_map(|(at, data)| Mutation::Overwrite(at, data)),
+        prop::collection::vec(any::<u8>(), 1..128).prop_map(Mutation::Append),
+        any::<u16>().prop_map(Mutation::Truncate),
+    ]
+}
+
+fn mutate(current: &[u8], m: &Mutation) -> Vec<u8> {
+    let mut next = current.to_vec();
+    match m {
+        Mutation::Overwrite(at, data) => {
+            let start = usize::from(*at) % next.len().max(1);
+            for (i, b) in data.iter().enumerate() {
+                match next.get_mut(start + i) {
+                    Some(slot) => *slot = *b,
+                    None => next.push(*b),
+                }
+            }
+        }
+        Mutation::Append(data) => next.extend_from_slice(data),
+        Mutation::Truncate(at) => {
+            let keep = (usize::from(*at) % next.len().max(1)).max(1);
+            next.truncate(keep);
+        }
+    }
+    next
+}
+
+proptest! {
+    /// Delta-chain correctness under arbitrary mutation sequences: for any
+    /// consolidation depth K and diff page size, composing the stored
+    /// chain — root payload plus each delta in order — reproduces the
+    /// byte-exact payload an eager full encode of the final state would
+    /// have produced. Consolidation points restart the chain mid-sequence,
+    /// so the property also covers post-consolidation lineages.
+    #[test]
+    fn delta_chains_compose_to_the_eager_encode(
+        root in prop::collection::vec(any::<u8>(), 1..4096),
+        muts in prop::collection::vec(mutation_strategy(), 1..12),
+        page_selector in any::<u8>(),
+        k in 1u32..5,
+    ) {
+        use pronghorn_checkpoint::delta::{apply, diff_payload};
+        use pronghorn_checkpoint::{SnapshotDelta, SnapshotId};
+
+        let page_size = [1u64, 7, 64, 1024][usize::from(page_selector) % 4];
+        let mut chain_root = Bytes::from(root);
+        let mut deltas: Vec<SnapshotDelta> = Vec::new();
+        let mut current = chain_root.clone();
+        let compose = |root: &Bytes, deltas: &[SnapshotDelta]| -> Bytes {
+            let mut acc = root.clone();
+            for d in deltas {
+                acc = apply(&acc, d).expect("chain delta applies");
+            }
+            acc
+        };
+        for (seq, m) in muts.iter().enumerate() {
+            let next = Bytes::from(mutate(&current, m));
+            if deltas.len() as u32 >= k {
+                // Consolidation: the closing chain must compose exactly
+                // before the lineage rebases onto a fresh full root.
+                prop_assert_eq!(&compose(&chain_root, &deltas)[..], &current[..]);
+                chain_root = next.clone();
+                deltas.clear();
+            } else {
+                let pages = diff_payload(&current, &next, page_size);
+                deltas.push(SnapshotDelta {
+                    parent: SnapshotId(seq as u64),
+                    parent_payload_hash: 0,
+                    page_size,
+                    total_len: next.len() as u64,
+                    pages,
+                    dirty_nominal_bytes: 0,
+                });
+            }
+            current = next;
+        }
+        prop_assert_eq!(&compose(&chain_root, &deltas)[..], &current[..]);
+    }
+}

@@ -17,16 +17,22 @@
 
 use crate::policy::{Policy, PolicyKind, StartDecision};
 use crate::pool::PoolEntry;
-use pronghorn_checkpoint::{Encoder, Snapshot, SnapshotId};
+use pronghorn_checkpoint::delta::is_delta_frame;
+use pronghorn_checkpoint::{CheckpointOutcome, DeltaFrame, Encoder, Snapshot, SnapshotId};
 use pronghorn_kv::{types as kvtypes, KvCosts, KvStore};
 use pronghorn_restore::{PageMap, PagedSnapshotStore};
 use pronghorn_sim::SimDuration;
-use pronghorn_store::{ObjectStore, StoreError, TransferModel};
+use pronghorn_store::{ChainIndex, ChainStats, ObjectStore, StoreError, TransferModel};
 use rand::RngCore;
 use std::collections::BTreeMap;
 
 /// Object-store bucket holding snapshot blobs.
 pub const SNAPSHOT_BUCKET: &str = "snapshots";
+
+/// Upper bound on a download's parent walk — chains are consolidated at
+/// depth K (≤ 16 in the sweeps), so anything past this is a corrupt or
+/// cyclic parent reference and degrades to a cold start.
+const MAX_CHAIN_WALK: usize = 64;
 
 /// Accumulated orchestration overheads (Figure 7's three components).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -95,6 +101,10 @@ pub struct WorkerPlan {
     pub checkpoint_at: Option<u32>,
     /// Orchestrator-side startup overhead (off the critical path).
     pub startup_overhead: SimDuration,
+    /// Nominal bytes the snapshot download actually moved: the full image
+    /// for a root, the chain sum of stored forms for a composed restore
+    /// (what `RestoreInfo.bytes_transferred` must report). Zero for cold.
+    pub download_nominal: u64,
 }
 
 /// Per-function orchestrator instance.
@@ -139,6 +149,9 @@ pub struct Orchestrator {
     /// Page-granular publication state; present only when a lazy restore
     /// strategy is active (eager runs never touch the page buckets).
     paging: Option<PagingState>,
+    /// Delta-chain lineage index; present only when delta checkpointing
+    /// is enabled (the full-snapshot path never consults it).
+    chains: Option<ChainIndex>,
 }
 
 /// Bookkeeping for page-granular snapshot publication.
@@ -146,6 +159,15 @@ struct PagingState {
     pages: PagedSnapshotStore,
     /// Published page count per snapshot, for exact unpublish on evict.
     published: BTreeMap<SnapshotId, u32>,
+}
+
+/// Result of a (possibly composed) snapshot download.
+struct Download {
+    snapshot: Snapshot,
+    /// Nominal bytes moved: chain sum of stored forms.
+    nominal: u64,
+    /// Blobs fetched (1 for a plain full snapshot).
+    chain_len: usize,
 }
 
 impl Orchestrator {
@@ -167,6 +189,7 @@ impl Orchestrator {
             frame_scratch: Encoder::new(),
             pool_sizes: BTreeMap::new(),
             paging: None,
+            chains: None,
         }
     }
 
@@ -198,6 +221,45 @@ impl Orchestrator {
     /// handle for prefetching and demand-faulting pages.
     pub fn paged_store(&self) -> Option<PagedSnapshotStore> {
         self.paging.as_ref().map(|p| p.pages.clone())
+    }
+
+    /// Enables delta-chain bookkeeping: recorded snapshots register in a
+    /// lineage index, deltas persist only their changed pages, evicted
+    /// parents stay pinned while live descendants reference them, and
+    /// composed downloads are accounted chain-aware.
+    pub fn with_delta_chains(mut self) -> Self {
+        self.chains = Some(ChainIndex::new());
+        self
+    }
+
+    /// Whether delta-chain bookkeeping is enabled.
+    pub fn delta_enabled(&self) -> bool {
+        self.chains.is_some()
+    }
+
+    /// Whether `id` is still a valid delta parent: pooled (or at least
+    /// tracked) and not evicted. A worker restored from `id` must fall
+    /// back to a full checkpoint when this turns false.
+    pub fn chain_live(&self, id: SnapshotId) -> bool {
+        self.chains.as_ref().is_some_and(|c| c.is_live(id.0))
+    }
+
+    /// Delta-chain depth of `id` (0 for a root), when tracked.
+    pub fn chain_depth(&self, id: SnapshotId) -> Option<u32> {
+        self.chains.as_ref().and_then(|c| c.depth(id.0))
+    }
+
+    /// Records that a lineage hit its depth bound and was rebased onto a
+    /// fresh full snapshot instead of extending the chain.
+    pub fn note_consolidation(&mut self) {
+        if let Some(chains) = &mut self.chains {
+            chains.note_consolidation();
+        }
+    }
+
+    /// The accumulated chain counters (zeroes when delta is disabled).
+    pub fn chain_stats(&self) -> ChainStats {
+        self.chains.as_ref().map(|c| *c.stats()).unwrap_or_default()
     }
 
     /// Tells the policy a working-set manifest now exists for `id` (the
@@ -262,17 +324,24 @@ impl Orchestrator {
         // and the Table 5 byte accounting), not orchestrator decision
         // overhead — Figure 7's startup component is the decision cost.
         let mut transfer_us = 0.0;
+        let mut download_nominal = 0u64;
         let (snapshot, resume_request) = match start {
             StartDecision::Cold => (None, 0),
             StartDecision::Restore(id) => match self.download_snapshot(id) {
-                Ok(snapshot) => {
+                Ok(dl) => {
                     transfer_us += self
                         .transfer
-                        .transfer_time(snapshot.nominal_size)
+                        .chained_transfer_time(dl.nominal, dl.chain_len)
                         .as_micros() as f64;
-                    self.overheads.nominal_bytes_downloaded += snapshot.nominal_size;
-                    let resume = snapshot.meta.request_number;
-                    (Some(snapshot), resume)
+                    self.overheads.nominal_bytes_downloaded += dl.nominal;
+                    download_nominal = dl.nominal;
+                    if dl.chain_len > 1 {
+                        if let Some(chains) = &mut self.chains {
+                            chains.note_composed_restore(dl.nominal);
+                        }
+                    }
+                    let resume = dl.snapshot.meta.request_number;
+                    (Some(dl.snapshot), resume)
                 }
                 // A missing/corrupt blob degrades to a cold start rather
                 // than failing the worker.
@@ -296,19 +365,55 @@ impl Orchestrator {
             resume_request,
             checkpoint_at,
             startup_overhead: SimDuration::from_micros_f64(overhead_us + transfer_us),
+            download_nominal,
         }
     }
 
-    fn download_snapshot(&self, id: SnapshotId) -> Result<Snapshot, StoreError> {
-        let chunks = self.store.get_chunks(SNAPSHOT_BUCKET, &self.blob_key(id))?;
-        match chunks.as_slice() {
-            // Chunked upload: parse the frame without reassembling it; the
-            // payload Bytes still shares the store's buffer.
-            [head, payload, tail] => {
-                Snapshot::from_chunks(head, payload, tail).map_err(|_| StoreError::NotFound)
+    fn download_snapshot(&self, id: SnapshotId) -> Result<Download, StoreError> {
+        // Walk parent references child-first until a full frame (the
+        // chain root) is found; a full snapshot is a chain of length 1.
+        let mut frames: Vec<DeltaFrame> = Vec::new();
+        let mut cursor = id;
+        let mut nominal = 0u64;
+        loop {
+            let chunks = self
+                .store
+                .get_chunks(SNAPSHOT_BUCKET, &self.blob_key(cursor))?;
+            let root = match chunks.as_slice() {
+                [head, payload, tail] if is_delta_frame(head) => {
+                    let frame = DeltaFrame::from_chunks(head, payload, tail)
+                        .map_err(|_| StoreError::NotFound)?;
+                    nominal += frame.delta.dirty_nominal_bytes;
+                    cursor = frame.delta.parent;
+                    frames.push(frame);
+                    if frames.len() > MAX_CHAIN_WALK {
+                        return Err(StoreError::NotFound);
+                    }
+                    continue;
+                }
+                // Chunked upload: parse the frame without reassembling it;
+                // the payload Bytes still shares the store's buffer.
+                [head, payload, tail] => {
+                    Snapshot::from_chunks(head, payload, tail).map_err(|_| StoreError::NotFound)?
+                }
+                [whole] => Snapshot::from_shared(whole).map_err(|_| StoreError::NotFound)?,
+                _ => return Err(StoreError::NotFound),
+            };
+            nominal += root.nominal_size;
+            let chain_len = frames.len() + 1;
+            // Compose root-first: `frames` is child-first, so apply in
+            // reverse. Each step verifies the composed payload hash.
+            let mut snapshot = root;
+            for frame in frames.iter().rev() {
+                snapshot = frame
+                    .compose(&snapshot.payload)
+                    .map_err(|_| StoreError::NotFound)?;
             }
-            [whole] => Snapshot::from_shared(whole).map_err(|_| StoreError::NotFound),
-            _ => Err(StoreError::NotFound),
+            return Ok(Download {
+                snapshot,
+                nominal,
+                chain_len,
+            });
         }
     }
 
@@ -359,30 +464,90 @@ impl Orchestrator {
         engine_downtime: SimDuration,
         rng: &mut dyn RngCore,
     ) -> SimDuration {
+        self.record_snapshot_with(snapshot, &CheckpointOutcome::Full, engine_downtime, rng)
+    }
+
+    /// Like [`Self::record_snapshot`], but persisting what the engine's
+    /// [`CheckpointOutcome`] says to store: the whole payload for a full
+    /// snapshot, or only the changed pages plus a parent reference for a
+    /// delta. Deltas upload (and charge transfer on) their dirty nominal
+    /// bytes; the pool entry handed to the policy still carries the full
+    /// image size, so eviction decisions are unchanged.
+    pub fn record_snapshot_with(
+        &mut self,
+        snapshot: &Snapshot,
+        outcome: &CheckpointOutcome,
+        engine_downtime: SimDuration,
+        rng: &mut dyn RngCore,
+    ) -> SimDuration {
         let mut overhead_us = engine_downtime.as_micros() as f64;
+
+        // A delta outcome is only persistable while its parent is tracked
+        // and un-evicted; otherwise fall back to storing the full frame
+        // (the snapshot itself is always complete in memory).
+        let delta = match outcome {
+            CheckpointOutcome::Delta(d)
+                if self.chains.as_ref().is_some_and(|c| c.is_live(d.parent.0)) =>
+            {
+                Some(d)
+            }
+            _ => None,
+        };
+
+        // The nominal bytes this checkpoint's *stored form* occupies and
+        // moves over the network: dirty pages for a delta, the full image
+        // for a root.
+        let stored_nominal = match delta {
+            Some(d) => d.dirty_nominal_bytes.min(snapshot.nominal_size),
+            None => snapshot.nominal_size,
+        };
 
         // Frame into the reusable scratch encoder and upload as chunks, so
         // byte-identical payloads (twin lineages) dedup in the store.
-        let frame = snapshot.to_frame_with(&mut self.frame_scratch);
-        let [head, payload, tail] = frame.chunks();
-        let upload_ok = self
-            .store
-            .put_chunked(
-                SNAPSHOT_BUCKET,
-                &self.blob_key(snapshot.id),
-                head,
-                payload,
-                tail,
-            )
-            .is_ok();
-        overhead_us += self
-            .transfer
-            .transfer_time(snapshot.nominal_size)
-            .as_micros() as f64;
-        self.overheads.nominal_bytes_uploaded += snapshot.nominal_size;
+        let upload_ok = match delta {
+            Some(d) => {
+                let frame = d.to_frame_with(snapshot, &mut self.frame_scratch);
+                let [head, payload, tail] = frame.chunks();
+                self.store
+                    .put_chunked(
+                        SNAPSHOT_BUCKET,
+                        &self.blob_key(snapshot.id),
+                        head,
+                        payload,
+                        tail,
+                    )
+                    .is_ok()
+            }
+            None => {
+                let frame = snapshot.to_frame_with(&mut self.frame_scratch);
+                let [head, payload, tail] = frame.chunks();
+                self.store
+                    .put_chunked(
+                        SNAPSHOT_BUCKET,
+                        &self.blob_key(snapshot.id),
+                        head,
+                        payload,
+                        tail,
+                    )
+                    .is_ok()
+            }
+        };
+        overhead_us += self.transfer.transfer_time(stored_nominal).as_micros() as f64;
+        self.overheads.nominal_bytes_uploaded += stored_nominal;
 
         if upload_ok {
-            self.pool_sizes.insert(snapshot.id, snapshot.nominal_size);
+            if let Some(chains) = &mut self.chains {
+                let registered = match delta {
+                    Some(d) => chains
+                        .insert_delta(snapshot.id.0, d.parent.0, stored_nominal)
+                        .is_some(),
+                    None => false,
+                };
+                if !registered {
+                    chains.insert_root(snapshot.id.0, stored_nominal);
+                }
+            }
+            self.pool_sizes.insert(snapshot.id, stored_nominal);
             if let Some(paging) = &mut self.paging {
                 // Publish the page map alongside the blob. Page descriptors
                 // are content-addressed, so base-region pages dedup across
@@ -410,7 +575,22 @@ impl Orchestrator {
             // Pool metadata write (step 8).
             overhead_us += self.kv_costs.write_us;
             for entry in evicted {
-                let _ = self.store.delete(SNAPSHOT_BUCKET, &self.blob_key(entry.id));
+                match &mut self.chains {
+                    // Chain-aware release: the blob may only be deleted
+                    // when no live delta child references it; the index
+                    // returns what is actually free now (possibly pinned
+                    // ancestors this eviction was the last holdout for).
+                    Some(chains) => {
+                        for raw in chains.evict(entry.id.0) {
+                            let _ = self
+                                .store
+                                .delete(SNAPSHOT_BUCKET, &self.blob_key(SnapshotId(raw)));
+                        }
+                    }
+                    None => {
+                        let _ = self.store.delete(SNAPSHOT_BUCKET, &self.blob_key(entry.id));
+                    }
+                }
                 self.pool_sizes.remove(&entry.id);
                 if let Some(paging) = &mut self.paging {
                     if let Some(count) = paging.published.remove(&entry.id) {
@@ -431,13 +611,16 @@ impl Orchestrator {
         SimDuration::from_micros_f64(overhead_us)
     }
 
-    /// Current nominal bytes held by pooled snapshots.
+    /// Current nominal bytes held by pooled snapshots — stored forms
+    /// (dirty bytes for deltas), plus any evicted-but-pinned ancestors
+    /// whose blobs the store genuinely still holds for live descendants.
     ///
     /// Maintained incrementally from record/evict events; the previous
     /// implementation listed the bucket and downloaded + decoded every
     /// blob on each checkpoint just to sum sizes.
     pub fn pool_nominal_bytes(&self) -> u64 {
-        self.pool_sizes.values().sum()
+        let pooled: u64 = self.pool_sizes.values().sum();
+        pooled + self.chains.as_ref().map_or(0, |c| c.pinned_nominal_bytes())
     }
 }
 
@@ -448,7 +631,7 @@ mod tests {
     use crate::config::PolicyConfig;
     use crate::request_centric::RequestCentricPolicy;
     use bytes::Bytes;
-    use pronghorn_checkpoint::SnapshotMeta;
+    use pronghorn_checkpoint::{SnapshotDelta, SnapshotMeta};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -669,6 +852,175 @@ mod tests {
         orch.record_snapshot(&snapshot(1, 1), SimDuration::from_millis(65), &mut rng);
         assert!(store.list(PAGES_BUCKET).is_empty());
         assert!(store.list(MANIFESTS_BUCKET).is_empty());
+    }
+
+    /// Pools only the newest snapshot, evicting the previous one — the
+    /// shape that exercises parent pinning (a delta child evicting the
+    /// root it still references).
+    struct LatestOnlyPolicy {
+        pooled: Option<PoolEntry>,
+    }
+
+    impl Policy for LatestOnlyPolicy {
+        fn kind(&self) -> PolicyKind {
+            PolicyKind::AfterFirst
+        }
+        fn on_worker_start(&mut self, _rng: &mut dyn RngCore) -> StartDecision {
+            match &self.pooled {
+                Some(entry) => StartDecision::Restore(entry.id),
+                None => StartDecision::Cold,
+            }
+        }
+        fn plan_checkpoint(&mut self, _start_request: u32, _rng: &mut dyn RngCore) -> Option<u32> {
+            None
+        }
+        fn record_latency(&mut self, _request_number: u32, _latency_us: f64) {}
+        fn on_snapshot_taken(
+            &mut self,
+            entry: PoolEntry,
+            _rng: &mut dyn RngCore,
+        ) -> Vec<PoolEntry> {
+            self.pooled.replace(entry).into_iter().collect()
+        }
+        fn snapshot_request_number(&self, id: SnapshotId) -> Option<u32> {
+            self.pooled
+                .as_ref()
+                .filter(|e| e.id == id)
+                .map(|e| e.request_number)
+        }
+        fn pool_len(&self) -> usize {
+            usize::from(self.pooled.is_some())
+        }
+    }
+
+    fn delta_between(parent: &Snapshot, child: &Snapshot, dirty_nominal: u64) -> SnapshotDelta {
+        use pronghorn_checkpoint::delta::{diff_payload, PAYLOAD_DIFF_PAGE_SIZE};
+        SnapshotDelta {
+            parent: parent.id,
+            parent_payload_hash: parent.payload_hash(),
+            page_size: PAYLOAD_DIFF_PAGE_SIZE,
+            total_len: child.payload.len() as u64,
+            pages: diff_payload(&parent.payload, &child.payload, PAYLOAD_DIFF_PAGE_SIZE),
+            dirty_nominal_bytes: dirty_nominal,
+        }
+    }
+
+    #[test]
+    fn delta_record_pins_evicted_parent_and_composes_on_restore() {
+        let mut orch =
+            orchestrator(Box::new(LatestOnlyPolicy { pooled: None })).with_delta_chains();
+        let mut rng = SmallRng::seed_from_u64(41);
+        orch.begin_worker(&mut rng);
+        let root = snapshot(1, 7);
+        orch.record_snapshot(&root, SimDuration::from_millis(65), &mut rng);
+        assert_eq!(orch.chain_depth(root.id), Some(0));
+        // Child of the root: same payload with one byte flipped.
+        let mut child_bytes = root.payload.to_vec();
+        child_bytes[3] ^= 0xff;
+        let child = Snapshot::with_nonce(
+            SnapshotMeta {
+                function: "f".into(),
+                request_number: 2,
+                runtime: "jvm".into(),
+            },
+            Bytes::from(child_bytes),
+            12 * 1024 * 1024,
+            9,
+        );
+        let dirty = 2 * 1024 * 1024;
+        let delta = delta_between(&root, &child, dirty);
+        // The after-first pool holds one snapshot: recording the child
+        // evicts the root — which must stay pinned, not deleted, because
+        // the child's delta references it.
+        orch.record_snapshot_with(
+            &child,
+            &CheckpointOutcome::Delta(delta),
+            SimDuration::from_millis(30),
+            &mut rng,
+        );
+        assert_eq!(orch.chain_depth(child.id), Some(1));
+        let stats = orch.chain_stats();
+        assert_eq!(stats.roots, 1);
+        assert_eq!(stats.deltas, 1);
+        assert_eq!(stats.deferred_releases, 1, "root release must defer");
+        assert_eq!(stats.delta_nominal_bytes, dirty);
+        // Upload accounting: full image once, then only the dirty bytes.
+        assert_eq!(
+            orch.overheads().nominal_bytes_uploaded,
+            root.nominal_size + dirty
+        );
+        // Pinned root still counts toward pool storage.
+        assert_eq!(orch.pool_nominal_bytes(), dirty + root.nominal_size);
+        // The next worker restores the child by composing the chain.
+        let plan = orch.begin_worker(&mut rng);
+        assert_eq!(plan.start, StartDecision::Restore(child.id));
+        let restored = plan.snapshot.unwrap();
+        assert_eq!(restored.payload, child.payload);
+        assert_eq!(restored.id, child.id);
+        assert_eq!(plan.download_nominal, root.nominal_size + dirty);
+        let stats = orch.chain_stats();
+        assert_eq!(stats.composed_restores, 1);
+        assert_eq!(stats.composed_nominal_downloaded, root.nominal_size + dirty);
+    }
+
+    #[test]
+    fn delta_outcome_with_dead_parent_falls_back_to_full() {
+        let mut orch =
+            orchestrator(Box::new(CheckpointAfterFirstPolicy::new())).with_delta_chains();
+        let mut rng = SmallRng::seed_from_u64(42);
+        orch.begin_worker(&mut rng);
+        let root = snapshot(1, 7);
+        // Root was never recorded: its id is unknown to the chain index.
+        let mut child_bytes = root.payload.to_vec();
+        child_bytes[0] ^= 1;
+        let child = Snapshot::new(
+            SnapshotMeta {
+                function: "f".into(),
+                request_number: 2,
+                runtime: "jvm".into(),
+            },
+            Bytes::from(child_bytes),
+            12 * 1024 * 1024,
+        );
+        let delta = delta_between(&root, &child, 1024);
+        orch.record_snapshot_with(
+            &child,
+            &CheckpointOutcome::Delta(delta),
+            SimDuration::from_millis(30),
+            &mut rng,
+        );
+        // Stored as a full root: full nominal uploaded, restorable alone.
+        assert_eq!(orch.chain_depth(child.id), Some(0));
+        assert_eq!(orch.overheads().nominal_bytes_uploaded, child.nominal_size);
+        let plan = orch.begin_worker(&mut rng);
+        assert_eq!(plan.start, StartDecision::Restore(child.id));
+        assert_eq!(plan.snapshot.unwrap().payload, child.payload);
+        assert_eq!(plan.download_nominal, child.nominal_size);
+    }
+
+    #[test]
+    fn full_path_accounting_is_unchanged_by_delta_bookkeeping() {
+        // Identical seeds, with and without chains: recording only full
+        // snapshots must produce identical overheads and plans.
+        let run = |chains: bool| {
+            let orch = orchestrator(Box::new(CheckpointAfterFirstPolicy::new()));
+            let mut orch = if chains {
+                orch.with_delta_chains()
+            } else {
+                orch
+            };
+            let mut rng = SmallRng::seed_from_u64(43);
+            orch.begin_worker(&mut rng);
+            orch.record_snapshot(&snapshot(1, 1), SimDuration::from_millis(65), &mut rng);
+            orch.record_snapshot(&snapshot(2, 2), SimDuration::from_millis(65), &mut rng);
+            let plan = orch.begin_worker(&mut rng);
+            (
+                *orch.overheads(),
+                plan.download_nominal,
+                plan.startup_overhead,
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

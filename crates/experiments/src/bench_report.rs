@@ -250,6 +250,7 @@ mod tests {
                 },
                 restore_strategy: pronghorn_platform::RestoreStrategy::Eager,
                 restore_infos: vec![],
+                chain: pronghorn_store::ChainStats::default(),
             },
         }
     }

@@ -12,6 +12,7 @@
 //! | [`summary`] | §5.2's headline numbers: per-rate improvement counts and geometric means |
 //! | [`ablation`] | the design-choice ablation study (selection strategy, γ, C, W, β misestimation, fleet amortization, input partitioning) |
 //! | [`restore_ablation`] | the restore-strategy ablation: eager vs lazy vs REAP-style record-&-prefetch |
+//! | [`delta_ablation`] | the delta-checkpointing ablation: full snapshots vs page-delta chains at consolidation depths 4 and 16 |
 //!
 //! Each module exposes a `run(ctx)` returning a structured result with a
 //! `render()` that prints paper-style rows and a `to_csv()` for the
@@ -23,6 +24,7 @@
 
 pub mod ablation;
 pub mod bench_report;
+pub mod delta_ablation;
 pub mod fig1;
 pub mod fig45;
 pub mod fig6;
@@ -64,6 +66,19 @@ impl ExperimentContext {
             invocations: 150,
             threads: 4,
         }
+    }
+
+    /// The worker-thread count the grid runners actually use: capped at
+    /// 32. Zero is invalid — the CLI rejects it with a usage error, and a
+    /// library caller that forces it gets a loud panic instead of a grid
+    /// that silently runs nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn effective_threads(&self) -> usize {
+        assert!(self.threads >= 1, "threads must be >= 1 (got 0)");
+        self.threads.min(32)
     }
 
     /// Derives a per-cell seed from labels.

@@ -15,6 +15,7 @@
 //!   summary  §5.2 headline aggregation (runs fig4 + fig5 grids)
 //!   ablations design-choice ablation study
 //!   restore-ablation  restore strategies: eager vs lazy vs record-prefetch
+//!   delta-ablation    checkpoint forms: full snapshots vs delta chains (K=4, K=16)
 //!   all      everything above, CSVs written to results/
 //! ```
 
@@ -22,29 +23,41 @@
 
 use pronghorn_experiments::ExperimentContext;
 use pronghorn_experiments::{
-    ablation, bench_report, fig1, fig45, fig6, fig7, restore_ablation, summary, table1, table4,
-    table5,
+    ablation, bench_report, delta_ablation, fig1, fig45, fig6, fig7, restore_ablation, summary,
+    table1, table4, table5,
 };
 use std::process::ExitCode;
 
 fn parse_args() -> Result<(String, ExperimentContext), String> {
-    let mut args = std::env::args().skip(1);
-    let command = args.next().ok_or_else(usage)?;
-    let mut ctx = ExperimentContext::default();
-    while let Some(flag) = args.next() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().ok_or_else(usage)?.clone();
+    // `--quick` swaps the *baseline* context, so apply it before walking
+    // the other flags: that makes parsing order-independent (a trailing
+    // `--quick` used to clobber an earlier `--seed`/`--invocations`).
+    let mut ctx = if args.iter().any(|a| a == "--quick") {
+        ExperimentContext::quick()
+    } else {
+        ExperimentContext::default()
+    };
+    let mut rest = args.iter().skip(1);
+    while let Some(flag) = rest.next() {
         match flag.as_str() {
-            "--quick" => ctx = ExperimentContext::quick(),
+            "--quick" => {}
             "--seed" => {
-                let v = args.next().ok_or("--seed needs a value")?;
+                let v = rest.next().ok_or("--seed needs a value")?;
                 ctx.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
             }
             "--invocations" => {
-                let v = args.next().ok_or("--invocations needs a value")?;
+                let v = rest.next().ok_or("--invocations needs a value")?;
                 ctx.invocations = v.parse().map_err(|_| format!("bad invocations: {v}"))?;
             }
             "--threads" => {
-                let v = args.next().ok_or("--threads needs a value")?;
-                ctx.threads = v.parse().map_err(|_| format!("bad threads: {v}"))?;
+                let v = rest.next().ok_or("--threads needs a value")?;
+                let threads: usize = v.parse().map_err(|_| format!("bad threads: {v}"))?;
+                if threads == 0 {
+                    return Err(format!("--threads must be >= 1\n{}", usage()));
+                }
+                ctx.threads = threads;
             }
             other => return Err(format!("unknown flag: {other}\n{}", usage())),
         }
@@ -54,7 +67,8 @@ fn parse_args() -> Result<(String, ExperimentContext), String> {
 
 fn usage() -> String {
     "usage: experiments <fig1|table1|fig4|fig5|fig6|table4|table5|fig7|ablations|\
-     restore-ablation|summary|all> [--quick] [--seed N] [--invocations N] [--threads N]"
+     restore-ablation|delta-ablation|summary|all> [--quick] [--seed N] [--invocations N] \
+     [--threads N]"
         .to_string()
 }
 
@@ -118,6 +132,12 @@ fn run_command(command: &str, ctx: &ExperimentContext) -> Result<(), String> {
             save("restore_ablation.csv", r.save());
             save("BENCH_restore.json", r.save_bench_report());
         }
+        "delta-ablation" => {
+            let r = delta_ablation::run(ctx);
+            println!("{}", r.render());
+            save("delta_ablation.csv", r.save());
+            save("BENCH_delta.json", r.save_bench_report());
+        }
         "summary" => {
             let f4 = fig45::run_fig4(ctx);
             let f5 = fig45::run_fig5(ctx);
@@ -158,6 +178,8 @@ fn run_command(command: &str, ctx: &ExperimentContext) -> Result<(), String> {
             // that survives (summary writes an eager-only version).
             println!("==================== restore-ablation ====================");
             run_command("restore-ablation", ctx)?;
+            println!("==================== delta-ablation ====================");
+            run_command("delta-ablation", ctx)?;
         }
         other => return Err(format!("unknown command: {other}\n{}", usage())),
     }
@@ -174,7 +196,9 @@ fn main() -> ExitCode {
     };
     println!(
         "[pronghorn experiments: seed={:#x} invocations={} threads={}]\n",
-        ctx.seed, ctx.invocations, ctx.threads
+        ctx.seed,
+        ctx.invocations,
+        ctx.effective_threads()
     );
     if let Err(e) = run_command(&command, &ctx) {
         eprintln!("{e}");

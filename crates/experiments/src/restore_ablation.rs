@@ -103,7 +103,7 @@ pub fn run_for(ctx: &ExperimentContext, benchmarks: &[&str], rates: &[u32]) -> R
     }
     let next = AtomicUsize::new(0);
     let cells = Mutex::new(Vec::with_capacity(tasks.len()));
-    let threads = ctx.threads.clamp(1, 32);
+    let threads = ctx.effective_threads();
     let started = std::time::Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..threads {

@@ -1,0 +1,77 @@
+//! End-to-end tests of the `experiments` binary's argument parsing: flag
+//! order must not matter, and invalid thread counts must fail loudly with
+//! a usage error rather than being silently clamped.
+//!
+//! The run banner prints before any command executes, and an unknown
+//! command fails right after it — so the parsed context is observable
+//! without paying for a full experiment.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pronghorn-experiments"))
+        .args(args)
+        .output()
+        .expect("spawn experiments binary");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn quick_after_seed_does_not_clobber_it() {
+    let (stdout, _, ok) = run(&["no-such-command", "--seed", "7", "--quick"]);
+    assert!(!ok, "unknown command must fail");
+    assert!(stdout.contains("seed=0x7"), "banner: {stdout}");
+    // Quick's reduced invocation count still applies.
+    assert!(stdout.contains("invocations=150"), "banner: {stdout}");
+}
+
+#[test]
+fn flag_order_is_irrelevant() {
+    let (a, _, _) = run(&["no-such-command", "--seed", "7", "--quick"]);
+    let (b, _, _) = run(&["no-such-command", "--quick", "--seed", "7"]);
+    let banner_a = a.lines().next().unwrap_or_default();
+    let banner_b = b.lines().next().unwrap_or_default();
+    assert_eq!(banner_a, banner_b, "order must not change the context");
+}
+
+#[test]
+fn quick_overridden_by_explicit_invocations() {
+    let (stdout, _, _) = run(&["no-such-command", "--invocations", "77", "--quick"]);
+    assert!(stdout.contains("invocations=77"), "banner: {stdout}");
+}
+
+#[test]
+fn zero_threads_is_a_usage_error() {
+    let (stdout, stderr, ok) = run(&["fig1", "--quick", "--threads", "0"]);
+    assert!(!ok, "--threads 0 must fail");
+    assert!(
+        stderr.contains("--threads must be >= 1"),
+        "stderr: {stderr}"
+    );
+    assert!(stderr.contains("usage:"), "stderr: {stderr}");
+    // Rejected at parse time: no banner, nothing ran.
+    assert!(
+        !stdout.contains("pronghorn experiments"),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn banner_shows_effective_thread_count() {
+    let (stdout, _, _) = run(&["no-such-command", "--threads", "99"]);
+    // 99 exceeds the 32-worker cap; the banner reports what will run.
+    assert!(stdout.contains("threads=32"), "banner: {stdout}");
+    let (stdout, _, _) = run(&["no-such-command", "--threads", "3"]);
+    assert!(stdout.contains("threads=3"), "banner: {stdout}");
+}
+
+#[test]
+fn missing_flag_values_are_reported() {
+    let (_, stderr, ok) = run(&["fig1", "--seed"]);
+    assert!(!ok);
+    assert!(stderr.contains("--seed needs a value"), "stderr: {stderr}");
+}

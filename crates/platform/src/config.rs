@@ -1,5 +1,6 @@
 //! Run configuration for one benchmark × policy × eviction-rate cell.
 
+use pronghorn_checkpoint::DeltaPolicy;
 use pronghorn_core::{PolicyConfig, PolicyKind};
 use pronghorn_jit::RuntimeKind;
 use pronghorn_restore::RestoreStrategy;
@@ -43,6 +44,11 @@ pub struct RunConfig {
     /// behaviour, bit-identical to runs predating this knob), lazy
     /// map-on-fault, or REAP-style record & prefetch.
     pub restore: RestoreStrategy,
+    /// Whether checkpoints of restored workers persist as page deltas
+    /// against the snapshot they were restored from. Disabled by default:
+    /// the full-snapshot path stays bit-identical to runs predating this
+    /// knob (pinned by `tests/full_invariance.rs`).
+    pub delta: DeltaPolicy,
 }
 
 impl RunConfig {
@@ -60,6 +66,7 @@ impl RunConfig {
             beta_estimate: None,
             stop_checkpointing_after: None,
             restore: RestoreStrategy::Eager,
+            delta: DeltaPolicy::Disabled,
         }
     }
 
@@ -113,6 +120,12 @@ impl RunConfig {
         self.restore = restore;
         self
     }
+
+    /// Sets the delta checkpointing policy.
+    pub fn with_delta(mut self, delta: DeltaPolicy) -> Self {
+        self.delta = delta;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -126,8 +139,11 @@ mod tests {
         assert_eq!(c.eviction_rate, 4);
         assert_eq!(c.variance, InputVariance::paper());
         assert_eq!(c.restore, RestoreStrategy::Eager);
+        assert_eq!(c.delta, DeltaPolicy::Disabled);
         let lazy = c.with_restore(RestoreStrategy::Lazy);
         assert_eq!(lazy.restore, RestoreStrategy::Lazy);
+        let delta = c.with_delta(DeltaPolicy::Enabled { max_depth: 4 });
+        assert_eq!(delta.delta, DeltaPolicy::Enabled { max_depth: 4 });
     }
 
     #[test]

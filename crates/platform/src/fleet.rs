@@ -252,6 +252,9 @@ pub fn run_fleet(workload: &dyn Workload, cfg: &RunConfig, fleet: &FleetConfig) 
         },
         restore_strategy: RestoreStrategy::Eager,
         restore_infos,
+        // The fleet runner checkpoints full snapshots only; its
+        // orchestrator reports all-zero chain stats.
+        chain: orch.chain_stats(),
     }
 }
 

@@ -280,6 +280,8 @@ pub fn run_partitioned(workload: &dyn Workload, cfg: &RunConfig, classes: usize)
         },
         restore_strategy: RestoreStrategy::Eager,
         restore_infos,
+        // Partitioned deployments checkpoint full snapshots only.
+        chain: pronghorn_store::ChainStats::default(),
     }
 }
 

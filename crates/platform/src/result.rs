@@ -4,7 +4,7 @@ use pronghorn_checkpoint::CodecStats;
 use pronghorn_core::{OverheadTotals, PolicyKind};
 use pronghorn_metrics::{convergence_request, Cdf, ConvergenceCriteria, Quantiles};
 use pronghorn_restore::{RestoreInfo, RestoreStrategy};
-use pronghorn_store::StoreStats;
+use pronghorn_store::{ChainStats, StoreStats};
 
 /// How a worker was provisioned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +50,9 @@ pub struct RunResult {
     /// Per-restore fault/prefetch stats, one entry per restored worker
     /// (cold boots contribute none), in retirement order.
     pub restore_infos: Vec<RestoreInfo>,
+    /// Delta-chain accounting (roots, deltas, consolidations, composed
+    /// restores); all-zero when delta checkpointing is disabled.
+    pub chain: ChainStats,
 }
 
 impl RunResult {
@@ -154,6 +157,7 @@ mod tests {
             codec: CodecStats::default(),
             restore_strategy: RestoreStrategy::Eager,
             restore_infos: vec![],
+            chain: ChainStats::default(),
         }
     }
 

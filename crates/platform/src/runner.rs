@@ -4,8 +4,11 @@
 use crate::config::RunConfig;
 use crate::result::{ProvisionKind, RunResult};
 use crate::stale::IoStaleModel;
-use crate::worker::Worker;
-use pronghorn_checkpoint::{CheckpointScratch, SimCriuEngine, Snapshot, SnapshotId, SnapshotMeta};
+use crate::worker::{DeltaTracking, Worker};
+use pronghorn_checkpoint::{
+    delta::dirty_nominal_bytes, CheckpointScratch, Checkpointable, DeltaBase, SimCriuEngine,
+    Snapshot, SnapshotId, SnapshotMeta,
+};
 use pronghorn_core::{baselines::make_policy, Orchestrator};
 use pronghorn_jit::Runtime;
 use pronghorn_kv::KvStore;
@@ -18,6 +21,7 @@ use pronghorn_store::{ObjectStore, TransferModel};
 use pronghorn_traces::Trace;
 use pronghorn_workloads::Workload;
 use rand::rngs::SmallRng;
+use std::collections::BTreeSet;
 
 /// Selection penalty (µs) the record-&-prefetch strategy charges pooled
 /// snapshots that have no recorded working-set manifest yet: restoring one
@@ -71,6 +75,9 @@ impl<'w> Session<'w> {
         if cfg.restore != RestoreStrategy::Eager {
             orch = orch.with_paging(DEFAULT_PAGE_SIZE);
         }
+        if cfg.delta.enabled() {
+            orch = orch.with_delta_chains();
+        }
         let paged = orch.paged_store();
         Session {
             workload,
@@ -111,12 +118,23 @@ impl<'w> Session<'w> {
         let wrng = self.factory.stream_indexed("worker", self.worker_seq);
         self.worker_seq += 1;
 
-        let (runtime, resume, restore, image) = match plan.snapshot {
-            Some(snapshot) => match self.restore_worker(&snapshot) {
+        let (runtime, resume, restore, image, delta) = match plan.snapshot {
+            Some(snapshot) => match self.restore_worker(&snapshot, plan.download_nominal) {
                 Some((runtime, info, image)) => {
                     provision_us += info.restore_us;
                     self.restore_ms.push(info.restore_us / 1_000.0);
-                    (runtime, plan.resume_request, Some(info), image)
+                    // The restored snapshot becomes the worker's prospective
+                    // delta parent: keep its payload as the diff base and
+                    // start an empty dirty-page set.
+                    let delta = self.cfg.delta.enabled().then(|| DeltaTracking {
+                        parent_id: snapshot.id,
+                        parent_payload: snapshot.payload.clone(),
+                        parent_hash: snapshot.payload_hash(),
+                        parent_depth: self.orch.chain_depth(snapshot.id).unwrap_or(0),
+                        parent_page_count: snapshot.nominal_size.div_ceil(DEFAULT_PAGE_SIZE) as u32,
+                        dirty_pages: BTreeSet::new(),
+                    });
+                    (runtime, plan.resume_request, Some(info), image, delta)
                 }
                 None => {
                     // Corrupt snapshot: degrade to a cold start.
@@ -127,7 +145,7 @@ impl<'w> Session<'w> {
                         &mut boot_rng,
                     );
                     provision_us += cost.as_micros() as f64;
-                    (rt, 0, None, None)
+                    (rt, 0, None, None, None)
                 }
             },
             None => {
@@ -138,7 +156,7 @@ impl<'w> Session<'w> {
                     &mut boot_rng,
                 );
                 provision_us += cost.as_micros() as f64;
-                (rt, 0, None, None)
+                (rt, 0, None, None, None)
             }
         };
         self.provision_us += provision_us;
@@ -150,6 +168,7 @@ impl<'w> Session<'w> {
 
         let mut worker = Worker::new(runtime, wrng, resume, plan.checkpoint_at, restore, now);
         worker.image = image;
+        worker.delta = delta;
         // An immediately-due plan (e.g. checkpoint-after-init's request 0)
         // snapshots before the first request is served.
         self.maybe_checkpoint(&mut worker);
@@ -168,6 +187,7 @@ impl<'w> Session<'w> {
     fn restore_worker(
         &mut self,
         snapshot: &Snapshot,
+        download_nominal: u64,
     ) -> Option<(Runtime, RestoreInfo, Option<LazyImage>)> {
         match self.cfg.restore {
             RestoreStrategy::Eager => {
@@ -175,7 +195,11 @@ impl<'w> Session<'w> {
                     .engine
                     .restore::<Runtime, _>(&mut self.engine_rng, snapshot)
                     .ok()?;
-                let info = RestoreInfo::eager(cost.as_micros() as f64, snapshot.nominal_size);
+                // `download_nominal` is what the store actually shipped:
+                // the full image for a chain root, the root plus every
+                // delta's dirty bytes for a composed restore. With delta
+                // off it equals `snapshot.nominal_size` exactly.
+                let info = RestoreInfo::eager(cost.as_micros() as f64, download_nominal);
                 Some((runtime, info, None))
             }
             RestoreStrategy::Lazy => {
@@ -271,17 +295,50 @@ impl<'w> Session<'w> {
             request_number: worker.runtime.requests_executed() as u32,
             runtime: self.workload.kind().label().to_string(),
         };
-        let (snapshot, downtime) = self.engine.checkpoint_with(
+        // Checkpoint form: a delta against the restore parent while the
+        // parent is still pooled and the chain has depth headroom; a
+        // consolidating full root once the chain reaches the policy depth
+        // (rebasing the lineage); a plain full root otherwise. Both engine
+        // arms draw identical randomness, so the choice never shifts the
+        // RNG streams of a seeded run.
+        let mut consolidate = false;
+        let base = worker.delta.as_ref().and_then(|t| {
+            if !self.orch.chain_live(t.parent_id) {
+                return None;
+            }
+            let depth = self.orch.chain_depth(t.parent_id).unwrap_or(0);
+            // Tracking only exists when the policy is enabled, so K is Some.
+            if depth >= self.cfg.delta.max_depth().unwrap_or(u32::MAX) {
+                consolidate = true;
+                return None;
+            }
+            Some(DeltaBase {
+                parent: t.parent_id,
+                parent_payload: t.parent_payload.clone(),
+                parent_payload_hash: t.parent_hash,
+                dirty_nominal_bytes: dirty_nominal_bytes(
+                    &t.dirty_pages,
+                    t.parent_page_count,
+                    worker.runtime.image_size_bytes(),
+                    DEFAULT_PAGE_SIZE,
+                ),
+            })
+        });
+        let (snapshot, outcome, downtime) = self.engine.checkpoint_delta_with(
             &mut self.scratch,
             &mut self.engine_rng,
             &worker.runtime,
             meta,
+            base.as_ref(),
         );
+        if consolidate {
+            self.orch.note_consolidation();
+        }
         self.checkpoint_ms.push(downtime.as_millis_f64());
         self.snapshot_mb.push(snapshot.nominal_size_mb());
         self.snapshot_requests.push(snapshot.meta.request_number);
         self.orch
-            .record_snapshot(&snapshot, downtime, &mut self.policy_rng);
+            .record_snapshot_with(&snapshot, &outcome, downtime, &mut self.policy_rng);
     }
 
     /// Serves one request end to end, returning the client-visible latency.
@@ -291,6 +348,17 @@ impl<'w> Session<'w> {
         let request_number = worker.next_request_number();
         let breakdown = worker.runtime.execute(&request, &mut worker.rng);
         let mut latency = breakdown.total_us();
+
+        // Delta lineage: fold this request's deterministic page-access
+        // trace into the dirty set — what an incremental engine's
+        // soft-dirty tracking would report. The trace is pure (no RNG), so
+        // enabling delta never perturbs the seeded streams.
+        if let Some(tracking) = worker.delta.as_mut() {
+            let trace = worker
+                .runtime
+                .page_access_trace(&request, tracking.parent_page_count);
+            tracking.dirty_pages.extend(trace);
+        }
 
         // Lazily-mapped images pay for first-touched pages on the request
         // critical path: each fault is a demand fetch from the store.
@@ -402,6 +470,7 @@ impl<'w> Session<'w> {
             codec: *self.scratch.stats(),
             restore_strategy: self.cfg.restore,
             restore_infos: self.restore_infos,
+            chain: self.orch.chain_stats(),
         }
     }
 }
@@ -743,6 +812,58 @@ mod tests {
         sorted_ms.sort_by(f64::total_cmp);
         sorted_infos.sort_by(f64::total_cmp);
         assert_eq!(sorted_ms, sorted_infos);
+    }
+
+    #[test]
+    fn delta_checkpointing_never_shifts_latencies() {
+        use pronghorn_checkpoint::DeltaPolicy;
+        let bench = by_name("DFS").unwrap();
+        let full = run_closed_loop(&bench, &cfg(PolicyKind::RequestCentric, 1));
+        let delta = run_closed_loop(
+            &bench,
+            &cfg(PolicyKind::RequestCentric, 1).with_delta(DeltaPolicy::Enabled { max_depth: 4 }),
+        );
+        // Both engine arms draw identical randomness and checkpoint
+        // downtime stays off the critical path, so client-visible behavior
+        // is byte-identical with delta on or off.
+        assert_eq!(full.latencies_us, delta.latencies_us);
+        assert_eq!(full.provisions, delta.provisions);
+        assert_eq!(full.snapshot_requests, delta.snapshot_requests);
+        // The delta run actually cut deltas and consolidated chains...
+        assert!(delta.chain.deltas > 0, "no deltas cut: {:?}", delta.chain);
+        assert!(delta.chain.roots > 0);
+        assert!(
+            delta.chain.max_depth <= 4,
+            "chain exceeded K: {:?}",
+            delta.chain
+        );
+        assert_eq!(full.chain, pronghorn_store::ChainStats::default());
+        // ...and paid for it: fewer nominal bytes uploaded, cheaper
+        // checkpoint downtime (dirty working set vs the full image).
+        assert!(
+            delta.overheads.nominal_bytes_uploaded < full.overheads.nominal_bytes_uploaded,
+            "delta uploaded {} vs full {}",
+            delta.overheads.nominal_bytes_uploaded,
+            full.overheads.nominal_bytes_uploaded
+        );
+        assert!(delta.checkpoint_ms.iter().sum::<f64>() < full.checkpoint_ms.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn delta_runs_are_reproducible_by_seed() {
+        use pronghorn_checkpoint::DeltaPolicy;
+        let bench = by_name("Hash").unwrap();
+        let c =
+            cfg(PolicyKind::RequestCentric, 4).with_delta(DeltaPolicy::Enabled { max_depth: 4 });
+        let a = run_closed_loop(&bench, &c);
+        let b = run_closed_loop(&bench, &c);
+        assert_eq!(a.latencies_us, b.latencies_us);
+        assert_eq!(a.provisions, b.provisions);
+        assert_eq!(a.chain, b.chain);
+        assert_eq!(
+            a.overheads.nominal_bytes_uploaded,
+            b.overheads.nominal_bytes_uploaded
+        );
     }
 
     #[test]

@@ -1,9 +1,34 @@
 //! A function worker: one runtime instance plus its lifecycle state.
 
+use bytes::Bytes;
+use pronghorn_checkpoint::SnapshotId;
 use pronghorn_jit::Runtime;
 use pronghorn_restore::{LazyImage, RestoreInfo};
 use pronghorn_sim::SimTime;
 use rand::rngs::SmallRng;
+use std::collections::BTreeSet;
+
+/// Lineage state a delta-checkpointing worker carries: the snapshot it
+/// was restored from (the prospective delta parent) and the image pages
+/// its requests have dirtied since.
+#[derive(Debug, Clone)]
+pub struct DeltaTracking {
+    /// Snapshot this worker was restored from.
+    pub parent_id: SnapshotId,
+    /// The parent's payload, kept as the physical diff base (shared
+    /// buffer, not a copy).
+    pub parent_payload: Bytes,
+    /// Content address of the parent payload.
+    pub parent_hash: u64,
+    /// The parent's delta-chain depth (0 = chain root).
+    pub parent_depth: u32,
+    /// Image pages the parent covered, on the nominal page grid.
+    pub parent_page_count: u32,
+    /// Nominal image pages touched by requests served since the restore —
+    /// the union of the runtime's deterministic page-access traces, i.e.
+    /// what an incremental engine's soft-dirty tracking would report.
+    pub dirty_pages: BTreeSet<u32>,
+}
 
 /// A live worker hosting one function runtime.
 #[derive(Debug)]
@@ -24,6 +49,10 @@ pub struct Worker {
     /// The lazily-mapped snapshot image, when restored under a lazy
     /// strategy; eager restores and cold boots have none.
     pub image: Option<LazyImage>,
+    /// Delta lineage state, present only when delta checkpointing is on
+    /// and the worker was restored from a snapshot (cold-started workers
+    /// have no parent and always checkpoint full roots).
+    pub delta: Option<DeltaTracking>,
     /// Virtual time of the last served request (idle-eviction clock).
     pub last_active: SimTime,
 }
@@ -46,6 +75,7 @@ impl Worker {
             checkpoint_at,
             restore,
             image: None,
+            delta: None,
             last_active: now,
         }
     }

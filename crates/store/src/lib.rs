@@ -32,8 +32,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chain;
 pub mod store;
 pub mod transfer;
 
+pub use chain::{ChainIndex, ChainStats};
 pub use store::{ObjectMeta, ObjectStore, StoreError, StoreStats};
 pub use transfer::TransferModel;

@@ -47,6 +47,24 @@ impl TransferModel {
         }
         self.transfer_time(total_bytes)
     }
+
+    /// Virtual time to download a delta chain of `links` blobs totalling
+    /// `total_bytes`. Unlike a batched prefetch, the walk is inherently
+    /// serial — each delta frame names its parent, so the next request
+    /// can only be issued after the previous frame arrives — and the
+    /// fixed per-transfer latency is paid once per link. A single link is
+    /// exactly [`Self::transfer_time`].
+    pub fn chained_transfer_time(&self, total_bytes: u64, links: usize) -> SimDuration {
+        if links == 0 {
+            return SimDuration::ZERO;
+        }
+        if self.bytes_per_us <= 0.0 {
+            return SimDuration::from_micros_f64(self.latency_us * links as f64);
+        }
+        SimDuration::from_micros_f64(
+            self.latency_us * links as f64 + total_bytes as f64 / self.bytes_per_us,
+        )
+    }
 }
 
 impl Default for TransferModel {
@@ -111,5 +129,21 @@ mod tests {
         let m = TransferModel::default();
         assert_eq!(m.batched_transfer_time(0, 0), SimDuration::ZERO);
         assert!(m.batched_transfer_time(0, 1) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn chained_transfer_pays_latency_per_link() {
+        let m = TransferModel::default();
+        assert_eq!(m.chained_transfer_time(0, 0), SimDuration::ZERO);
+        // One link is exactly a plain transfer — the full-snapshot path
+        // must not shift when expressed as a chain of length 1.
+        assert_eq!(
+            m.chained_transfer_time(5_000_000, 1),
+            m.transfer_time(5_000_000)
+        );
+        // Longer chains pay the serial round trips.
+        let single = m.chained_transfer_time(5_000_000, 1);
+        let chain = m.chained_transfer_time(5_000_000, 4);
+        assert_eq!((chain - single).as_micros() as f64, 3.0 * m.latency_us);
     }
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Collects the delta-checkpointing numbers the PR claims:
+#
+#   1. runs `experiments delta-ablation`, which sweeps the 13 paper
+#      benchmarks x {full, delta-K4, delta-K16} x the paper eviction
+#      rates under the request-centric policy (paired seeds AND a
+#      shared RNG draw-count, so the arms of a cell have byte-identical
+#      latencies — only the byte accounting moves) and writes
+#      results/delta_ablation.csv plus results/BENCH_delta.json
+#      (pooled per-arm uploaded bytes, chain shape, >=5x byte wins,
+#      median-latency regressions — the last must be 0).
+#
+# Usage: scripts/bench_delta.sh [--quick]
+#   --quick  forwards the experiments harness's reduced-size mode.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p results
+
+echo "== experiments delta-ablation (writes results/delta_ablation.csv + BENCH_delta.json) =="
+cargo run -q --release -p pronghorn-experiments -- delta-ablation "$@"
+
+echo
+echo "== artifacts =="
+ls -l results/delta_ablation.csv results/BENCH_delta.json
