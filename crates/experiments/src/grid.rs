@@ -8,7 +8,7 @@
 
 use crate::ExperimentContext;
 use pronghorn_core::PolicyKind;
-use pronghorn_platform::{run_closed_loop, RunConfig, RunResult};
+use pronghorn_platform::{run_closed_loop, KernelKind, RunConfig, RunResult};
 use pronghorn_workloads::by_name;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -92,6 +92,24 @@ pub fn run_grid(
     policies: &[PolicyKind],
     rates: &[u32],
 ) -> Grid {
+    run_grid_with_kernel(ctx, benchmarks, policies, rates, KernelKind::BinaryHeap)
+}
+
+/// [`run_grid`] with an explicit simulation kernel. Results are
+/// byte-identical under either kernel (pinned by `tests/full_invariance.rs`
+/// and the `kernel-bench` command); the knob exists so the equivalence is
+/// checked at grid scale, not assumed.
+///
+/// # Panics
+///
+/// Panics if a benchmark name is unknown.
+pub fn run_grid_with_kernel(
+    ctx: &ExperimentContext,
+    benchmarks: &[&str],
+    policies: &[PolicyKind],
+    rates: &[u32],
+    kernel: KernelKind,
+) -> Grid {
     // Validate names up front.
     for name in benchmarks {
         assert!(by_name(name).is_some(), "unknown benchmark {name}");
@@ -118,7 +136,9 @@ pub fn run_grid(
                 let workload = by_name(bench).expect("validated above");
                 // Seed shared across policies of the same (bench, rate).
                 let seed = ctx.cell_seed(&[bench, &rate.to_string()]);
-                let cfg = RunConfig::paper(*policy, *rate, seed).with_invocations(ctx.invocations);
+                let cfg = RunConfig::paper(*policy, *rate, seed)
+                    .with_invocations(ctx.invocations)
+                    .with_kernel(kernel);
                 let result = run_closed_loop(&workload, &cfg);
                 cells.lock().expect("no poisoned lock").push(GridCell {
                     workload: bench.clone(),

@@ -13,6 +13,7 @@
 //! | [`ablation`] | the design-choice ablation study (selection strategy, γ, C, W, β misestimation, fleet amortization, input partitioning) |
 //! | [`restore_ablation`] | the restore-strategy ablation: eager vs lazy vs REAP-style record-&-prefetch |
 //! | [`delta_ablation`] | the delta-checkpointing ablation: full snapshots vs page-delta chains at consolidation depths 4 and 16 |
+//! | [`kernel_bench`] | timer-wheel vs binary-heap simulation-kernel benchmark at production-trace scale (`BENCH_kernel.json`) |
 //!
 //! Each module exposes a `run(ctx)` returning a structured result with a
 //! `render()` that prints paper-style rows and a `to_csv()` for the
@@ -30,6 +31,7 @@ pub mod fig45;
 pub mod fig6;
 pub mod fig7;
 pub mod grid;
+pub mod kernel_bench;
 pub mod render;
 pub mod restore_ablation;
 pub mod summary;
@@ -68,17 +70,41 @@ impl ExperimentContext {
         }
     }
 
-    /// The worker-thread count the grid runners actually use: capped at
-    /// 32. Zero is invalid — the CLI rejects it with a usage error, and a
-    /// library caller that forces it gets a loud panic instead of a grid
-    /// that silently runs nothing.
+    /// The worker-thread count the grid runners actually use: the
+    /// requested count, capped at the machine's available parallelism.
+    /// (An earlier version capped at a hardcoded 32, which both
+    /// over-subscribed small CI runners and silently ignored bigger
+    /// machines.) Zero is invalid — the CLI rejects it with a usage
+    /// error, and a library caller that forces it gets a loud panic
+    /// instead of a grid that silently runs nothing.
+    ///
+    /// Thread count never affects results: every cell derives its own
+    /// seed and the collectors reorder by cell index.
     ///
     /// # Panics
     ///
     /// Panics if `threads` is zero.
     pub fn effective_threads(&self) -> usize {
         assert!(self.threads >= 1, "threads must be >= 1 (got 0)");
-        self.threads.min(32)
+        self.threads.min(Self::hardware_threads())
+    }
+
+    /// The machine's available parallelism, or 1 when it cannot be
+    /// probed (the platform may not expose it).
+    pub fn hardware_threads() -> usize {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+
+    /// Why the requested thread count was reduced, if it was — surfaced
+    /// in the run banner so a capped grid is visible rather than silent.
+    pub fn thread_cap_reason(&self) -> Option<String> {
+        let effective = self.effective_threads();
+        (effective < self.threads).then(|| {
+            format!(
+                "requested {} worker threads, capped at {} (available parallelism)",
+                self.threads, effective
+            )
+        })
     }
 
     /// Derives a per-cell seed from labels.

@@ -16,6 +16,7 @@
 //!   ablations design-choice ablation study
 //!   restore-ablation  restore strategies: eager vs lazy vs record-prefetch
 //!   delta-ablation    checkpoint forms: full snapshots vs delta chains (K=4, K=16)
+//!   kernel-bench      timer-wheel vs binary-heap kernel at production-trace scale
 //!   all      everything above, CSVs written to results/
 //! ```
 
@@ -23,8 +24,8 @@
 
 use pronghorn_experiments::ExperimentContext;
 use pronghorn_experiments::{
-    ablation, bench_report, delta_ablation, fig1, fig45, fig6, fig7, restore_ablation, summary,
-    table1, table4, table5,
+    ablation, bench_report, delta_ablation, fig1, fig45, fig6, fig7, kernel_bench,
+    restore_ablation, summary, table1, table4, table5,
 };
 use std::process::ExitCode;
 
@@ -67,8 +68,8 @@ fn parse_args() -> Result<(String, ExperimentContext), String> {
 
 fn usage() -> String {
     "usage: experiments <fig1|table1|fig4|fig5|fig6|table4|table5|fig7|ablations|\
-     restore-ablation|delta-ablation|summary|all> [--quick] [--seed N] [--invocations N] \
-     [--threads N]"
+     restore-ablation|delta-ablation|kernel-bench|summary|all> [--quick] [--seed N] \
+     [--invocations N] [--threads N]"
         .to_string()
 }
 
@@ -138,6 +139,11 @@ fn run_command(command: &str, ctx: &ExperimentContext) -> Result<(), String> {
             save("delta_ablation.csv", r.save());
             save("BENCH_delta.json", r.save_bench_report());
         }
+        "kernel-bench" => {
+            let r = kernel_bench::run(ctx);
+            println!("{}", r.render());
+            save("BENCH_kernel.json", r.save());
+        }
         "summary" => {
             let f4 = fig45::run_fig4(ctx);
             let f5 = fig45::run_fig5(ctx);
@@ -180,6 +186,8 @@ fn run_command(command: &str, ctx: &ExperimentContext) -> Result<(), String> {
             run_command("restore-ablation", ctx)?;
             println!("==================== delta-ablation ====================");
             run_command("delta-ablation", ctx)?;
+            println!("==================== kernel-bench ====================");
+            run_command("kernel-bench", ctx)?;
         }
         other => return Err(format!("unknown command: {other}\n{}", usage())),
     }
@@ -195,11 +203,15 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "[pronghorn experiments: seed={:#x} invocations={} threads={}]\n",
+        "[pronghorn experiments: seed={:#x} invocations={} threads={}]",
         ctx.seed,
         ctx.invocations,
         ctx.effective_threads()
     );
+    if let Some(reason) = ctx.thread_cap_reason() {
+        println!("[{reason}]");
+    }
+    println!();
     if let Err(e) = run_command(&command, &ctx) {
         eprintln!("{e}");
         return ExitCode::FAILURE;

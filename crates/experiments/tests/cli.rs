@@ -62,11 +62,22 @@ fn zero_threads_is_a_usage_error() {
 
 #[test]
 fn banner_shows_effective_thread_count() {
-    let (stdout, _, _) = run(&["no-such-command", "--threads", "99"]);
-    // 99 exceeds the 32-worker cap; the banner reports what will run.
-    assert!(stdout.contains("threads=32"), "banner: {stdout}");
-    let (stdout, _, _) = run(&["no-such-command", "--threads", "3"]);
-    assert!(stdout.contains("threads=3"), "banner: {stdout}");
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // A request beyond the machine's parallelism is capped, and the cap
+    // is surfaced in the banner rather than silently applied.
+    let (stdout, _, _) = run(&["no-such-command", "--threads", "9999"]);
+    assert!(
+        stdout.contains(&format!("threads={}", 9999usize.min(hw))),
+        "banner: {stdout}"
+    );
+    assert!(
+        stdout.contains("capped at") && stdout.contains("available parallelism"),
+        "banner: {stdout}"
+    );
+    // A request the machine can satisfy passes through uncapped.
+    let (stdout, _, _) = run(&["no-such-command", "--threads", "1"]);
+    assert!(stdout.contains("threads=1"), "banner: {stdout}");
+    assert!(!stdout.contains("capped at"), "banner: {stdout}");
 }
 
 #[test]

@@ -4,7 +4,7 @@ use pronghorn_checkpoint::DeltaPolicy;
 use pronghorn_core::{PolicyConfig, PolicyKind};
 use pronghorn_jit::RuntimeKind;
 use pronghorn_restore::RestoreStrategy;
-use pronghorn_sim::SimDuration;
+use pronghorn_sim::{KernelKind, SimDuration};
 use pronghorn_workloads::InputVariance;
 
 /// Configuration of one experiment cell.
@@ -49,6 +49,11 @@ pub struct RunConfig {
     /// the full-snapshot path stays bit-identical to runs predating this
     /// knob (pinned by `tests/full_invariance.rs`).
     pub delta: DeltaPolicy,
+    /// Which future-event-list implementation drives the run. Both kernels
+    /// pop in identical `(at, seq)` order, so every result is byte-identical
+    /// under either; the timer wheel is O(1) per event and wins at
+    /// production-trace scale (see `results/BENCH_kernel.json`).
+    pub kernel: KernelKind,
 }
 
 impl RunConfig {
@@ -67,6 +72,7 @@ impl RunConfig {
             stop_checkpointing_after: None,
             restore: RestoreStrategy::Eager,
             delta: DeltaPolicy::Disabled,
+            kernel: KernelKind::BinaryHeap,
         }
     }
 
@@ -126,6 +132,12 @@ impl RunConfig {
         self.delta = delta;
         self
     }
+
+    /// Sets the simulation kernel.
+    pub fn with_kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = kernel;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +152,11 @@ mod tests {
         assert_eq!(c.variance, InputVariance::paper());
         assert_eq!(c.restore, RestoreStrategy::Eager);
         assert_eq!(c.delta, DeltaPolicy::Disabled);
+        assert_eq!(c.kernel, KernelKind::BinaryHeap);
+        assert_eq!(
+            c.with_kernel(KernelKind::TimerWheel).kernel,
+            KernelKind::TimerWheel
+        );
         let lazy = c.with_restore(RestoreStrategy::Lazy);
         assert_eq!(lazy.restore, RestoreStrategy::Lazy);
         let delta = c.with_delta(DeltaPolicy::Enabled { max_depth: 4 });

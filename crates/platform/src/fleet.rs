@@ -10,7 +10,8 @@
 //!
 //! [`run_fleet`] drives `fleet_size` concurrent workers of one function
 //! against a shared Orchestrator (one Database, one Object Store — exactly
-//! the sharing topology of Figure 2), using the deterministic event queue:
+//! the sharing topology of Figure 2), using the deterministic event kernel
+//! selected by `cfg.kernel`:
 //! requests arrive in an open loop and are dispatched to the least-loaded
 //! worker; each worker follows the policy independently, but only the
 //! configured number of *explorer* workers take checkpoints — the
@@ -25,7 +26,7 @@ use pronghorn_core::{baselines::make_policy, Orchestrator};
 use pronghorn_jit::Runtime;
 use pronghorn_kv::KvStore;
 use pronghorn_restore::{RestoreInfo, RestoreStrategy};
-use pronghorn_sim::{EventQueue, RngFactory, SimDuration, SimTime};
+use pronghorn_sim::{Kernel, RngFactory, SimDuration, SimTime};
 use pronghorn_store::ObjectStore;
 use pronghorn_workloads::Workload;
 
@@ -89,7 +90,7 @@ pub fn run_fleet(workload: &dyn Workload, cfg: &RunConfig, fleet: &FleetConfig) 
     let mut engine_rng = factory.stream("engine");
     let stale = IoStaleModel::default();
 
-    let mut queue: EventQueue<Event> = EventQueue::new();
+    let mut queue: Kernel<Event> = Kernel::new(cfg.kernel);
     let gap =
         SimDuration::from_micros((cfg.request_gap.as_micros() / fleet.fleet_size as u64).max(1));
     let mut at = SimTime::ZERO;

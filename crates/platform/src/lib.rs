@@ -22,7 +22,16 @@
 //! - **restore strategies**: [`RunConfig::with_restore`] selects how
 //!   snapshot memory materializes — eager (the paper's behaviour), lazy
 //!   map-on-fault, or REAP-style record & prefetch; per-restore fault and
-//!   prefetch statistics surface in [`RunResult::restore_infos`].
+//!   prefetch statistics surface in [`RunResult::restore_infos`];
+//! - **production-scale replay** ([`run_production`]): streams a
+//!   multi-hour Poisson/burst arrival process (`TraceSpec::production`)
+//!   through the platform with O(workers) memory, aggregating latency into
+//!   a log-bucketed histogram instead of per-invocation vectors — the
+//!   driver behind `results/BENCH_kernel.json`;
+//! - **kernel selection** ([`RunConfig::with_kernel`]): every runner
+//!   drives its future-event list through [`KernelKind`] — the reference
+//!   binary heap or the O(1) hierarchical timer wheel — with byte-identical
+//!   results under either.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,7 +48,10 @@ pub use config::RunConfig;
 pub use fleet::{run_fleet, FleetConfig};
 pub use partitioned::run_partitioned;
 pub use pronghorn_restore::{RestoreInfo, RestoreStrategy};
+pub use pronghorn_sim::KernelKind;
 pub use result::{ProvisionKind, RunResult};
-pub use runner::{run_closed_loop, run_trace, run_trace_with_history};
+pub use runner::{
+    run_closed_loop, run_production, run_trace, run_trace_with_history, ProductionStats,
+};
 pub use stale::IoStaleModel;
 pub use worker::Worker;

@@ -29,7 +29,7 @@ use pronghorn_core::{baselines::make_policy, Orchestrator};
 use pronghorn_jit::Runtime;
 use pronghorn_kv::KvStore;
 use pronghorn_restore::{RestoreInfo, RestoreStrategy};
-use pronghorn_sim::{RngFactory, SimTime};
+use pronghorn_sim::{Kernel, RngFactory, SimTime};
 use pronghorn_store::ObjectStore;
 use pronghorn_workloads::{InputVariance, Workload};
 
@@ -117,9 +117,15 @@ pub fn run_partitioned(workload: &dyn Workload, cfg: &RunConfig, classes: usize)
     let mut provision_us = 0.0;
     let mut restore_infos = Vec::new();
 
-    let mut now = SimTime::ZERO;
-    for i in 0..u64::from(cfg.invocations) {
-        now += cfg.request_gap;
+    // Closed-loop arrival pump: request `i` fires at `(i + 1) * request_gap`,
+    // exactly the instants of the old `now += gap` for-loop, but driven
+    // through the configured kernel so both implementations are exercised.
+    let total = u64::from(cfg.invocations);
+    let mut kernel: Kernel<u64> = Kernel::new(cfg.kernel);
+    if total > 0 {
+        kernel.schedule(SimTime::ZERO + cfg.request_gap, 0);
+    }
+    while let Some((now, i)) = kernel.pop() {
         let mut input_rng = factory.stream_indexed("input", i);
         let mut request = workload.generate(&mut input_rng, cfg.variance);
         let class = classify_factor(request.size_factor, classes);
@@ -227,6 +233,9 @@ pub fn run_partitioned(workload: &dyn Workload, cfg: &RunConfig, classes: usize)
         }
         if deployment.worker.as_ref().expect("live").served >= cfg.eviction_rate {
             deployment.worker = None;
+        }
+        if i + 1 < total {
+            kernel.schedule(now + cfg.request_gap, i + 1);
         }
     }
 

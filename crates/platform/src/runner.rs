@@ -12,11 +12,12 @@ use pronghorn_checkpoint::{
 use pronghorn_core::{baselines::make_policy, Orchestrator};
 use pronghorn_jit::Runtime;
 use pronghorn_kv::KvStore;
+use pronghorn_metrics::Histogram;
 use pronghorn_restore::{
     FaultCostModel, LazyImage, PageMap, PagedSnapshotStore, RestoreInfo, RestoreStrategy,
     DEFAULT_PAGE_SIZE,
 };
-use pronghorn_sim::{RngFactory, SimTime};
+use pronghorn_sim::{Kernel, RngFactory, SimTime};
 use pronghorn_store::{ObjectStore, TransferModel};
 use pronghorn_traces::Trace;
 use pronghorn_workloads::Workload;
@@ -29,6 +30,89 @@ use std::collections::BTreeSet;
 /// batched prefetch. Folded into snapshot weights harmonically, so it
 /// biases — never vetoes — selection toward prefetch-ready snapshots.
 const RECORD_PREFETCH_PENALTY_US: f64 = 10_000.0;
+
+/// How many future arrivals [`run_production`] keeps scheduled in the
+/// kernel at once. Arrivals stream in sorted, so a bounded window is
+/// lossless; it keeps kernel memory O(lookahead) instead of
+/// O(invocations) over an hours-long trace.
+const PRODUCTION_LOOKAHEAD: usize = 1 << 16;
+
+/// Expected worker lifetimes over `invocations` requests at the given
+/// eviction rate — the preallocation size for provisioning-shaped
+/// accumulators (`+ 1` covers a trailing partial lifetime).
+fn lifetimes(invocations: usize, eviction_rate: u32) -> usize {
+    invocations / eviction_rate.max(1) as usize + 1
+}
+
+/// O(1)-memory running aggregates, used instead of the per-invocation
+/// `Vec` accumulators when a [`Session`] runs in streaming mode
+/// (production-scale replays where only summary statistics are wanted).
+struct StreamAgg {
+    /// Log-bucketed latency distribution (µs); 1% bucket growth keeps
+    /// quantile error ≪ the paper's reporting precision.
+    latency: Histogram,
+    latency_max: f64,
+    cold_starts: u64,
+    restores: u64,
+    checkpoints: u64,
+    checkpoint_ms_total: f64,
+    restore_ms_total: f64,
+    snapshot_mb_total: f64,
+    restore_faults: u64,
+}
+
+impl StreamAgg {
+    fn new() -> Self {
+        StreamAgg {
+            latency: Histogram::new(1.0, 1e9, 1.01).expect("static bounds are valid"),
+            latency_max: 0.0,
+            cold_starts: 0,
+            restores: 0,
+            checkpoints: 0,
+            checkpoint_ms_total: 0.0,
+            restore_ms_total: 0.0,
+            snapshot_mb_total: 0.0,
+            restore_faults: 0,
+        }
+    }
+}
+
+/// Summary statistics of a [`run_production`] replay: everything the
+/// kernel bench and capacity analyses need, O(1) in the invocation count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProductionStats {
+    /// Requests served.
+    pub invocations: u64,
+    /// Mean client-visible latency (µs).
+    pub mean_latency_us: f64,
+    /// Median client-visible latency (µs, log-bucketed estimate).
+    pub p50_latency_us: f64,
+    /// 99th-percentile latency (µs, log-bucketed estimate).
+    pub p99_latency_us: f64,
+    /// Largest observed latency (µs, exact).
+    pub max_latency_us: f64,
+    /// Workers provisioned from a cold boot.
+    pub cold_starts: u64,
+    /// Workers provisioned from a snapshot restore.
+    pub restores: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Total checkpoint downtime (ms).
+    pub checkpoint_ms_total: f64,
+    /// Total critical-path restore time (ms).
+    pub restore_ms_total: f64,
+    /// Total nominal snapshot bytes checkpointed (MB).
+    pub snapshot_mb_total: f64,
+    /// Total demand faults paid by lazy restores.
+    pub restore_faults: u64,
+    /// Total off-critical-path provisioning time (µs).
+    pub provision_us_total: f64,
+    /// Timestamp of the last served arrival.
+    pub end_time: SimTime,
+    /// Largest number of events pending in the kernel at once (bounded by
+    /// the arrival lookahead window).
+    pub peak_pending_events: usize,
+}
 
 /// Shared machinery of both runners.
 struct Session<'w> {
@@ -49,7 +133,10 @@ struct Session<'w> {
     paged: Option<PagedSnapshotStore>,
     fault_costs: FaultCostModel,
     transfer: TransferModel,
-    // accumulators
+    // Accumulators. In the default (paper) mode these are per-event Vecs,
+    // preallocated from the expected invocation count so they never grow
+    // by repeated push reallocation; in streaming mode they stay empty and
+    // `stream` holds O(1) running aggregates instead.
     latencies: Vec<f64>,
     provisions: Vec<ProvisionKind>,
     checkpoint_ms: Vec<f64>,
@@ -59,10 +146,28 @@ struct Session<'w> {
     provision_us: f64,
     served_total: u32,
     restore_infos: Vec<RestoreInfo>,
+    stream: Option<StreamAgg>,
 }
 
 impl<'w> Session<'w> {
-    fn new(workload: &'w dyn Workload, cfg: RunConfig) -> Self {
+    /// A session recording every per-invocation measurement, preallocated
+    /// for `expected` invocations.
+    fn new(workload: &'w dyn Workload, cfg: RunConfig, expected: usize) -> Self {
+        Session::build(workload, cfg, expected, None)
+    }
+
+    /// A session keeping only O(1) running aggregates — memory stays
+    /// O(workers) no matter how many invocations stream through.
+    fn streaming(workload: &'w dyn Workload, cfg: RunConfig) -> Self {
+        Session::build(workload, cfg, 0, Some(StreamAgg::new()))
+    }
+
+    fn build(
+        workload: &'w dyn Workload,
+        cfg: RunConfig,
+        expected: usize,
+        stream: Option<StreamAgg>,
+    ) -> Self {
         let factory = RngFactory::new(cfg.seed);
         let kv = KvStore::new();
         let store = ObjectStore::new();
@@ -95,15 +200,68 @@ impl<'w> Session<'w> {
             paged,
             fault_costs: FaultCostModel::default(),
             transfer: TransferModel::default(),
-            latencies: Vec::with_capacity(cfg.invocations as usize),
-            provisions: Vec::new(),
-            checkpoint_ms: Vec::new(),
-            restore_ms: Vec::new(),
-            snapshot_mb: Vec::new(),
-            snapshot_requests: Vec::new(),
+            latencies: Vec::with_capacity(expected),
+            // A worker serves `eviction_rate` requests per lifetime, so
+            // provisioning-shaped accumulators need roughly one entry per
+            // lifetime (checkpoints are bounded by lifetimes too — each
+            // worker snapshots at most once in every policy in-tree).
+            provisions: Vec::with_capacity(lifetimes(expected, cfg.eviction_rate)),
+            checkpoint_ms: Vec::with_capacity(lifetimes(expected, cfg.eviction_rate)),
+            restore_ms: Vec::with_capacity(lifetimes(expected, cfg.eviction_rate)),
+            snapshot_mb: Vec::with_capacity(lifetimes(expected, cfg.eviction_rate)),
+            snapshot_requests: Vec::with_capacity(lifetimes(expected, cfg.eviction_rate)),
             provision_us: 0.0,
             served_total: 0,
-            restore_infos: Vec::new(),
+            restore_infos: Vec::with_capacity(lifetimes(expected, cfg.eviction_rate)),
+            stream,
+        }
+    }
+
+    /// Records one client-visible latency.
+    fn record_latency(&mut self, latency_us: f64) {
+        match &mut self.stream {
+            Some(agg) => {
+                agg.latency.record(latency_us.max(1.0));
+                if latency_us > agg.latency_max {
+                    agg.latency_max = latency_us;
+                }
+            }
+            None => self.latencies.push(latency_us),
+        }
+    }
+
+    /// Records one worker provision.
+    fn record_provision(&mut self, kind: ProvisionKind) {
+        match &mut self.stream {
+            Some(agg) => match kind {
+                ProvisionKind::Cold => agg.cold_starts += 1,
+                ProvisionKind::Restored(_) => agg.restores += 1,
+            },
+            None => self.provisions.push(kind),
+        }
+    }
+
+    /// Records one restore's critical-path cost.
+    fn record_restore_ms(&mut self, ms: f64) {
+        match &mut self.stream {
+            Some(agg) => agg.restore_ms_total += ms,
+            None => self.restore_ms.push(ms),
+        }
+    }
+
+    /// Records one checkpoint's downtime, snapshot size and request number.
+    fn record_checkpoint(&mut self, downtime_ms: f64, size_mb: f64, request_number: u32) {
+        match &mut self.stream {
+            Some(agg) => {
+                agg.checkpoints += 1;
+                agg.checkpoint_ms_total += downtime_ms;
+                agg.snapshot_mb_total += size_mb;
+            }
+            None => {
+                self.checkpoint_ms.push(downtime_ms);
+                self.snapshot_mb.push(size_mb);
+                self.snapshot_requests.push(request_number);
+            }
         }
     }
 
@@ -122,7 +280,7 @@ impl<'w> Session<'w> {
             Some(snapshot) => match self.restore_worker(&snapshot, plan.download_nominal) {
                 Some((runtime, info, image)) => {
                     provision_us += info.restore_us;
-                    self.restore_ms.push(info.restore_us / 1_000.0);
+                    self.record_restore_ms(info.restore_us / 1_000.0);
                     // The restored snapshot becomes the worker's prospective
                     // delta parent: keep its payload as the diff base and
                     // start an empty dirty-page set.
@@ -160,7 +318,7 @@ impl<'w> Session<'w> {
             }
         };
         self.provision_us += provision_us;
-        self.provisions.push(if restore.is_some() {
+        self.record_provision(if restore.is_some() {
             ProvisionKind::Restored(resume)
         } else {
             ProvisionKind::Cold
@@ -334,9 +492,11 @@ impl<'w> Session<'w> {
         if consolidate {
             self.orch.note_consolidation();
         }
-        self.checkpoint_ms.push(downtime.as_millis_f64());
-        self.snapshot_mb.push(snapshot.nominal_size_mb());
-        self.snapshot_requests.push(snapshot.meta.request_number);
+        self.record_checkpoint(
+            downtime.as_millis_f64(),
+            snapshot.nominal_size_mb(),
+            snapshot.meta.request_number,
+        );
         self.orch
             .record_snapshot_with(&snapshot, &outcome, downtime, &mut self.policy_rng);
     }
@@ -421,7 +581,7 @@ impl<'w> Session<'w> {
                     .penalty_frac(worker.resume_request, self.policy_w, nth);
         }
 
-        self.latencies.push(latency);
+        self.record_latency(latency);
         self.served_total += 1;
         self.orch
             .complete_request(request_number.min(u64::from(u32::MAX)) as u32, latency);
@@ -435,7 +595,10 @@ impl<'w> Session<'w> {
     /// accumulated restore/fault statistics.
     fn retire(&mut self, worker: Worker) {
         if let Some(info) = worker.restore {
-            self.restore_infos.push(info);
+            match &mut self.stream {
+                Some(agg) => agg.restore_faults += u64::from(info.faults),
+                None => self.restore_infos.push(info),
+            }
         }
     }
 
@@ -451,9 +614,16 @@ impl<'w> Session<'w> {
         self.snapshot_requests.clear();
         self.provision_us = 0.0;
         self.restore_infos.clear();
+        if let Some(agg) = &mut self.stream {
+            *agg = StreamAgg::new();
+        }
     }
 
     fn finish(self) -> RunResult {
+        debug_assert!(
+            self.stream.is_none(),
+            "streaming sessions report via finish_production"
+        );
         RunResult {
             workload: self.workload.name().to_string(),
             policy: self.cfg.policy,
@@ -471,6 +641,30 @@ impl<'w> Session<'w> {
             restore_strategy: self.cfg.restore,
             restore_infos: self.restore_infos,
             chain: self.orch.chain_stats(),
+        }
+    }
+
+    /// Collapses a streaming session into [`ProductionStats`].
+    fn finish_production(self, end_time: SimTime, peak_pending_events: usize) -> ProductionStats {
+        let agg = self
+            .stream
+            .expect("production sessions run in streaming mode");
+        ProductionStats {
+            invocations: agg.latency.count(),
+            mean_latency_us: agg.latency.mean(),
+            p50_latency_us: agg.latency.quantile(0.5),
+            p99_latency_us: agg.latency.quantile(0.99),
+            max_latency_us: agg.latency_max,
+            cold_starts: agg.cold_starts,
+            restores: agg.restores,
+            checkpoints: agg.checkpoints,
+            checkpoint_ms_total: agg.checkpoint_ms_total,
+            restore_ms_total: agg.restore_ms_total,
+            snapshot_mb_total: agg.snapshot_mb_total,
+            restore_faults: agg.restore_faults,
+            provision_us_total: self.provision_us,
+            end_time,
+            peak_pending_events,
         }
     }
 }
@@ -493,11 +687,17 @@ impl<'w> Session<'w> {
 /// assert!(result.median_us() > 0.0);
 /// ```
 pub fn run_closed_loop(workload: &dyn Workload, cfg: &RunConfig) -> RunResult {
-    let mut session = Session::new(workload, *cfg);
+    let mut session = Session::new(workload, *cfg, cfg.invocations as usize);
     let mut worker: Option<Worker> = None;
-    let mut now = SimTime::ZERO;
-    for i in 0..u64::from(cfg.invocations) {
-        now += cfg.request_gap;
+    // Arrivals self-schedule through the kernel: arrival `i` fires at
+    // `(i + 1) * request_gap`, exactly the instants of the historical
+    // `now += gap` loop, so results are byte-identical on either kernel.
+    let mut kernel: Kernel<u64> = Kernel::new(cfg.kernel);
+    let total = u64::from(cfg.invocations);
+    if total > 0 {
+        kernel.schedule(SimTime::ZERO + cfg.request_gap, 0);
+    }
+    while let Some((now, i)) = kernel.pop() {
         let mut w = match worker.take() {
             Some(w) => w,
             None => session.provision(now),
@@ -509,6 +709,9 @@ pub fn run_closed_loop(workload: &dyn Workload, cfg: &RunConfig) -> RunResult {
             worker = Some(w);
         } else {
             session.retire(w);
+        }
+        if i + 1 < total {
+            kernel.schedule(now + cfg.request_gap, i + 1);
         }
     }
     if let Some(w) = worker.take() {
@@ -534,13 +737,18 @@ pub fn run_trace_with_history(
     trace: &Trace,
     history_invocations: u32,
 ) -> RunResult {
-    let mut session = Session::new(workload, *cfg);
+    let expected = history_invocations as usize + trace.len();
+    let mut session = Session::new(workload, *cfg, expected);
 
-    // Deployment history: same protocol as the closed loop.
-    let mut now = SimTime::ZERO;
+    // Deployment history: same protocol (and arrival instants) as the
+    // closed loop.
     let mut worker: Option<Worker> = None;
-    for i in 0..u64::from(history_invocations) {
-        now += cfg.request_gap;
+    let mut kernel: Kernel<u64> = Kernel::new(cfg.kernel);
+    let history = u64::from(history_invocations);
+    if history > 0 {
+        kernel.schedule(SimTime::ZERO + cfg.request_gap, 0);
+    }
+    while let Some((now, i)) = kernel.pop() {
         let mut w = match worker.take() {
             Some(w) => w,
             None => session.provision(now),
@@ -551,17 +759,25 @@ pub fn run_trace_with_history(
         } else {
             session.retire(w);
         }
+        if i + 1 < history {
+            kernel.schedule(now + cfg.request_gap, i + 1);
+        }
     }
     if let Some(w) = worker.take() {
         session.retire(w);
     }
     // The measured window starts with whatever state the deployment has;
     // in-flight workers from the history are evicted (the window is a
-    // fresh 15 minutes much later).
+    // fresh 15 minutes much later). A fresh kernel restarts the clock at
+    // the window origin — the history clock has run far past it.
     session.reset_measurements();
 
-    let mut worker: Option<Worker> = None;
+    let mut kernel: Kernel<u64> = Kernel::new(cfg.kernel);
     for (i, &arrival) in trace.arrivals().iter().enumerate() {
+        kernel.schedule(arrival, history + i as u64);
+    }
+    let mut worker: Option<Worker> = None;
+    while let Some((arrival, i)) = kernel.pop() {
         // Idle eviction.
         let idle = worker
             .as_ref()
@@ -575,13 +791,83 @@ pub fn run_trace_with_history(
             Some(w) => w,
             None => session.provision(arrival),
         };
-        session.serve(&mut w, u64::from(history_invocations) + i as u64, arrival);
+        session.serve(&mut w, i, arrival);
         worker = Some(w);
     }
     if let Some(w) = worker.take() {
         session.retire(w);
     }
     session.finish()
+}
+
+/// Replays a production-scale arrival stream (e.g.
+/// [`pronghorn_traces::ArrivalStream`]) with idle-timeout eviction,
+/// keeping memory O(workers): arrivals feed the kernel through a bounded
+/// lookahead window and all measurements are O(1) running aggregates.
+///
+/// Arrivals must be non-decreasing (arrival streams are); an out-of-order
+/// arrival is clamped to the kernel clock rather than rewinding time.
+///
+/// # Examples
+///
+/// ```
+/// use pronghorn_core::PolicyKind;
+/// use pronghorn_platform::{run_production, RunConfig};
+/// use pronghorn_sim::RngFactory;
+/// use pronghorn_traces::TraceSpec;
+/// use pronghorn_workloads::by_name;
+///
+/// let workload = by_name("Hash").unwrap();
+/// let cfg = RunConfig::paper(PolicyKind::RequestCentric, 4, 42);
+/// let spec = TraceSpec::production(0.001, 0.9); // 3.6 s of p90 traffic
+/// let arrivals = spec.stream(RngFactory::new(cfg.seed).stream("production"));
+/// let stats = run_production(&workload, &cfg, arrivals);
+/// assert!(stats.invocations > 0);
+/// // Every worker was provisioned exactly once, cold or from a snapshot.
+/// assert!(stats.cold_starts + stats.restores >= 1);
+/// assert!(stats.p99_latency_us >= stats.p50_latency_us);
+/// ```
+pub fn run_production<I>(workload: &dyn Workload, cfg: &RunConfig, arrivals: I) -> ProductionStats
+where
+    I: IntoIterator<Item = SimTime>,
+{
+    let mut session = Session::streaming(workload, *cfg);
+    let mut kernel: Kernel<u64> = Kernel::new(cfg.kernel);
+    let mut arrivals = arrivals.into_iter();
+    let mut next_index: u64 = 0;
+    let mut peak_pending = 0usize;
+    let mut worker: Option<Worker> = None;
+    let mut end_time = SimTime::ZERO;
+    loop {
+        while kernel.len() < PRODUCTION_LOOKAHEAD {
+            let Some(at) = arrivals.next() else { break };
+            kernel.schedule(at, next_index);
+            next_index += 1;
+        }
+        peak_pending = peak_pending.max(kernel.len());
+        let Some((now, index)) = kernel.pop() else {
+            break;
+        };
+        let idle = worker
+            .as_ref()
+            .is_some_and(|w| now.saturating_since(w.last_active) > cfg.idle_timeout);
+        if idle {
+            if let Some(w) = worker.take() {
+                session.retire(w);
+            }
+        }
+        let mut w = match worker.take() {
+            Some(w) => w,
+            None => session.provision(now),
+        };
+        session.serve(&mut w, index, now);
+        worker = Some(w);
+        end_time = now;
+    }
+    if let Some(w) = worker.take() {
+        session.retire(w);
+    }
+    session.finish_production(end_time, peak_pending)
 }
 
 #[cfg(test)]
@@ -882,5 +1168,77 @@ mod tests {
             rc.median_us(),
             after.median_us()
         );
+    }
+
+    #[test]
+    fn timer_wheel_is_byte_identical_on_every_runner() {
+        use pronghorn_sim::KernelKind;
+        let bench = by_name("DFS").unwrap();
+        let heap_cfg = cfg(PolicyKind::RequestCentric, 4);
+        let wheel_cfg = heap_cfg.with_kernel(KernelKind::TimerWheel);
+
+        let a = run_closed_loop(&bench, &heap_cfg);
+        let b = run_closed_loop(&bench, &wheel_cfg);
+        assert_eq!(a.latencies_us, b.latencies_us);
+        assert_eq!(a.provisions, b.provisions);
+        assert_eq!(a.checkpoint_ms, b.checkpoint_ms);
+        assert_eq!(a.snapshot_requests, b.snapshot_requests);
+
+        let factory = RngFactory::new(7);
+        let trace = TraceSpec::percentile(0.75).generate(&mut factory.stream("t"));
+        let a = run_trace_with_history(&bench, &heap_cfg, &trace, 40);
+        let b = run_trace_with_history(&bench, &wheel_cfg, &trace, 40);
+        assert_eq!(a.latencies_us, b.latencies_us);
+        assert_eq!(a.provisions, b.provisions);
+
+        let a = crate::run_partitioned(&bench, &heap_cfg, 2);
+        let b = crate::run_partitioned(&bench, &wheel_cfg, 2);
+        assert_eq!(a.latencies_us, b.latencies_us);
+        assert_eq!(a.provisions, b.provisions);
+    }
+
+    #[test]
+    fn production_replay_matches_under_both_kernels() {
+        use pronghorn_sim::KernelKind;
+        let bench = by_name("Hash").unwrap();
+        let heap_cfg = cfg(PolicyKind::RequestCentric, 4);
+        let wheel_cfg = heap_cfg.with_kernel(KernelKind::TimerWheel);
+        let spec = TraceSpec::production(0.002, 0.9);
+        let factory = RngFactory::new(heap_cfg.seed);
+        let a = run_production(&bench, &heap_cfg, spec.stream(factory.stream("production")));
+        let b = run_production(
+            &bench,
+            &wheel_cfg,
+            spec.stream(factory.stream("production")),
+        );
+        assert!(a.invocations > 0, "empty production stream");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn production_aggregates_match_the_vec_accumulating_trace_runner() {
+        // The same arrivals through run_trace (per-invocation Vecs) and
+        // run_production (streaming aggregates) must agree exactly on
+        // counts and means, and within bucket resolution on quantiles.
+        let bench = by_name("Hash").unwrap();
+        let c = cfg(PolicyKind::RequestCentric, 4);
+        let factory = RngFactory::new(11);
+        let trace = TraceSpec::percentile(0.9).generate(&mut factory.stream("t"));
+        let vec_run = run_trace(&bench, &c, &trace);
+        let stream_run = run_production(&bench, &c, trace.arrivals().iter().copied());
+        assert_eq!(stream_run.invocations, vec_run.latencies_us.len() as u64);
+        assert_eq!(stream_run.cold_starts, vec_run.cold_starts() as u64);
+        assert_eq!(stream_run.restores, vec_run.restores() as u64);
+        assert_eq!(stream_run.checkpoints, vec_run.checkpoint_ms.len() as u64);
+        let vec_mean = vec_run.latencies_us.iter().sum::<f64>() / vec_run.latencies_us.len() as f64;
+        assert!((stream_run.mean_latency_us - vec_mean).abs() <= vec_mean * 1e-9);
+        let vec_median = vec_run.median_us();
+        assert!(
+            (stream_run.p50_latency_us - vec_median).abs() <= vec_median * 0.02,
+            "p50 {} vs exact median {}",
+            stream_run.p50_latency_us,
+            vec_median
+        );
+        assert!((stream_run.provision_us_total - vec_run.provision_us).abs() < 1e-6);
     }
 }

@@ -8,12 +8,12 @@
 //! simulations with richer event vocabularies and is the crate's public
 //! composition point.
 
-use crate::queue::EventQueue;
+use crate::kernel::{Kernel, KernelKind};
 use crate::time::SimTime;
 
 /// Scheduling handle passed to event handlers.
 pub struct Scheduler<'q, E> {
-    queue: &'q mut EventQueue<E>,
+    queue: &'q mut Kernel<E>,
     now: SimTime,
 }
 
@@ -24,7 +24,7 @@ impl<E> Scheduler<'_, E> {
     }
 
     /// Schedules a follow-up event at `at` (clamped to now, like
-    /// [`EventQueue::schedule`]).
+    /// [`crate::EventQueue::schedule`]).
     pub fn schedule(&mut self, at: SimTime, event: E) {
         self.queue.schedule(at, event);
     }
@@ -71,20 +71,33 @@ where
 {
     state: S,
     handler: H,
-    queue: EventQueue<E>,
+    queue: Kernel<E>,
 }
 
 impl<S, E, H> Simulation<S, E, H>
 where
     H: FnMut(&mut S, &mut Scheduler<'_, E>, E),
 {
-    /// Creates a simulation over `state` with the given event handler.
+    /// Creates a simulation over `state` with the given event handler,
+    /// running on the default (binary-heap) kernel.
     pub fn new(state: S, handler: H) -> Self {
+        Simulation::with_kernel(state, handler, KernelKind::default())
+    }
+
+    /// Creates a simulation running on the given kernel. Both kernels pop
+    /// in identical `(at, seq)` order, so results do not depend on the
+    /// choice — only throughput does.
+    pub fn with_kernel(state: S, handler: H, kind: KernelKind) -> Self {
         Simulation {
             state,
             handler,
-            queue: EventQueue::new(),
+            queue: Kernel::new(kind),
         }
+    }
+
+    /// Which kernel the simulation runs on.
+    pub fn kernel_kind(&self) -> KernelKind {
+        self.queue.kind()
     }
 
     /// Schedules an initial event.
@@ -192,6 +205,31 @@ mod tests {
             sim.schedule(SimTime::from_micros(i), ());
         }
         assert_eq!(sim.run(5), RunOutcome::Drained { steps: 5 });
+    }
+
+    #[test]
+    fn kernels_drive_identical_runs() {
+        let run = |kind| {
+            let mut sim = Simulation::with_kernel(
+                Vec::new(),
+                |log: &mut Vec<(SimTime, u32)>, sched, hop: u32| {
+                    log.push((sched.now(), hop));
+                    if hop > 0 {
+                        let next = sched.now() + SimDuration::from_millis(u64::from(hop));
+                        sched.schedule(next, hop - 1);
+                    }
+                },
+                kind,
+            );
+            assert_eq!(sim.kernel_kind(), kind);
+            sim.schedule(SimTime::from_micros(5), 8);
+            sim.run(1_000);
+            sim.into_state()
+        };
+        assert_eq!(
+            run(crate::KernelKind::BinaryHeap),
+            run(crate::KernelKind::TimerWheel)
+        );
     }
 
     #[test]

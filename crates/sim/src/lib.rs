@@ -6,6 +6,9 @@
 //!   which every latency in the paper's evaluation is reported;
 //! - [`EventQueue`]: a deterministic time-ordered event queue with FIFO
 //!   tie-breaking, the core of the serverless-platform simulator;
+//! - [`TimerWheel`] / [`Kernel`]: a hierarchical timer-wheel kernel with
+//!   the identical ordering contract (O(1) instead of O(log n) per event,
+//!   for production-trace-scale replays), selectable via [`KernelKind`];
 //! - [`RngFactory`]: reproducible named random-number streams, so that every
 //!   source of randomness (JIT compile jitter, input-size noise, policy
 //!   sampling, ...) is independently seeded and bit-for-bit replayable;
@@ -29,13 +32,17 @@
 
 pub mod driver;
 pub mod hash;
+pub mod kernel;
 pub mod log;
 pub mod queue;
 pub mod rng;
 pub mod time;
+pub mod wheel;
 
 pub use driver::{RunOutcome, Scheduler, Simulation};
+pub use kernel::{Kernel, KernelKind};
 pub use log::{EventLog, LogEntry};
 pub use queue::EventQueue;
 pub use rng::RngFactory;
 pub use time::{SimDuration, SimTime};
+pub use wheel::TimerWheel;

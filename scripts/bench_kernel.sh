@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Collects the simulation-kernel numbers the PR claims:
+#
+#   1. runs `experiments kernel-bench`, which
+#      - replays a production-scale arrival stream (>= 1e6 arrivals at
+#        paper scale) through the binary-heap and timer-wheel kernels
+#        with completions/timeouts scheduled on the fly, cross-checks an
+#        FNV checksum over the exact pop order, and reports events/sec,
+#        peak pending events and wall-clock per kernel;
+#      - replays the same production trace end to end (run_production)
+#        under both kernels and asserts identical ProductionStats;
+#      - runs a paired-seed closed-loop grid under both kernels and
+#        asserts byte-identical cells;
+#      and writes results/BENCH_kernel.json.
+#
+# Usage: scripts/bench_kernel.sh [--quick]
+#   --quick  forwards the experiments harness's reduced-size mode.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p results
+
+echo "== experiments kernel-bench (writes results/BENCH_kernel.json) =="
+cargo run -q --release -p pronghorn-experiments -- kernel-bench "$@"
+
+echo
+echo "== artifacts =="
+ls -l results/BENCH_kernel.json
