@@ -1,0 +1,220 @@
+//! Deterministic consistent-hash ring with virtual nodes.
+//!
+//! Each physical node contributes [`DEFAULT_VNODES`] points on a 64-bit
+//! circle; a key is owned by the first point clockwise from it. Point
+//! positions depend only on `(node, replica)` — never on the node count —
+//! so the ring for `n` nodes is a strict subset of the ring for `n + 1`
+//! nodes. That gives the classic consistent-hashing stability property:
+//! adding a node steals only the keys its own points now own (≈ `1/(n+1)`
+//! of the keyspace), and removing it returns exactly those keys to their
+//! previous owners.
+
+use pronghorn_sim::hash::{mix64, Fnv1a};
+
+/// Virtual nodes per physical node. 64 points keep the per-node keyspace
+/// share concentrated around `1/n` (relative spread well under 2×) while
+/// the whole ring stays a few hundred entries — binary-searchable in ns.
+pub const DEFAULT_VNODES: u32 = 64;
+
+/// A consistent-hash ring over nodes `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use pronghorn_cluster::HashRing;
+///
+/// let ring = HashRing::new(4);
+/// let node = ring.route("DynamicHTML");
+/// assert!(node < 4);
+/// // Routing is a pure function of (fn_id, ring).
+/// assert_eq!(node, HashRing::new(4).route("DynamicHTML"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRing {
+    /// Ring points, sorted ascending by `(position, node)`. The node
+    /// tiebreak keeps the order total even under (astronomically
+    /// unlikely) 64-bit position collisions.
+    points: Vec<(u64, u32)>,
+    nodes: u32,
+    vnodes: u32,
+}
+
+impl HashRing {
+    /// A ring over `nodes` physical nodes with [`DEFAULT_VNODES`] virtual
+    /// nodes each. `nodes` is clamped to at least 1.
+    pub fn new(nodes: u32) -> Self {
+        HashRing::with_vnodes(nodes, DEFAULT_VNODES)
+    }
+
+    /// A ring with an explicit virtual-node count (clamped to ≥ 1).
+    pub fn with_vnodes(nodes: u32, vnodes: u32) -> Self {
+        let nodes = nodes.max(1);
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity((nodes * vnodes) as usize);
+        for node in 0..nodes {
+            for replica in 0..vnodes {
+                points.push((Self::point(node, replica), node));
+            }
+        }
+        points.sort_unstable();
+        HashRing {
+            points,
+            nodes,
+            vnodes,
+        }
+    }
+
+    /// Position of one virtual node — independent of the ring size, which
+    /// is what makes ring growth stable.
+    fn point(node: u32, replica: u32) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(b"ring");
+        h.write_u64(u64::from(node));
+        h.write_u64(u64::from(replica));
+        mix64(h.finish())
+    }
+
+    /// Number of physical nodes.
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Virtual nodes per physical node.
+    pub fn vnodes(&self) -> u32 {
+        self.vnodes
+    }
+
+    /// The ring position of a function id — the same FNV-1a + SplitMix64
+    /// derivation the RNG factory uses for stream seeds.
+    pub fn key_of(fn_id: &str) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(fn_id.as_bytes());
+        mix64(h.finish())
+    }
+
+    /// Index of the point owning `key`: the first point at or clockwise
+    /// of `key`, wrapping past the top of the circle.
+    fn owner_index(&self, key: u64) -> usize {
+        let idx = self.points.partition_point(|&(pos, _)| pos < key);
+        if idx == self.points.len() {
+            0
+        } else {
+            idx
+        }
+    }
+
+    /// The node owning ring position `key`.
+    pub fn route_key(&self, key: u64) -> u32 {
+        self.points[self.owner_index(key)].1
+    }
+
+    /// The node a function routes to — a pure function of
+    /// `(fn_id, ring)`.
+    pub fn route(&self, fn_id: &str) -> u32 {
+        self.route_key(Self::key_of(fn_id))
+    }
+
+    /// Every distinct node in ring order starting from the owner of
+    /// `key`. The first entry is [`Self::route_key`]; the rest is the
+    /// deterministic spillover probe order a load-aware gateway walks
+    /// when the primary node is saturated. Always length [`Self::nodes`].
+    pub fn successors(&self, key: u64) -> Vec<u32> {
+        let mut order = Vec::with_capacity(self.nodes as usize);
+        let start = self.owner_index(key);
+        let mut seen = vec![false; self.nodes as usize];
+        for off in 0..self.points.len() {
+            let (_, node) = self.points[(start + off) % self.points.len()];
+            if !seen[node as usize] {
+                seen[node as usize] = true;
+                order.push(node);
+                if order.len() == self.nodes as usize {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let ring = HashRing::new(5);
+        for name in ["BFS", "MatrixMult", "Uploader", "Video", "Hash"] {
+            let node = ring.route(name);
+            assert!(node < 5);
+            assert_eq!(node, HashRing::new(5).route(name), "{name}");
+        }
+    }
+
+    #[test]
+    fn single_node_ring_routes_everything_to_node_zero() {
+        let ring = HashRing::new(1);
+        for i in 0..256u64 {
+            assert_eq!(ring.route_key(mix64(i)), 0);
+        }
+        assert_eq!(ring.successors(HashRing::key_of("X")), vec![0]);
+    }
+
+    #[test]
+    fn growth_only_moves_keys_to_the_new_node() {
+        let small = HashRing::new(4);
+        let big = HashRing::new(5);
+        let mut moved = 0u32;
+        let samples = 4096u64;
+        for i in 0..samples {
+            let key = mix64(i);
+            let a = small.route_key(key);
+            let b = big.route_key(key);
+            if a != b {
+                assert_eq!(b, 4, "remapped key must land on the new node");
+                moved += 1;
+            }
+        }
+        // Expected share is 1/5; the vnode spread keeps it well under 2×.
+        assert!(
+            f64::from(moved) / samples as f64 <= 2.0 / 5.0,
+            "moved {moved} of {samples}"
+        );
+        assert!(moved > 0, "the new node must own something");
+    }
+
+    #[test]
+    fn successors_start_at_owner_and_cover_all_nodes() {
+        let ring = HashRing::new(6);
+        let key = HashRing::key_of("WordCount");
+        let order = ring.successors(key);
+        assert_eq!(order[0], ring.route_key(key));
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nodes_and_vnodes_are_clamped_positive() {
+        let ring = HashRing::with_vnodes(0, 0);
+        assert_eq!(ring.nodes(), 1);
+        assert_eq!(ring.vnodes(), 1);
+    }
+
+    #[test]
+    fn key_shares_are_roughly_balanced() {
+        let ring = HashRing::new(8);
+        let mut counts = [0u32; 8];
+        let samples = 8192u64;
+        for i in 0..samples {
+            counts[ring.route_key(mix64(i)) as usize] += 1;
+        }
+        let expect = samples as f64 / 8.0;
+        for (node, &c) in counts.iter().enumerate() {
+            let share = f64::from(c) / expect;
+            assert!(
+                (0.4..=2.0).contains(&share),
+                "node {node} owns {share:.2}× its fair share"
+            );
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Ring-stability properties of the consistent-hash ring.
+//!
+//! - Routing is a pure function of `(fn_id, ring)`.
+//! - Growing the ring from `n` to `n + 1` nodes remaps at most a bounded
+//!   fraction of the keyspace (expected share `1/(n+1)`), and every
+//!   remapped key moves *to* the new node.
+//! - Shrinking is the mirror image: only keys the removed node owned are
+//!   remapped, and they return to their previous owners.
+
+use pronghorn_cluster::HashRing;
+use pronghorn_sim::hash::mix64;
+use proptest::prelude::*;
+
+proptest! {
+    /// Same id, same ring shape → same node, across fresh ring builds.
+    #[test]
+    fn routing_is_pure(nodes in 1u32..12, seed in any::<u64>()) {
+        let a = HashRing::new(nodes);
+        let b = HashRing::new(nodes);
+        for i in 0..64u64 {
+            let id = format!("fn-{}", mix64(seed.wrapping_add(i)));
+            let via_a = a.route(&id);
+            prop_assert_eq!(via_a, b.route(&id));
+            prop_assert!(via_a < nodes);
+            // route() is route_key() of the id's ring position.
+            prop_assert_eq!(via_a, a.route_key(HashRing::key_of(&id)));
+        }
+    }
+
+    /// Adding a node remaps at most ~its fair share of keys, all of which
+    /// land on the new node.
+    #[test]
+    fn growth_remaps_only_a_bounded_fraction_to_the_new_node(
+        nodes in 1u32..12,
+        seed in any::<u64>(),
+    ) {
+        let small = HashRing::new(nodes);
+        let big = HashRing::new(nodes + 1);
+        let samples = 2048u64;
+        let mut moved = 0u64;
+        for i in 0..samples {
+            let key = mix64(seed.wrapping_add(i));
+            let before = small.route_key(key);
+            let after = big.route_key(key);
+            if before != after {
+                prop_assert_eq!(after, nodes, "remapped keys must land on the new node");
+                moved += 1;
+            }
+        }
+        // Expected fraction 1/(n+1); 64 vnodes keep the realized share
+        // within a small constant of that, bounded generously here.
+        let frac = moved as f64 / samples as f64;
+        let bound = (3.0 / f64::from(nodes + 1)).min(1.0) + 0.05;
+        prop_assert!(frac <= bound, "remapped {:.3} of keys (bound {:.3})", frac, bound);
+    }
+
+    /// Removing a node remaps exactly the keys it owned, each back to its
+    /// owner in the smaller ring.
+    #[test]
+    fn removal_remaps_only_the_removed_nodes_keys(
+        nodes in 1u32..12,
+        seed in any::<u64>(),
+    ) {
+        let big = HashRing::new(nodes + 1);
+        let small = HashRing::new(nodes);
+        for i in 0..2048u64 {
+            let key = mix64(seed.wrapping_add(i));
+            let before = big.route_key(key);
+            let after = small.route_key(key);
+            if before != after {
+                prop_assert_eq!(before, nodes, "only the removed node's keys may move");
+            }
+            prop_assert!(after < nodes);
+        }
+    }
+
+    /// The spillover probe order starts at the owner and enumerates every
+    /// node exactly once, deterministically.
+    #[test]
+    fn successors_enumerate_all_nodes_once(nodes in 1u32..12, key in any::<u64>()) {
+        let ring = HashRing::new(nodes);
+        let order = ring.successors(key);
+        prop_assert_eq!(order.len(), nodes as usize);
+        prop_assert_eq!(order[0], ring.route_key(key));
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..nodes).collect::<Vec<_>>());
+        prop_assert_eq!(order, ring.successors(key));
+    }
+}

@@ -152,6 +152,14 @@ pub struct Orchestrator {
     /// Delta-chain lineage index; present only when delta checkpointing
     /// is enabled (the full-snapshot path never consults it).
     chains: Option<ChainIndex>,
+    /// Snapshots recorded into the pool since the last
+    /// [`Self::drain_pool_events`] call, with their stored nominal bytes.
+    /// Single-node runners never drain (growth is bounded by checkpoint
+    /// count); the cluster layer drains after every provision/serve to
+    /// mirror blob residency per node.
+    recorded_log: Vec<(SnapshotId, u64)>,
+    /// Snapshots pool-evicted since the last drain.
+    evicted_log: Vec<SnapshotId>,
 }
 
 /// Bookkeeping for page-granular snapshot publication.
@@ -190,6 +198,8 @@ impl Orchestrator {
             pool_sizes: BTreeMap::new(),
             paging: None,
             chains: None,
+            recorded_log: Vec::new(),
+            evicted_log: Vec::new(),
         }
     }
 
@@ -548,6 +558,7 @@ impl Orchestrator {
                 }
             }
             self.pool_sizes.insert(snapshot.id, stored_nominal);
+            self.recorded_log.push((snapshot.id, stored_nominal));
             if let Some(paging) = &mut self.paging {
                 // Publish the page map alongside the blob. Page descriptors
                 // are content-addressed, so base-region pages dedup across
@@ -592,6 +603,7 @@ impl Orchestrator {
                     }
                 }
                 self.pool_sizes.remove(&entry.id);
+                self.evicted_log.push(entry.id);
                 if let Some(paging) = &mut self.paging {
                     if let Some(count) = paging.published.remove(&entry.id) {
                         paging.pages.unpublish(&self.function, entry.id.0, count);
@@ -621,6 +633,19 @@ impl Orchestrator {
     pub fn pool_nominal_bytes(&self) -> u64 {
         let pooled: u64 = self.pool_sizes.values().sum();
         pooled + self.chains.as_ref().map_or(0, |c| c.pinned_nominal_bytes())
+    }
+
+    /// Drains the pool-event logs accumulated since the last call:
+    /// snapshots recorded into the pool (with the nominal bytes of their
+    /// stored form) and snapshots evicted from it, each in occurrence
+    /// order. The cluster layer consumes these to keep per-node blob
+    /// residency in sync with pool membership; single-node runners never
+    /// call it.
+    pub fn drain_pool_events(&mut self) -> (Vec<(SnapshotId, u64)>, Vec<SnapshotId>) {
+        (
+            std::mem::take(&mut self.recorded_log),
+            std::mem::take(&mut self.evicted_log),
+        )
     }
 }
 

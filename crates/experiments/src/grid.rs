@@ -8,7 +8,9 @@
 
 use crate::ExperimentContext;
 use pronghorn_core::PolicyKind;
-use pronghorn_platform::{run_closed_loop, KernelKind, RunConfig, RunResult};
+use pronghorn_platform::{
+    run_closed_loop, run_cluster, ClusterSpec, KernelKind, RunConfig, RunResult,
+};
 use pronghorn_workloads::by_name;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -140,6 +142,67 @@ pub fn run_grid_with_kernel(
                     .with_invocations(ctx.invocations)
                     .with_kernel(kernel);
                 let result = run_closed_loop(&workload, &cfg);
+                cells.lock().expect("no poisoned lock").push(GridCell {
+                    workload: bench.clone(),
+                    policy: *policy,
+                    rate: *rate,
+                    result,
+                });
+            });
+        }
+    });
+    Grid {
+        cells: cells.into_inner().expect("no poisoned lock"),
+        wall_clock_s: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// [`run_grid_with_kernel`], but every cell runs through the cluster
+/// runner with the default single-node [`ClusterSpec`]. A 1-node cluster
+/// is pinned byte-identical to [`run_closed_loop`] (the golden tests in
+/// `tests/full_invariance.rs` hold both paths to the same committed CSV),
+/// so this exists to check that equivalence at grid scale, not to be a
+/// faster path.
+///
+/// # Panics
+///
+/// Panics if a benchmark name is unknown.
+pub fn run_grid_cluster(
+    ctx: &ExperimentContext,
+    benchmarks: &[&str],
+    policies: &[PolicyKind],
+    rates: &[u32],
+    kernel: KernelKind,
+) -> Grid {
+    for name in benchmarks {
+        assert!(by_name(name).is_some(), "unknown benchmark {name}");
+    }
+    let mut tasks: Vec<(String, PolicyKind, u32)> = Vec::new();
+    for &bench in benchmarks {
+        for &rate in rates {
+            for &policy in policies {
+                tasks.push((bench.to_string(), policy, rate));
+            }
+        }
+    }
+    let next = AtomicUsize::new(0);
+    let cells = Mutex::new(Vec::with_capacity(tasks.len()));
+    let threads = ctx.effective_threads();
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((bench, policy, rate)) = tasks.get(i) else {
+                    break;
+                };
+                let workload = by_name(bench).expect("validated above");
+                let seed = ctx.cell_seed(&[bench, &rate.to_string()]);
+                let cfg = RunConfig::paper(*policy, *rate, seed)
+                    .with_invocations(ctx.invocations)
+                    .with_kernel(kernel)
+                    .with_cluster(ClusterSpec::single_node());
+                let result = run_cluster(&workload, &cfg).result;
                 cells.lock().expect("no poisoned lock").push(GridCell {
                     workload: bench.clone(),
                     policy: *policy,

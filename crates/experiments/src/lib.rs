@@ -13,6 +13,7 @@
 //! | [`ablation`] | the design-choice ablation study (selection strategy, γ, C, W, β misestimation, fleet amortization, input partitioning) |
 //! | [`restore_ablation`] | the restore-strategy ablation: eager vs lazy vs REAP-style record-&-prefetch |
 //! | [`delta_ablation`] | the delta-checkpointing ablation: full snapshots vs page-delta chains at consolidation depths 4 and 16 |
+//! | [`cluster_ablation`] | the cluster ablation: {1, 4, 8} nodes × hash vs load-aware gateway routing (`BENCH_cluster.json`) |
 //! | [`kernel_bench`] | timer-wheel vs binary-heap simulation-kernel benchmark at production-trace scale (`BENCH_kernel.json`) |
 //!
 //! Each module exposes a `run(ctx)` returning a structured result with a
@@ -25,6 +26,7 @@
 
 pub mod ablation;
 pub mod bench_report;
+pub mod cluster_ablation;
 pub mod delta_ablation;
 pub mod fig1;
 pub mod fig45;

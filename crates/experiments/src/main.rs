@@ -16,6 +16,7 @@
 //!   ablations design-choice ablation study
 //!   restore-ablation  restore strategies: eager vs lazy vs record-prefetch
 //!   delta-ablation    checkpoint forms: full snapshots vs delta chains (K=4, K=16)
+//!   cluster-ablation  cluster sizes x gateway routing: hash vs load-aware spillover
 //!   kernel-bench      timer-wheel vs binary-heap kernel at production-trace scale
 //!   all      everything above, CSVs written to results/
 //! ```
@@ -24,8 +25,8 @@
 
 use pronghorn_experiments::ExperimentContext;
 use pronghorn_experiments::{
-    ablation, bench_report, delta_ablation, fig1, fig45, fig6, fig7, kernel_bench,
-    restore_ablation, summary, table1, table4, table5,
+    ablation, bench_report, cluster_ablation, delta_ablation, fig1, fig45, fig6, fig7,
+    kernel_bench, restore_ablation, summary, table1, table4, table5,
 };
 use std::process::ExitCode;
 
@@ -68,8 +69,8 @@ fn parse_args() -> Result<(String, ExperimentContext), String> {
 
 fn usage() -> String {
     "usage: experiments <fig1|table1|fig4|fig5|fig6|table4|table5|fig7|ablations|\
-     restore-ablation|delta-ablation|kernel-bench|summary|all> [--quick] [--seed N] \
-     [--invocations N] [--threads N]"
+     restore-ablation|delta-ablation|cluster-ablation|kernel-bench|summary|all> [--quick] \
+     [--seed N] [--invocations N] [--threads N]"
         .to_string()
 }
 
@@ -139,6 +140,12 @@ fn run_command(command: &str, ctx: &ExperimentContext) -> Result<(), String> {
             save("delta_ablation.csv", r.save());
             save("BENCH_delta.json", r.save_bench_report());
         }
+        "cluster-ablation" => {
+            let r = cluster_ablation::run(ctx);
+            println!("{}", r.render());
+            save("cluster_ablation.csv", r.save());
+            save("BENCH_cluster.json", r.save_bench_report());
+        }
         "kernel-bench" => {
             let r = kernel_bench::run(ctx);
             println!("{}", r.render());
@@ -186,6 +193,8 @@ fn run_command(command: &str, ctx: &ExperimentContext) -> Result<(), String> {
             run_command("restore-ablation", ctx)?;
             println!("==================== delta-ablation ====================");
             run_command("delta-ablation", ctx)?;
+            println!("==================== cluster-ablation ====================");
+            run_command("cluster-ablation", ctx)?;
             println!("==================== kernel-bench ====================");
             run_command("kernel-bench", ctx)?;
         }

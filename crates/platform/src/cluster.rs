@@ -1,0 +1,521 @@
+//! The N-node cluster runner: a sharded gateway over per-node worker
+//! pools, driven through one simulation kernel.
+//!
+//! [`run_cluster`] generalizes [`crate::run_closed_loop`] to a cluster of
+//! `ClusterSpec::nodes` nodes behind a deterministic consistent-hash
+//! gateway:
+//!
+//! - **Routing.** A function's invocations land on its ring owner
+//!   ([`HashRing::route`]); under [`RoutingPolicy::LoadAware`] an arrival
+//!   that finds the owner saturated probes the ring successors in
+//!   deterministic ring order and serves on the first node with a free
+//!   worker slot (falling back to the owner's queue when the whole
+//!   cluster is busy).
+//! - **Capacity and queueing.** Each node has `capacity` worker slots. A
+//!   request arriving while its slot is still serving the previous one
+//!   waits; that queueing delay is added to the client-visible latency
+//!   (the policy still observes the execution latency — queueing is a
+//!   placement artifact, not a property of the worker).
+//! - **Locality.** Snapshot blobs live in the shared content-addressed
+//!   object store, but *residency* is per node ([`BlobDirectory`]): a
+//!   restore on the node that checkpointed (or previously fetched) the
+//!   blob is a local hit at the single-node price; anywhere else it pays
+//!   the Table 5 chained-transfer price for the composed chain, and the
+//!   cross-node snapshot age feeds the staleness model
+//!   ([`crate::IoStaleModel::penalty_frac_aged`]).
+//!
+//! The whole cluster shares one [`Session`] — one orchestrator, snapshot
+//! pool and set of seeded RNG streams — so the `nodes = 1` run replays
+//! the exact event sequence of [`crate::run_closed_loop`] and is pinned
+//! byte-identical to it (see the goldens in `tests/`), and N-node runs
+//! are byte-identical under either [`pronghorn_sim::KernelKind`].
+
+use crate::config::RunConfig;
+use crate::result::RunResult;
+use crate::runner::Session;
+use crate::worker::Worker;
+use pronghorn_cluster::{
+    BlobDirectory, ClusterSpec, HashRing, LocalityStats, PlacementPolicy, RoutingPolicy,
+};
+use pronghorn_sim::{Kernel, SimDuration, SimTime};
+use pronghorn_workloads::Workload;
+
+/// Per-node counters of one cluster run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NodeBreakdown {
+    /// Node index on the ring.
+    pub node: u32,
+    /// Requests served on this node.
+    pub served: u64,
+    /// Requests served here although another node was the ring owner.
+    pub spillovers: u64,
+    /// Workers cold-booted on this node.
+    pub cold_starts: u64,
+    /// Workers restored from a snapshot on this node.
+    pub restores: u64,
+    /// Restores served from a node-resident blob.
+    pub local_hits: u64,
+    /// Restores that fetched their blob from a peer node.
+    pub remote_misses: u64,
+    /// Total queueing delay added to client latencies on this node (µs).
+    pub queue_delay_us: f64,
+    /// Largest number of concurrently live workers (≤ the spec capacity).
+    pub peak_workers: u32,
+}
+
+/// Result of a [`run_cluster`] run: the familiar [`RunResult`] plus the
+/// cluster-only dimensions (per-node breakdowns and locality counters).
+#[derive(Debug, Clone)]
+pub struct ClusterRunResult {
+    /// The single-function measurements, same shape as the single-node
+    /// runners (latencies include queueing delay).
+    pub result: RunResult,
+    /// The cluster shape the run used.
+    pub spec: ClusterSpec,
+    /// Per-node counters, indexed by node.
+    pub nodes: Vec<NodeBreakdown>,
+    /// Cluster-wide locality counters.
+    pub locality: LocalityStats,
+}
+
+impl ClusterRunResult {
+    /// Fraction of restores served from a node-resident blob.
+    pub fn locality_hit_rate(&self) -> f64 {
+        self.locality.hit_rate()
+    }
+
+    /// Total queueing delay across all nodes (µs).
+    pub fn total_queue_delay_us(&self) -> f64 {
+        self.nodes.iter().map(|n| n.queue_delay_us).sum()
+    }
+
+    /// Total requests served off their ring-owner node.
+    pub fn spillovers(&self) -> u64 {
+        self.nodes.iter().map(|n| n.spillovers).sum()
+    }
+
+    /// Total requests served (conservation: equals the configured
+    /// invocation count).
+    pub fn served(&self) -> u64 {
+        self.nodes.iter().map(|n| n.served).sum()
+    }
+}
+
+/// One node's worker pool: `capacity` slots, each remembering when its
+/// current (or last) request finishes on the virtual clock.
+struct NodeState {
+    slots: Vec<Option<Worker>>,
+    busy_until: Vec<SimTime>,
+    stats: NodeBreakdown,
+}
+
+impl NodeState {
+    fn new(node: u32, capacity: u32) -> Self {
+        NodeState {
+            slots: (0..capacity).map(|_| None).collect(),
+            busy_until: vec![SimTime::ZERO; capacity as usize],
+            stats: NodeBreakdown {
+                node,
+                ..NodeBreakdown::default()
+            },
+        }
+    }
+
+    /// Whether some slot can start serving at `now` without queueing.
+    fn has_free_slot(&self, now: SimTime) -> bool {
+        self.busy_until.iter().any(|&b| b <= now)
+    }
+
+    /// The slot an arrival at `now` is dispatched to: the first free slot
+    /// (lowest index — warm workers accumulate at low indices, so this
+    /// prefers reuse over a fresh boot), else the slot that frees up
+    /// earliest (ties to the lowest index), where the request queues.
+    fn pick_slot(&self, now: SimTime) -> usize {
+        if let Some(free) = self.busy_until.iter().position(|&b| b <= now) {
+            return free;
+        }
+        let mut best = 0;
+        for (i, &b) in self.busy_until.iter().enumerate() {
+            if b < self.busy_until[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn occupied(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// Syncs freshly recorded / evicted pool blobs into the residency
+/// directory, attributing new blobs to the node that checkpointed them.
+fn drain_pool_events(
+    session: &mut Session<'_>,
+    dir: &mut BlobDirectory,
+    node: u32,
+    spec: &ClusterSpec,
+    now: SimTime,
+) {
+    let (recorded, evicted) = session.orch.drain_pool_events();
+    for (id, bytes) in recorded {
+        dir.record(id.0, node, now);
+        if spec.placement == PlacementPolicy::Replicate {
+            dir.replicate(id.0, bytes);
+        }
+    }
+    for id in evicted {
+        dir.evict(id.0);
+    }
+}
+
+/// Provisions a worker on `node`, charging the remote transfer (and
+/// recording the cross-node snapshot age) when the restored blob was not
+/// resident there.
+fn provision_on(
+    session: &mut Session<'_>,
+    dir: &mut BlobDirectory,
+    node: &mut NodeState,
+    spec: &ClusterSpec,
+    now: SimTime,
+) -> Worker {
+    let (mut worker, origin) = session.provision_traced(now);
+    // An immediately-due plan checkpoints inside provisioning; those
+    // blobs become resident here.
+    drain_pool_events(session, dir, node.stats.node, spec, now);
+    match origin {
+        Some(o) => {
+            node.stats.restores += 1;
+            let access = dir.access(
+                o.id.0,
+                node.stats.node,
+                o.nominal,
+                now,
+                &spec.remote,
+                o.chain_len,
+            );
+            if access.hit {
+                node.stats.local_hits += 1;
+            } else {
+                node.stats.remote_misses += 1;
+                // The fetch rides the provisioning path (off the request
+                // critical path, like the store download it extends).
+                session.provision_us += access.transfer.as_micros() as f64;
+                if let Some(info) = worker.restore.as_mut() {
+                    info.bytes_transferred += access.bytes;
+                }
+                worker.stale_age = access.age;
+            }
+        }
+        None => node.stats.cold_starts += 1,
+    }
+    worker
+}
+
+/// Runs the closed-loop protocol on an N-node cluster behind a
+/// consistent-hash gateway (see the module docs for the model).
+///
+/// With `cfg.cluster == ClusterSpec::single_node()` this replays the
+/// exact event sequence of [`crate::run_closed_loop`].
+///
+/// # Examples
+///
+/// ```
+/// use pronghorn_core::PolicyKind;
+/// use pronghorn_platform::{run_cluster, ClusterSpec, RunConfig};
+/// use pronghorn_workloads::by_name;
+///
+/// let workload = by_name("Hash").unwrap();
+/// let cfg = RunConfig::paper(PolicyKind::RequestCentric, 4, 7)
+///     .with_invocations(40)
+///     .with_cluster(ClusterSpec::new(4).with_capacity(2));
+/// let r = run_cluster(&workload, &cfg);
+/// assert_eq!(r.served(), 40);
+/// assert!(r.locality_hit_rate() >= 0.0);
+/// ```
+pub fn run_cluster(workload: &dyn Workload, cfg: &RunConfig) -> ClusterRunResult {
+    let spec = cfg.cluster;
+    let mut session = Session::new(workload, *cfg, cfg.invocations as usize);
+    let ring = HashRing::new(spec.nodes);
+    // One function per run, so the probe order is fixed: the ring owner
+    // first, then the deterministic spillover successors.
+    let probe = ring.successors(HashRing::key_of(workload.name()));
+    let primary = probe[0];
+    let mut dir = BlobDirectory::new(spec.nodes);
+    let mut nodes: Vec<NodeState> = (0..spec.nodes)
+        .map(|n| NodeState::new(n, spec.capacity))
+        .collect();
+
+    // The same closed-loop arrival pump as `run_closed_loop`: arrival `i`
+    // fires at `(i + 1) * request_gap`, self-scheduled through the
+    // configured kernel, so results are byte-identical on either kernel.
+    let total = u64::from(cfg.invocations);
+    let mut kernel: Kernel<u64> = Kernel::new(cfg.kernel);
+    if total > 0 {
+        kernel.schedule(SimTime::ZERO + cfg.request_gap, 0);
+    }
+    while let Some((now, i)) = kernel.pop() {
+        let target = match spec.routing {
+            RoutingPolicy::Hash => primary,
+            RoutingPolicy::LoadAware => probe
+                .iter()
+                .copied()
+                .find(|&n| nodes[n as usize].has_free_slot(now))
+                .unwrap_or(primary),
+        };
+        let node = &mut nodes[target as usize];
+        let slot = node.pick_slot(now);
+        let mut w = match node.slots[slot].take() {
+            Some(w) => w,
+            None => provision_on(&mut session, &mut dir, node, &spec, now),
+        };
+        node.stats.peak_workers = node.stats.peak_workers.max(node.occupied() as u32 + 1);
+        // Queueing: if the slot is still serving, this request waits for
+        // it; the wait is client-visible but invisible to the policy,
+        // whose streams see exactly the single-node sequence.
+        let wait = node.busy_until[slot].saturating_since(now);
+        let latency = session.serve(&mut w, i, now);
+        drain_pool_events(&mut session, &mut dir, target, &spec, now);
+        let wait_us = wait.as_micros() as f64;
+        if wait_us > 0.0 {
+            if let Some(last) = session.latencies.last_mut() {
+                *last += wait_us;
+            }
+            node.stats.queue_delay_us += wait_us;
+        }
+        let start = now.max(node.busy_until[slot]);
+        node.busy_until[slot] = start + SimDuration::from_micros_f64(latency);
+        node.stats.served += 1;
+        if target != primary {
+            node.stats.spillovers += 1;
+        }
+        if w.served < cfg.eviction_rate {
+            node.slots[slot] = Some(w);
+        } else {
+            session.retire(w);
+        }
+        if i + 1 < total {
+            kernel.schedule(now + cfg.request_gap, i + 1);
+        }
+    }
+
+    for node in &mut nodes {
+        for slot in &mut node.slots {
+            if let Some(w) = slot.take() {
+                session.retire(w);
+            }
+        }
+    }
+    let locality = *dir.stats();
+    // Conservation: teardown releases every residency reference.
+    dir.teardown();
+    debug_assert_eq!(dir.total_refs(), 0, "residency refs must drain");
+    ClusterRunResult {
+        result: session.finish(),
+        spec,
+        nodes: nodes.into_iter().map(|n| n.stats).collect(),
+        locality,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_closed_loop;
+    use pronghorn_core::PolicyKind;
+    use pronghorn_sim::KernelKind;
+    use pronghorn_workloads::{by_name, InputVariance};
+
+    fn cfg(policy: PolicyKind, rate: u32) -> RunConfig {
+        RunConfig::paper(policy, rate, 42)
+            .with_invocations(120)
+            .with_variance(InputVariance::none())
+    }
+
+    /// Full simulated-behaviour equality between two runs — every field
+    /// except `codec`, whose wall-clock counters are not deterministic.
+    fn assert_same_run(a: &RunResult, b: &RunResult) {
+        assert_eq!(a.latencies_us, b.latencies_us);
+        assert_eq!(a.provisions, b.provisions);
+        assert_eq!(a.checkpoint_ms, b.checkpoint_ms);
+        assert_eq!(a.restore_ms, b.restore_ms);
+        assert_eq!(a.snapshot_mb, b.snapshot_mb);
+        assert_eq!(a.snapshot_requests, b.snapshot_requests);
+        assert_eq!(a.provision_us, b.provision_us);
+        assert_eq!(a.overheads, b.overheads);
+        assert_eq!(a.store_stats, b.store_stats);
+        assert_eq!(a.restore_infos, b.restore_infos);
+        assert_eq!(a.chain, b.chain);
+    }
+
+    fn assert_same_cluster_run(a: &ClusterRunResult, b: &ClusterRunResult) {
+        assert_same_run(&a.result, &b.result);
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.locality, b.locality);
+    }
+
+    /// A request gap far below the benchmarks' service times, so the ring
+    /// owner saturates and load-aware routing has something to do.
+    fn contended(policy: PolicyKind, rate: u32) -> RunConfig {
+        let mut c = cfg(policy, rate);
+        c.request_gap = SimDuration::from_millis(1);
+        c
+    }
+
+    #[test]
+    fn single_node_cluster_is_byte_identical_to_the_closed_loop() {
+        for bench in ["DFS", "Hash", "Uploader"] {
+            let bench = by_name(bench).unwrap();
+            let c = cfg(PolicyKind::RequestCentric, 4);
+            assert_eq!(c.cluster, ClusterSpec::single_node());
+            let single = run_closed_loop(&bench, &c);
+            let cluster = run_cluster(&bench, &c);
+            assert_same_run(&single, &cluster.result);
+            assert_eq!(cluster.locality.remote_misses, 0);
+            assert_eq!(cluster.locality.remote_bytes, 0);
+            assert_eq!(cluster.locality_hit_rate(), 1.0);
+            assert_eq!(cluster.spillovers(), 0);
+            assert_eq!(cluster.total_queue_delay_us(), 0.0);
+        }
+    }
+
+    #[test]
+    fn multi_node_runs_are_byte_identical_across_kernels() {
+        let bench = by_name("Hash").unwrap();
+        let base = contended(PolicyKind::RequestCentric, 4).with_cluster(
+            ClusterSpec::new(4)
+                .with_capacity(2)
+                .with_routing(RoutingPolicy::LoadAware),
+        );
+        let heap = run_cluster(&bench, &base);
+        let wheel = run_cluster(&bench, &base.with_kernel(KernelKind::TimerWheel));
+        assert_same_cluster_run(&heap, &wheel);
+    }
+
+    #[test]
+    fn cluster_runs_are_reproducible_by_seed() {
+        let bench = by_name("MatrixMult").unwrap();
+        let c = contended(PolicyKind::RequestCentric, 1).with_cluster(
+            ClusterSpec::new(8)
+                .with_capacity(2)
+                .with_routing(RoutingPolicy::LoadAware),
+        );
+        let a = run_cluster(&bench, &c);
+        let b = run_cluster(&bench, &c);
+        assert_same_cluster_run(&a, &b);
+    }
+
+    #[test]
+    fn every_arrival_is_served_exactly_once_within_capacity() {
+        for routing in RoutingPolicy::ALL {
+            let c = contended(PolicyKind::RequestCentric, 4)
+                .with_cluster(ClusterSpec::new(4).with_capacity(2).with_routing(routing));
+            let bench = by_name("DFS").unwrap();
+            let r = run_cluster(&bench, &c);
+            assert_eq!(r.served(), 120, "{routing:?}");
+            assert_eq!(r.result.latencies_us.len(), 120, "{routing:?}");
+            for node in &r.nodes {
+                assert!(
+                    node.peak_workers <= c.cluster.capacity,
+                    "{routing:?}: node {} peaked at {}",
+                    node.node,
+                    node.peak_workers
+                );
+                assert_eq!(node.local_hits + node.remote_misses, node.restores);
+            }
+            let provisioned: u64 = r.nodes.iter().map(|n| n.cold_starts + n.restores).sum();
+            assert_eq!(provisioned, r.result.provisions.len() as u64, "{routing:?}");
+        }
+    }
+
+    #[test]
+    fn hash_routing_never_leaves_the_ring_owner() {
+        let bench = by_name("Hash").unwrap();
+        let c = contended(PolicyKind::RequestCentric, 4)
+            .with_cluster(ClusterSpec::new(4).with_capacity(2));
+        let r = run_cluster(&bench, &c);
+        assert_eq!(r.spillovers(), 0);
+        let busy: Vec<_> = r.nodes.iter().filter(|n| n.served > 0).collect();
+        assert_eq!(busy.len(), 1, "hash routing pins one function to one node");
+        // Saturation shows up as queueing, not as spillover.
+        assert!(r.total_queue_delay_us() > 0.0);
+        // All checkpoints and restores stay on the owner: perfect locality.
+        assert_eq!(r.locality.remote_misses, 0);
+    }
+
+    #[test]
+    fn spillover_happens_only_under_saturation() {
+        let bench = by_name("Hash").unwrap();
+        let spec = ClusterSpec::new(4)
+            .with_capacity(2)
+            .with_routing(RoutingPolicy::LoadAware);
+        // At the paper's 60 s gap the owner is always free: no spillover,
+        // and the run matches pure hash routing exactly.
+        let calm = run_cluster(
+            &bench,
+            &cfg(PolicyKind::RequestCentric, 4).with_cluster(spec),
+        );
+        assert_eq!(calm.spillovers(), 0);
+        assert_eq!(calm.nodes.iter().filter(|n| n.served > 0).count(), 1);
+        // Under contention the owner saturates and successors pick up load.
+        let hot = run_cluster(
+            &bench,
+            &contended(PolicyKind::RequestCentric, 4).with_cluster(spec),
+        );
+        assert!(hot.spillovers() > 0);
+        assert!(hot.nodes.iter().filter(|n| n.served > 0).count() > 1);
+    }
+
+    #[test]
+    fn remote_misses_pay_transfer_bytes_and_age() {
+        let bench = by_name("Hash").unwrap();
+        let spec = ClusterSpec::new(4)
+            .with_capacity(1)
+            .with_routing(RoutingPolicy::LoadAware);
+        let r = run_cluster(
+            &bench,
+            &contended(PolicyKind::RequestCentric, 1).with_cluster(spec),
+        );
+        // Spilled-over restores fetch blobs checkpointed on other nodes.
+        assert!(r.locality.remote_misses > 0, "{:?}", r.locality);
+        assert!(r.locality.remote_bytes > 0);
+        assert!(r.locality.remote_us > 0.0);
+        assert!(r.locality.remote_age_us > 0.0);
+        assert!(r.locality_hit_rate() < 1.0);
+        // Every restored byte is either a store download or a cross-node
+        // transfer — the conservation law the ablation reports ride on.
+        assert_eq!(
+            r.result.restore_bytes(),
+            r.result.overheads.nominal_bytes_downloaded + r.locality.remote_bytes
+        );
+        // The same run on one node has no remote dimension at all.
+        let single = run_cluster(
+            &bench,
+            &contended(PolicyKind::RequestCentric, 1).with_cluster(ClusterSpec::single_node()),
+        );
+        assert_eq!(single.locality.remote_misses, 0);
+        assert_eq!(single.locality.remote_age_us, 0.0);
+        assert_eq!(
+            single.result.restore_bytes(),
+            single.result.overheads.nominal_bytes_downloaded
+        );
+    }
+
+    #[test]
+    fn replicate_placement_trades_background_bytes_for_hits() {
+        let bench = by_name("Hash").unwrap();
+        let local = ClusterSpec::new(4)
+            .with_capacity(1)
+            .with_routing(RoutingPolicy::LoadAware);
+        let repl = local.with_placement(PlacementPolicy::Replicate);
+        let c = contended(PolicyKind::RequestCentric, 1);
+        let l = run_cluster(&bench, &c.with_cluster(local));
+        let r = run_cluster(&bench, &c.with_cluster(repl));
+        assert_eq!(r.locality.remote_misses, 0, "replication prefills nodes");
+        assert_eq!(r.locality_hit_rate(), 1.0);
+        assert!(r.locality.replicated_bytes > 0);
+        assert_eq!(l.locality.replicated_bytes, 0);
+        assert!(l.locality.remote_misses > 0);
+    }
+}

@@ -1,6 +1,7 @@
 //! Run configuration for one benchmark × policy × eviction-rate cell.
 
 use pronghorn_checkpoint::DeltaPolicy;
+use pronghorn_cluster::ClusterSpec;
 use pronghorn_core::{PolicyConfig, PolicyKind};
 use pronghorn_jit::RuntimeKind;
 use pronghorn_restore::RestoreStrategy;
@@ -54,6 +55,12 @@ pub struct RunConfig {
     /// under either; the timer wheel is O(1) per event and wins at
     /// production-trace scale (see `results/BENCH_kernel.json`).
     pub kernel: KernelKind,
+    /// Cluster shape for [`crate::run_cluster`]: node count, per-node
+    /// worker capacity, gateway routing and snapshot placement. The
+    /// default [`ClusterSpec::single_node`] keeps every single-node
+    /// runner's behaviour (and the `nodes = 1` cluster run is pinned
+    /// bit-identical to [`crate::run_closed_loop`]).
+    pub cluster: ClusterSpec,
 }
 
 impl RunConfig {
@@ -73,6 +80,7 @@ impl RunConfig {
             restore: RestoreStrategy::Eager,
             delta: DeltaPolicy::Disabled,
             kernel: KernelKind::BinaryHeap,
+            cluster: ClusterSpec::single_node(),
         }
     }
 
@@ -138,6 +146,12 @@ impl RunConfig {
         self.kernel = kernel;
         self
     }
+
+    /// Sets the cluster shape for [`crate::run_cluster`].
+    pub fn with_cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cluster = cluster;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +167,10 @@ mod tests {
         assert_eq!(c.restore, RestoreStrategy::Eager);
         assert_eq!(c.delta, DeltaPolicy::Disabled);
         assert_eq!(c.kernel, KernelKind::BinaryHeap);
+        assert_eq!(c.cluster, ClusterSpec::single_node());
+        let clustered = c.with_cluster(ClusterSpec::new(4).with_capacity(2));
+        assert_eq!(clustered.cluster.nodes, 4);
+        assert_eq!(clustered.cluster.capacity, 2);
         assert_eq!(
             c.with_kernel(KernelKind::TimerWheel).kernel,
             KernelKind::TimerWheel

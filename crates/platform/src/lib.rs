@@ -31,11 +31,17 @@
 //! - **kernel selection** ([`RunConfig::with_kernel`]): every runner
 //!   drives its future-event list through [`KernelKind`] — the reference
 //!   binary heap or the O(1) hierarchical timer wheel — with byte-identical
-//!   results under either.
+//!   results under either;
+//! - **cluster mode** ([`run_cluster`]): the closed loop on an N-node
+//!   cluster behind a deterministic consistent-hash gateway, with
+//!   load-aware spillover, per-node snapshot residency and Table 5
+//!   cross-node transfer pricing; `nodes = 1` is pinned byte-identical
+//!   to [`run_closed_loop`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod config;
 pub mod fleet;
 pub mod partitioned;
@@ -44,9 +50,11 @@ pub mod runner;
 pub mod stale;
 pub mod worker;
 
+pub use cluster::{run_cluster, ClusterRunResult, NodeBreakdown};
 pub use config::RunConfig;
 pub use fleet::{run_fleet, FleetConfig};
 pub use partitioned::run_partitioned;
+pub use pronghorn_cluster::{ClusterSpec, LocalityStats, PlacementPolicy, RoutingPolicy};
 pub use pronghorn_restore::{RestoreInfo, RestoreStrategy};
 pub use pronghorn_sim::KernelKind;
 pub use result::{ProvisionKind, RunResult};

@@ -37,6 +37,16 @@ const RECORD_PREFETCH_PENALTY_US: f64 = 10_000.0;
 /// O(invocations) over an hours-long trace.
 const PRODUCTION_LOOKAHEAD: usize = 1 << 16;
 
+/// Where a restored worker's snapshot came from — what the cluster layer
+/// needs to price locality: the blob id, the nominal bytes the store
+/// shipped (composed chain sum under delta), and the chain length a
+/// remote fetch must walk link by link.
+pub(crate) struct RestoredFrom {
+    pub(crate) id: SnapshotId,
+    pub(crate) nominal: u64,
+    pub(crate) chain_len: usize,
+}
+
 /// Expected worker lifetimes over `invocations` requests at the given
 /// eviction rate — the preallocation size for provisioning-shaped
 /// accumulators (`+ 1` covers a trailing partial lifetime).
@@ -114,11 +124,12 @@ pub struct ProductionStats {
     pub peak_pending_events: usize,
 }
 
-/// Shared machinery of both runners.
-struct Session<'w> {
+/// Shared machinery of the runners (including the cluster runner in
+/// [`crate::cluster`], which drives one shared session across N nodes).
+pub(crate) struct Session<'w> {
     workload: &'w dyn Workload,
     cfg: RunConfig,
-    orch: Orchestrator,
+    pub(crate) orch: Orchestrator,
     engine: SimCriuEngine,
     /// Encoder scratch + dirty-tracking cache, reused across checkpoints.
     scratch: CheckpointScratch,
@@ -137,13 +148,13 @@ struct Session<'w> {
     // preallocated from the expected invocation count so they never grow
     // by repeated push reallocation; in streaming mode they stay empty and
     // `stream` holds O(1) running aggregates instead.
-    latencies: Vec<f64>,
+    pub(crate) latencies: Vec<f64>,
     provisions: Vec<ProvisionKind>,
     checkpoint_ms: Vec<f64>,
     restore_ms: Vec<f64>,
     snapshot_mb: Vec<f64>,
     snapshot_requests: Vec<u32>,
-    provision_us: f64,
+    pub(crate) provision_us: f64,
     served_total: u32,
     restore_infos: Vec<RestoreInfo>,
     stream: Option<StreamAgg>,
@@ -152,7 +163,7 @@ struct Session<'w> {
 impl<'w> Session<'w> {
     /// A session recording every per-invocation measurement, preallocated
     /// for `expected` invocations.
-    fn new(workload: &'w dyn Workload, cfg: RunConfig, expected: usize) -> Self {
+    pub(crate) fn new(workload: &'w dyn Workload, cfg: RunConfig, expected: usize) -> Self {
         Session::build(workload, cfg, expected, None)
     }
 
@@ -268,6 +279,14 @@ impl<'w> Session<'w> {
     /// Provisions a worker per the orchestration policy — entirely off the
     /// request critical path (§5.3).
     fn provision(&mut self, now: SimTime) -> Worker {
+        self.provision_traced(now).0
+    }
+
+    /// Like [`Self::provision`], but also reporting which snapshot the
+    /// worker restored from (and what the store shipped) — the cluster
+    /// runner's hook for locality accounting. `None` origin means a cold
+    /// boot (including the corrupt-snapshot degradation path).
+    pub(crate) fn provision_traced(&mut self, now: SimTime) -> (Worker, Option<RestoredFrom>) {
         // A new worker is a new process instance: its state-version counter
         // restarts, so the encode cache must not match across instances.
         self.scratch.invalidate();
@@ -276,11 +295,20 @@ impl<'w> Session<'w> {
         let wrng = self.factory.stream_indexed("worker", self.worker_seq);
         self.worker_seq += 1;
 
+        let mut origin = None;
         let (runtime, resume, restore, image, delta) = match plan.snapshot {
             Some(snapshot) => match self.restore_worker(&snapshot, plan.download_nominal) {
                 Some((runtime, info, image)) => {
                     provision_us += info.restore_us;
                     self.record_restore_ms(info.restore_us / 1_000.0);
+                    origin = Some(RestoredFrom {
+                        id: snapshot.id,
+                        nominal: plan.download_nominal,
+                        chain_len: self
+                            .orch
+                            .chain_depth(snapshot.id)
+                            .map_or(1, |d| d as usize + 1),
+                    });
                     // The restored snapshot becomes the worker's prospective
                     // delta parent: keep its payload as the diff base and
                     // start an empty dirty-page set.
@@ -330,7 +358,7 @@ impl<'w> Session<'w> {
         // An immediately-due plan (e.g. checkpoint-after-init's request 0)
         // snapshots before the first request is served.
         self.maybe_checkpoint(&mut worker);
-        worker
+        (worker, origin)
     }
 
     /// Materializes a runtime from `snapshot` under the configured restore
@@ -502,7 +530,7 @@ impl<'w> Session<'w> {
     }
 
     /// Serves one request end to end, returning the client-visible latency.
-    fn serve(&mut self, worker: &mut Worker, arrival_index: u64, now: SimTime) -> f64 {
+    pub(crate) fn serve(&mut self, worker: &mut Worker, arrival_index: u64, now: SimTime) -> f64 {
         let mut input_rng = self.factory.stream_indexed("input", arrival_index);
         let request = self.workload.generate(&mut input_rng, self.cfg.variance);
         let request_number = worker.next_request_number();
@@ -574,11 +602,16 @@ impl<'w> Session<'w> {
         // pay it (the old `restored` bool conflated the two).
         if worker.freshly_restored(self.stale.horizon) {
             let nth = worker.served;
+            // `stale_age` is nonzero only for cross-node restores; at age
+            // zero the aged path is bit-identical to `penalty_frac`.
             latency += request.io_us
                 * self.workload.io_stale_sensitivity()
-                * self
-                    .stale
-                    .penalty_frac(worker.resume_request, self.policy_w, nth);
+                * self.stale.penalty_frac_aged(
+                    worker.resume_request,
+                    self.policy_w,
+                    nth,
+                    worker.stale_age,
+                );
         }
 
         self.record_latency(latency);
@@ -593,7 +626,7 @@ impl<'w> Session<'w> {
 
     /// Retires a worker at eviction (or end of run), harvesting its
     /// accumulated restore/fault statistics.
-    fn retire(&mut self, worker: Worker) {
+    pub(crate) fn retire(&mut self, worker: Worker) {
         if let Some(info) = worker.restore {
             match &mut self.stream {
                 Some(agg) => agg.restore_faults += u64::from(info.faults),
@@ -619,7 +652,7 @@ impl<'w> Session<'w> {
         }
     }
 
-    fn finish(self) -> RunResult {
+    pub(crate) fn finish(self) -> RunResult {
         debug_assert!(
             self.stream.is_none(),
             "streaming sessions report via finish_production"

@@ -15,6 +15,18 @@
 //! request-centric policy's deep snapshots pay slightly more than the
 //! state of the art's request-1 snapshot. That asymmetry reproduces §5.2:
 //! "only one (Uploader) shows worse performance".
+//!
+//! **Node-local clocks.** The staleness horizon is per-*node*: a restore
+//! that crossed a node boundary resumes IO state frozen at the origin
+//! node's checkpoint time, which the receiving node's clock has since run
+//! past — DNS TTLs lapse, idle connections get reaped. The original model
+//! computed the penalty purely per-run, which is wrong the moment a
+//! cluster restores snapshots across nodes; [`IoStaleModel::penalty_frac_aged`]
+//! threads that node-clock age through as an additive term that is
+//! *exactly zero* at age zero, so every single-node run stays
+//! bit-identical.
+
+use pronghorn_sim::SimDuration;
 
 /// Parameters of the IO staleness penalty.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,6 +41,10 @@ pub struct IoStaleModel {
     pub decay: f64,
     /// Requests after a restore during which the penalty applies.
     pub horizon: u32,
+    /// Extra penalty fraction per *minute* of cross-node snapshot age
+    /// (see [`Self::penalty_frac_aged`]); the aged term is capped at
+    /// [`Self::AGE_FRAC_CAP`] so pathological ages cannot dominate.
+    pub age_frac_per_min: f64,
 }
 
 impl Default for IoStaleModel {
@@ -38,6 +54,7 @@ impl Default for IoStaleModel {
             depth_frac: 0.08,
             decay: 0.75,
             horizon: 4,
+            age_frac_per_min: 0.01,
         }
     }
 }
@@ -50,6 +67,7 @@ impl IoStaleModel {
             depth_frac: 0.0,
             decay: 0.5,
             horizon: 0,
+            age_frac_per_min: 0.0,
         }
     }
 
@@ -67,6 +85,34 @@ impl IoStaleModel {
         };
         let first = self.base_frac + self.depth_frac * depth;
         first * self.decay.powi(nth_since_restore as i32)
+    }
+
+    /// Ceiling on the age-derived extra penalty fraction.
+    pub const AGE_FRAC_CAP: f64 = 0.25;
+
+    /// Like [`Self::penalty_frac`], but for a restore whose snapshot had
+    /// aged `stale_age` across a node boundary (the receiving node's
+    /// clock minus the origin node's checkpoint time). The age adds
+    /// `age_frac_per_min × minutes` (capped at [`Self::AGE_FRAC_CAP`]),
+    /// decaying per request like the base penalty.
+    ///
+    /// At `stale_age == 0` this returns the *exact* float
+    /// [`Self::penalty_frac`] returns — local restores and whole
+    /// single-node runs are bit-identical through this path.
+    pub fn penalty_frac_aged(
+        &self,
+        snapshot_request: u32,
+        w: u32,
+        nth_since_restore: u32,
+        stale_age: SimDuration,
+    ) -> f64 {
+        let base = self.penalty_frac(snapshot_request, w, nth_since_restore);
+        if stale_age.is_zero() || nth_since_restore >= self.horizon {
+            return base;
+        }
+        let minutes = stale_age.as_micros() as f64 / 60e6;
+        let aged = (self.age_frac_per_min * minutes).min(Self::AGE_FRAC_CAP);
+        base + aged * self.decay.powi(nth_since_restore as i32)
     }
 }
 
@@ -105,5 +151,43 @@ mod tests {
     fn zero_w_is_handled() {
         let m = IoStaleModel::default();
         assert!((m.penalty_frac(10, 0, 0) - m.base_frac).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_age_is_bit_identical_to_the_unaged_penalty() {
+        let m = IoStaleModel::default();
+        for nth in 0..6 {
+            for req in [0u32, 1, 50, 100, 500] {
+                let plain = m.penalty_frac(req, 100, nth);
+                let aged = m.penalty_frac_aged(req, 100, nth, SimDuration::ZERO);
+                // Exact bit equality, not approximate: the single-node
+                // goldens ride on this.
+                assert_eq!(plain.to_bits(), aged.to_bits(), "req {req} nth {nth}");
+            }
+        }
+    }
+
+    #[test]
+    fn cross_node_age_raises_the_penalty_and_decays() {
+        let m = IoStaleModel::default();
+        let age = SimDuration::from_secs(120); // 2 minutes across nodes
+        let local = m.penalty_frac(10, 100, 0);
+        let remote = m.penalty_frac_aged(10, 100, 0, age);
+        assert!(remote > local, "remote {remote} must exceed local {local}");
+        assert!((remote - local - m.age_frac_per_min * 2.0).abs() < 1e-12);
+        // The aged term decays per request like the base penalty...
+        let r0 = m.penalty_frac_aged(10, 100, 0, age) - m.penalty_frac(10, 100, 0);
+        let r1 = m.penalty_frac_aged(10, 100, 1, age) - m.penalty_frac(10, 100, 1);
+        assert!(r1 < r0 && r1 > 0.0);
+        // ...and expires at the horizon with the rest of the model.
+        assert_eq!(m.penalty_frac_aged(10, 100, m.horizon, age), 0.0);
+    }
+
+    #[test]
+    fn aged_term_is_capped() {
+        let m = IoStaleModel::default();
+        let ancient = SimDuration::from_secs(3600 * 24);
+        let p = m.penalty_frac_aged(10, 100, 0, ancient);
+        assert!((p - m.penalty_frac(10, 100, 0) - IoStaleModel::AGE_FRAC_CAP).abs() < 1e-12);
     }
 }

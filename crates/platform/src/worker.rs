@@ -4,7 +4,7 @@ use bytes::Bytes;
 use pronghorn_checkpoint::SnapshotId;
 use pronghorn_jit::Runtime;
 use pronghorn_restore::{LazyImage, RestoreInfo};
-use pronghorn_sim::SimTime;
+use pronghorn_sim::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use std::collections::BTreeSet;
 
@@ -55,6 +55,13 @@ pub struct Worker {
     pub delta: Option<DeltaTracking>,
     /// Virtual time of the last served request (idle-eviction clock).
     pub last_active: SimTime,
+    /// How far the serving node's clock had run past the restored
+    /// snapshot's checkpoint time when the restore crossed a node
+    /// boundary: the staleness horizon is per-*node*, not per-run, so a
+    /// remote restore re-establishes older IO state than a local one.
+    /// Zero for cold boots, local restores and every single-node run —
+    /// the single-node staleness math is bit-identical at age zero.
+    pub stale_age: SimDuration,
 }
 
 impl Worker {
@@ -77,6 +84,7 @@ impl Worker {
             image: None,
             delta: None,
             last_active: now,
+            stale_age: SimDuration::ZERO,
         }
     }
 

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Collects the cluster-mode numbers the PR claims:
+#
+#   1. runs `experiments cluster-ablation`, which sweeps the 13 paper
+#      benchmarks x {1, 4, 8} nodes x {hash, load-aware} gateway
+#      routing under the request-centric policy at a saturating 1 ms
+#      request gap (paired seeds across the routing arms of a cell) and
+#      writes results/cluster_ablation.csv plus
+#      results/BENCH_cluster.json (per-arm locality hit rates, remote
+#      transfer bytes, per-node cold/hot-start breakdowns, and the
+#      load-aware p99 win counts vs pure hashing).
+#
+# Usage: scripts/bench_cluster.sh [--quick]
+#   --quick  forwards the experiments harness's reduced-size mode.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p results
+
+echo "== experiments cluster-ablation (writes results/cluster_ablation.csv + BENCH_cluster.json) =="
+cargo run -q --release -p pronghorn-experiments -- cluster-ablation "$@"
+
+echo
+echo "== artifacts =="
+ls -l results/cluster_ablation.csv results/BENCH_cluster.json

@@ -17,6 +17,7 @@
 //! | [`jit`] | the tiered-JIT language-runtime simulator (JVM/PyPy profiles) |
 //! | [`workloads`] | the 14 benchmark kernels of Tables 1 & 3, implemented for real |
 //! | [`platform`] | the serverless-platform simulator (closed-loop + trace-driven runners) |
+//! | [`cluster`] | the N-node cluster layer: consistent-hash ring, cluster spec, blob residency |
 //! | [`checkpoint`] | the CRIU-calibrated checkpoint engine and snapshot format |
 //! | [`store`] / [`kv`] | the Object Store (MinIO) and Database substrates |
 //! | [`traces`] | synthetic Azure-like invocation traces |
@@ -42,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub use pronghorn_checkpoint as checkpoint;
+pub use pronghorn_cluster as cluster;
 pub use pronghorn_core as core;
 pub use pronghorn_experiments as experiments;
 pub use pronghorn_jit as jit;
@@ -55,13 +57,16 @@ pub use pronghorn_workloads as workloads;
 
 /// The most commonly used types, in one import.
 pub mod prelude {
+    pub use pronghorn_cluster::{ClusterSpec, PlacementPolicy, RoutingPolicy};
     pub use pronghorn_core::{
         CheckpointAfterFirstPolicy, ColdStartPolicy, Orchestrator, Policy, PolicyConfig,
         PolicyKind, RequestCentricPolicy, StartDecision,
     };
     pub use pronghorn_jit::{Runtime, RuntimeKind, RuntimeProfile};
     pub use pronghorn_metrics::{Cdf, Quantiles, Summary};
-    pub use pronghorn_platform::{run_closed_loop, run_trace, RunConfig, RunResult};
+    pub use pronghorn_platform::{
+        run_closed_loop, run_cluster, run_trace, ClusterRunResult, RunConfig, RunResult,
+    };
     pub use pronghorn_sim::{RngFactory, SimDuration, SimTime};
     pub use pronghorn_traces::TraceSpec;
     pub use pronghorn_workloads::{by_name, evaluation_benchmarks, InputVariance, Workload};

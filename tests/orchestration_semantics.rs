@@ -207,3 +207,83 @@ fn engine_is_process_agnostic() {
     let (restored, _): (KvProcess, _) = engine.restore(&mut rng, &snapshot).unwrap();
     assert_eq!(restored, process);
 }
+
+/// A 1-node cluster is the single-node runner: same client latencies, same
+/// provision sequence, same restore telemetry, and no remote traffic —
+/// the gateway is a no-op when there is nowhere else to route.
+#[test]
+fn one_node_cluster_is_the_closed_loop_runner() {
+    let workload = by_name("Uploader").expect("bundled benchmark");
+    let cfg = RunConfig::paper(PolicyKind::RequestCentric, 4, 99).with_invocations(200);
+    let single = run_closed_loop(&workload, &cfg);
+    let cluster = run_cluster(&workload, &cfg.with_cluster(ClusterSpec::single_node()));
+
+    assert_eq!(single.latencies_us, cluster.result.latencies_us);
+    assert_eq!(single.provisions, cluster.result.provisions);
+    assert_eq!(single.restore_infos, cluster.result.restore_infos);
+    assert_eq!(cluster.locality.remote_misses, 0);
+    assert_eq!(cluster.locality.remote_bytes, 0);
+    assert_eq!(cluster.spillovers(), 0);
+}
+
+/// The gateway only spills a request off its ring owner when the owner is
+/// saturated: at the paper's 60 s request gap every worker slot is free by
+/// the next arrival, so load-aware routing degenerates to pure hashing;
+/// only a gap far below the service time produces spillover.
+#[test]
+fn spillover_requires_owner_saturation() {
+    let workload = by_name("Hash").expect("bundled benchmark");
+    let spec = ClusterSpec::new(4)
+        .with_capacity(1)
+        .with_routing(RoutingPolicy::LoadAware);
+    let cfg = RunConfig::paper(PolicyKind::RequestCentric, 1, 42)
+        .with_invocations(150)
+        .with_cluster(spec);
+
+    // Paper gap: 60 s between arrivals, no saturation, no spillover.
+    let relaxed = run_cluster(&workload, &cfg);
+    assert_eq!(relaxed.spillovers(), 0);
+    assert_eq!(relaxed.locality.remote_misses, 0);
+
+    // Contended gap: the owner's one slot is still busy when the next
+    // request lands, so the gateway walks the ring.
+    let mut contended_cfg = cfg;
+    contended_cfg.request_gap = SimDuration::from_millis(1);
+    let contended = run_cluster(&workload, &contended_cfg);
+    assert!(contended.spillovers() > 0);
+}
+
+/// Cross-node transfer bytes surface in `RestoreInfo::bytes_transferred`
+/// exactly when a restore misses node-local residency: total restore
+/// traffic decomposes into the nominal download plus the remote bytes.
+#[test]
+fn remote_restore_penalty_is_accounted_only_on_locality_misses() {
+    let workload = by_name("MatrixMult").expect("bundled benchmark");
+    let base = RunConfig::paper(PolicyKind::RequestCentric, 1, 7).with_invocations(150);
+
+    // Single node: every restore is node-local; restore traffic is the
+    // nominal snapshot downloads alone.
+    let local = run_cluster(&workload, &base.with_cluster(ClusterSpec::single_node()));
+    assert_eq!(
+        local.result.restore_bytes(),
+        local.result.overheads.nominal_bytes_downloaded
+    );
+    assert_eq!(local.locality.remote_bytes, 0);
+
+    // Contended 4-node load-aware cluster: spilled restores fetch the
+    // snapshot from its checkpointing node and the surcharge lands in
+    // `bytes_transferred`.
+    let mut cfg = base.with_cluster(
+        ClusterSpec::new(4)
+            .with_capacity(1)
+            .with_routing(RoutingPolicy::LoadAware),
+    );
+    cfg.request_gap = SimDuration::from_millis(1);
+    let remote = run_cluster(&workload, &cfg);
+    assert!(remote.locality.remote_misses > 0);
+    assert!(remote.locality.remote_bytes > 0);
+    assert_eq!(
+        remote.result.restore_bytes(),
+        remote.result.overheads.nominal_bytes_downloaded + remote.locality.remote_bytes
+    );
+}
