@@ -242,12 +242,7 @@ mod tests {
     use super::*;
 
     fn finding(rule: &'static str, file: &str, line: u32) -> Finding {
-        Finding {
-            file: file.to_string(),
-            line,
-            rule,
-            message: "m".into(),
-        }
+        Finding::new(file.to_string(), line, rule, "m".into())
     }
 
     #[test]

@@ -3,13 +3,15 @@
 //!
 //! ```text
 //! cargo run -p analysis --bin pronglint -- [--json] [--update-baseline]
-//!     [--baseline <path>] [--root <path>]
+//!     [--baseline <path>] [--root <path>] [--explain <rule>]
+//!     [--validate-json <path>]
 //! ```
 
 #![forbid(unsafe_code)]
 
 use analysis::baseline::{ratchet, Baseline};
 use analysis::report;
+use analysis::rules;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -19,11 +21,13 @@ USAGE:
     cargo run -p analysis --bin pronglint -- [OPTIONS]
 
 OPTIONS:
-    --json               emit the machine-readable JSON report
-    --update-baseline    rewrite the baseline to current findings (ratchet down)
-    --baseline <path>    baseline file (default: <root>/analysis/baseline.toml)
-    --root <path>        workspace root (default: inferred from this crate)
-    --help               print this help
+    --json                  emit the machine-readable JSON report
+    --update-baseline       rewrite the baseline to current findings (ratchet down)
+    --baseline <path>       baseline file (default: <root>/analysis/baseline.toml)
+    --root <path>           workspace root (default: inferred from this crate)
+    --explain <rule>        print the long-form rationale for a rule and exit
+    --validate-json <path>  check a saved --json report against the schema and exit
+    --help                  print this help
 
 EXIT STATUS:
     0  no findings beyond the baseline
@@ -35,6 +39,8 @@ struct Options {
     update_baseline: bool,
     baseline: Option<PathBuf>,
     root: Option<PathBuf>,
+    explain: Option<String>,
+    validate_json: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Option<Options>, String> {
@@ -43,6 +49,8 @@ fn parse_args() -> Result<Option<Options>, String> {
         update_baseline: false,
         baseline: None,
         root: None,
+        explain: None,
+        validate_json: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -56,6 +64,14 @@ fn parse_args() -> Result<Option<Options>, String> {
             "--root" => {
                 let v = args.next().ok_or("--root requires a path")?;
                 opts.root = Some(PathBuf::from(v));
+            }
+            "--explain" => {
+                let v = args.next().ok_or("--explain requires a rule id")?;
+                opts.explain = Some(v);
+            }
+            "--validate-json" => {
+                let v = args.next().ok_or("--validate-json requires a path")?;
+                opts.validate_json = Some(PathBuf::from(v));
             }
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument `{other}`")),
@@ -76,6 +92,40 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(rule) = opts.explain {
+        return match rules::explain(&rule) {
+            Some(text) => {
+                println!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "pronglint: unknown rule `{rule}`; known rules:\n    {}",
+                    rules::ALL_RULES.join("\n    ")
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
+    if let Some(path) = opts.validate_json {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("pronglint: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        return match report::validate(&text) {
+            Ok(()) => {
+                println!("pronglint: {} conforms to schema v{}", path.display(), report::SCHEMA_VERSION);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("pronglint: {} is off-schema: {e}", path.display());
+                ExitCode::from(2)
+            }
+        };
+    }
     // Default root: this crate lives at <root>/crates/analysis.
     let root = opts.root.unwrap_or_else(|| {
         PathBuf::from(env!("CARGO_MANIFEST_DIR"))

@@ -1,0 +1,254 @@
+//! The analysis engine: drives the full v2 pipeline over a set of
+//! source units.
+//!
+//! ```text
+//! units ──lex/parse──▶ ParsedFile ─┬─ per-file D rules (unsuppressed)
+//!                                  ├─ CallGraph::build ──▶ T1 / P1
+//!                                  ├─ C1 / K1 (token scans over all files)
+//!                                  ▼
+//!                     global suppression pass (allows marked used)
+//!                                  ▼
+//!                     unused-suppression audit ──▶ final findings
+//! ```
+//!
+//! Suppression is applied *after* every rule has produced raw findings,
+//! so the engine knows exactly which `allow` comments earned their keep;
+//! the rest are findings themselves (`unused-suppression`) — a stale
+//! allow is a hole a future regression walks through unseen.
+
+use crate::graph::{CallGraph, GraphFile};
+use crate::parser::{parse_file, ParsedFile};
+use crate::rules::{FileAnalysis, FileContext, Finding, ALL_RULES};
+use crate::xrules::{self, XFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One source file queued for analysis.
+pub struct SourceUnit {
+    /// Crate name, repo-relative path, scope flags.
+    pub ctx: FileContext,
+    /// Full source text.
+    pub src: String,
+}
+
+/// Runs the whole v2 pipeline over `units`, returning the final
+/// (suppression-filtered, sorted, deduplicated) findings.
+pub fn analyze_units(units: &[SourceUnit]) -> Vec<Finding> {
+    let parsed: Vec<ParsedFile> = units.iter().map(|u| parse_file(&u.src)).collect();
+    let fas: Vec<FileAnalysis<'_>> = units
+        .iter()
+        .zip(&parsed)
+        .map(|(u, p)| FileAnalysis::new(&u.ctx, &u.src, &p.tokens))
+        .collect();
+    let xfiles: Vec<XFile<'_>> = units
+        .iter()
+        .zip(&parsed)
+        .zip(&fas)
+        .map(|((u, p), fa)| XFile {
+            ctx: &u.ctx,
+            src: &u.src,
+            parsed: p,
+            fa,
+        })
+        .collect();
+    let gfiles: Vec<GraphFile<'_>> = xfiles
+        .iter()
+        .map(|x| GraphFile {
+            ctx: x.ctx,
+            src: x.src,
+            parsed: x.parsed,
+            test_regions: x.fa.test_regions(),
+        })
+        .collect();
+    let graph = CallGraph::build(&gfiles);
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for fa in &fas {
+        findings.extend(fa.raw_d_findings());
+    }
+    findings.extend(xrules::determinism_taint(&xfiles, &graph));
+    findings.extend(xrules::byte_conservation(&xfiles));
+    findings.extend(xrules::panic_reach(&xfiles, &graph));
+    findings.extend(xrules::kernel_misuse(&xfiles));
+
+    // Global suppression pass: drop suppressed findings, remembering
+    // which allow comments actually fired.
+    let fa_by_path: BTreeMap<&str, usize> = units
+        .iter()
+        .enumerate()
+        .map(|(i, u)| (u.ctx.path.as_str(), i))
+        .collect();
+    let mut used: BTreeSet<(usize, u32, String)> = BTreeSet::new();
+    let suppress = |findings: &mut Vec<Finding>, used: &mut BTreeSet<(usize, u32, String)>| {
+        findings.retain(|f| {
+            let Some(&fi) = fa_by_path.get(f.file.as_str()) else {
+                return true;
+            };
+            let mut hit = false;
+            for a in fas[fi].allows() {
+                if a.rule == f.rule && a.target_line == f.line {
+                    used.insert((fi, a.comment_line, a.rule.clone()));
+                    hit = true;
+                }
+            }
+            !hit
+        });
+    };
+    suppress(&mut findings, &mut used);
+
+    // Unused-suppression audit: every allow that suppressed nothing is
+    // itself a finding (reported at the comment's own line). The audit
+    // findings are one-level suppressible: an
+    // `allow(unused-suppression)` covering the dormant allow's comment
+    // line *or* its target line keeps an intentionally-dormant allow
+    // (stacked suppression comments all resolve to the same code line).
+    let mut audit: Vec<Finding> = Vec::new();
+    for (fi, fa) in fas.iter().enumerate() {
+        for a in fa.allows() {
+            if a.rule == "unused-suppression"
+                || used.contains(&(fi, a.comment_line, a.rule.clone()))
+            {
+                continue;
+            }
+            if let Some(keeper) = fa.allows().iter().find(|b| {
+                b.rule == "unused-suppression"
+                    && (b.target_line == a.comment_line || b.target_line == a.target_line)
+            }) {
+                used.insert((fi, keeper.comment_line, keeper.rule.clone()));
+                continue;
+            }
+            let known = ALL_RULES.contains(&a.rule.as_str());
+            audit.push(Finding::new(
+                units[fi].ctx.path.clone(),
+                a.comment_line,
+                "unused-suppression",
+                if known {
+                    format!(
+                        "`pronglint: allow({})` suppresses nothing (no `{}` finding \
+                         targets line {}): delete it — stale suppressions are holes \
+                         future regressions walk through unseen",
+                        a.rule, a.rule, a.target_line
+                    )
+                } else {
+                    format!(
+                        "`pronglint: allow({})` names a rule pronglint does not \
+                         have: fix the rule id (see `pronglint --explain`) or \
+                         delete the comment",
+                        a.rule
+                    )
+                },
+            ));
+        }
+    }
+    // …and a keeper that kept nothing is itself dormant (one level
+    // deep; keepers of keepers are not modeled).
+    for (fi, fa) in fas.iter().enumerate() {
+        for a in fa.allows() {
+            if a.rule == "unused-suppression" && !used.contains(&(fi, a.comment_line, a.rule.clone()))
+            {
+                audit.push(Finding::new(
+                    units[fi].ctx.path.clone(),
+                    a.comment_line,
+                    "unused-suppression",
+                    "`pronglint: allow(unused-suppression)` keeps no dormant allow: \
+                     delete it"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    findings.extend(audit);
+
+    findings.sort();
+    findings.dedup();
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(crate_name: &str, path: &str, src: &str) -> SourceUnit {
+        SourceUnit {
+            ctx: FileContext {
+                crate_name: crate_name.to_string(),
+                path: path.to_string(),
+                is_test_file: false,
+                is_crate_root: false,
+                is_lib_root: false,
+            },
+            src: src.to_string(),
+        }
+    }
+
+    #[test]
+    fn cross_crate_taint_is_reported_with_chain() {
+        let units = [
+            unit(
+                "core",
+                "crates/core/src/lib.rs",
+                "use pronghorn_util::shuffle_like;\n\
+                 pub fn decide() { shuffle_like(); }\n",
+            ),
+            unit(
+                "util",
+                "crates/util/src/lib.rs",
+                "use std::collections::HashMap;\n\
+                 pub fn shuffle_like() { let m: HashMap<u32, u32> = HashMap::new(); \
+                 for k in m.keys() { let _ = k; } }\n",
+            ),
+        ];
+        let findings = analyze_units(&units);
+        let taint: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.rule == "determinism-taint")
+            .collect();
+        assert_eq!(taint.len(), 1, "findings: {findings:?}");
+        assert_eq!(taint[0].file, "crates/core/src/lib.rs");
+        assert_eq!(taint[0].chain.len(), 2);
+        assert_eq!(taint[0].chain[0].func, "decide");
+        assert_eq!(taint[0].chain[1].func, "shuffle_like");
+    }
+
+    #[test]
+    fn unused_allow_is_audited_and_auditable() {
+        let units = [unit(
+            "util",
+            "crates/util/src/lib.rs",
+            "// pronglint: allow(wall-clock): nothing here reads a clock\n\
+             pub fn quiet() {}\n",
+        )];
+        let findings = analyze_units(&units);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "unused-suppression");
+        assert_eq!(findings[0].line, 1);
+
+        // …and the audit finding is itself suppressible.
+        let units = [unit(
+            "util",
+            "crates/util/src/lib.rs",
+            "// pronglint: allow(unused-suppression): kept for the next refactor\n\
+             // pronglint: allow(wall-clock): nothing here reads a clock\n\
+             pub fn quiet() {}\n",
+        )];
+        let findings = analyze_units(&units);
+        assert!(
+            findings.is_empty(),
+            "allow(unused-suppression) must cover the audit: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn used_allow_is_not_audited() {
+        let units = [unit(
+            "sim",
+            "crates/sim/src/lib.rs",
+            "use std::collections::HashMap; // pronglint: allow(unordered-iter): scratch map\n\
+             // pronglint: allow(unordered-iter): count is order-independent\n\
+             pub fn f(m: &HashMap<u32, u32>) -> usize {\n\
+             m.iter().count()\n\
+             }\n",
+        )];
+        let findings = analyze_units(&units);
+        assert!(findings.is_empty(), "findings: {findings:?}");
+    }
+}

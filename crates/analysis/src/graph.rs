@@ -1,0 +1,572 @@
+//! The cross-crate call/symbol graph the interprocedural rules run over.
+//!
+//! Nodes are the function definitions the [`crate::parser`] extracted
+//! from every in-scope file; edges are *lexical call sites* — an
+//! identifier in call position inside a function body — resolved by name
+//! against the workspace's own definitions. Resolution is deliberately an
+//! **over-approximation** (soundness for taint beats precision):
+//!
+//! 1. a plain call `f(…)` resolves to every fn named `f` in the same
+//!    crate, else to fns named `f` in crates the file imports;
+//! 2. a path call `pronghorn_x::…::f(…)` (or a name imported by `use
+//!    pronghorn_x::…::f`) resolves into crate `x`;
+//! 3. a method call `.m(…)` resolves to every *method* named `m` in the
+//!    same crate or any imported crate — unless the name is ambiguous
+//!    (more candidates than [`AMBIGUITY_CAP`] across the workspace and
+//!    none in the same crate), in which case the edge is dropped rather
+//!    than connecting everything to everything (`new`, `len`, `get` would
+//!    otherwise make the graph complete and every rule vacuous).
+//!
+//! Std/extern calls resolve to nothing: the graph only ever contains
+//! workspace functions, so "reaches a taint source" always names a line
+//! in this repository.
+
+use crate::parser::{is_callable_name, FnDef, ParsedFile};
+use crate::rules::FileContext;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Method names with more workspace-wide candidates than this resolve
+/// only within the calling crate (see module docs).
+pub const AMBIGUITY_CAP: usize = 6;
+
+/// Index of a function node in the graph.
+pub type NodeId = usize;
+
+/// One function node: where it is and what it is called.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Crate the definition lives in.
+    pub crate_name: String,
+    /// Repo-relative file path.
+    pub file: String,
+    /// `Type::name` or bare `name`.
+    pub qual_name: String,
+    /// Bare name (the resolution key).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Visibility (`pub …`).
+    pub is_pub: bool,
+    /// Defined in an `impl` block.
+    pub is_method: bool,
+    /// Whole definition sits in test scope (test file or `#[cfg(test)]`
+    /// region).
+    pub in_test_scope: bool,
+    /// Index of the file in the workspace file list.
+    pub file_idx: usize,
+    /// Index of the fn within that file's `ParsedFile::fns`.
+    pub fn_idx: usize,
+}
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallEdge {
+    /// Callee node.
+    pub to: NodeId,
+    /// 1-based line of the call site (in the caller's file).
+    pub line: u32,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All function nodes.
+    pub nodes: Vec<FnNode>,
+    /// Outgoing edges per node, deduplicated, in callee order.
+    pub calls: Vec<Vec<CallEdge>>,
+    /// Incoming edges per node (caller ids), deduplicated.
+    pub callers: Vec<Vec<NodeId>>,
+}
+
+/// A raw call site lifted from a function body before resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallSite {
+    /// `name(…)` — plain call.
+    Plain {
+        /// Callee name.
+        name: String,
+        /// Call-site line.
+        line: u32,
+    },
+    /// `root::…::name(…)` — path call; `root` is the first path segment.
+    Path {
+        /// First segment of the path (`pronghorn_store`, a type, …).
+        root: String,
+        /// Callee name (last segment).
+        name: String,
+        /// Call-site line.
+        line: u32,
+    },
+    /// `.name(…)` — method call.
+    Method {
+        /// Method name.
+        name: String,
+        /// Call-site line.
+        line: u32,
+    },
+}
+
+impl CallSite {
+    /// The callee's bare name.
+    pub fn name(&self) -> &str {
+        match self {
+            CallSite::Plain { name, .. }
+            | CallSite::Path { name, .. }
+            | CallSite::Method { name, .. } => name,
+        }
+    }
+
+    /// The call-site line.
+    pub fn line(&self) -> u32 {
+        match self {
+            CallSite::Plain { line, .. }
+            | CallSite::Path { line, .. }
+            | CallSite::Method { line, .. } => *line,
+        }
+    }
+}
+
+/// Extracts the raw call sites inside `def`'s body (none for bodyless
+/// declarations).
+pub fn call_sites(parsed: &ParsedFile, def: &FnDef, src: &str) -> Vec<CallSite> {
+    let Some((lo, hi)) = def.body_sig else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let n = parsed.sig.len();
+    let hi = hi.min(n);
+    let tok = |i: usize| &parsed.tokens[parsed.sig[i]];
+    let text = |i: usize| tok(i).text(src);
+    let is_punct = |i: usize, ch: &str| {
+        tok(i).kind == crate::lexer::TokenKind::Punct && text(i) == ch
+    };
+    for i in lo..hi {
+        if tok(i).kind != crate::lexer::TokenKind::Ident {
+            continue;
+        }
+        // Call position: identifier immediately followed by `(`.
+        if i + 1 >= hi || !is_punct(i + 1, "(") {
+            continue;
+        }
+        let name = text(i);
+        if !is_callable_name(name) {
+            continue;
+        }
+        let line = tok(i).line;
+        if i > lo && is_punct(i - 1, ".") {
+            out.push(CallSite::Method {
+                name: name.to_string(),
+                line,
+            });
+        } else if i > lo + 1 && is_punct(i - 1, ":") && is_punct(i - 2, ":") {
+            // Walk the path back to its first segment.
+            let mut root = None;
+            let mut j = i;
+            while j > lo + 1 && is_punct(j - 1, ":") && is_punct(j - 2, ":") {
+                if j >= lo + 3 && tok(j - 3).kind == crate::lexer::TokenKind::Ident {
+                    root = Some(text(j - 3).to_string());
+                    j -= 3;
+                } else {
+                    break; // `<T as Trait>::f(…)`, `::f(…)` — give up on the root.
+                }
+            }
+            out.push(CallSite::Path {
+                root: root.unwrap_or_default(),
+                name: name.to_string(),
+                line,
+            });
+        } else {
+            out.push(CallSite::Plain {
+                name: name.to_string(),
+                line,
+            });
+        }
+    }
+    out
+}
+
+/// One analyzed file handed to the graph builder.
+pub struct GraphFile<'a> {
+    /// File context (crate, path, scopes).
+    pub ctx: &'a FileContext,
+    /// Source text.
+    pub src: &'a str,
+    /// Its parse.
+    pub parsed: &'a ParsedFile,
+    /// Byte ranges of `#[cfg(test)]` / `#[test]` scope in the file.
+    pub test_regions: &'a [(usize, usize)],
+}
+
+impl CallGraph {
+    /// Builds the graph over `files` (one entry per in-scope source file).
+    pub fn build(files: &[GraphFile<'_>]) -> CallGraph {
+        let mut nodes = Vec::new();
+        // (crate, name) -> node ids, and name -> node ids, for resolution.
+        let mut by_crate_name: BTreeMap<(String, String), Vec<NodeId>> = BTreeMap::new();
+        let mut by_name: BTreeMap<String, Vec<NodeId>> = BTreeMap::new();
+        for (file_idx, f) in files.iter().enumerate() {
+            for (fn_idx, def) in f.parsed.fns.iter().enumerate() {
+                let in_test_scope = f.ctx.is_test_file
+                    || f.test_regions
+                        .iter()
+                        .any(|&(s, e)| def.span.0 >= s && def.span.0 < e);
+                let id = nodes.len();
+                nodes.push(FnNode {
+                    crate_name: f.ctx.crate_name.clone(),
+                    file: f.ctx.path.clone(),
+                    qual_name: def.qual_name.clone(),
+                    name: def.name.clone(),
+                    line: def.line,
+                    is_pub: def.is_pub,
+                    is_method: def.is_method,
+                    in_test_scope,
+                    file_idx,
+                    fn_idx,
+                });
+                by_crate_name
+                    .entry((f.ctx.crate_name.clone(), def.name.clone()))
+                    .or_default()
+                    .push(id);
+                by_name.entry(def.name.clone()).or_default().push(id);
+            }
+        }
+        let mut calls: Vec<Vec<CallEdge>> = vec![Vec::new(); nodes.len()];
+        for f in files {
+            // Which crates this file imports (cross-crate evidence).
+            let imported_crates: BTreeSet<&str> =
+                f.parsed.uses.iter().map(|u| u.from_crate.as_str()).collect();
+            // Imported name -> source crates.
+            let mut imported_names: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+            for u in &f.parsed.uses {
+                imported_names
+                    .entry(u.name.as_str())
+                    .or_default()
+                    .insert(u.from_crate.as_str());
+            }
+            for (fn_idx, def) in f.parsed.fns.iter().enumerate() {
+                let caller = nodes
+                    .iter()
+                    .position(|n| {
+                        n.file == f.ctx.path && n.fn_idx == fn_idx && n.qual_name == def.qual_name
+                    })
+                    .expect("caller node was just inserted");
+                let mut out: Vec<CallEdge> = Vec::new();
+                for site in call_sites(f.parsed, def, f.src) {
+                    let name = site.name();
+                    let line = site.line();
+                    let mut targets: Vec<NodeId> = Vec::new();
+                    let same_crate = by_crate_name
+                        .get(&(f.ctx.crate_name.clone(), name.to_string()))
+                        .cloned()
+                        .unwrap_or_default();
+                    match &site {
+                        CallSite::Path { root, .. } => {
+                            if let Some(cr) = root.strip_prefix("pronghorn_") {
+                                targets.extend(
+                                    by_crate_name
+                                        .get(&(cr.to_string(), name.to_string()))
+                                        .cloned()
+                                        .unwrap_or_default(),
+                                );
+                            }
+                            if targets.is_empty() {
+                                // `Type::assoc(…)` within the crate, or a
+                                // type imported from a sibling crate.
+                                targets.extend(same_crate.iter().copied());
+                                if targets.is_empty() {
+                                    if let Some(crates) = imported_names.get(root.as_str()) {
+                                        for cr in crates {
+                                            targets.extend(
+                                                by_crate_name
+                                                    .get(&(cr.to_string(), name.to_string()))
+                                                    .cloned()
+                                                    .unwrap_or_default(),
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        CallSite::Plain { .. } => {
+                            targets.extend(same_crate.iter().copied());
+                            if targets.is_empty() {
+                                if let Some(crates) = imported_names.get(name) {
+                                    for cr in crates {
+                                        targets.extend(
+                                            by_crate_name
+                                                .get(&(cr.to_string(), name.to_string()))
+                                                .cloned()
+                                                .unwrap_or_default(),
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        CallSite::Method { .. } => {
+                            if !same_crate.is_empty() {
+                                targets.extend(same_crate.iter().copied());
+                            } else {
+                                let all = by_name.get(name).cloned().unwrap_or_default();
+                                let candidates: Vec<NodeId> = all
+                                    .into_iter()
+                                    .filter(|&id| {
+                                        nodes[id].is_method
+                                            && imported_crates
+                                                .contains(nodes[id].crate_name.as_str())
+                                    })
+                                    .collect();
+                                if candidates.len() <= AMBIGUITY_CAP {
+                                    targets.extend(candidates);
+                                }
+                            }
+                        }
+                    }
+                    for to in targets {
+                        if to != caller {
+                            out.push(CallEdge { to, line });
+                        }
+                    }
+                }
+                out.sort_by_key(|e| (e.to, e.line));
+                out.dedup_by_key(|e| e.to);
+                calls[caller] = out;
+            }
+        }
+        let mut callers: Vec<Vec<NodeId>> = vec![Vec::new(); nodes.len()];
+        for (from, edges) in calls.iter().enumerate() {
+            for e in edges {
+                callers[e.to].push(from);
+            }
+        }
+        for c in &mut callers {
+            c.sort_unstable();
+            c.dedup();
+        }
+        CallGraph {
+            nodes,
+            calls,
+            callers,
+        }
+    }
+
+    /// Every node (transitively) reachable **from** any of `seeds` along
+    /// call edges, including the seeds.
+    pub fn reachable_from(&self, seeds: &[NodeId]) -> BTreeSet<NodeId> {
+        self.flood(seeds, |id| self.calls[id].iter().map(|e| e.to).collect())
+    }
+
+    /// Every node that (transitively) **reaches** any of `seeds`,
+    /// including the seeds.
+    pub fn reaching(&self, seeds: &[NodeId]) -> BTreeSet<NodeId> {
+        self.flood(seeds, |id| self.callers[id].clone())
+    }
+
+    fn flood(&self, seeds: &[NodeId], next: impl Fn(NodeId) -> Vec<NodeId>) -> BTreeSet<NodeId> {
+        let mut seen: BTreeSet<NodeId> = seeds.iter().copied().collect();
+        let mut queue: VecDeque<NodeId> = seeds.iter().copied().collect();
+        while let Some(id) = queue.pop_front() {
+            for n in next(id) {
+                if seen.insert(n) {
+                    queue.push_back(n);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Shortest call chain from `from` to any node in `targets`, as a
+    /// node path `[from, …, target]`; `None` when unreachable.
+    pub fn chain_to(&self, from: NodeId, targets: &BTreeSet<NodeId>) -> Option<Vec<NodeId>> {
+        if targets.contains(&from) {
+            return Some(vec![from]);
+        }
+        let mut prev: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        let mut queue = VecDeque::from([from]);
+        while let Some(id) = queue.pop_front() {
+            for e in &self.calls[id] {
+                if e.to != from && !prev.contains_key(&e.to) {
+                    prev.insert(e.to, id);
+                    if targets.contains(&e.to) {
+                        let mut path = vec![e.to];
+                        let mut cur = e.to;
+                        while let Some(&p) = prev.get(&cur) {
+                            path.push(p);
+                            if p == from {
+                                break;
+                            }
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        None
+    }
+
+    /// Shortest call chain from any node in `froms` down to `target`, as
+    /// a node path `[entry, …, target]`; `None` when unreachable.
+    pub fn chain_between(&self, froms: &BTreeSet<NodeId>, target: NodeId) -> Option<Vec<NodeId>> {
+        if froms.contains(&target) {
+            return Some(vec![target]);
+        }
+        // BFS backwards over caller edges from the target; the first
+        // entry node found closes a shortest forward chain.
+        let mut next: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        let mut queue = VecDeque::from([target]);
+        while let Some(id) = queue.pop_front() {
+            for &caller in &self.callers[id] {
+                if caller != target && !next.contains_key(&caller) {
+                    next.insert(caller, id);
+                    if froms.contains(&caller) {
+                        let mut path = vec![caller];
+                        let mut cur = caller;
+                        while let Some(&n) = next.get(&cur) {
+                            path.push(n);
+                            if n == target {
+                                break;
+                            }
+                            cur = n;
+                        }
+                        return Some(path);
+                    }
+                    queue.push_back(caller);
+                }
+            }
+        }
+        None
+    }
+
+    /// The line of the first call edge `from -> to` (for reporting).
+    pub fn edge_line(&self, from: NodeId, to: NodeId) -> Option<u32> {
+        self.calls[from].iter().find(|e| e.to == to).map(|e| e.line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn ctx(crate_name: &str, path: &str) -> FileContext {
+        FileContext {
+            crate_name: crate_name.to_string(),
+            path: path.to_string(),
+            is_test_file: false,
+            is_crate_root: false,
+            is_lib_root: false,
+        }
+    }
+
+    #[test]
+    fn resolves_same_crate_and_cross_crate_calls() {
+        let a_src = "use pronghorn_b::helper;\n\
+                     pub fn entry() { helper(); local(); }\n\
+                     fn local() {}\n";
+        let b_src = "pub fn helper() { leaf(); }\npub fn leaf() {}\n";
+        let a_parsed = parse_file(a_src);
+        let b_parsed = parse_file(b_src);
+        let a_ctx = ctx("a", "crates/a/src/lib.rs");
+        let b_ctx = ctx("b", "crates/b/src/lib.rs");
+        let files = [
+            GraphFile {
+                ctx: &a_ctx,
+                src: a_src,
+                parsed: &a_parsed,
+                test_regions: &[],
+            },
+            GraphFile {
+                ctx: &b_ctx,
+                src: b_src,
+                parsed: &b_parsed,
+                test_regions: &[],
+            },
+        ];
+        let g = CallGraph::build(&files);
+        let entry = g.nodes.iter().position(|n| n.name == "entry").unwrap();
+        let helper = g.nodes.iter().position(|n| n.name == "helper").unwrap();
+        let local = g.nodes.iter().position(|n| n.name == "local").unwrap();
+        let leaf = g.nodes.iter().position(|n| n.name == "leaf").unwrap();
+        let out: Vec<NodeId> = g.calls[entry].iter().map(|e| e.to).collect();
+        assert!(out.contains(&helper) && out.contains(&local));
+        let reach = g.reachable_from(&[entry]);
+        assert!(reach.contains(&leaf));
+        let reaching = g.reaching(&[leaf]);
+        assert!(reaching.contains(&entry));
+        let chain = g.chain_to(entry, &[leaf].into_iter().collect()).unwrap();
+        assert_eq!(chain, vec![entry, helper, leaf]);
+    }
+
+    #[test]
+    fn ambiguous_method_names_do_not_connect_everything() {
+        // Seven crates each define a method `new`; an eighth calls `.new()`
+        // — the candidate set exceeds the cap, so no edges are made.
+        let defs: Vec<(String, String)> = (0..7)
+            .map(|i| {
+                (
+                    format!("c{i}"),
+                    "impl T { pub fn new() -> Self { T } }".to_string(),
+                )
+            })
+            .collect();
+        let caller_src = "use pronghorn_c0::T;\nuse pronghorn_c1::U;\nuse pronghorn_c2::V;\n\
+                          use pronghorn_c3::W;\nuse pronghorn_c4::X;\nuse pronghorn_c5::Y;\n\
+                          use pronghorn_c6::Z;\nfn go() { x.new(); }\n";
+        let caller_parsed = parse_file(caller_src);
+        let parsed: Vec<ParsedFileHolder> = defs
+            .iter()
+            .map(|(c, s)| ParsedFileHolder {
+                ctx: ctx(c, &format!("crates/{c}/src/lib.rs")),
+                src: s.clone(),
+                parsed: parse_file(s),
+            })
+            .collect();
+        let caller_ctx = ctx("caller", "crates/caller/src/lib.rs");
+        let mut files: Vec<GraphFile<'_>> = parsed
+            .iter()
+            .map(|h| GraphFile {
+                ctx: &h.ctx,
+                src: &h.src,
+                parsed: &h.parsed,
+                test_regions: &[],
+            })
+            .collect();
+        files.push(GraphFile {
+            ctx: &caller_ctx,
+            src: caller_src,
+            parsed: &caller_parsed,
+            test_regions: &[],
+        });
+        let g = CallGraph::build(&files);
+        let go = g.nodes.iter().position(|n| n.name == "go").unwrap();
+        assert!(g.calls[go].is_empty(), "ambiguous `.new()` must not edge");
+    }
+
+    struct ParsedFileHolder {
+        ctx: FileContext,
+        src: String,
+        parsed: ParsedFile,
+    }
+
+    #[test]
+    fn macro_invocations_are_not_calls() {
+        let src = "fn f() { println!(\"{}\", g()); assert_eq!(1, 1); }\nfn g() -> u8 { 1 }\n";
+        let parsed = parse_file(src);
+        let c = ctx("a", "crates/a/src/lib.rs");
+        let files = [GraphFile {
+            ctx: &c,
+            src,
+            parsed: &parsed,
+            test_regions: &[],
+        }];
+        let g = CallGraph::build(&files);
+        let f = g.nodes.iter().position(|n| n.name == "f").unwrap();
+        let names: Vec<&str> = g.calls[f]
+            .iter()
+            .map(|e| g.nodes[e.to].name.as_str())
+            .collect();
+        assert_eq!(names, ["g"], "only the real call, not println/assert_eq");
+    }
+}

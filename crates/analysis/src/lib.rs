@@ -24,27 +24,39 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod engine;
+pub mod graph;
+pub mod json;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod walk;
+pub mod xrules;
 
 pub use baseline::{ratchet, Baseline, Ratchet};
+pub use engine::{analyze_units, SourceUnit};
+pub use graph::CallGraph;
 pub use lexer::{lex, Token, TokenKind};
-pub use rules::{analyze_source, FileContext, Finding};
-pub use walk::{workspace_sources, SourceFile};
+pub use parser::{parse_file, ParsedFile};
+pub use rules::{analyze_source, ChainFrame, FileContext, Finding};
+pub use walk::{classify, workspace_sources, SourceFile};
 
 use std::io;
 use std::path::Path;
 
-/// Analyzes every in-scope source file under `root`, returning all
-/// findings sorted by path and line.
+/// Analyzes every in-scope source file under `root` through the full v2
+/// pipeline (per-file D rules, workspace call graph, interprocedural
+/// T1/C1/P1/K1, suppression audit), returning all findings sorted by
+/// path and line.
 pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
-    for file in workspace_sources(root)? {
-        let src = std::fs::read_to_string(&file.abs_path)?;
-        findings.extend(analyze_source(&file.ctx, &src));
+    let sources = workspace_sources(root)?;
+    let mut units = Vec::with_capacity(sources.len());
+    for file in sources {
+        units.push(SourceUnit {
+            src: std::fs::read_to_string(&file.abs_path)?,
+            ctx: file.ctx,
+        });
     }
-    findings.sort();
-    Ok(findings)
+    Ok(analyze_units(&units))
 }

@@ -1,0 +1,589 @@
+//! A lightweight recursive-descent *item* parser on top of [`crate::lexer`].
+//!
+//! pronglint v2's interprocedural rules need more structure than a token
+//! stream: which function a token belongs to, what that function is
+//! called, what the file imports from sibling crates. This parser
+//! extracts exactly that — no types, no expressions, no trait solving —
+//! while keeping the two guarantees the property tests pin:
+//!
+//! 1. **Totality** — parsing never panics, whatever the input (the lexer
+//!    is total and the parser only walks its token indices);
+//! 2. **Item tiling** — the top-level [`Item`] spans tile the file
+//!    exactly: the first item starts at byte 0, each item starts where
+//!    the previous ended, and the last ends at `src.len()`. (An empty
+//!    file parses to zero items.)
+//!
+//! What is extracted:
+//!
+//! - every `fn` at any nesting depth (free, inherent/trait `impl`
+//!   methods, nested fns, fns inside `mod` blocks), with its body's
+//!   significant-token range so rules can scan "inside this function";
+//! - `use` declarations, flattened to *imported name → source crate* for
+//!   the workspace's own `pronghorn_*` crates (the call-graph resolver's
+//!   cross-crate evidence);
+//! - `impl` blocks, so methods get a `Type::method` qualified name.
+//!
+//! The parser is deliberately approximate where Rust grammar is hairy
+//! (const generics, `Fn(..)` bounds in generic parameter lists): it
+//! resolves function bodies by scanning for the first `{` at parenthesis
+//! depth zero, which is correct for every signature shape in this
+//! workspace and degrades to "no body" (never a panic) elsewhere.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// What a top-level item is, judged by its first significant keyword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A `fn` item.
+    Fn,
+    /// An `impl` block.
+    Impl,
+    /// A `mod` block or declaration.
+    Mod,
+    /// A `use` declaration.
+    Use,
+    /// Anything else (`struct`, `enum`, `const`, attributes-only, trailing
+    /// trivia, unparseable text, …).
+    Other,
+}
+
+/// One top-level item; spans tile the file (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Item {
+    /// Classification by leading keyword.
+    pub kind: ItemKind,
+    /// Byte offset of the item's first byte (including leading trivia
+    /// attached to it), inclusive.
+    pub start: usize,
+    /// Byte offset one past the item's last byte, exclusive.
+    pub end: usize,
+}
+
+/// One function definition, at any nesting depth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnDef {
+    /// The bare function name (`word_count`).
+    pub name: String,
+    /// `Type::name` for impl methods, `name` for free functions.
+    pub qual_name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether a `pub` token directly precedes the `fn` (visibility
+    /// modifiers such as `pub(crate)` also count).
+    pub is_pub: bool,
+    /// Whether the `fn` sits inside an `impl` block (method position).
+    pub is_method: bool,
+    /// Range of *significant-token indices* (see [`ParsedFile::sig`])
+    /// covering the body `{ … }`, braces included. `None` for bodyless
+    /// trait-method declarations.
+    pub body_sig: Option<(usize, usize)>,
+    /// Byte span of the whole definition (from `fn` keyword to the end of
+    /// the body or the `;`).
+    pub span: (usize, usize),
+}
+
+/// One name imported by a `use` declaration from a workspace crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseImport {
+    /// Source crate, with the `pronghorn_` prefix stripped (`store`,
+    /// `workloads`, …).
+    pub from_crate: String,
+    /// The imported identifier (every path segment and alias in the use
+    /// tree below the crate root — an over-approximation that is safe
+    /// for the resolver, which only uses it as *evidence* of linkage).
+    pub name: String,
+}
+
+/// The parse of one file: top-level items plus the flat fn/import tables.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// Top-level items, tiling the file.
+    pub items: Vec<Item>,
+    /// Every function definition, in source order, any nesting depth.
+    pub fns: Vec<FnDef>,
+    /// Workspace-crate imports, flattened.
+    pub uses: Vec<UseImport>,
+    /// The token stream the parse was built from.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of significant tokens (everything except
+    /// whitespace and comments). `FnDef::body_sig` indexes into this.
+    pub sig: Vec<usize>,
+}
+
+impl ParsedFile {
+    /// The significant token at sig-index `i`, if in range.
+    pub fn sig_tok(&self, i: usize) -> Option<&Token> {
+        self.sig.get(i).map(|&ti| &self.tokens[ti])
+    }
+}
+
+/// Keywords that are never call-expression heads or item names.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "fn", "let",
+    "mut", "ref", "move", "unsafe", "async", "await", "dyn", "impl", "where", "as", "in", "pub",
+    "use", "mod", "struct", "enum", "trait", "type", "const", "static", "crate", "super", "self",
+    "Self", "true", "false",
+];
+
+/// Whether `name` may head a call expression.
+pub fn is_callable_name(name: &str) -> bool {
+    !NON_CALL_KEYWORDS.contains(&name)
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    tokens: &'a [Token],
+    /// Significant token indices.
+    sig: &'a [usize],
+    fns: Vec<FnDef>,
+    uses: Vec<UseImport>,
+}
+
+impl<'a> Parser<'a> {
+    fn tok(&self, i: usize) -> &Token {
+        &self.tokens[self.sig[i]]
+    }
+
+    fn text(&self, i: usize) -> &str {
+        self.tok(i).text(self.src)
+    }
+
+    fn is_punct(&self, i: usize, ch: &str) -> bool {
+        i < self.sig.len() && self.tok(i).kind == TokenKind::Punct && self.text(i) == ch
+    }
+
+    fn is_ident(&self, i: usize, name: &str) -> bool {
+        i < self.sig.len() && self.tok(i).kind == TokenKind::Ident && self.text(i) == name
+    }
+
+    fn ident_at(&self, i: usize) -> Option<&str> {
+        (i < self.sig.len() && self.tok(i).kind == TokenKind::Ident).then(|| self.text(i))
+    }
+
+    /// Skips a balanced `open…close` group starting at `i` (which must be
+    /// the opener); returns the index one past the closer. Total: returns
+    /// `sig.len()` on unbalanced input.
+    fn skip_group(&self, i: usize, open: &str, close: &str) -> usize {
+        debug_assert!(self.is_punct(i, open));
+        let mut depth = 0usize;
+        let mut j = i;
+        while j < self.sig.len() {
+            if self.is_punct(j, open) {
+                depth += 1;
+            } else if self.is_punct(j, close) {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        self.sig.len()
+    }
+
+    /// Parses one `fn` starting at sig-index `i` (the `fn` keyword),
+    /// inside `impl_type` if in an impl block. Returns the index one past
+    /// the definition.
+    fn parse_fn(&mut self, i: usize, impl_type: Option<&str>) -> usize {
+        let n = self.sig.len();
+        let fn_tok_start = self.tok(i).start;
+        let line = self.tok(i).line;
+        let is_pub = i > 0 && {
+            // `pub fn`, `pub(crate) fn`, `pub(in path) fn`.
+            self.is_ident(i - 1, "pub")
+                || (self.is_punct(i - 1, ")") && {
+                    // Walk back over the visibility parens to a `pub`.
+                    let mut k = i - 1;
+                    let mut depth = 0usize;
+                    loop {
+                        if self.is_punct(k, ")") {
+                            depth += 1;
+                        } else if self.is_punct(k, "(") {
+                            depth -= 1;
+                            if depth == 0 {
+                                break k > 0 && self.is_ident(k - 1, "pub");
+                            }
+                        }
+                        if k == 0 {
+                            break false;
+                        }
+                        k -= 1;
+                    }
+                })
+        };
+        let Some(name) = self.ident_at(i + 1).map(str::to_string) else {
+            return i + 1; // `fn` not followed by a name: skip the keyword.
+        };
+        // Scan for the body `{` at paren depth 0, or a `;` (no body).
+        let mut j = i + 2;
+        let mut paren = 0usize;
+        let mut body_sig = None;
+        let mut end_sig = None;
+        while j < n {
+            if self.is_punct(j, "(") || self.is_punct(j, "[") {
+                paren += 1;
+            } else if self.is_punct(j, ")") || self.is_punct(j, "]") {
+                paren = paren.saturating_sub(1);
+            } else if paren == 0 {
+                if self.is_punct(j, ";") {
+                    end_sig = Some(j);
+                    break;
+                }
+                if self.is_punct(j, "{") {
+                    let close = self.skip_group(j, "{", "}");
+                    body_sig = Some((j, close.min(n.saturating_sub(0))));
+                    end_sig = Some(close.saturating_sub(1).max(j));
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let end_idx = end_sig.unwrap_or(n.saturating_sub(1).max(i));
+        let span_end = if end_idx < n {
+            self.tok(end_idx).end
+        } else {
+            self.src.len()
+        };
+        let qual_name = match impl_type {
+            Some(t) => format!("{t}::{name}"),
+            None => name.clone(),
+        };
+        let after = match body_sig {
+            Some((body_open, body_close)) => {
+                // Recurse into the body for nested fns (rare, but closures
+                // aside, `fn` inside `fn` exists in tests/helpers).
+                self.parse_region(body_open + 1, body_close.saturating_sub(1), impl_type);
+                body_close
+            }
+            None => end_idx + 1,
+        };
+        self.fns.push(FnDef {
+            name,
+            qual_name,
+            line,
+            is_pub,
+            is_method: impl_type.is_some(),
+            body_sig,
+            span: (fn_tok_start, span_end),
+        });
+        after.max(i + 1)
+    }
+
+    /// Parses an `impl` block header at `i`, returning `(type_name,
+    /// body_open_sig)`; `None` body for `impl Trait for Type;` shapes.
+    fn parse_impl_header(&self, i: usize) -> (Option<String>, Option<usize>) {
+        let n = self.sig.len();
+        let mut j = i + 1;
+        // Skip the generic parameter list directly after `impl`.
+        if self.is_punct(j, "<") {
+            let mut depth = 0usize;
+            while j < n {
+                if self.is_punct(j, "<") {
+                    depth += 1;
+                } else if self.is_punct(j, ">") {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Collect path idents until `{`, `;`, `for`, or `where`; on `for`,
+        // restart collection (the type is on the right of `for`).
+        let mut segment: Vec<String> = Vec::new();
+        let mut body_open = None;
+        while j < n {
+            if self.is_punct(j, "{") {
+                body_open = Some(j);
+                break;
+            }
+            if self.is_punct(j, ";") {
+                break;
+            }
+            if self.is_ident(j, "for") {
+                segment.clear();
+            } else if self.is_ident(j, "where") {
+                // Type segment is complete; scan on for the `{`.
+                while j < n && !self.is_punct(j, "{") && !self.is_punct(j, ";") {
+                    j += 1;
+                }
+                continue;
+            } else if self.is_punct(j, "<") {
+                // Generic arguments of the type: skip to the matching `>`
+                // so `Wrapper<T>` yields `Wrapper`, not `T`.
+                let mut depth = 0usize;
+                while j < n {
+                    if self.is_punct(j, "<") {
+                        depth += 1;
+                    } else if self.is_punct(j, ">") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            } else if let Some(id) = self.ident_at(j) {
+                segment.push(id.to_string());
+            }
+            j += 1;
+        }
+        (segment.last().cloned(), body_open)
+    }
+
+    /// Parses a `use` declaration at `i`, recording workspace imports;
+    /// returns the index one past the terminating `;`.
+    fn parse_use(&mut self, i: usize) -> usize {
+        let n = self.sig.len();
+        let mut j = i + 1;
+        let mut idents: Vec<String> = Vec::new();
+        while j < n && !self.is_punct(j, ";") {
+            if let Some(id) = self.ident_at(j) {
+                idents.push(id.to_string());
+            }
+            j += 1;
+        }
+        if let Some(root) = idents.first() {
+            if let Some(from) = root.strip_prefix("pronghorn_") {
+                for name in idents.iter().skip(1) {
+                    if name != "self" && name != "as" {
+                        self.uses.push(UseImport {
+                            from_crate: from.to_string(),
+                            name: name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        (j + 1).min(n)
+    }
+
+    /// Walks sig indices `[lo, hi)` collecting fns/uses; `impl_type` is
+    /// the enclosing impl block's type, if any.
+    fn parse_region(&mut self, lo: usize, hi: usize, impl_type: Option<&str>) {
+        let hi = hi.min(self.sig.len());
+        let mut i = lo;
+        while i < hi {
+            if self.is_ident(i, "fn") {
+                i = self.parse_fn(i, impl_type);
+                continue;
+            }
+            if self.is_ident(i, "use") {
+                i = self.parse_use(i);
+                continue;
+            }
+            if self.is_ident(i, "impl") {
+                let (ty, body_open) = self.parse_impl_header(i);
+                if let Some(open) = body_open {
+                    let close = self.skip_group(open, "{", "}");
+                    let ty_ref = ty.as_deref();
+                    self.parse_region(open + 1, close.saturating_sub(1), ty_ref);
+                    i = close;
+                    continue;
+                }
+                i += 1;
+                continue;
+            }
+            if self.is_ident(i, "mod") && i + 2 < hi && self.is_punct(i + 2, "{") {
+                // Descend into inline modules with the same impl context
+                // (always `None` at module boundaries).
+                let close = self.skip_group(i + 2, "{", "}");
+                self.parse_region(i + 3, close.saturating_sub(1), None);
+                i = close;
+                continue;
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Parses `src` into items, functions, and imports. Total; see module
+/// docs for the tiling guarantee.
+pub fn parse_file(src: &str) -> ParsedFile {
+    let tokens = lex(src);
+    let sig: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let mut p = Parser {
+        src,
+        tokens: &tokens,
+        sig: &sig,
+        fns: Vec::new(),
+        uses: Vec::new(),
+    };
+    p.parse_region(0, sig.len(), None);
+    let fns = std::mem::take(&mut p.fns);
+    let uses = std::mem::take(&mut p.uses);
+    let items = tile_items(src, &tokens, &sig);
+    ParsedFile {
+        items,
+        fns,
+        uses,
+        tokens,
+        sig,
+    }
+}
+
+/// Splits the top level into items whose spans tile the file: an item
+/// ends at a `;` or the `}` closing a depth-0 brace group; leading trivia
+/// and attributes attach to the item that follows; trailing trivia after
+/// the last boundary forms a final `Other` item.
+fn tile_items(src: &str, tokens: &[Token], sig: &[usize]) -> Vec<Item> {
+    if src.is_empty() {
+        return Vec::new();
+    }
+    let mut items = Vec::new();
+    let mut start = 0usize; // byte offset where the current item began
+    let mut kind: Option<ItemKind> = None;
+    let mut depth = 0usize; // brace depth
+    let mut parens = 0usize;
+    let n = sig.len();
+    let mut i = 0usize;
+    while i < n {
+        let t = &tokens[sig[i]];
+        let text = t.text(src);
+        if kind.is_none() && t.kind == TokenKind::Ident {
+            kind = Some(match text {
+                "fn" => ItemKind::Fn,
+                "impl" => ItemKind::Impl,
+                "mod" => ItemKind::Mod,
+                "use" => ItemKind::Use,
+                _ => ItemKind::Other,
+            });
+        }
+        if t.kind == TokenKind::Punct {
+            match text {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 && parens == 0 {
+                        items.push(Item {
+                            kind: kind.take().unwrap_or(ItemKind::Other),
+                            start,
+                            end: t.end,
+                        });
+                        start = t.end;
+                    }
+                }
+                "(" | "[" => parens += 1,
+                ")" | "]" => parens = parens.saturating_sub(1),
+                ";" if depth == 0 && parens == 0 => {
+                    items.push(Item {
+                        kind: kind.take().unwrap_or(ItemKind::Other),
+                        start,
+                        end: t.end,
+                    });
+                    start = t.end;
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    if start < src.len() || items.is_empty() {
+        items.push(Item {
+            kind: kind.unwrap_or(ItemKind::Other),
+            start,
+            end: src.len(),
+        });
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_free_fns_and_methods() {
+        let src = "pub fn free(x: u8) -> u8 { x }\n\
+                   impl Foo { fn method(&self) {} pub fn public(&self) {} }\n\
+                   impl fmt::Display for Bar { fn fmt(&self) {} }\n";
+        let p = parse_file(src);
+        let names: Vec<&str> = p.fns.iter().map(|f| f.qual_name.as_str()).collect();
+        assert_eq!(names, ["free", "Foo::method", "Foo::public", "Bar::fmt"]);
+        assert!(p.fns[0].is_pub && !p.fns[0].is_method);
+        assert!(!p.fns[1].is_pub && p.fns[1].is_method);
+        assert!(p.fns[2].is_pub);
+    }
+
+    #[test]
+    fn generic_impls_resolve_the_type_not_the_parameter() {
+        let src = "impl<'a, T: Clone> Wrapper<T> { fn get(&self) {} }\n\
+                   impl<T> Iterator for Chunks<T> where T: Copy { fn next(&mut self) {} }\n";
+        let p = parse_file(src);
+        let names: Vec<&str> = p.fns.iter().map(|f| f.qual_name.as_str()).collect();
+        assert_eq!(names, ["Wrapper::get", "Chunks::next"]);
+    }
+
+    #[test]
+    fn use_trees_map_names_to_workspace_crates() {
+        let src = "use pronghorn_store::{TransferModel, chain::ChainIndex};\n\
+                   use pronghorn_sim::SimTime;\n\
+                   use std::collections::BTreeMap;\n";
+        let p = parse_file(src);
+        let got: Vec<(&str, &str)> = p
+            .uses
+            .iter()
+            .map(|u| (u.from_crate.as_str(), u.name.as_str()))
+            .collect();
+        assert!(got.contains(&("store", "TransferModel")));
+        assert!(got.contains(&("store", "ChainIndex")));
+        assert!(got.contains(&("sim", "SimTime")));
+        assert!(!got.iter().any(|(c, _)| *c == "std"));
+    }
+
+    #[test]
+    fn items_tile_the_file() {
+        let src = "// leading comment\nuse a::b;\n\nfn f() { g(); }\nstruct S;\n// trailing\n";
+        let p = parse_file(src);
+        assert_eq!(p.items.first().unwrap().start, 0);
+        assert_eq!(p.items.last().unwrap().end, src.len());
+        for w in p.items.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        let kinds: Vec<ItemKind> = p.items.iter().map(|i| i.kind).collect();
+        assert_eq!(
+            kinds,
+            [ItemKind::Use, ItemKind::Fn, ItemKind::Other, ItemKind::Other]
+        );
+    }
+
+    #[test]
+    fn bodyless_trait_methods_have_no_body_sig() {
+        let src = "trait T { fn required(&self); fn provided(&self) {} }\n";
+        let p = parse_file(src);
+        assert_eq!(p.fns.len(), 2);
+        assert!(p.fns[0].body_sig.is_none());
+        assert!(p.fns[1].body_sig.is_some());
+    }
+
+    #[test]
+    fn nested_fns_are_found() {
+        let src = "fn outer() { fn inner() {} inner(); }\n";
+        let p = parse_file(src);
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert!(names.contains(&"outer") && names.contains(&"inner"));
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        for src in ["", "fn", "fn (", "impl", "impl {", "use ;", "}{;", "fn f("] {
+            let p = parse_file(src);
+            if !src.is_empty() {
+                assert_eq!(p.items.first().unwrap().start, 0);
+                assert_eq!(p.items.last().unwrap().end, src.len());
+            }
+        }
+    }
+}

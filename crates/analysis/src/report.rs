@@ -1,15 +1,31 @@
 //! Human and JSON rendering of a pronglint run.
 
 use crate::baseline::Ratchet;
-use crate::rules::Finding;
+use crate::json::{self, Value};
+use crate::rules::{Finding, ALL_RULES};
 use std::fmt::Write as _;
 
+/// Version tag of the machine-readable findings schema. Bump only with a
+/// breaking change; CI validates every `--json` artifact against it.
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// Renders the human-readable report: one `file:line: [rule] message` per
-/// finding (regressions first), then the improvement notes and a summary.
+/// finding (regressions first, interprocedural call chains indented
+/// below), then the improvement notes and a summary.
 pub fn human(r: &Ratchet) -> String {
     let mut out = String::new();
     for f in &r.regressions {
         let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        for (i, frame) in f.chain.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {} {} ({}:{})",
+                if i == 0 { "chain:" } else { "    ->" },
+                frame.func,
+                frame.file,
+                frame.line
+            );
+        }
     }
     if !r.baselined.is_empty() {
         let _ = writeln!(
@@ -36,9 +52,10 @@ pub fn human(r: &Ratchet) -> String {
     out
 }
 
-/// Renders the machine-readable JSON report.
+/// Renders the machine-readable JSON report (schema
+/// [`SCHEMA_VERSION`]; validated by [`validate`]).
 pub fn json(r: &Ratchet) -> String {
-    let mut out = String::from("{\n  \"regressions\": [");
+    let mut out = format!("{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"regressions\": [");
     append_findings(&mut out, &r.regressions);
     out.push_str("],\n  \"baselined\": [");
     append_findings(&mut out, &r.baselined);
@@ -70,16 +87,120 @@ fn append_findings(out: &mut String, findings: &[Finding]) {
         }
         let _ = write!(
             out,
-            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \"chain\": [",
             escape(f.rule),
             escape(&f.file),
             f.line,
             escape(&f.message)
         );
+        for (j, frame) in f.chain.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"func\": \"{}\", \"file\": \"{}\", \"line\": {}}}",
+                escape(&frame.func),
+                escape(&frame.file),
+                frame.line
+            );
+        }
+        out.push_str("]}");
     }
     if !findings.is_empty() {
         out.push_str("\n  ");
     }
+}
+
+/// Validates `text` against the findings schema: parses as JSON and
+/// checks every structural requirement of schema [`SCHEMA_VERSION`].
+/// Returns a description of the first violation.
+pub fn validate(text: &str) -> Result<(), String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let obj = doc.as_object().ok_or("top level must be an object")?;
+    match doc.get("schema_version").and_then(Value::as_f64) {
+        Some(v) if v == f64::from(SCHEMA_VERSION) => {}
+        Some(v) => return Err(format!("schema_version {v} != {SCHEMA_VERSION}")),
+        None => return Err("missing numeric `schema_version`".into()),
+    }
+    doc.get("passed")
+        .and_then(Value::as_bool)
+        .ok_or("missing boolean `passed`")?;
+    for key in ["regressions", "baselined"] {
+        let items = doc
+            .get(key)
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("missing array `{key}`"))?;
+        for (i, f) in items.iter().enumerate() {
+            let at = |msg: &str| format!("{key}[{i}]: {msg}");
+            let rule = f
+                .get("rule")
+                .and_then(Value::as_str)
+                .ok_or_else(|| at("missing string `rule`"))?;
+            if !ALL_RULES.contains(&rule) {
+                return Err(at(&format!("unknown rule `{rule}`")));
+            }
+            f.get("file")
+                .and_then(Value::as_str)
+                .ok_or_else(|| at("missing string `file`"))?;
+            let line = f
+                .get("line")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| at("missing numeric `line`"))?;
+            if line < 1.0 || line.fract() != 0.0 {
+                return Err(at("`line` must be a positive integer"));
+            }
+            f.get("message")
+                .and_then(Value::as_str)
+                .ok_or_else(|| at("missing string `message`"))?;
+            let chain = f
+                .get("chain")
+                .and_then(Value::as_array)
+                .ok_or_else(|| at("missing array `chain`"))?;
+            for (j, frame) in chain.iter().enumerate() {
+                let fat = |msg: &str| format!("{key}[{i}].chain[{j}]: {msg}");
+                frame
+                    .get("func")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| fat("missing string `func`"))?;
+                frame
+                    .get("file")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| fat("missing string `file`"))?;
+                frame
+                    .get("line")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| fat("missing numeric `line`"))?;
+            }
+        }
+    }
+    let improvements = doc
+        .get("improvements")
+        .and_then(Value::as_array)
+        .ok_or("missing array `improvements`")?;
+    for (i, imp) in improvements.iter().enumerate() {
+        for key in ["rule", "file"] {
+            imp.get(key)
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("improvements[{i}]: missing string `{key}`"))?;
+        }
+        for key in ["baselined", "current"] {
+            imp.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("improvements[{i}]: missing numeric `{key}`"))?;
+        }
+    }
+    // No unexpected top-level keys: the schema is closed by design so
+    // consumers can rely on exhaustive knowledge of it.
+    for key in obj.keys() {
+        if !matches!(
+            key.as_str(),
+            "schema_version" | "regressions" | "baselined" | "improvements" | "passed"
+        ) {
+            return Err(format!("unexpected top-level key `{key}`"));
+        }
+    }
+    Ok(())
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
@@ -107,12 +228,12 @@ mod tests {
     use crate::baseline::{ratchet, Baseline};
 
     fn sample() -> Ratchet {
-        let findings = vec![Finding {
-            file: "crates/core/src/x.rs".into(),
-            line: 4,
-            rule: "panic-path",
-            message: "say \"no\" to panics".into(),
-        }];
+        let findings = vec![Finding::new(
+            "crates/core/src/x.rs".into(),
+            4,
+            "panic-path",
+            "say \"no\" to panics".into(),
+        )];
         ratchet(&findings, &Baseline::empty())
     }
 
@@ -131,5 +252,91 @@ mod tests {
         assert!(text.contains("\\\"no\\\""));
         assert!(text.contains("\"passed\": false"));
         assert!(json(&ratchet(&[], &Baseline::empty())).contains("\"passed\": true"));
+    }
+
+    #[test]
+    fn json_schema_round_trips_with_chains() {
+        let mut finding = Finding::new(
+            "crates/core/src/x.rs".into(),
+            4,
+            "determinism-taint",
+            "taint \"flows\" here".into(),
+        );
+        finding.chain = vec![
+            crate::rules::ChainFrame {
+                func: "Orchestrator::decide".into(),
+                file: "crates/core/src/x.rs".into(),
+                line: 4,
+            },
+            crate::rules::ChainFrame {
+                func: "shuffle_like".into(),
+                file: "crates/util/src/lib.rs".into(),
+                line: 9,
+            },
+        ];
+        let r = ratchet(&[finding.clone()], &Baseline::empty());
+        let text = json(&r);
+        validate(&text).expect("schema-valid");
+        // Field-level round trip through the JSON reader.
+        let doc = json::parse(&text).unwrap();
+        let f = &doc.get("regressions").unwrap().as_array().unwrap()[0];
+        assert_eq!(f.get("rule").unwrap().as_str(), Some("determinism-taint"));
+        assert_eq!(f.get("file").unwrap().as_str(), Some(finding.file.as_str()));
+        assert_eq!(f.get("line").unwrap().as_f64(), Some(4.0));
+        assert_eq!(
+            f.get("message").unwrap().as_str(),
+            Some(finding.message.as_str())
+        );
+        let chain = f.get("chain").unwrap().as_array().unwrap();
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[1].get("func").unwrap().as_str(), Some("shuffle_like"));
+        assert_eq!(chain[1].get("line").unwrap().as_f64(), Some(9.0));
+        // The empty report is valid too.
+        validate(&json(&ratchet(&[], &Baseline::empty()))).expect("empty report valid");
+    }
+
+    #[test]
+    fn validate_rejects_off_schema_documents() {
+        for (bad, why) in [
+            ("{}", "missing everything"),
+            (
+                "{\"schema_version\": 1, \"regressions\": [], \"baselined\": [], \
+                 \"improvements\": [], \"passed\": true}",
+                "wrong version",
+            ),
+            (
+                "{\"schema_version\": 2, \"regressions\": [{\"rule\": \"nope\", \
+                 \"file\": \"f\", \"line\": 1, \"message\": \"m\", \"chain\": []}], \
+                 \"baselined\": [], \"improvements\": [], \"passed\": true}",
+                "unknown rule",
+            ),
+            (
+                "{\"schema_version\": 2, \"regressions\": [], \"baselined\": [], \
+                 \"improvements\": [], \"passed\": true, \"extra\": 1}",
+                "unexpected key",
+            ),
+        ] {
+            assert!(validate(bad).is_err(), "accepted {why}: {bad}");
+        }
+    }
+
+    #[test]
+    fn human_report_renders_chains_indented() {
+        let mut finding = Finding::new("a.rs".into(), 1, "panic-reach", "m".into());
+        finding.chain = vec![
+            crate::rules::ChainFrame {
+                func: "entry".into(),
+                file: "a.rs".into(),
+                line: 1,
+            },
+            crate::rules::ChainFrame {
+                func: "leaf".into(),
+                file: "b.rs".into(),
+                line: 7,
+            },
+        ];
+        let text = human(&ratchet(&[finding], &Baseline::empty()));
+        assert!(text.contains("chain: entry (a.rs:1)"));
+        assert!(text.contains("-> leaf (b.rs:7)"));
     }
 }

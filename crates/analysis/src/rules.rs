@@ -36,7 +36,10 @@ use std::collections::BTreeSet;
 
 /// Crates whose state or RNG draws are visible to the deterministic
 /// simulation: any iteration-order dependence here can shift fixed-seed
-/// results (rule `unordered-iter`).
+/// results (rule `unordered-iter`, and the taint sink set of rule
+/// `determinism-taint`). `cluster` and `restore` joined in v2 — their
+/// locality and paging decisions feed the policy streams just as directly
+/// as the original eight.
 pub const SIM_VISIBLE_CRATES: &[&str] = &[
     "core",
     "sim",
@@ -46,6 +49,8 @@ pub const SIM_VISIBLE_CRATES: &[&str] = &[
     "jit",
     "platform",
     "metrics",
+    "cluster",
+    "restore",
 ];
 
 /// Crates allowed to read wall clocks and OS entropy (rule `wall-clock`):
@@ -60,14 +65,154 @@ pub const POLICY_CRATES: &[&str] = &["core", "checkpoint"];
 /// `float-accum`): the policy math and the statistics it feeds.
 pub const FLOAT_ORDER_CRATES: &[&str] = &["core", "metrics"];
 
-/// All rule identifiers, in catalog order.
+/// All rule identifiers, in catalog order: the per-file D family
+/// (lexical, one file at a time), the interprocedural v2 family
+/// (evaluated over the workspace call graph — see [`crate::xrules`]),
+/// and the suppression audit.
 pub const ALL_RULES: &[&str] = &[
     "unordered-iter",
     "wall-clock",
     "panic-path",
     "crate-hygiene",
     "float-accum",
+    "determinism-taint",
+    "byte-conservation",
+    "panic-reach",
+    "kernel-misuse",
+    "unused-suppression",
 ];
+
+/// The long-form explanation of a rule (the `--explain <rule>` text), or
+/// `None` for an unknown rule id. Every id in [`ALL_RULES`] has one —
+/// pinned by a test.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "unordered-iter" => {
+            "unordered-iter (D1, per-file)\n\
+             No `HashMap`/`HashSet` in sim-visible crates.\n\n\
+             Pronghorn's headline numbers come from fixed-seed deterministic\n\
+             simulation: the same seed must replay the same decision stream\n\
+             byte for byte. `std` hash containers randomize iteration order\n\
+             per process, so any fold, selection, or tie-break over one can\n\
+             differ run to run without failing a single test. Use\n\
+             `BTreeMap`/`BTreeSet` (or another ordered container), or — if\n\
+             the use is provably order-independent — suppress with\n\
+             `// pronglint: allow(unordered-iter): <why>`."
+        }
+        "wall-clock" => {
+            "wall-clock (D2, per-file)\n\
+             No `Instant::now`/`SystemTime::now`/`thread_rng`/`from_entropy`\n\
+             outside the clock-exempt harness crates (bench, experiments).\n\n\
+             Simulated components must take time from `SimTime` and\n\
+             randomness from the seeded `RngFactory` streams; a host clock\n\
+             or OS entropy read anywhere else leaks nondeterminism into the\n\
+             replay. Measurement harnesses that time the *host* are exempt\n\
+             by crate."
+        }
+        "panic-path" => {
+            "panic-path (D3, per-file)\n\
+             No `unwrap()`/`expect()`/`panic!` in policy-crate library code\n\
+             (core, checkpoint).\n\n\
+             The policy crates decide checkpoint/restore orchestration; a\n\
+             panic there aborts the whole simulated fleet instead of\n\
+             degrading one decision. Return typed errors or prove the\n\
+             invariant locally; tests are exempt."
+        }
+        "crate-hygiene" => {
+            "crate-hygiene (D4, per-file)\n\
+             Every crate root carries `#![forbid(unsafe_code)]`; library\n\
+             roots also carry a missing-docs lint.\n\n\
+             \"Crate root\" includes every integration-test, bench, and\n\
+             example file: each one compiles as its own crate, so a root\n\
+             attribute in `src/lib.rs` does not cover them. `forbid` (not\n\
+             `deny`) so no downstream `allow` can reopen the hole."
+        }
+        "float-accum" => {
+            "float-accum (D5, per-file)\n\
+             f64 reductions in core/metrics carry the\n\
+             `// pronglint: det-order` marker.\n\n\
+             Float addition is not associative: summing in a different\n\
+             order changes the low bits, which compound through EWMA and\n\
+             softmax weights into different decisions. The marker is an\n\
+             auditable claim that the reduction order is fixed."
+        }
+        "determinism-taint" => {
+            "determinism-taint (T1, interprocedural)\n\
+             No call chain from a sim-visible crate may reach a function\n\
+             that iterates an unordered container, draws OS entropy, or\n\
+             reads a wall clock.\n\n\
+             D1/D2 check single files; this rule runs on the workspace call\n\
+             graph, so nondeterminism one function boundary away (in a\n\
+             helper crate the per-file rules exempt) is still caught. The\n\
+             finding is reported at the crossing call site in the\n\
+             sim-visible crate and carries the full call chain down to the\n\
+             taint source. Clear an unordered-iteration source with a\n\
+             `// pronglint: det-order — <why>` marker inside the source\n\
+             function if its result is provably order-independent; entropy\n\
+             and clock sources need a per-site allow."
+        }
+        "byte-conservation" => {
+            "byte-conservation (C1, workspace)\n\
+             Byte-accounting counters (`bytes_transferred`, `remote_bytes`,\n\
+             `nominal_bytes_downloaded`, `nominal_bytes_uploaded`,\n\
+             `pinned_nominal_bytes`, `replicated_bytes`) mutate only\n\
+             through `checked_`/`saturating_` arithmetic, and every such\n\
+             field is pinned by at least one assertion or test.\n\n\
+             The Table 5 byte decomposition is summed across millions of\n\
+             simulated events; a silent u64 wrap corrupts a headline number\n\
+             while every test stays green. Use\n\
+             `pronghorn_store::saturating_accumulate` (or\n\
+             `checked_accumulate` where an error channel exists)."
+        }
+        "panic-reach" => {
+            "panic-reach (P1, interprocedural)\n\
+             No `unwrap`/`expect`/`panic!` reachable from a public policy\n\
+             entry point (core, checkpoint), wherever the panic site\n\
+             lives.\n\n\
+             D3 covers panic sites *inside* the policy crates; this rule\n\
+             walks the call graph from policy entry points outward, so a\n\
+             panicky helper in store/kv/restore that a policy decision\n\
+             path calls is caught too. The finding carries the\n\
+             entry-to-panic call chain."
+        }
+        "kernel-misuse" => {
+            "kernel-misuse (K1, per-file over sim-visible crates)\n\
+             Kernel events are scheduled safely: (a) no\n\
+             `.schedule(<subtraction-derived time>, ..)` — underflow past\n\
+             `now` makes the kernel clamp silently and reorder the event\n\
+             against same-instant peers; use `saturating_sub`/`max(now)`\n\
+             so the clamp is explicit; (b) any `Ord`/`PartialOrd` over\n\
+             event time must include the `seq` tie-break the kernel's\n\
+             `(at, seq)` FIFO contract requires; (c) no hand-rolled\n\
+             `BinaryHeap` future-event lists outside `pronghorn_sim`."
+        }
+        "unused-suppression" => {
+            "unused-suppression (audit, workspace)\n\
+             Every `// pronglint: allow(<rule>): <why>` must suppress at\n\
+             least one live finding.\n\n\
+             A stale allow is a hole a future regression walks through\n\
+             unseen — the comment reads like protection while suppressing\n\
+             nothing (wrong line, fixed code, or a rule the crate is\n\
+             already exempt from). Delete it, or keep a deliberately\n\
+             dormant one alive with\n\
+             `// pronglint: allow(unused-suppression): <why>`."
+        }
+        _ => return None,
+    })
+}
+
+/// One frame of an interprocedural evidence chain: caller to callee,
+/// down to the line of the actual hazard.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ChainFrame {
+    /// Qualified function name (`Type::method` or bare fn).
+    pub func: String,
+    /// Repo-relative file of the function.
+    pub file: String,
+    /// 1-based line (the call site, or the hazard itself for the last
+    /// frame).
+    pub line: u32,
+}
 
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -80,6 +225,22 @@ pub struct Finding {
     pub rule: &'static str,
     /// Human-readable explanation with the suggested fix.
     pub message: String,
+    /// Interprocedural evidence (empty for per-file rules): the call
+    /// chain from the flagged function down to the hazard.
+    pub chain: Vec<ChainFrame>,
+}
+
+impl Finding {
+    /// A finding with no interprocedural chain.
+    pub fn new(file: String, line: u32, rule: &'static str, message: String) -> Self {
+        Finding {
+            file,
+            line,
+            rule,
+            message,
+            chain: Vec::new(),
+        }
+    }
 }
 
 /// What kind of file is being analyzed, derived from its path.
@@ -99,23 +260,33 @@ pub struct FileContext {
     pub is_lib_root: bool,
 }
 
-/// Analyzes one file's source, returning its findings sorted by line.
+/// Analyzes one file's source with the per-file D rules only, returning
+/// its findings sorted by line. The interprocedural v2 rules need the
+/// whole workspace — see [`crate::engine::analyze_units`].
 pub fn analyze_source(ctx: &FileContext, src: &str) -> Vec<Finding> {
     let tokens = lex(src);
     let file = FileAnalysis::new(ctx, src, &tokens);
-    let mut findings = Vec::new();
-    file.rule_unordered_iter(&mut findings);
-    file.rule_wall_clock(&mut findings);
-    file.rule_panic_path(&mut findings);
-    file.rule_crate_hygiene(&mut findings);
-    file.rule_float_accum(&mut findings);
+    let mut findings = file.raw_d_findings();
     findings.retain(|f| !file.is_suppressed(f.rule, f.line));
     findings.sort();
     findings
 }
 
+/// One `pronglint: allow(rule)` suppression comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule the comment names.
+    pub rule: String,
+    /// The code line the suppression covers (its own line for a trailing
+    /// comment, the next code line for a comment block above).
+    pub target_line: u32,
+    /// The line the comment itself sits on (where the unused-suppression
+    /// audit reports).
+    pub comment_line: u32,
+}
+
 /// Pre-computed per-file context shared by all rules.
-struct FileAnalysis<'a> {
+pub struct FileAnalysis<'a> {
     ctx: &'a FileContext,
     src: &'a str,
     tokens: &'a [Token],
@@ -124,16 +295,16 @@ struct FileAnalysis<'a> {
     sig: Vec<usize>,
     /// Byte ranges of test scope (`#[cfg(test)]` / `#[test]` item bodies).
     test_regions: Vec<(usize, usize)>,
-    /// Lines *covered by* a `pronglint: allow(rule)` comment, per rule:
-    /// the comment's own line for trailing comments, else the next code
-    /// line after the comment (block).
-    allows: Vec<(String, u32)>,
+    /// Every `pronglint: allow(rule)` suppression in the file.
+    allows: Vec<Allow>,
     /// Lines carrying the `pronglint: det-order` marker.
     det_order_lines: BTreeSet<u32>,
 }
 
 impl<'a> FileAnalysis<'a> {
-    fn new(ctx: &'a FileContext, src: &'a str, tokens: &'a [Token]) -> Self {
+    /// Builds the per-file context: significant tokens, test regions,
+    /// suppressions, and det-order markers.
+    pub fn new(ctx: &'a FileContext, src: &'a str, tokens: &'a [Token]) -> Self {
         let sig: Vec<usize> = tokens
             .iter()
             .enumerate()
@@ -163,6 +334,13 @@ impl<'a> FileAnalysis<'a> {
                 continue;
             }
             let text = t.text(src);
+            // Doc comments *describe* the directive syntax (rustdoc, rule
+            // explanations); only regular comments carry live directives.
+            if text.starts_with("///") || text.starts_with("//!")
+                || text.starts_with("/**") || text.starts_with("/*!")
+            {
+                continue;
+            }
             let Some(rest) = text.split("pronglint:").nth(1) else {
                 continue;
             };
@@ -172,7 +350,11 @@ impl<'a> FileAnalysis<'a> {
             } else if let Some(inner) = rest.strip_prefix("allow(") {
                 if let Some(end) = inner.find(')') {
                     for rule in inner[..end].split(',') {
-                        allows.push((rule.trim().to_string(), target_of(t.line)));
+                        allows.push(Allow {
+                            rule: rule.trim().to_string(),
+                            target_line: target_of(t.line),
+                            comment_line: t.line,
+                        });
                     }
                 }
             }
@@ -291,7 +473,9 @@ impl<'a> FileAnalysis<'a> {
         regions
     }
 
-    fn in_test_scope(&self, byte: usize) -> bool {
+    /// Whether the byte offset falls in test scope (test file, or a
+    /// `#[cfg(test)]` / `#[test]` item body).
+    pub fn in_test_scope(&self, byte: usize) -> bool {
         self.ctx.is_test_file
             || self
                 .test_regions
@@ -299,19 +483,46 @@ impl<'a> FileAnalysis<'a> {
                 .any(|&(s, e)| byte >= s && byte < e)
     }
 
-    fn is_suppressed(&self, rule: &str, line: u32) -> bool {
-        // Targets were resolved at parse time: a trailing comment covers
-        // its own line, a comment block covers the code line that follows.
-        self.allows.iter().any(|(r, l)| r == rule && *l == line)
+    /// Whether an `allow(rule)` comment covers `line`. Targets were
+    /// resolved at parse time: a trailing comment covers its own line, a
+    /// comment block covers the code line that follows.
+    pub fn is_suppressed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && a.target_line == line)
+    }
+
+    /// The file's suppression comments.
+    pub fn allows(&self) -> &[Allow] {
+        &self.allows
+    }
+
+    /// The file's `det-order` marker lines.
+    pub fn det_order_lines(&self) -> &BTreeSet<u32> {
+        &self.det_order_lines
+    }
+
+    /// The file's test-scope byte ranges.
+    pub fn test_regions(&self) -> &[(usize, usize)] {
+        &self.test_regions
+    }
+
+    /// Runs every per-file D rule, returning findings **before**
+    /// suppression (the engine applies suppressions globally so it can
+    /// audit unused ones).
+    pub fn raw_d_findings(&self) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        self.rule_unordered_iter(&mut findings);
+        self.rule_wall_clock(&mut findings);
+        self.rule_panic_path(&mut findings);
+        self.rule_crate_hygiene(&mut findings);
+        self.rule_float_accum(&mut findings);
+        findings.sort();
+        findings
     }
 
     fn finding(&self, rule: &'static str, line: u32, message: String) -> Finding {
-        Finding {
-            file: self.ctx.path.clone(),
-            line,
-            rule,
-            message,
-        }
+        Finding::new(self.ctx.path.clone(), line, rule, message)
     }
 
     /// D1: unordered containers in sim-visible crates.
@@ -642,5 +853,17 @@ mod tests {
         assert!(findings[0].message.contains("missing_docs"));
         let neither = "pub fn f() {}\n";
         assert_eq!(analyze_source(&root, neither).len(), 2);
+    }
+
+    #[test]
+    fn every_rule_has_an_explanation() {
+        for rule in ALL_RULES {
+            let text = explain(rule).unwrap_or_else(|| panic!("no --explain text for {rule}"));
+            assert!(
+                text.starts_with(rule),
+                "explanation for {rule} must lead with its id"
+            );
+        }
+        assert!(explain("no-such-rule").is_none());
     }
 }

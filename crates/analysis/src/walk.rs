@@ -42,15 +42,35 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 
 /// Builds the [`FileContext`] for a file at `rel` (repo-relative, forward
 /// slashes) belonging to `crate_name`.
-fn classify(crate_name: &str, rel: &str) -> FileContext {
-    let is_test_file = rel.contains("/tests/") || rel.contains("/benches/");
+///
+/// Harness files — anything under `tests/`, `benches/`, or `examples/` —
+/// are *test scope* (the determinism rules guard the sim contract, not
+/// demo/driver code) but each file sitting directly in such a directory
+/// is **its own crate root**, so the D4 hygiene rule
+/// (`#![forbid(unsafe_code)]`) applies to every one of them.
+pub fn classify(crate_name: &str, rel: &str) -> FileContext {
+    let parts: Vec<&str> = rel.split('/').collect();
+    // Test scope = a crate-level (or workspace-root) harness directory.
+    // `src/benches/` and friends are ordinary library modules — code the
+    // simulation really runs — and get no test exemption.
+    let harness_dir = match parts.as_slice() {
+        ["crates", _, d, ..] => Some(*d),
+        [d, ..] if *d != "crates" => Some(*d),
+        _ => None,
+    }
+    .filter(|d| matches!(*d, "tests" | "benches" | "examples"));
+    let is_test_file = harness_dir.is_some();
     let is_lib_root = rel.ends_with("src/lib.rs");
     let is_bin_root = rel.ends_with("src/main.rs") || rel.contains("/src/bin/");
+    // `crates/<c>/tests/f.rs` (likewise benches/examples) and the root
+    // `tests/f.rs` / `examples/f.rs` each compile as a separate crate;
+    // deeper files (`tests/common/mod.rs`) are modules of some root.
+    let is_harness_root = harness_dir.is_some() && parts.len() == 2 + 2 * (parts[0] == "crates") as usize;
     FileContext {
         crate_name: crate_name.to_string(),
         path: rel.to_string(),
         is_test_file,
-        is_crate_root: is_lib_root || is_bin_root,
+        is_crate_root: is_lib_root || is_bin_root || is_harness_root,
         is_lib_root,
     }
 }
@@ -74,7 +94,7 @@ pub fn workspace_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
             continue;
         };
         let name = name.to_string();
-        for sub in ["src", "tests", "benches"] {
+        for sub in ["src", "tests", "benches", "examples"] {
             let mut paths = Vec::new();
             rust_files(&crate_dir.join(sub), &mut paths)?;
             for abs in paths {
@@ -88,18 +108,15 @@ pub fn workspace_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
         }
     }
     // The workspace facade crate (`pronghorn`) at the root.
-    for sub in ["src", "tests"] {
+    for sub in ["src", "tests", "examples"] {
         let mut paths = Vec::new();
         rust_files(&root.join(sub), &mut paths)?;
         for abs in paths {
             if let Some(rel) = relativize(root, &abs) {
-                let mut ctx = classify("pronghorn", &rel);
-                // Root-level `tests/` lacks the inner slash `classify`
-                // keys on; anything outside `src/` is test scope.
-                if rel.starts_with("tests/") {
-                    ctx.is_test_file = true;
-                }
-                files.push(SourceFile { ctx, abs_path: abs });
+                files.push(SourceFile {
+                    ctx: classify("pronghorn", &rel),
+                    abs_path: abs,
+                });
             }
         }
     }
@@ -125,12 +142,25 @@ mod tests {
     fn classify_scopes() {
         let lib = classify("core", "crates/core/src/lib.rs");
         assert!(lib.is_crate_root && lib.is_lib_root && !lib.is_test_file);
+        // Integration-test files are test scope AND their own crate root.
         let tests = classify("core", "crates/core/tests/props.rs");
-        assert!(tests.is_test_file && !tests.is_crate_root);
+        assert!(tests.is_test_file && tests.is_crate_root && !tests.is_lib_root);
+        let bench = classify("bench", "crates/bench/benches/ablations.rs");
+        assert!(bench.is_test_file && bench.is_crate_root);
+        let example = classify("pronghorn", "examples/quickstart.rs");
+        assert!(example.is_test_file && example.is_crate_root);
+        let root_test = classify("pronghorn", "tests/end_to_end.rs");
+        assert!(root_test.is_test_file && root_test.is_crate_root);
         let bin = classify("analysis", "crates/analysis/src/bin/pronglint.rs");
         assert!(bin.is_crate_root && !bin.is_lib_root);
         let module = classify("core", "crates/core/src/pool.rs");
         assert!(!module.is_crate_root && !module.is_test_file);
+        // Modules *under* a harness dir are not separate roots.
+        let helper = classify("core", "crates/core/tests/common/mod.rs");
+        assert!(helper.is_test_file && !helper.is_crate_root);
+        // `src/benches/` is ordinary library code, not a harness dir.
+        let src_bench = classify("workloads", "crates/workloads/src/benches/java.rs");
+        assert!(!src_bench.is_crate_root && !src_bench.is_test_file);
     }
 
     #[test]
@@ -145,6 +175,8 @@ mod tests {
         let paths: Vec<&str> = files.iter().map(|f| f.ctx.path.as_str()).collect();
         assert!(paths.contains(&"crates/core/src/pool.rs"));
         assert!(paths.contains(&"src/lib.rs"));
+        assert!(paths.contains(&"examples/quickstart.rs"));
+        assert!(paths.contains(&"crates/analysis/tests/golden.rs"));
         assert!(!paths.iter().any(|p| p.starts_with("compat/")));
         assert!(!paths.iter().any(|p| p.starts_with("target/")));
         // Sorted and unique.

@@ -6,6 +6,8 @@
 //! The fixture's first lines carry `//@ crate:` and `//@ path:` headers
 //! that build the [`FileContext`] the rule engine sees.
 
+#![forbid(unsafe_code)]
+
 use analysis::rules::{analyze_source, FileContext};
 use std::path::{Path, PathBuf};
 
@@ -23,16 +25,10 @@ fn header<'a>(src: &'a str, key: &str) -> &'a str {
 }
 
 fn context_of(src: &str) -> FileContext {
-    let path = header(src, "path").to_string();
-    FileContext {
-        crate_name: header(src, "crate").to_string(),
-        is_test_file: path.contains("/tests/") || path.contains("/benches/"),
-        is_lib_root: path.ends_with("src/lib.rs"),
-        is_crate_root: path.ends_with("src/lib.rs")
-            || path.ends_with("src/main.rs")
-            || path.contains("/src/bin/"),
-        path,
-    }
+    // Use the workspace walker's own classification so a fixture behaves
+    // exactly as the same file would on disk (harness files are test
+    // scope *and* their own crate roots, `src/benches/` is library code).
+    analysis::classify(header(src, "crate"), header(src, "path"))
 }
 
 fn parse_expected(text: &str) -> Vec<(u32, String)> {
@@ -97,6 +93,14 @@ fn d4_crate_hygiene_compliant_root() {
 }
 
 #[test]
+fn d4_extends_to_harness_roots() {
+    // An integration-test file compiles as its own crate, so it needs
+    // `#![forbid(unsafe_code)]` even though it is test scope for every
+    // determinism rule.
+    check_fixture("d4_harness_root");
+}
+
+#[test]
 fn d5_float_accumulation() {
     check_fixture("d5_float");
 }
@@ -122,6 +126,7 @@ fn every_fixture_has_a_test() {
             "d2_exempt_crate",
             "d2_wall_clock",
             "d3_panic",
+            "d4_harness_root",
             "d4_hygiene_missing",
             "d4_hygiene_ok",
             "d5_float",

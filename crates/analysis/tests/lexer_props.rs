@@ -5,6 +5,8 @@
 //! token spans must tile the source exactly (suppression and statement
 //! scans index into the source by span).
 
+#![forbid(unsafe_code)]
+
 use analysis::lexer::lex;
 use proptest::prelude::*;
 

@@ -1,0 +1,63 @@
+//! Property tests for the item parser: totality and span tiling.
+//!
+//! The interprocedural rules index into the parse (`sig` token view,
+//! `body_sig` ranges, item spans) on files pronglint did not write, so
+//! the parser must never panic and its spans must stay in bounds — on
+//! arbitrary bytes, not just well-formed Rust.
+
+#![forbid(unsafe_code)]
+
+use analysis::parser::parse_file;
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary bytes (lossily decoded) never panic the parser, and the
+    /// top-level item spans tile the file exactly: contiguous, in order,
+    /// first at 0, last ending at `src.len()`.
+    #[test]
+    fn parse_is_total_and_item_spans_tile(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let parsed = parse_file(&src);
+        let mut cursor = 0usize;
+        for item in &parsed.items {
+            prop_assert_eq!(item.start, cursor, "gap or overlap before item");
+            prop_assert!(item.end >= item.start, "negative item span");
+            cursor = item.end;
+        }
+        prop_assert_eq!(cursor, src.len(), "item spans do not cover the input");
+        // `sig` is a strictly increasing view over valid token indices.
+        for w in parsed.sig.windows(2) {
+            prop_assert!(w[0] < w[1], "sig indices must be strictly increasing");
+        }
+        for &i in &parsed.sig {
+            prop_assert!(i < parsed.tokens.len(), "sig index out of range");
+        }
+    }
+
+    /// Function definitions carry in-bounds byte spans and well-formed
+    /// `body_sig` ranges, even on keyword soup with unbalanced braces.
+    #[test]
+    fn fn_spans_and_body_ranges_stay_in_bounds(
+        src in "(pub |fn |impl |mod |use |struct |\\{|\\}|\\(|\\)|;|->|[a-z]{1,8}|[0-9]| |\\n|//x|\"s\"){0,128}"
+    ) {
+        let parsed = parse_file(&src);
+        for f in &parsed.fns {
+            prop_assert!(f.span.0 <= f.span.1, "inverted fn span");
+            prop_assert!(f.span.1 <= src.len(), "fn span past end of input");
+            prop_assert!(f.line >= 1, "token lines are 1-based");
+            if let Some((lo, hi)) = f.body_sig {
+                prop_assert!(lo <= hi, "inverted body_sig range");
+                prop_assert!(lo <= parsed.sig.len(), "body_sig start out of range");
+            }
+        }
+    }
+
+    /// Comments, raw strings, and lifetimes — the lexer states that most
+    /// often confuse hand-rolled scanners — never panic the item parser.
+    #[test]
+    fn trivia_heavy_inputs_never_panic(
+        src in "(/\\*|\\*/|//|///|//!|r#\"|\"|'a|'\\\\''|#\\[|\\]|fn f|\\{|\\}|\\n| ){0,96}"
+    ) {
+        let _ = parse_file(&src);
+    }
+}

@@ -1,6 +1,8 @@
 //! End-to-end tests of the `pronglint` binary: exit codes, the ratcheted
 //! baseline lifecycle, and the real workspace staying clean.
 
+#![forbid(unsafe_code)]
+
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -62,13 +64,21 @@ impl Drop for SeededWorkspace {
 #[test]
 fn real_workspace_is_clean_under_checked_in_baseline() {
     let root = workspace_root();
+    let start = std::time::Instant::now();
     let out = pronglint(&["--root", root.to_str().unwrap()]);
+    let elapsed = start.elapsed();
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
         out.status.success(),
         "pronglint must pass on the workspace; output:\n{stdout}"
     );
     assert!(stdout.contains("pronglint: OK"));
+    // The full pipeline (walk, parse, call graph, T1/C1/P1/K1, audit)
+    // must stay cheap enough to run on every CI push.
+    assert!(
+        elapsed < std::time::Duration::from_secs(10),
+        "workspace analysis took {elapsed:?}, budget is 10s"
+    );
 }
 
 #[test]
@@ -122,6 +132,110 @@ fn update_baseline_then_clean_then_ratchet_blocks_new_findings() {
     assert_eq!(out.status.code(), Some(0));
     let baseline = fs::read_to_string(ws.baseline()).unwrap();
     assert!(!baseline.contains("[[finding]]"), "entry must be pruned");
+}
+
+#[test]
+fn interprocedural_findings_ratchet_like_d_rules() {
+    let ws = SeededWorkspace::new("xratchet");
+    // Replace the D1 seed with a C1 one: an unchecked `+=` on a byte
+    // counter plus a declaration no test pins down.
+    let lib = ws.root.join("crates/core/src/lib.rs");
+    fs::write(
+        &lib,
+        "#![forbid(unsafe_code)]\n\
+         #![warn(missing_docs)]\n\
+         //! Byte-counter fixture crate.\n\
+         /// Accounting state.\n\
+         pub struct Meter {\n\
+             /// Bytes moved so far.\n\
+             pub bytes_transferred: u64,\n\
+         }\n\
+         impl Meter {\n\
+             /// Records a transfer.\n\
+             pub fn add(&mut self, n: u64) {\n\
+                 self.bytes_transferred += n;\n\
+             }\n\
+         }\n",
+    )
+    .unwrap();
+    let out = pronglint(&["--root", ws.root(), "--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"rule\": \"byte-conservation\""));
+
+    // The debt baselines and ratchets exactly like the per-file rules.
+    let out = pronglint(&["--root", ws.root(), "--update-baseline"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(fs::read_to_string(ws.baseline())
+        .unwrap()
+        .contains("byte-conservation"));
+    let out = pronglint(&["--root", ws.root()]);
+    assert_eq!(out.status.code(), Some(0));
+
+    // Fixing the mutation and pinning the field flips both findings to
+    // improvements; --update-baseline prunes the entries.
+    fs::write(
+        &lib,
+        "#![forbid(unsafe_code)]\n\
+         #![warn(missing_docs)]\n\
+         //! Byte-counter fixture crate.\n\
+         /// Accounting state.\n\
+         pub struct Meter {\n\
+             /// Bytes moved so far.\n\
+             pub bytes_transferred: u64,\n\
+         }\n\
+         impl Meter {\n\
+             /// Records a transfer.\n\
+             pub fn add(&mut self, n: u64) {\n\
+                 self.bytes_transferred = self.bytes_transferred.saturating_add(n);\n\
+             }\n\
+         }\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+             #[test]\n\
+             fn conserves() {\n\
+                 let mut m = super::Meter { bytes_transferred: 0 };\n\
+                 m.add(7);\n\
+                 assert_eq!(m.bytes_transferred, 7);\n\
+             }\n\
+         }\n",
+    )
+    .unwrap();
+    let out = pronglint(&["--root", ws.root(), "--update-baseline"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(!fs::read_to_string(ws.baseline())
+        .unwrap()
+        .contains("[[finding]]"));
+}
+
+#[test]
+fn explain_prints_rule_rationale() {
+    let out = pronglint(&["--explain", "determinism-taint"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("determinism-taint"));
+    // Unknown rules are a usage error and list the valid ids.
+    let out = pronglint(&["--explain", "no-such-rule"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unordered-iter"));
+}
+
+#[test]
+fn validate_json_gates_the_artifact() {
+    let ws = SeededWorkspace::new("valjson");
+    let out = pronglint(&["--root", ws.root(), "--json"]);
+    let artifact = ws.root.join("findings.json");
+    fs::write(&artifact, &out.stdout).unwrap();
+    let out = pronglint(&["--validate-json", artifact.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "emitted JSON must validate: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("schema v2"));
+
+    fs::write(&artifact, "{\"schema_version\": 99}").unwrap();
+    let out = pronglint(&["--validate-json", artifact.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("off-schema"));
 }
 
 #[test]

@@ -6,6 +6,8 @@
 //! cost is benchmarked so regressions in any configuration's runtime are
 //! tracked too.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use pronghorn_bench::BENCH_INVOCATIONS;
 use pronghorn_core::{PolicyConfig, PolicyKind, SelectionStrategy};

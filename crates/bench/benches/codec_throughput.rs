@@ -10,6 +10,8 @@
 //! acceptance bar is `encode_fast` ≥ 2x `encode_legacy` at 64 MiB —
 //! run `scripts/bench_codec.sh` to collect the numbers as JSON.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pronghorn_checkpoint::{Encoder, Snapshot, SnapshotMeta};
 use pronghorn_experiments::bench_report::{legacy_encode, pattern_payload};

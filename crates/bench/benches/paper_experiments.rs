@@ -3,6 +3,8 @@
 //! The `experiments` binary produces the full-scale numbers; these benches
 //! keep the whole regeneration pipeline exercised and performance-tracked.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use pronghorn_bench::bench_context;
 use pronghorn_experiments::{fig1, fig45, fig6, fig7, grid, summary, table1, table4, table5};

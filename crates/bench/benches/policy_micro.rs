@@ -1,6 +1,8 @@
 //! Micro-benchmarks of the request-centric policy's hot paths: the
 //! decisions Figure 7 accounts as orchestrator overhead.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use pronghorn_checkpoint::SnapshotId;
 use pronghorn_core::pool::PoolEntry;

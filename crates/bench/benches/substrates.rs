@@ -2,6 +2,8 @@
 //! the object store and database, the JIT runtime's request execution,
 //! and the real workload kernels.
 
+#![forbid(unsafe_code)]
+
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pronghorn_checkpoint::{Checkpointable, SimCriuEngine, Snapshot, SnapshotMeta};

@@ -1,5 +1,7 @@
 //! Property-based tests for the codec and snapshot format.
 
+#![forbid(unsafe_code)]
+
 use bytes::Bytes;
 use pronghorn_checkpoint::codec::{Decoder, Encoder};
 use pronghorn_checkpoint::{Snapshot, SnapshotMeta};

@@ -15,7 +15,7 @@
 //! cluster tears down — pinned by proptests in `tests/`.
 
 use pronghorn_sim::{SimDuration, SimTime};
-use pronghorn_store::TransferModel;
+use pronghorn_store::{saturating_accumulate, TransferModel};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Cluster-wide locality counters, accumulated across a run.
@@ -138,7 +138,7 @@ impl BlobDirectory {
         if let Some(entry) = self.blobs.get_mut(&id) {
             for node in 0..nodes {
                 if entry.residents.insert(node) {
-                    self.stats.replicated_bytes += bytes;
+                    saturating_accumulate("replicated_bytes", &mut self.stats.replicated_bytes, bytes);
                 }
             }
         }
@@ -191,7 +191,7 @@ impl BlobDirectory {
                 let age = now.saturating_since(entry.placed_at);
                 entry.residents.insert(node);
                 self.stats.remote_misses += 1;
-                self.stats.remote_bytes += bytes;
+                saturating_accumulate("remote_bytes", &mut self.stats.remote_bytes, bytes);
                 self.stats.remote_us += transfer.as_micros() as f64;
                 self.stats.remote_age_us += age.as_micros() as f64;
                 BlobAccess {

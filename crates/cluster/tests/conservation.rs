@@ -2,6 +2,8 @@
 //! match a naive model under arbitrary operation sequences and drain to
 //! zero on teardown.
 
+#![forbid(unsafe_code)]
+
 use pronghorn_cluster::BlobDirectory;
 use pronghorn_sim::SimTime;
 use pronghorn_store::TransferModel;

@@ -6,6 +6,8 @@
 //! arrival set, the per-node kernels popped and merged yield exactly the
 //! global kernel's pop order, under every combination of `KernelKind`s.
 
+#![forbid(unsafe_code)]
+
 use pronghorn_cluster::HashRing;
 use pronghorn_sim::{Kernel, KernelKind, SimTime};
 use proptest::prelude::*;

@@ -7,6 +7,8 @@
 //! - Shrinking is the mirror image: only keys the removed node owned are
 //!   remapped, and they return to their previous owners.
 
+#![forbid(unsafe_code)]
+
 use pronghorn_cluster::HashRing;
 use pronghorn_sim::hash::mix64;
 use proptest::prelude::*;

@@ -22,7 +22,9 @@ use pronghorn_checkpoint::{CheckpointOutcome, DeltaFrame, Encoder, Snapshot, Sna
 use pronghorn_kv::{types as kvtypes, KvCosts, KvStore};
 use pronghorn_restore::{PageMap, PagedSnapshotStore};
 use pronghorn_sim::SimDuration;
-use pronghorn_store::{ChainIndex, ChainStats, ObjectStore, StoreError, TransferModel};
+use pronghorn_store::{
+    saturating_accumulate, ChainIndex, ChainStats, ObjectStore, StoreError, TransferModel,
+};
 use rand::RngCore;
 use std::collections::BTreeMap;
 
@@ -343,7 +345,11 @@ impl Orchestrator {
                         .transfer
                         .chained_transfer_time(dl.nominal, dl.chain_len)
                         .as_micros() as f64;
-                    self.overheads.nominal_bytes_downloaded += dl.nominal;
+                    saturating_accumulate(
+                        "nominal_bytes_downloaded",
+                        &mut self.overheads.nominal_bytes_downloaded,
+                        dl.nominal,
+                    );
                     download_nominal = dl.nominal;
                     if dl.chain_len > 1 {
                         if let Some(chains) = &mut self.chains {
@@ -543,7 +549,11 @@ impl Orchestrator {
             }
         };
         overhead_us += self.transfer.transfer_time(stored_nominal).as_micros() as f64;
-        self.overheads.nominal_bytes_uploaded += stored_nominal;
+        saturating_accumulate(
+            "nominal_bytes_uploaded",
+            &mut self.overheads.nominal_bytes_uploaded,
+            stored_nominal,
+        );
 
         if upload_ok {
             if let Some(chains) = &mut self.chains {

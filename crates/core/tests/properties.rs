@@ -1,5 +1,7 @@
 //! Property-based tests for the policy's data structures.
 
+#![forbid(unsafe_code)]
+
 use pronghorn_checkpoint::SnapshotId;
 use pronghorn_core::pool::{PoolEntry, SnapshotPool};
 use pronghorn_core::weights::{scaled_softmax, weighted_draw, WeightVector};

@@ -28,8 +28,9 @@ use pronghorn_sim::{Kernel, RngFactory, SimDuration, SimTime};
 use pronghorn_traces::TraceSpec;
 use pronghorn_workloads::by_name;
 use std::fmt::Write as _;
-// pronglint: allow(wall-clock): benchmark harness measures host elapsed
-// time; nothing simulation-visible reads it.
+// Wall-clock reads are fine here: `experiments` is a clock-exempt crate
+// (the harness measures host elapsed time; nothing simulation-visible
+// reads it), so no suppression is needed.
 use std::time::Instant;
 
 /// Benchmarks of the paired-seed identity grid.
@@ -236,8 +237,8 @@ fn replay(kind: KernelKind, arrivals: &[SimTime]) -> ReplayArm {
     // to the kernel work under measurement, while staying order-sensitive:
     // swapping any two pops changes the fold.
     let mut checksum = 0xcbf2_9ce4_8422_2325u64;
-    // pronglint: allow(wall-clock): throughput measurement of the kernel
-    // itself; the simulated pop order is checksummed and cross-checked.
+    // Host-clock throughput measurement of the kernel itself (clock-exempt
+    // crate); the simulated pop order is checksummed and cross-checked.
     let started = Instant::now();
     while let Some((at, payload)) = kernel.pop() {
         events += 1;
@@ -319,7 +320,7 @@ pub fn run(ctx: &ExperimentContext) -> KernelBenchReport {
             )
             .with_kernel(k);
             let stream = e2e_spec.stream(RngFactory::new(cfg.seed).stream("production"));
-            // pronglint: allow(wall-clock): end-to-end throughput; the
+            // Host-clock end-to-end throughput (clock-exempt crate); the
             // simulated stats are asserted identical across kernels.
             let started = Instant::now();
             let stats = run_production(&workload, &cfg, stream);

@@ -6,6 +6,8 @@
 //! command fails right after it — so the parsed context is observable
 //! without paying for a full experiment.
 
+#![forbid(unsafe_code)]
+
 use std::process::Command;
 
 fn run(args: &[&str]) -> (String, String, bool) {

@@ -1,5 +1,7 @@
 //! Property-based tests for the JIT runtime simulator.
 
+#![forbid(unsafe_code)]
+
 use pronghorn_checkpoint::codec::{Decoder, Encoder};
 use pronghorn_checkpoint::Checkpointable;
 use pronghorn_jit::{MethodProfile, MethodWork, RequestWork, Runtime, RuntimeProfile, Tier};

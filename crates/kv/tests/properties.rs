@@ -1,5 +1,7 @@
 //! Property-based tests: the store behaves like a sequential map model.
 
+#![forbid(unsafe_code)]
+
 use pronghorn_kv::types::{decode_f64_vec, decode_u64, encode_f64_vec, encode_u64};
 use pronghorn_kv::KvStore;
 use proptest::prelude::*;

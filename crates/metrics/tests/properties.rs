@@ -1,5 +1,7 @@
 //! Property-based tests for the statistics substrate.
 
+#![forbid(unsafe_code)]
+
 use pronghorn_metrics::{
     convergence_request, geometric_mean, Cdf, ConvergenceCriteria, Ewma, Histogram, Quantiles,
     Summary,

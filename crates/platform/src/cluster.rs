@@ -38,6 +38,7 @@ use pronghorn_cluster::{
     BlobDirectory, ClusterSpec, HashRing, LocalityStats, PlacementPolicy, RoutingPolicy,
 };
 use pronghorn_sim::{Kernel, SimDuration, SimTime};
+use pronghorn_store::saturating_accumulate;
 use pronghorn_workloads::Workload;
 
 /// Per-node counters of one cluster run.
@@ -202,7 +203,11 @@ fn provision_on(
                 // critical path, like the store download it extends).
                 session.provision_us += access.transfer.as_micros() as f64;
                 if let Some(info) = worker.restore.as_mut() {
-                    info.bytes_transferred += access.bytes;
+                    saturating_accumulate(
+                        "bytes_transferred",
+                        &mut info.bytes_transferred,
+                        access.bytes,
+                    );
                 }
                 worker.stale_age = access.age;
             }

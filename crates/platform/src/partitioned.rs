@@ -30,7 +30,7 @@ use pronghorn_jit::Runtime;
 use pronghorn_kv::KvStore;
 use pronghorn_restore::{RestoreInfo, RestoreStrategy};
 use pronghorn_sim::{Kernel, RngFactory, SimTime};
-use pronghorn_store::ObjectStore;
+use pronghorn_store::{saturating_accumulate, ObjectStore};
 use pronghorn_workloads::{InputVariance, Workload};
 
 /// One input class's deployment.
@@ -262,8 +262,16 @@ pub fn run_partitioned(workload: &dyn Workload, cfg: &RunConfig, classes: usize)
         overheads.requests += o.requests;
         overheads.checkpoint_us += o.checkpoint_us;
         overheads.checkpoints += o.checkpoints;
-        overheads.nominal_bytes_uploaded += o.nominal_bytes_uploaded;
-        overheads.nominal_bytes_downloaded += o.nominal_bytes_downloaded;
+        saturating_accumulate(
+            "nominal_bytes_uploaded",
+            &mut overheads.nominal_bytes_uploaded,
+            o.nominal_bytes_uploaded,
+        );
+        saturating_accumulate(
+            "nominal_bytes_downloaded",
+            &mut overheads.nominal_bytes_downloaded,
+            o.nominal_bytes_downloaded,
+        );
         overheads.peak_pool_nominal_bytes += o.peak_pool_nominal_bytes;
     }
 

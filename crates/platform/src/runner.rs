@@ -18,7 +18,7 @@ use pronghorn_restore::{
     DEFAULT_PAGE_SIZE,
 };
 use pronghorn_sim::{Kernel, RngFactory, SimTime};
-use pronghorn_store::{ObjectStore, TransferModel};
+use pronghorn_store::{saturating_accumulate, ObjectStore, TransferModel};
 use pronghorn_traces::Trace;
 use pronghorn_workloads::Workload;
 use rand::rngs::SmallRng;
@@ -575,7 +575,7 @@ impl<'w> Session<'w> {
                 if let Some(info) = worker.restore.as_mut() {
                     info.faults += touches.len() as u32;
                     info.fault_us += fault_us;
-                    info.bytes_transferred += fetched;
+                    saturating_accumulate("bytes_transferred", &mut info.bytes_transferred, fetched);
                 }
             }
             // A recording restore persists its working set once the trace

@@ -1,5 +1,7 @@
 //! Edge-case integration tests for the platform runners.
 
+#![forbid(unsafe_code)]
+
 use pronghorn_core::{PolicyKind, SelectionStrategy};
 use pronghorn_platform::{
     run_closed_loop, run_fleet, run_partitioned, run_trace, FleetConfig, RunConfig,

@@ -3,6 +3,8 @@
 //! shrinks. These run the full §5.1 protocol (500 invocations, paper
 //! input variance).
 
+#![forbid(unsafe_code)]
+
 use pronghorn_core::PolicyKind;
 use pronghorn_metrics::median_improvement_pct;
 use pronghorn_platform::{run_closed_loop, RunConfig};

@@ -7,6 +7,8 @@
 //! `(at, seq, event)` order from both kernels, with `now`, `len` and
 //! `peek_time` agreeing after every operation.
 
+#![forbid(unsafe_code)]
+
 use pronghorn_sim::{EventQueue, SimDuration, SimTime, TimerWheel};
 use proptest::prelude::*;
 

@@ -1,0 +1,98 @@
+//! Overflow-safe accumulation for the byte-accounting counters.
+//!
+//! The Table 5 byte decomposition (`restore_bytes == nominal + remote`,
+//! DESIGN.md §14) is computed from a handful of `u64` totals
+//! (`bytes_transferred`, `remote_bytes`, `nominal_bytes_*`,
+//! `replicated_bytes`, …) accumulated across millions of simulated
+//! events. A bare `+=` on any of them wraps silently on overflow and
+//! corrupts a headline number without failing a single test; pronglint
+//! rule `byte-conservation` rejects such sites. This module is the
+//! sanctioned alternative: [`checked_accumulate`] surfaces the overflow
+//! as a typed [`CounterOverflow`] error, and [`saturating_accumulate`]
+//! pins the counter at `u64::MAX` (a visibly absurd total) for the
+//! event-loop paths that have no error channel.
+
+use std::fmt;
+
+/// Typed error: adding `delta` to `counter` would exceed `u64::MAX`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterOverflow {
+    /// Name of the accounting counter that would wrap.
+    pub counter: &'static str,
+    /// The counter's value before the add.
+    pub current: u64,
+    /// The delta that did not fit.
+    pub delta: u64,
+}
+
+impl fmt::Display for CounterOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "byte-accounting counter `{}` overflows u64: {} + {}",
+            self.counter, self.current, self.delta
+        )
+    }
+}
+
+impl std::error::Error for CounterOverflow {}
+
+/// Adds `delta` to `counter`, failing with a typed [`CounterOverflow`]
+/// instead of wrapping. The counter is left untouched on failure.
+pub fn checked_accumulate(
+    name: &'static str,
+    counter: &mut u64,
+    delta: u64,
+) -> Result<(), CounterOverflow> {
+    match counter.checked_add(delta) {
+        Some(next) => {
+            *counter = next;
+            Ok(())
+        }
+        None => Err(CounterOverflow {
+            counter: name,
+            current: *counter,
+            delta,
+        }),
+    }
+}
+
+/// Adds `delta` to `counter`, pinning at `u64::MAX` on overflow — for
+/// accumulation sites inside event loops that have no error channel. A
+/// pinned ceiling is loud in any report; a wrapped counter looks
+/// plausible. Debug builds additionally fail fast with the typed error.
+pub fn saturating_accumulate(name: &'static str, counter: &mut u64, delta: u64) {
+    if let Err(overflow) = checked_accumulate(name, counter, delta) {
+        debug_assert!(false, "{overflow}");
+        *counter = u64::MAX;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checked_accumulates_and_reports_overflow() {
+        let mut c = 40;
+        assert!(checked_accumulate("remote_bytes", &mut c, 2).is_ok());
+        assert_eq!(c, 42);
+        let err = checked_accumulate("remote_bytes", &mut c, u64::MAX).unwrap_err();
+        assert_eq!(c, 42, "counter untouched on overflow");
+        assert_eq!(err.counter, "remote_bytes");
+        assert_eq!(err.current, 42);
+        assert_eq!(err.delta, u64::MAX);
+        assert!(err.to_string().contains("remote_bytes"));
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "overflows u64"))]
+    fn saturating_pins_at_ceiling() {
+        let mut c = u64::MAX - 1;
+        saturating_accumulate("bytes_transferred", &mut c, 1);
+        assert_eq!(c, u64::MAX);
+        // Past the ceiling: release builds pin, debug builds fail fast.
+        saturating_accumulate("bytes_transferred", &mut c, 1);
+        assert_eq!(c, u64::MAX);
+    }
+}

@@ -32,10 +32,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accounting;
 pub mod chain;
 pub mod store;
 pub mod transfer;
 
+pub use accounting::{checked_accumulate, saturating_accumulate, CounterOverflow};
 pub use chain::{ChainIndex, ChainStats};
 pub use store::{ObjectMeta, ObjectStore, StoreError, StoreStats};
 pub use transfer::TransferModel;

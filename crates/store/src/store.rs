@@ -146,11 +146,19 @@ impl Inner {
         let object = self.buckets.get_mut(bucket)?.remove(key)?;
         let mut freed = object.own_len();
         if let Some(hash) = object.blob {
-            let entry = self.blobs.get_mut(&hash).expect("blob for live ref");
-            entry.refs -= 1;
-            if entry.refs == 0 {
-                freed += entry.data.len() as u64;
-                self.blobs.remove(&hash);
+            // A live object's blob entry always exists (ref inserts and
+            // removes are paired in put/remove). Should that ever break,
+            // degrade to not counting the blob as freed — this runs on the
+            // policy's eviction path, where a panic would abort the whole
+            // decision loop (pronglint rule `panic-reach`).
+            if let Some(entry) = self.blobs.get_mut(&hash) {
+                entry.refs = entry.refs.saturating_sub(1);
+                if entry.refs == 0 {
+                    freed += entry.data.len() as u64;
+                    self.blobs.remove(&hash);
+                }
+            } else {
+                debug_assert!(false, "blob entry missing for live ref {hash}");
             }
         }
         Some(freed)

@@ -1,6 +1,8 @@
 //! Property-based tests: the object store's accounting invariants hold
 //! under arbitrary operation sequences.
 
+#![forbid(unsafe_code)]
+
 use bytes::Bytes;
 use pronghorn_store::{ObjectStore, StoreError};
 use proptest::prelude::*;

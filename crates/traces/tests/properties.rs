@@ -1,5 +1,7 @@
 //! Property-based tests for the synthetic trace generator.
 
+#![forbid(unsafe_code)]
+
 use pronghorn_sim::{RngFactory, SimDuration, SimTime};
 use pronghorn_traces::{PopularityModel, Trace, TraceSpec};
 use proptest::prelude::*;

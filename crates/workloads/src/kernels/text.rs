@@ -96,7 +96,8 @@ pub fn word_count(text: &str) -> WordCountResult {
     }
     let top = counts
         .iter()
-        // Deterministic tie-break so results are reproducible.
+        // pronglint: det-order — `max_by` under a total (count, key) order:
+        // the winner is independent of HashMap iteration order.
         .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
         .map(|(w, c)| (w.clone(), *c));
     WordCountResult {

@@ -4,6 +4,8 @@
 //! these properties pin their correctness on arbitrary inputs, not just
 //! the unit-test vectors.
 
+#![forbid(unsafe_code)]
+
 use pronghorn_workloads::kernels::{compress, graph, hashing, html, json, media, text};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;

@@ -13,6 +13,8 @@
 //! whole fleet the hot-start benefit at a fraction of the checkpointing
 //! cost.
 
+#![forbid(unsafe_code)]
+
 use pronghorn::platform::{run_fleet, FleetConfig};
 use pronghorn::prelude::*;
 

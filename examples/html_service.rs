@@ -12,6 +12,8 @@
 //! orchestrator under aggressive eviction and shows the hot-start benefit
 //! materializing.
 
+#![forbid(unsafe_code)]
+
 use pronghorn::experiments::fig1::warmup_curve;
 use pronghorn::prelude::*;
 

@@ -13,6 +13,8 @@
 //! storage overhead used by simply reducing the size of the snapshot
 //! pool, e.g., setting C = 2 instead of C = 12").
 
+#![forbid(unsafe_code)]
+
 use pronghorn::prelude::*;
 
 fn median_with(workload: &dyn Workload, config: PolicyConfig) -> f64 {

@@ -9,6 +9,8 @@
 //! policies, and prints their median latencies and the Pronghorn
 //! improvement.
 
+#![forbid(unsafe_code)]
+
 use pronghorn::prelude::*;
 
 fn main() {

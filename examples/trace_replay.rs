@@ -10,6 +10,8 @@
 //! orchestration policies with idle-timeout eviction, and prints per-policy
 //! latency distributions plus live pool statistics.
 
+#![forbid(unsafe_code)]
+
 use pronghorn::prelude::*;
 use pronghorn::traces::Trace;
 

@@ -1,5 +1,7 @@
 //! Cross-crate end-to-end tests through the `pronghorn` facade.
 
+#![forbid(unsafe_code)]
+
 use pronghorn::prelude::*;
 
 #[test]

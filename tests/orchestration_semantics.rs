@@ -1,6 +1,8 @@
 //! Integration tests pinning the orchestration semantics the paper
 //! describes, across crate boundaries.
 
+#![forbid(unsafe_code)]
+
 use pronghorn::checkpoint::{Checkpointable, SimCriuEngine, SnapshotMeta};
 use pronghorn::jit::{MethodWork, RequestWork, Runtime};
 use pronghorn::prelude::*;
