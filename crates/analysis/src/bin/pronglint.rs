@@ -117,7 +117,11 @@ fn main() -> ExitCode {
         };
         return match report::validate(&text) {
             Ok(()) => {
-                println!("pronglint: {} conforms to schema v{}", path.display(), report::SCHEMA_VERSION);
+                println!(
+                    "pronglint: {} conforms to schema v{}",
+                    path.display(),
+                    report::SCHEMA_VERSION
+                );
                 ExitCode::SUCCESS
             }
             Err(e) => {

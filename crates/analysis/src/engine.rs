@@ -143,7 +143,8 @@ pub fn analyze_units(units: &[SourceUnit]) -> Vec<Finding> {
     // deep; keepers of keepers are not modeled).
     for (fi, fa) in fas.iter().enumerate() {
         for a in fa.allows() {
-            if a.rule == "unused-suppression" && !used.contains(&(fi, a.comment_line, a.rule.clone()))
+            if a.rule == "unused-suppression"
+                && !used.contains(&(fi, a.comment_line, a.rule.clone()))
             {
                 audit.push(Finding::new(
                     units[fi].ctx.path.clone(),

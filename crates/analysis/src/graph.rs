@@ -137,9 +137,8 @@ pub fn call_sites(parsed: &ParsedFile, def: &FnDef, src: &str) -> Vec<CallSite> 
     let hi = hi.min(n);
     let tok = |i: usize| &parsed.tokens[parsed.sig[i]];
     let text = |i: usize| tok(i).text(src);
-    let is_punct = |i: usize, ch: &str| {
-        tok(i).kind == crate::lexer::TokenKind::Punct && text(i) == ch
-    };
+    let is_punct =
+        |i: usize, ch: &str| tok(i).kind == crate::lexer::TokenKind::Punct && text(i) == ch;
     for i in lo..hi {
         if tok(i).kind != crate::lexer::TokenKind::Ident {
             continue;
@@ -233,8 +232,12 @@ impl CallGraph {
         let mut calls: Vec<Vec<CallEdge>> = vec![Vec::new(); nodes.len()];
         for f in files {
             // Which crates this file imports (cross-crate evidence).
-            let imported_crates: BTreeSet<&str> =
-                f.parsed.uses.iter().map(|u| u.from_crate.as_str()).collect();
+            let imported_crates: BTreeSet<&str> = f
+                .parsed
+                .uses
+                .iter()
+                .map(|u| u.from_crate.as_str())
+                .collect();
             // Imported name -> source crates.
             let mut imported_names: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
             for u in &f.parsed.uses {

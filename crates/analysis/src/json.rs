@@ -251,9 +251,7 @@ impl<'a> Parser<'a> {
                             out.push(c);
                             self.pos += 4;
                         }
-                        other => {
-                            return Err(self.err(format!("bad escape `\\{}`", other as char)))
-                        }
+                        other => return Err(self.err(format!("bad escape `\\{}`", other as char))),
                     }
                 }
                 Some(c) if c < 0x20 => return Err(self.err("raw control byte in string")),
@@ -278,7 +276,10 @@ impl<'a> Parser<'a> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
@@ -296,7 +297,10 @@ mod tests {
     fn parses_nested_document() {
         let v = parse(r#"{"a": [1, 2.5, -3], "b": {"c": true, "d": null}, "s": "x\ny"}"#).unwrap();
         assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
-        assert_eq!(v.get("a").unwrap().as_array().unwrap()[1].as_f64(), Some(2.5));
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[1].as_f64(),
+            Some(2.5)
+        );
         assert_eq!(v.get("b").unwrap().get("c").unwrap().as_bool(), Some(true));
         assert_eq!(v.get("b").unwrap().get("d"), Some(&Value::Null));
         assert_eq!(v.get("s").unwrap().as_str(), Some("x\ny"));

@@ -555,7 +555,12 @@ mod tests {
         let kinds: Vec<ItemKind> = p.items.iter().map(|i| i.kind).collect();
         assert_eq!(
             kinds,
-            [ItemKind::Use, ItemKind::Fn, ItemKind::Other, ItemKind::Other]
+            [
+                ItemKind::Use,
+                ItemKind::Fn,
+                ItemKind::Other,
+                ItemKind::Other
+            ]
         );
     }
 

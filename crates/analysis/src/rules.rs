@@ -336,8 +336,10 @@ impl<'a> FileAnalysis<'a> {
             let text = t.text(src);
             // Doc comments *describe* the directive syntax (rustdoc, rule
             // explanations); only regular comments carry live directives.
-            if text.starts_with("///") || text.starts_with("//!")
-                || text.starts_with("/**") || text.starts_with("/*!")
+            if text.starts_with("///")
+                || text.starts_with("//!")
+                || text.starts_with("/**")
+                || text.starts_with("/*!")
             {
                 continue;
             }

@@ -65,7 +65,8 @@ pub fn classify(crate_name: &str, rel: &str) -> FileContext {
     // `crates/<c>/tests/f.rs` (likewise benches/examples) and the root
     // `tests/f.rs` / `examples/f.rs` each compile as a separate crate;
     // deeper files (`tests/common/mod.rs`) are modules of some root.
-    let is_harness_root = harness_dir.is_some() && parts.len() == 2 + 2 * (parts[0] == "crates") as usize;
+    let is_harness_root =
+        harness_dir.is_some() && parts.len() == 2 + 2 * (parts[0] == "crates") as usize;
     FileContext {
         crate_name: crate_name.to_string(),
         path: rel.to_string(),

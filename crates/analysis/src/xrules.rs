@@ -23,7 +23,9 @@
 use crate::graph::{CallGraph, NodeId};
 use crate::lexer::TokenKind;
 use crate::parser::ParsedFile;
-use crate::rules::{ChainFrame, FileAnalysis, FileContext, Finding, POLICY_CRATES, SIM_VISIBLE_CRATES};
+use crate::rules::{
+    ChainFrame, FileAnalysis, FileContext, Finding, POLICY_CRATES, SIM_VISIBLE_CRATES,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The byte-accounting fields whose conservation the C1 rule enforces:
@@ -177,7 +179,9 @@ pub fn determinism_taint(files: &[XFile<'_>], graph: &CallGraph) -> Vec<Finding>
         }
         let file = &files[node.file_idx];
         let def = &file.parsed.fns[node.fn_idx];
-        let Some((lo, hi)) = def.body_sig else { continue };
+        let Some((lo, hi)) = def.body_sig else {
+            continue;
+        };
         let Some((kind, line)) = direct_taint(file, lo, hi) else {
             continue;
         };
@@ -226,7 +230,11 @@ pub fn determinism_taint(files: &[XFile<'_>], graph: &CallGraph) -> Vec<Finding>
                 chain.push(ChainFrame {
                     func: n.qual_name.clone(),
                     file: n.file.clone(),
-                    line: if i + 1 == path.len() { src_line } else { n.line },
+                    line: if i + 1 == path.len() {
+                        src_line
+                    } else {
+                        n.line
+                    },
                 });
             }
             let src_node = &graph.nodes[src_id];
@@ -271,7 +279,8 @@ pub fn byte_conservation(files: &[XFile<'_>]) -> Vec<Finding> {
         let assert_lines: BTreeSet<u32> = (0..n)
             .filter(|&i| {
                 file.is_ident_kind(i)
-                    && (file.text(i).starts_with("assert") || file.text(i).starts_with("debug_assert"))
+                    && (file.text(i).starts_with("assert")
+                        || file.text(i).starts_with("debug_assert"))
             })
             .map(|i| file.tok(i).line)
             .collect();
@@ -305,7 +314,11 @@ pub fn byte_conservation(files: &[XFile<'_>]) -> Vec<Finding> {
             // Compound mutation: `field += …` / `field -= …`.
             if (file.is_punct(i + 1, "+") || file.is_punct(i + 1, "-")) && file.is_punct(i + 2, "=")
             {
-                let op = if file.is_punct(i + 1, "+") { "+=" } else { "-=" };
+                let op = if file.is_punct(i + 1, "+") {
+                    "+="
+                } else {
+                    "-="
+                };
                 out.push(Finding::new(
                     file.ctx.path.clone(),
                     t.line,
@@ -411,7 +424,9 @@ pub fn panic_reach(files: &[XFile<'_>], graph: &CallGraph) -> Vec<Finding> {
         }
         let file = &files[h.file_idx];
         let def = &file.parsed.fns[h.fn_idx];
-        let Some((lo, hi)) = def.body_sig else { continue };
+        let Some((lo, hi)) = def.body_sig else {
+            continue;
+        };
         let hi = hi.min(file.parsed.sig.len());
         for i in lo..hi {
             if !file.is_ident_kind(i) {
@@ -505,7 +520,9 @@ pub fn kernel_misuse(files: &[XFile<'_>]) -> Vec<Finding> {
                         minus = true;
                     } else if file.is_ident_kind(j) {
                         let t2 = file.text(j);
-                        if t2.starts_with("saturating_") || t2.starts_with("checked_") || t2 == "max"
+                        if t2.starts_with("saturating_")
+                            || t2.starts_with("checked_")
+                            || t2 == "max"
                         {
                             guarded = true;
                         }

@@ -138,7 +138,11 @@ impl BlobDirectory {
         if let Some(entry) = self.blobs.get_mut(&id) {
             for node in 0..nodes {
                 if entry.residents.insert(node) {
-                    saturating_accumulate("replicated_bytes", &mut self.stats.replicated_bytes, bytes);
+                    saturating_accumulate(
+                        "replicated_bytes",
+                        &mut self.stats.replicated_bytes,
+                        bytes,
+                    );
                 }
             }
         }

@@ -1,8 +1,31 @@
-//! `BENCH_grid.json` — the machine-readable performance report the
-//! `summary` command writes next to `summary.csv`.
+//! The shared `BENCH_*.json` schema plus `BENCH_grid.json` — the
+//! machine-readable performance report the `summary` command writes next
+//! to `summary.csv`.
 //!
-//! Two kinds of numbers land in the file, both strictly observational
-//! (simulated results stay bit-identical for a fixed seed):
+//! Every benchmark report in `results/` ( `BENCH_grid.json`,
+//! `BENCH_restore.json`, `BENCH_delta.json`, `BENCH_cluster.json`,
+//! `BENCH_kernel.json`, `BENCH_provision.json`) is rendered through
+//! [`BenchReport`], so they all share one header:
+//!
+//! ```json
+//! {
+//!   "report": "pronghorn-<name>",
+//!   "schema_version": 2,
+//!   "wall_clock_s": 1.234,
+//!   "config": { ... },
+//!   "arms": [ {...}, {...} ],
+//!   ...report-specific trailing sections...
+//! }
+//! ```
+//!
+//! `config` records the knobs the run was taken under; `arms` is the
+//! per-variant comparison the report exists to make. Individual arm
+//! objects are built with [`JsonObj`], which renders NaN as `null` so a
+//! cell that never exercised a path stays machine-readable.
+//!
+//! This module also owns the grid report proper. Two kinds of numbers
+//! land in `BENCH_grid.json`, both strictly observational (simulated
+//! results stay bit-identical for a fixed seed):
 //!
 //! * **Grid wall-clock and codec counters** — how long each figure grid
 //!   took on the host, plus the [`CodecStats`] merged across every cell:
@@ -21,6 +44,164 @@ use pronghorn_checkpoint::{CodecStats, Encoder, Snapshot, SnapshotMeta};
 use pronghorn_sim::hash::{fnv1a, fnv1a_wide};
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Version stamped into every `BENCH_*.json` header. Bump when the
+/// shared header shape (not a report's arm fields) changes.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
+/// A single-line JSON object builder for arm entries and config values.
+///
+/// Keys and string values are trusted (static labels) and are not
+/// escaped. Floats render at a caller-chosen precision, with NaN and
+/// infinities as `null` — the JSON-safe spelling of "this cell never
+/// exercised the path".
+#[derive(Debug, Clone, Default)]
+pub struct JsonObj {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObj {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(mut self, key: &str, raw: String) -> Self {
+        self.fields.push((key.to_string(), raw));
+        self
+    }
+
+    /// A quoted string field.
+    pub fn str(self, key: &str, value: &str) -> Self {
+        self.push(key, format!("\"{value}\""))
+    }
+
+    /// An unsigned integer field.
+    pub fn uint(self, key: &str, value: u64) -> Self {
+        self.push(key, value.to_string())
+    }
+
+    /// A boolean field.
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.push(key, value.to_string())
+    }
+
+    /// A float field at `precision` decimal places; non-finite values
+    /// render as `null`.
+    pub fn float(self, key: &str, value: f64, precision: usize) -> Self {
+        let raw = if value.is_finite() {
+            format!("{value:.precision$}")
+        } else {
+            "null".to_string()
+        };
+        self.push(key, raw)
+    }
+
+    /// A pre-rendered JSON value (nested array or object).
+    pub fn raw(self, key: &str, value: String) -> Self {
+        self.push(key, value)
+    }
+
+    /// Renders the object on one line: `{"a": 1, "b": "x"}`.
+    pub fn render(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
+}
+
+/// Builder for the shared `BENCH_*.json` document described in the
+/// module docs: common header, `config` map, `arms` array, then any
+/// report-specific trailing sections.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    name: &'static str,
+    wall_clock_s: Option<f64>,
+    config: Vec<(String, String)>,
+    arms: Vec<String>,
+    sections: Vec<(String, String)>,
+}
+
+impl BenchReport {
+    /// Starts a report; `name` lands in the header as
+    /// `"report": "pronghorn-<name>"`.
+    pub fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            wall_clock_s: None,
+            config: Vec::new(),
+            arms: Vec::new(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Records the host wall-clock the sweep took.
+    pub fn wall_clock(mut self, seconds: f64) -> Self {
+        self.wall_clock_s = Some(seconds);
+        self
+    }
+
+    /// Adds one `config` entry; `raw` is a pre-rendered JSON value.
+    pub fn config(mut self, key: &str, raw: impl Into<String>) -> Self {
+        self.config.push((key.to_string(), raw.into()));
+        self
+    }
+
+    /// Appends one arm to the `arms` array.
+    pub fn arm(&mut self, arm: JsonObj) -> &mut Self {
+        self.arms.push(arm.render());
+        self
+    }
+
+    /// Appends a report-specific section after `arms`; `raw` is a
+    /// pre-rendered JSON value.
+    pub fn section(&mut self, key: &str, raw: impl Into<String>) -> &mut Self {
+        self.sections.push((key.to_string(), raw.into()));
+        self
+    }
+
+    /// Renders the full document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"report\": \"pronghorn-{}\",\n  \"schema_version\": {BENCH_SCHEMA_VERSION},\n",
+            self.name
+        );
+        if let Some(s) = self.wall_clock_s {
+            let _ = writeln!(out, "  \"wall_clock_s\": {s:.3},");
+        }
+        let config: Vec<String> = self
+            .config
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        let _ = writeln!(out, "  \"config\": {{{}}},", config.join(", "));
+        out.push_str("  \"arms\": [\n");
+        for (i, arm) in self.arms.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(arm);
+            if i + 1 < self.arms.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]");
+        for (key, raw) in &self.sections {
+            let _ = write!(out, ",\n  \"{key}\": {raw}");
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Renders and writes `results/<filename>`, returning the path.
+    pub fn save(&self, filename: &str) -> std::io::Result<std::path::PathBuf> {
+        write_results_file(filename, &self.render())
+    }
+}
 
 /// Payload sizes exercised by the inline micro-benchmark, in MiB.
 pub const MICRO_SIZES_MB: [usize; 3] = [10, 32, 64];
@@ -140,73 +321,58 @@ pub fn grid_codec(grid: &Grid) -> CodecStats {
     total
 }
 
-fn push_codec(out: &mut String, indent: &str, s: &CodecStats) {
-    let _ = write!(
-        out,
-        "{{\n{indent}  \"encodes\": {},\n{indent}  \"encode_skips\": {},\n\
-         {indent}  \"skip_ratio\": {:.4},\n{indent}  \"bytes_encoded\": {},\n\
-         {indent}  \"bytes_skipped\": {},\n{indent}  \"allocations_avoided\": {},\n\
-         {indent}  \"encode_ns\": {},\n{indent}  \"checksum_ns\": {}\n{indent}}}",
-        s.encodes,
-        s.encode_skips,
-        s.skip_ratio(),
-        s.bytes_encoded,
-        s.bytes_skipped,
-        s.allocations_avoided,
-        s.encode_ns,
-        s.checksum_ns,
-    );
+/// One [`CodecStats`] block as a single-line JSON object.
+fn codec_obj(s: &CodecStats) -> JsonObj {
+    JsonObj::new()
+        .uint("encodes", s.encodes)
+        .uint("encode_skips", s.encode_skips)
+        .float("skip_ratio", s.skip_ratio(), 4)
+        .uint("bytes_encoded", s.bytes_encoded)
+        .uint("bytes_skipped", s.bytes_skipped)
+        .uint("allocations_avoided", s.allocations_avoided)
+        .uint("encode_ns", s.encode_ns)
+        .uint("checksum_ns", s.checksum_ns)
 }
 
-/// Renders the report as a JSON document. `grids` pairs a label (for
+/// Renders the report as a JSON document in the shared [`BenchReport`]
+/// schema: one arm per labelled grid, with the pooled codec totals and
+/// the micro-benchmark as trailing sections. `grids` pairs a label (for
 /// example `"fig4"`) with the grid it names; `micro` is typically the
 /// output of [`micro_row`] over [`MICRO_SIZES_MB`].
 pub fn render_json(grids: &[(&str, &Grid)], micro: &[MicroRow]) -> String {
-    let mut out = String::new();
-    out.push_str("{\n  \"grids\": [\n");
-    for (i, (name, grid)) in grids.iter().enumerate() {
-        let _ = write!(
-            out,
-            "    {{\n      \"name\": \"{}\",\n      \"cells\": {},\n      \
-             \"wall_clock_s\": {:.3},\n      \"codec\": ",
-            name,
-            grid.cells.len(),
-            grid.wall_clock_s,
-        );
-        push_codec(&mut out, "      ", &grid_codec(grid));
-        out.push_str("\n    }");
-        if i + 1 < grids.len() {
-            out.push(',');
-        }
-        out.push('\n');
-    }
-    out.push_str("  ],\n  \"codec_total\": ");
+    let mut report =
+        BenchReport::new("grid").config("micro_payload_mb", format!("{MICRO_SIZES_MB:?}"));
     let mut total = CodecStats::default();
-    for (_, grid) in grids {
-        total.merge(&grid_codec(grid));
-    }
-    push_codec(&mut out, "  ", &total);
-    out.push_str(",\n  \"codec_micro\": [\n");
-    for (i, row) in micro.iter().enumerate() {
-        let _ = write!(
-            out,
-            "    {{\"payload_mb\": {}, \"legacy_encode_mb_s\": {:.1}, \
-             \"fast_encode_mb_s\": {:.1}, \"encode_speedup\": {:.1}, \
-             \"checksum_mb_s\": {:.1}, \"decode_mb_s\": {:.1}}}",
-            row.payload_mb,
-            row.legacy_encode_mb_s,
-            row.fast_encode_mb_s,
-            row.encode_speedup(),
-            row.checksum_mb_s,
-            row.decode_mb_s,
+    for (name, grid) in grids {
+        let codec = grid_codec(grid);
+        total.merge(&codec);
+        report.arm(
+            JsonObj::new()
+                .str("name", name)
+                .uint("cells", grid.cells.len() as u64)
+                .float("wall_clock_s", grid.wall_clock_s, 3)
+                .raw("codec", codec_obj(&codec).render()),
         );
-        if i + 1 < micro.len() {
-            out.push(',');
-        }
-        out.push('\n');
     }
-    out.push_str("  ]\n}\n");
-    out
+    report.section("codec_total", codec_obj(&total).render());
+    let rows: Vec<String> = micro
+        .iter()
+        .map(|row| {
+            JsonObj::new()
+                .uint("payload_mb", row.payload_mb as u64)
+                .float("legacy_encode_mb_s", row.legacy_encode_mb_s, 1)
+                .float("fast_encode_mb_s", row.fast_encode_mb_s, 1)
+                .float("encode_speedup", row.encode_speedup(), 1)
+                .float("checksum_mb_s", row.checksum_mb_s, 1)
+                .float("decode_mb_s", row.decode_mb_s, 1)
+                .render()
+        })
+        .collect();
+    report.section(
+        "codec_micro",
+        format!("[\n    {}\n  ]", rows.join(",\n    ")),
+    );
+    report.render()
 }
 
 /// Runs the micro-benchmark and writes `results/BENCH_grid.json` for the
@@ -251,6 +417,7 @@ mod tests {
                 restore_strategy: pronghorn_platform::RestoreStrategy::Eager,
                 restore_infos: vec![],
                 chain: pronghorn_store::ChainStats::default(),
+                provisioning: pronghorn_platform::ProvisionStats::default(),
             },
         }
     }
@@ -260,6 +427,40 @@ mod tests {
             cells: vec![cell(3, 1), cell(5, 3)],
             wall_clock_s: 1.25,
         }
+    }
+
+    #[test]
+    fn shared_schema_has_header_config_and_arms() {
+        let mut report = BenchReport::new("example")
+            .wall_clock(0.5)
+            .config("rates", "[1, 4]")
+            .config("policy", "\"request-centric\"");
+        report.arm(
+            JsonObj::new()
+                .str("arm", "a")
+                .uint("n", 3)
+                .float("p99_us", 1234.5, 1)
+                .float("unused", f64::NAN, 3)
+                .bool("ok", true),
+        );
+        report.arm(
+            JsonObj::new()
+                .str("arm", "b")
+                .raw("nested", "[1, 2]".into()),
+        );
+        report.section("extra", "{\"k\": 1}");
+        let json = report.render();
+        assert!(json.starts_with("{\n  \"report\": \"pronghorn-example\",\n"));
+        assert!(json.contains(&format!("\"schema_version\": {BENCH_SCHEMA_VERSION}")));
+        assert!(json.contains("\"wall_clock_s\": 0.500"));
+        assert!(json.contains("\"config\": {\"rates\": [1, 4], \"policy\": \"request-centric\"}"));
+        assert!(json.contains(
+            "{\"arm\": \"a\", \"n\": 3, \"p99_us\": 1234.5, \"unused\": null, \"ok\": true},"
+        ));
+        assert!(json.contains("\"nested\": [1, 2]"));
+        assert!(json.ends_with("\"extra\": {\"k\": 1}\n}\n"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

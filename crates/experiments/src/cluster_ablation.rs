@@ -20,8 +20,9 @@
 //! - a 1-node cluster is routing-invariant: both arms replay the
 //!   identical (byte-for-byte) single-node run.
 
+use crate::bench_report::{BenchReport, JsonObj};
 use crate::delta_ablation::benchmarks;
-use crate::render::{write_results_csv, write_results_file};
+use crate::render::write_results_csv;
 use crate::ExperimentContext;
 use pronghorn_core::PolicyKind;
 use pronghorn_metrics::{Table, TableStyle};
@@ -384,62 +385,58 @@ impl ClusterAblation {
 
     /// Writes `results/BENCH_cluster.json`: per-arm locality hit rates,
     /// remote transfer bytes, per-node cold/hot-start breakdowns and the
-    /// headline load-aware win counts.
+    /// headline load-aware win counts, in the shared [`BenchReport`]
+    /// schema.
     pub fn save_bench_report(&self) -> std::io::Result<std::path::PathBuf> {
-        let aggs = self.arm_aggregates();
-        let mut out = String::from("{\n  \"report\": \"pronghorn-cluster\",\n");
-        out.push_str(&format!("  \"wall_clock_s\": {:.3},\n", self.wall_clock_s));
-        out.push_str(&format!(
-            "  \"request_gap_ms\": {CONTENTION_GAP_MS},\n  \"node_capacity\": {NODE_CAPACITY},\n"
-        ));
-        out.push_str("  \"arms\": [\n");
-        for (i, agg) in aggs.iter().enumerate() {
+        let mut report = BenchReport::new("cluster")
+            .wall_clock(self.wall_clock_s)
+            .config("request_gap_ms", CONTENTION_GAP_MS.to_string())
+            .config("node_capacity", NODE_CAPACITY.to_string());
+        for agg in self.arm_aggregates() {
             let per_node: Vec<String> = agg
                 .per_node
                 .iter()
                 .enumerate()
                 .map(|(node, (cold, restores, served))| {
-                    format!(
-                        "{{\"node\": {node}, \"cold_starts\": {cold}, \
-                         \"restores\": {restores}, \"served\": {served}}}"
-                    )
+                    JsonObj::new()
+                        .uint("node", node as u64)
+                        .uint("cold_starts", *cold)
+                        .uint("restores", *restores)
+                        .uint("served", *served)
+                        .render()
                 })
                 .collect();
-            out.push_str(&format!(
-                "    {{\"nodes\": {}, \"routing\": \"{}\", \"benchmarks\": {}, \
-                 \"locality_hit_rate\": {:.6}, \"remote_transfer_bytes\": {}, \
-                 \"cold_starts\": {}, \"restores\": {}, \"spillovers\": {}, \
-                 \"queue_delay_us\": {:.1}, \"per_node\": [{}]}}",
-                agg.nodes,
-                agg.routing.label(),
-                agg.cells,
-                agg.hit_rate(),
-                agg.remote_bytes,
-                agg.cold_starts,
-                agg.restores,
-                agg.spillovers,
-                agg.queue_delay_us,
-                per_node.join(", "),
-            ));
-            if i + 1 < aggs.len() {
-                out.push(',');
-            }
-            out.push('\n');
+            report.arm(
+                JsonObj::new()
+                    .uint("nodes", u64::from(agg.nodes))
+                    .str("routing", agg.routing.label())
+                    .uint("benchmarks", agg.cells as u64)
+                    .float("locality_hit_rate", agg.hit_rate(), 6)
+                    .uint("remote_transfer_bytes", agg.remote_bytes)
+                    .uint("cold_starts", agg.cold_starts)
+                    .uint("restores", agg.restores)
+                    .uint("spillovers", agg.spillovers)
+                    .float("queue_delay_us", agg.queue_delay_us, 1)
+                    .raw("per_node", format!("[{}]", per_node.join(", "))),
+            );
         }
-        out.push_str("  ],\n  \"load_aware_p99_wins\": [\n");
         let multi: Vec<u32> = self.node_counts().into_iter().filter(|&n| n > 1).collect();
-        for (i, &nodes) in multi.iter().enumerate() {
-            let (wins, total) = self.load_aware_p99_wins(nodes);
-            out.push_str(&format!(
-                "    {{\"nodes\": {nodes}, \"wins\": {wins}, \"benchmarks\": {total}}}"
-            ));
-            if i + 1 < multi.len() {
-                out.push(',');
-            }
-            out.push('\n');
-        }
-        out.push_str("  ]\n}\n");
-        write_results_file("BENCH_cluster.json", &out)
+        let wins: Vec<String> = multi
+            .iter()
+            .map(|&nodes| {
+                let (wins, total) = self.load_aware_p99_wins(nodes);
+                JsonObj::new()
+                    .uint("nodes", u64::from(nodes))
+                    .uint("wins", wins as u64)
+                    .uint("benchmarks", total as u64)
+                    .render()
+            })
+            .collect();
+        report.section(
+            "load_aware_p99_wins",
+            format!("[\n    {}\n  ]", wins.join(",\n    ")),
+        );
+        report.save("BENCH_cluster.json")
     }
 }
 

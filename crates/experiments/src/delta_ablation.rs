@@ -10,9 +10,10 @@
 //! RNG-lockstep guarantee keeps client-visible latencies byte-identical
 //! to the full-snapshot arm.
 
+use crate::bench_report::{BenchReport, JsonObj};
 use crate::fig45::{FIG4_BENCHMARKS, FIG5_BENCHMARKS};
 use crate::grid::PAPER_RATES;
-use crate::render::{write_results_csv, write_results_file};
+use crate::render::write_results_csv;
 use crate::ExperimentContext;
 use pronghorn_checkpoint::DeltaPolicy;
 use pronghorn_core::PolicyKind;
@@ -376,38 +377,33 @@ impl DeltaAblation {
     }
 
     /// Writes `results/BENCH_delta.json`: per-arm upload totals and the
-    /// headline byte-reduction win counts.
+    /// headline byte-reduction win counts, in the shared [`BenchReport`]
+    /// schema.
     pub fn save_bench_report(&self) -> std::io::Result<std::path::PathBuf> {
-        let aggs = self.arm_aggregates();
-        let mut out = String::from("{\n  \"report\": \"pronghorn-delta\",\n");
-        out.push_str(&format!("  \"wall_clock_s\": {:.3},\n", self.wall_clock_s));
-        out.push_str("  \"arms\": [\n");
-        for (i, agg) in aggs.iter().enumerate() {
+        let mut report = BenchReport::new("delta")
+            .wall_clock(self.wall_clock_s)
+            .config("byte_win_threshold_x", "5.0");
+        for agg in self.arm_aggregates() {
             let (wins, total) = self.byte_wins(agg.arm, 5.0);
-            out.push_str(&format!(
-                "    {{\"arm\": \"{}\", \"checkpoints\": {}, \"uploaded_bytes\": {}, \
-                 \"deltas\": {}, \"roots\": {}, \"consolidations\": {}, \"max_depth\": {}, \
-                 \"composed_restores\": {}, \"five_x_byte_wins\": {}, \"benchmarks\": {}, \
-                 \"latency_regressions\": {}}}",
-                agg.arm.label(),
-                agg.checkpoints,
-                agg.uploaded_bytes,
-                agg.deltas,
-                agg.roots,
-                agg.consolidations,
-                agg.max_depth,
-                agg.composed_restores,
-                wins,
-                total,
-                self.latency_regressions(agg.arm),
-            ));
-            if i + 1 < aggs.len() {
-                out.push(',');
-            }
-            out.push('\n');
+            report.arm(
+                JsonObj::new()
+                    .str("arm", agg.arm.label())
+                    .uint("checkpoints", agg.checkpoints as u64)
+                    .uint("uploaded_bytes", agg.uploaded_bytes)
+                    .uint("deltas", agg.deltas)
+                    .uint("roots", agg.roots)
+                    .uint("consolidations", agg.consolidations)
+                    .uint("max_depth", u64::from(agg.max_depth))
+                    .uint("composed_restores", agg.composed_restores)
+                    .uint("five_x_byte_wins", wins as u64)
+                    .uint("benchmarks", total as u64)
+                    .uint(
+                        "latency_regressions",
+                        self.latency_regressions(agg.arm) as u64,
+                    ),
+            );
         }
-        out.push_str("  ]\n}\n");
-        write_results_file("BENCH_delta.json", &out)
+        report.save("BENCH_delta.json")
     }
 }
 

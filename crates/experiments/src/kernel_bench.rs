@@ -19,6 +19,7 @@
 //! Simulated results stay bit-identical for a fixed seed; only the
 //! wall-clock numbers are host-dependent.
 
+use crate::bench_report::{BenchReport, JsonObj};
 use crate::grid::{run_grid_with_kernel, PAPER_POLICIES};
 use crate::render::write_results_file;
 use crate::ExperimentContext;
@@ -145,68 +146,62 @@ impl KernelBenchReport {
         out
     }
 
-    /// Renders the report as a JSON document.
+    /// Renders the report as a JSON document in the shared
+    /// [`BenchReport`] schema: the pure-replay arms are the `arms`
+    /// array; the end-to-end production comparison and the paired-seed
+    /// grid identity land as trailing sections.
     pub fn render_json(&self) -> String {
-        let mut out = String::new();
-        out.push_str("{\n  \"pure_replay\": {\n");
-        let _ = writeln!(out, "    \"arrivals\": {},", self.arrivals);
-        out.push_str("    \"arms\": [\n");
-        for (i, arm) in self.replay.iter().enumerate() {
-            let _ = write!(
-                out,
-                "      {{\"kernel\": \"{}\", \"events\": {}, \"wall_s\": {:.4}, \
-                 \"events_per_sec\": {:.0}, \"peak_pending\": {}, \"checksum\": \"{:#018x}\"}}",
-                arm.kernel,
-                arm.events,
-                arm.wall_s,
-                arm.events_per_sec,
-                arm.peak_pending,
-                arm.checksum,
+        let mut report = BenchReport::new("kernel")
+            .config("arrivals", self.arrivals.to_string())
+            .config("grid_benches", format!("{GRID_BENCHES:?}"));
+        for arm in &self.replay {
+            report.arm(
+                JsonObj::new()
+                    .str("kernel", &arm.kernel.to_string())
+                    .uint("events", arm.events)
+                    .float("wall_s", arm.wall_s, 4)
+                    .float("events_per_sec", arm.events_per_sec, 0)
+                    .uint("peak_pending", arm.peak_pending as u64)
+                    .str("checksum", &format!("{:#018x}", arm.checksum)),
             );
-            if i + 1 < self.replay.len() {
-                out.push(',');
-            }
-            out.push('\n');
         }
-        out.push_str("    ],\n");
-        let _ = writeln!(out, "    \"speedup\": {:.3}", self.speedup());
-        out.push_str("  },\n  \"production\": {\n    \"arms\": [\n");
-        for (i, arm) in self.production.iter().enumerate() {
-            let _ = write!(
-                out,
-                "      {{\"kernel\": \"{}\", \"wall_s\": {:.4}, \"invocations\": {}, \
-                 \"mean_latency_us\": {:.1}, \"p50_latency_us\": {:.1}, \"p99_latency_us\": {:.1}, \
-                 \"cold_starts\": {}, \"restores\": {}, \"checkpoints\": {}, \"peak_pending\": {}}}",
-                arm.kernel,
-                arm.wall_s,
-                arm.stats.invocations,
-                arm.stats.mean_latency_us,
-                arm.stats.p50_latency_us,
-                arm.stats.p99_latency_us,
-                arm.stats.cold_starts,
-                arm.stats.restores,
-                arm.stats.checkpoints,
-                arm.stats.peak_pending_events,
-            );
-            if i + 1 < self.production.len() {
-                out.push(',');
-            }
-            out.push('\n');
-        }
-        out.push_str("    ],\n");
-        let _ = writeln!(
-            out,
-            "    \"stats_identical\": {}",
-            self.production_identical
+        report.section("replay_speedup", format!("{:.3}", self.speedup()));
+        let production: Vec<String> = self
+            .production
+            .iter()
+            .map(|arm| {
+                JsonObj::new()
+                    .str("kernel", &arm.kernel.to_string())
+                    .float("wall_s", arm.wall_s, 4)
+                    .uint("invocations", arm.stats.invocations)
+                    .float("mean_latency_us", arm.stats.mean_latency_us, 1)
+                    .float("p50_latency_us", arm.stats.p50_latency_us, 1)
+                    .float("p99_latency_us", arm.stats.p99_latency_us, 1)
+                    .uint("cold_starts", arm.stats.cold_starts)
+                    .uint("restores", arm.stats.restores)
+                    .uint("checkpoints", arm.stats.checkpoints)
+                    .uint("peak_pending", arm.stats.peak_pending_events as u64)
+                    .render()
+            })
+            .collect();
+        report.section(
+            "production",
+            JsonObj::new()
+                .raw(
+                    "arms",
+                    format!("[\n    {}\n  ]", production.join(",\n    ")),
+                )
+                .bool("stats_identical", self.production_identical)
+                .render(),
         );
-        out.push_str("  },\n");
-        let _ = writeln!(
-            out,
-            "  \"grid\": {{\"cells\": {}, \"byte_identical\": {}}}",
-            self.grid_cells, self.grid_identical
+        report.section(
+            "grid",
+            JsonObj::new()
+                .uint("cells", self.grid_cells as u64)
+                .bool("byte_identical", self.grid_identical)
+                .render(),
         );
-        out.push_str("}\n");
-        out
+        report.render()
     }
 
     /// Writes `results/BENCH_kernel.json`, returning the path written.

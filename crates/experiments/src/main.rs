@@ -18,6 +18,7 @@
 //!   delta-ablation    checkpoint forms: full snapshots vs delta chains (K=4, K=16)
 //!   cluster-ablation  cluster sizes x gateway routing: hash vs load-aware spillover
 //!   kernel-bench      timer-wheel vs binary-heap kernel at production-trace scale
+//!   provision-ablation  provisioning: reactive vs sliding-window/ewma/mpc pre-restore
 //!   all      everything above, CSVs written to results/
 //! ```
 
@@ -26,17 +27,18 @@
 use pronghorn_experiments::ExperimentContext;
 use pronghorn_experiments::{
     ablation, bench_report, cluster_ablation, delta_ablation, fig1, fig45, fig6, fig7,
-    kernel_bench, restore_ablation, summary, table1, table4, table5,
+    kernel_bench, provision_ablation, restore_ablation, summary, table1, table4, table5,
 };
 use std::process::ExitCode;
 
-fn parse_args() -> Result<(String, ExperimentContext), String> {
+fn parse_args() -> Result<(String, ExperimentContext, bool), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().ok_or_else(usage)?.clone();
+    let quick = args.iter().any(|a| a == "--quick");
     // `--quick` swaps the *baseline* context, so apply it before walking
     // the other flags: that makes parsing order-independent (a trailing
     // `--quick` used to clobber an earlier `--seed`/`--invocations`).
-    let mut ctx = if args.iter().any(|a| a == "--quick") {
+    let mut ctx = if quick {
         ExperimentContext::quick()
     } else {
         ExperimentContext::default()
@@ -64,13 +66,13 @@ fn parse_args() -> Result<(String, ExperimentContext), String> {
             other => return Err(format!("unknown flag: {other}\n{}", usage())),
         }
     }
-    Ok((command, ctx))
+    Ok((command, ctx, quick))
 }
 
 fn usage() -> String {
     "usage: experiments <fig1|table1|fig4|fig5|fig6|table4|table5|fig7|ablations|\
-     restore-ablation|delta-ablation|cluster-ablation|kernel-bench|summary|all> [--quick] \
-     [--seed N] [--invocations N] [--threads N]"
+     restore-ablation|delta-ablation|cluster-ablation|kernel-bench|provision-ablation|\
+     summary|all> [--quick] [--seed N] [--invocations N] [--threads N]"
         .to_string()
 }
 
@@ -81,7 +83,7 @@ fn save(label: &str, result: std::io::Result<std::path::PathBuf>) {
     }
 }
 
-fn run_command(command: &str, ctx: &ExperimentContext) -> Result<(), String> {
+fn run_command(command: &str, ctx: &ExperimentContext, quick: bool) -> Result<(), String> {
     match command {
         "fig1" => {
             let r = fig1::run(ctx);
@@ -151,6 +153,12 @@ fn run_command(command: &str, ctx: &ExperimentContext) -> Result<(), String> {
             println!("{}", r.render());
             save("BENCH_kernel.json", r.save());
         }
+        "provision-ablation" => {
+            let r = provision_ablation::run(ctx, quick);
+            println!("{}", r.render());
+            save("provision_ablation.csv", r.save());
+            save("BENCH_provision.json", r.save_bench_report());
+        }
         "summary" => {
             let f4 = fig45::run_fig4(ctx);
             let f5 = fig45::run_fig5(ctx);
@@ -182,21 +190,23 @@ fn run_command(command: &str, ctx: &ExperimentContext) -> Result<(), String> {
                 "ablations",
             ] {
                 println!("==================== {cmd} ====================");
-                run_command(cmd, ctx)?;
+                run_command(cmd, ctx, quick)?;
             }
             // Reuse fresh grids for the summary.
             println!("==================== summary ====================");
-            run_command("summary", ctx)?;
+            run_command("summary", ctx, quick)?;
             // Last, so its three-strategy BENCH_restore.json is the one
             // that survives (summary writes an eager-only version).
             println!("==================== restore-ablation ====================");
-            run_command("restore-ablation", ctx)?;
+            run_command("restore-ablation", ctx, quick)?;
             println!("==================== delta-ablation ====================");
-            run_command("delta-ablation", ctx)?;
+            run_command("delta-ablation", ctx, quick)?;
             println!("==================== cluster-ablation ====================");
-            run_command("cluster-ablation", ctx)?;
+            run_command("cluster-ablation", ctx, quick)?;
             println!("==================== kernel-bench ====================");
-            run_command("kernel-bench", ctx)?;
+            run_command("kernel-bench", ctx, quick)?;
+            println!("==================== provision-ablation ====================");
+            run_command("provision-ablation", ctx, quick)?;
         }
         other => return Err(format!("unknown command: {other}\n{}", usage())),
     }
@@ -204,7 +214,7 @@ fn run_command(command: &str, ctx: &ExperimentContext) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    let (command, ctx) = match parse_args() {
+    let (command, ctx, quick) = match parse_args() {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("{e}");
@@ -221,7 +231,7 @@ fn main() -> ExitCode {
         println!("[{reason}]");
     }
     println!();
-    if let Err(e) = run_command(&command, &ctx) {
+    if let Err(e) = run_command(&command, &ctx, quick) {
         eprintln!("{e}");
         return ExitCode::FAILURE;
     }

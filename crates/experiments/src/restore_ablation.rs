@@ -10,9 +10,10 @@
 //! dominates), while moving fewer bytes than eager on compute-bound
 //! benchmarks whose working set is a fraction of the image.
 
+use crate::bench_report::{BenchReport, JsonObj};
 use crate::fig45::{FIG4_BENCHMARKS, FIG5_BENCHMARKS};
 use crate::grid::PAPER_RATES;
-use crate::render::{write_results_csv, write_results_file};
+use crate::render::write_results_csv;
 use crate::ExperimentContext;
 use pronghorn_core::PolicyKind;
 use pronghorn_metrics::{mean_and_std, Quantiles, Table, TableStyle};
@@ -350,35 +351,29 @@ pub fn aggregate(strategy: RestoreStrategy, infos: &[&RestoreInfo]) -> StrategyA
 }
 
 /// Writes `results/BENCH_restore.json`: per-strategy median restore time
-/// and bytes moved — the restore counterpart of `BENCH_grid.json`.
+/// and bytes moved — the restore counterpart of `BENCH_grid.json`, in
+/// the shared [`BenchReport`] schema (one arm per strategy).
 pub fn write_bench_restore(
     aggregates: &[StrategyAggregate],
     wall_clock_s: f64,
 ) -> std::io::Result<std::path::PathBuf> {
-    let mut out = String::from("{\n  \"report\": \"pronghorn-restore\",\n");
-    out.push_str(&format!("  \"wall_clock_s\": {wall_clock_s:.3},\n"));
-    out.push_str("  \"strategies\": [\n");
-    for (i, agg) in aggregates.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"strategy\": \"{}\", \"restores\": {}, \"median_restore_us\": {}, \
-             \"mean_restore_us\": {}, \"std_restore_us\": {}, \"total_bytes\": {}, \
-             \"faults\": {}, \"prefetched_pages\": {}}}",
-            agg.strategy.label(),
-            agg.restores,
-            json_f64(agg.median_restore_us),
-            json_f64(agg.mean_restore_us),
-            json_f64(agg.std_restore_us),
-            agg.total_bytes,
-            agg.faults,
-            agg.prefetched_pages,
-        ));
-        if i + 1 < aggregates.len() {
-            out.push(',');
-        }
-        out.push('\n');
+    let mut report = BenchReport::new("restore")
+        .wall_clock(wall_clock_s)
+        .config("policy", "\"request-centric\"");
+    for agg in aggregates {
+        report.arm(
+            JsonObj::new()
+                .str("strategy", agg.strategy.label())
+                .uint("restores", agg.restores as u64)
+                .float("median_restore_us", agg.median_restore_us, 3)
+                .float("mean_restore_us", agg.mean_restore_us, 3)
+                .float("std_restore_us", agg.std_restore_us, 3)
+                .uint("total_bytes", agg.total_bytes)
+                .uint("faults", agg.faults)
+                .uint("prefetched_pages", agg.prefetched_pages),
+        );
     }
-    out.push_str("  ]\n}\n");
-    write_results_file("BENCH_restore.json", &out)
+    report.save("BENCH_restore.json")
 }
 
 /// Formats a µs value for human tables; NaN renders as "-".
@@ -396,15 +391,6 @@ fn csv_f64(v: f64) -> String {
         format!("{v:.3}")
     } else {
         String::new()
-    }
-}
-
-/// Formats a float for JSON; NaN renders as null.
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.3}")
-    } else {
-        "null".to_string()
     }
 }
 

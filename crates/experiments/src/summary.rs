@@ -146,14 +146,22 @@ impl SummaryResult {
         out
     }
 
-    /// CSV form.
+    /// CSV form. The `flag` column is the per-benchmark win/loss marker
+    /// (`win`/`par`/`loss`) downstream tooling filters on without having
+    /// to re-parse the ±5% verdict wording.
     pub fn to_csv(&self) -> String {
-        let mut table = Table::new(vec!["rate", "workload", "improvement_pct", "verdict"]);
+        let mut table = Table::new(vec![
+            "rate",
+            "workload",
+            "improvement_pct",
+            "verdict",
+            "flag",
+        ]);
         for r in &self.rates {
-            for (list, verdict) in [
-                (&r.better, "better"),
-                (&r.on_par, "on-par"),
-                (&r.worse, "worse"),
+            for (list, verdict, flag) in [
+                (&r.better, "better", "win"),
+                (&r.on_par, "on-par", "par"),
+                (&r.worse, "worse", "loss"),
             ] {
                 for (name, imp) in list {
                     table.row(vec![
@@ -161,6 +169,7 @@ impl SummaryResult {
                         name.clone(),
                         format!("{imp:.2}"),
                         verdict.to_string(),
+                        flag.to_string(),
                     ]);
                 }
             }
@@ -219,6 +228,15 @@ mod tests {
         let csv = summary.to_csv();
         assert_eq!(csv.lines().count(), 1 + 3);
         assert!(!csv.contains("eager"));
+        // Every data row carries the win/par/loss flag in the last column.
+        assert!(csv.starts_with("rate,workload,improvement_pct,verdict,flag"));
+        for row in csv.lines().skip(1) {
+            let flag = row.rsplit(',').next().unwrap();
+            assert!(
+                ["win", "par", "loss"].contains(&flag),
+                "unflagged summary row: {row}"
+            );
+        }
         assert_eq!(summary.restore.len(), 1);
         assert!(summary.restore[0].restores > 0);
     }

@@ -1,0 +1,200 @@
+//! Per-function arrival-rate estimators.
+//!
+//! Both estimators are pure functions of the simulated observation
+//! sequence: state advances only on [`Forecaster::observe`] and decays
+//! only with the *queried* simulated time, never a wall clock. On a
+//! constant-rate Poisson stream both converge to the true rate (pinned by
+//! `tests/forecaster_props.rs`).
+
+use pronghorn_sim::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// An arrival-rate estimator driven purely by simulated timestamps.
+pub trait Forecaster {
+    /// Feeds one arrival observed at `now` (non-decreasing across calls).
+    fn observe(&mut self, now: SimTime);
+
+    /// The estimated arrival rate, in arrivals per microsecond, as seen
+    /// from `now` (which may be later than the last observation — the
+    /// estimate decays across observation gaps).
+    fn rate_per_us(&self, now: SimTime) -> f64;
+
+    /// Stable display name.
+    fn label(&self) -> &'static str;
+}
+
+/// Count-over-window estimator: the rate is the number of arrivals in the
+/// trailing `window`, divided by the window length. Exact over the window
+/// and memoryless beyond it — it forgets a burst entirely once the window
+/// slides past, which is precisely the failure mode the EWMA and MPC arms
+/// of the provisioning ablation exist to contrast.
+#[derive(Debug, Clone)]
+pub struct SlidingWindowRate {
+    window: SimDuration,
+    arrivals: VecDeque<SimTime>,
+}
+
+impl SlidingWindowRate {
+    /// An estimator over the trailing `window` (clamped to ≥ 1 µs).
+    pub fn new(window: SimDuration) -> Self {
+        SlidingWindowRate {
+            window: SimDuration::from_micros(window.as_micros().max(1)),
+            arrivals: VecDeque::new(),
+        }
+    }
+
+    fn cutoff(&self, now: SimTime) -> SimTime {
+        SimTime::from_micros(now.as_micros().saturating_sub(self.window.as_micros()))
+    }
+}
+
+impl Forecaster for SlidingWindowRate {
+    fn observe(&mut self, now: SimTime) {
+        self.arrivals.push_back(now);
+        let cutoff = self.cutoff(now);
+        while self.arrivals.front().is_some_and(|&t| t < cutoff) {
+            self.arrivals.pop_front();
+        }
+    }
+
+    fn rate_per_us(&self, now: SimTime) -> f64 {
+        // The deque is only trimmed on observe; a query later than the
+        // last observation must discount what has since slid out.
+        let cutoff = self.cutoff(now);
+        let in_window = self
+            .arrivals
+            .iter()
+            .filter(|&&t| t >= cutoff && t <= now)
+            .count();
+        in_window as f64 / self.window.as_micros() as f64
+    }
+
+    fn label(&self) -> &'static str {
+        "sliding-window"
+    }
+}
+
+/// Exponentially-decayed arrival counter: each observation adds one to a
+/// counter that decays with time constant `tau`; the rate estimate is the
+/// decayed counter divided by `tau`. At stationarity on a Poisson stream
+/// of rate λ the counter's expectation is `λ·τ`, so the estimate
+/// converges to λ — but unlike the sliding window it remembers a burst
+/// for several `tau` after it ends, decaying smoothly instead of
+/// cliff-dropping to zero.
+#[derive(Debug, Clone)]
+pub struct EwmaRate {
+    tau_us: f64,
+    weight: f64,
+    last: Option<SimTime>,
+}
+
+impl EwmaRate {
+    /// An estimator with decay time constant `tau` (clamped to ≥ 1 µs).
+    pub fn new(tau: SimDuration) -> Self {
+        EwmaRate {
+            tau_us: tau.as_micros().max(1) as f64,
+            weight: 0.0,
+            last: None,
+        }
+    }
+
+    fn decayed_weight(&self, now: SimTime) -> f64 {
+        match self.last {
+            Some(last) => {
+                let gap = now.saturating_since(last).as_micros() as f64;
+                self.weight * (-gap / self.tau_us).exp()
+            }
+            None => 0.0,
+        }
+    }
+}
+
+impl Forecaster for EwmaRate {
+    fn observe(&mut self, now: SimTime) {
+        self.weight = self.decayed_weight(now) + 1.0;
+        self.last = Some(now);
+    }
+
+    fn rate_per_us(&self, now: SimTime) -> f64 {
+        self.decayed_weight(now) / self.tau_us
+    }
+
+    fn label(&self) -> &'static str {
+        "ewma"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_micros(s * 1_000_000)
+    }
+
+    #[test]
+    fn sliding_window_counts_only_the_window() {
+        let mut f = SlidingWindowRate::new(SimDuration::from_secs(10));
+        for s in 0..20 {
+            f.observe(secs(s));
+        }
+        // Arrivals at 10..=20 s are inside the window ending at 20 s.
+        let rate = f.rate_per_us(secs(20));
+        assert!((rate - 10.0 / 10e6).abs() < 1e-12, "rate {rate}");
+        // Query far past the last observation: everything slid out.
+        assert_eq!(f.rate_per_us(secs(100)), 0.0);
+    }
+
+    #[test]
+    fn sliding_window_evicts_on_observe() {
+        let mut f = SlidingWindowRate::new(SimDuration::from_secs(1));
+        for s in 0..100 {
+            f.observe(secs(s));
+        }
+        // Memory stays bounded by the window, not the history.
+        assert!(f.arrivals.len() <= 2, "{} retained", f.arrivals.len());
+    }
+
+    #[test]
+    fn ewma_converges_on_a_regular_stream() {
+        let mut f = EwmaRate::new(SimDuration::from_secs(30));
+        // One arrival per second for ten time constants.
+        for s in 0..300 {
+            f.observe(secs(s));
+        }
+        let rate = f.rate_per_us(secs(300));
+        let truth = 1.0 / 1e6;
+        assert!(
+            (rate - truth).abs() < truth * 0.1,
+            "rate {rate} vs true {truth}"
+        );
+    }
+
+    #[test]
+    fn ewma_decays_across_gaps_but_remembers_longer_than_the_window() {
+        let tau = SimDuration::from_secs(30);
+        let mut ewma = EwmaRate::new(tau);
+        let mut win = SlidingWindowRate::new(tau);
+        for s in 0..60 {
+            ewma.observe(secs(s));
+            win.observe(secs(s));
+        }
+        // 90 s of silence: the window has fully forgotten, the EWMA has
+        // decayed by e^{-3} but still predicts a positive rate.
+        let later = secs(150);
+        assert_eq!(win.rate_per_us(later), 0.0);
+        let remembered = ewma.rate_per_us(later);
+        assert!(remembered > 0.0);
+        assert!(remembered < ewma.rate_per_us(secs(60)));
+    }
+
+    #[test]
+    fn fresh_estimators_predict_zero() {
+        let win = SlidingWindowRate::new(SimDuration::from_secs(10));
+        let ewma = EwmaRate::new(SimDuration::from_secs(10));
+        assert_eq!(win.rate_per_us(secs(5)), 0.0);
+        assert_eq!(ewma.rate_per_us(secs(5)), 0.0);
+        assert_eq!(win.label(), "sliding-window");
+        assert_eq!(ewma.label(), "ewma");
+    }
+}

@@ -1,0 +1,40 @@
+//! Arrival forecasting and predictive pre-restore provisioning.
+//!
+//! Every policy in `pronghorn-core` is *reactive*: it decides what to
+//! checkpoint and what to restore only when a request has already
+//! arrived. This crate adds the orthogonal *proactive* axis — SPES-style
+//! arrival forecasting driving pre-restore actions that warm a worker
+//! ahead of a predicted burst, so the burst's first requests land on a
+//! process whose image is resident and whose IO state has been
+//! re-established off the critical path.
+//!
+//! The subsystem is split the same way the reactive stack is:
+//!
+//! * [`Forecaster`] — per-function arrival-rate estimators fed only
+//!   simulated timestamps ([`SlidingWindowRate`], [`EwmaRate`]). No wall
+//!   clock, no entropy: the same observation sequence always produces the
+//!   same forecast, so predictive runs stay seed-reproducible.
+//! * [`MpcModel`] — a horizon-optimizing planner that turns a rate
+//!   forecast into a pre-restore decision, trading the predicted
+//!   cold-start latency saved against the keep-alive memory cost of
+//!   holding a warm image idle (an MPC-style one-step lookahead over the
+//!   horizon).
+//! * [`ProvisionPolicy`] / [`Provisioner`] — the knob the platform
+//!   carries on its run configuration ([`ProvisionPolicy::Disabled`] is
+//!   the byte-identical reactive default) and the runtime decision state
+//!   a run instantiates from it.
+//!
+//! The platform layer owns the actual pre-restore mechanics (scheduling
+//! through the simulation kernel, hydrating the lazy image, accounting
+//! [`ProvisionStats`]); this crate owns every *decision*.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod forecaster;
+mod mpc;
+mod policy;
+
+pub use forecaster::{EwmaRate, Forecaster, SlidingWindowRate};
+pub use mpc::MpcModel;
+pub use policy::{ForecasterKind, PreRestorePlan, ProvisionPolicy, ProvisionStats, Provisioner};

@@ -1,0 +1,307 @@
+//! The provisioning policy knob and its runtime decision state.
+
+use crate::forecaster::{EwmaRate, Forecaster, SlidingWindowRate};
+use crate::mpc::MpcModel;
+use pronghorn_sim::{SimDuration, SimTime};
+
+/// Which estimator a predictive run forecasts with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForecasterKind {
+    /// Count-over-trailing-window rate ([`SlidingWindowRate`]).
+    SlidingWindow,
+    /// Exponentially-decayed rate ([`EwmaRate`]).
+    Ewma,
+    /// EWMA forecast driving the horizon-optimizing [`MpcModel`] planner.
+    Mpc,
+}
+
+impl ForecasterKind {
+    /// Every kind, in ablation order.
+    pub const ALL: [ForecasterKind; 3] = [
+        ForecasterKind::SlidingWindow,
+        ForecasterKind::Ewma,
+        ForecasterKind::Mpc,
+    ];
+
+    /// Stable display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            ForecasterKind::SlidingWindow => "sliding-window",
+            ForecasterKind::Ewma => "ewma",
+            ForecasterKind::Mpc => "mpc",
+        }
+    }
+
+    /// Parses a [`Self::label`] back into a kind.
+    pub fn parse(s: &str) -> Option<ForecasterKind> {
+        ForecasterKind::ALL.into_iter().find(|k| k.label() == s)
+    }
+}
+
+/// The estimator's memory, as a multiple of the provisioning horizon: the
+/// forecast must remember traffic across idle gaps several horizons long,
+/// or every inter-burst gap would reset it to "no traffic".
+const ESTIMATOR_MEMORY_FACTOR: u64 = 16;
+
+/// The proactive-provisioning policy carried on a run configuration —
+/// orthogonal to the reactive checkpoint policy it runs alongside.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum ProvisionPolicy {
+    /// Purely reactive provisioning (the default): workers exist only in
+    /// response to arrivals. Byte-identical to runs predating this knob.
+    #[default]
+    Disabled,
+    /// Forecast arrivals and pre-restore workers ahead of predicted load.
+    Predictive {
+        /// The arrival-rate estimator.
+        forecaster: ForecasterKind,
+        /// Keep-alive horizon (µs): how far ahead a forecast may reach,
+        /// and how long an unused pre-restored worker is held warm
+        /// before it is retired as wasted.
+        horizon_us: u64,
+        /// Maximum concurrently outstanding (issued, not yet used or
+        /// wasted) pre-restored workers.
+        budget: u32,
+    },
+}
+
+impl ProvisionPolicy {
+    /// The default predictive configuration for `forecaster`: a 2-minute
+    /// horizon and a single-worker budget.
+    pub fn predictive(forecaster: ForecasterKind) -> Self {
+        ProvisionPolicy::Predictive {
+            forecaster,
+            horizon_us: 120_000_000,
+            budget: 1,
+        }
+    }
+
+    /// Whether the policy issues pre-restores.
+    pub fn enabled(&self) -> bool {
+        !matches!(self, ProvisionPolicy::Disabled)
+    }
+
+    /// Stable display name (the ablation's arm label).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProvisionPolicy::Disabled => "reactive",
+            ProvisionPolicy::Predictive { forecaster, .. } => forecaster.label(),
+        }
+    }
+}
+
+/// Pre-restore accounting a run reports per arm.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ProvisionStats {
+    /// Pre-restores issued (workers warmed ahead of an arrival).
+    pub pre_restores_issued: u64,
+    /// Pre-restored workers that served at least one request.
+    pub pre_restores_used: u64,
+    /// Pre-restored workers retired without serving (horizon expiry or
+    /// end of run).
+    pub pre_restores_wasted: u64,
+    /// Keep-alive cost: warm image bytes × seconds held idle between the
+    /// pre-restore and its first request (or its wasted retirement).
+    pub keepalive_byte_s: f64,
+}
+
+impl ProvisionStats {
+    /// Fraction of issued pre-restores that served a request; 1.0 when
+    /// none were issued (nothing was wasted).
+    pub fn hit_rate(&self) -> f64 {
+        if self.pre_restores_issued == 0 {
+            1.0
+        } else {
+            self.pre_restores_used as f64 / self.pre_restores_issued as f64
+        }
+    }
+}
+
+/// A committed pre-restore decision: when to issue it, and how long the
+/// warmed worker is held before expiring as wasted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreRestorePlan {
+    /// Kernel time at which to issue the pre-restore — strictly after
+    /// the event that planned it.
+    pub at: SimTime,
+    /// Keep-alive: the warmed worker expires (wasted) this long after
+    /// `at` if no request arrives first.
+    pub keepalive: SimDuration,
+}
+
+/// Runtime decision state of a predictive run: the forecaster fed from
+/// the kernel's arrival events, the planner, and the outstanding-budget
+/// gate. Constructed per run from a [`ProvisionPolicy`]; `new` returns
+/// `None` for [`ProvisionPolicy::Disabled`] so the reactive path carries
+/// no state at all.
+pub struct Provisioner {
+    kind: ForecasterKind,
+    forecaster: Box<dyn Forecaster + Send>,
+    mpc: MpcModel,
+    horizon: SimDuration,
+    budget: u32,
+    outstanding: u32,
+}
+
+impl Provisioner {
+    /// Decision state for `policy`; `None` when provisioning is disabled.
+    pub fn new(policy: ProvisionPolicy) -> Option<Provisioner> {
+        let ProvisionPolicy::Predictive {
+            forecaster,
+            horizon_us,
+            budget,
+        } = policy
+        else {
+            return None;
+        };
+        let horizon = SimDuration::from_micros(horizon_us.max(1));
+        let memory =
+            SimDuration::from_micros(horizon.as_micros().saturating_mul(ESTIMATOR_MEMORY_FACTOR));
+        let estimator: Box<dyn Forecaster + Send> = match forecaster {
+            ForecasterKind::SlidingWindow => Box::new(SlidingWindowRate::new(memory)),
+            ForecasterKind::Ewma | ForecasterKind::Mpc => Box::new(EwmaRate::new(memory)),
+        };
+        Some(Provisioner {
+            kind: forecaster,
+            forecaster: estimator,
+            mpc: MpcModel::default(),
+            horizon,
+            budget: budget.max(1),
+            outstanding: 0,
+        })
+    }
+
+    /// Feeds one arrival observation.
+    pub fn observe(&mut self, now: SimTime) {
+        self.forecaster.observe(now);
+    }
+
+    /// The keep-alive horizon: an unused pre-restored worker expires
+    /// (wasted) this long after it was issued.
+    pub fn horizon(&self) -> SimDuration {
+        self.horizon
+    }
+
+    /// Plans a pre-restore for a worker slot that just went cold, or
+    /// `None` to stay reactive. The simple arms pre-restore whenever the
+    /// predicted inter-arrival gap fits the horizon and hold the worker
+    /// for the full horizon; the MPC arm lets [`MpcModel::plan`] pick
+    /// the expected-net-value-maximizing keep-alive (or decline when the
+    /// image is too costly to hold warm). `image_bytes` is the caller's
+    /// estimate of the image the worker would hold warm (0 when
+    /// unknown).
+    pub fn plan(&self, now: SimTime, image_bytes: u64) -> Option<PreRestorePlan> {
+        if self.outstanding >= self.budget {
+            return None;
+        }
+        let rate = self.forecaster.rate_per_us(now);
+        let horizon_us = self.horizon.as_micros();
+        let keepalive_us = match self.kind {
+            ForecasterKind::SlidingWindow | ForecasterKind::Ewma => {
+                (rate > 0.0 && 1.0 / rate <= horizon_us as f64).then_some(horizon_us)
+            }
+            ForecasterKind::Mpc => self.mpc.plan(rate, horizon_us, image_bytes),
+        }?;
+        Some(PreRestorePlan {
+            // Strictly after `now`: the decision fires as its own kernel
+            // event, never inside the event that planned it.
+            at: now + SimDuration::from_micros(1),
+            keepalive: SimDuration::from_micros(keepalive_us.max(1)),
+        })
+    }
+
+    /// Notes an issued pre-restore (consumes budget).
+    pub fn note_issued(&mut self) {
+        self.outstanding += 1;
+    }
+
+    /// Notes a resolved pre-restore — used or wasted (frees budget).
+    pub fn note_resolved(&mut self) {
+        self.outstanding = self.outstanding.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_micros(s * 1_000_000)
+    }
+
+    #[test]
+    fn disabled_builds_no_state() {
+        assert!(Provisioner::new(ProvisionPolicy::Disabled).is_none());
+        assert!(!ProvisionPolicy::Disabled.enabled());
+        assert_eq!(ProvisionPolicy::default(), ProvisionPolicy::Disabled);
+        assert_eq!(ProvisionPolicy::Disabled.label(), "reactive");
+    }
+
+    #[test]
+    fn kinds_round_trip_through_labels() {
+        for kind in ForecasterKind::ALL {
+            assert_eq!(ForecasterKind::parse(kind.label()), Some(kind));
+            assert!(ProvisionPolicy::predictive(kind).enabled());
+            assert_eq!(ProvisionPolicy::predictive(kind).label(), kind.label());
+        }
+        assert_eq!(ForecasterKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn plan_gates_on_forecast_and_budget() {
+        let mut p = Provisioner::new(ProvisionPolicy::predictive(ForecasterKind::Ewma))
+            .expect("predictive builds state");
+        // No observations yet: no forecast, no plan.
+        assert_eq!(p.plan(secs(0), 0), None);
+        // A steady stream with 10 s gaps fits the 120 s horizon.
+        for s in (0..600).step_by(10) {
+            p.observe(secs(s));
+        }
+        let plan = p.plan(secs(600), 0).expect("dense traffic plans");
+        assert!(plan.at > secs(600), "plans strictly in the future");
+        // The simple arms hold the worker for the full horizon.
+        assert_eq!(plan.keepalive, p.horizon());
+        // Budget: one outstanding pre-restore blocks the next plan...
+        p.note_issued();
+        assert_eq!(p.plan(secs(600), 0), None);
+        // ...until it resolves.
+        p.note_resolved();
+        assert!(p.plan(secs(600), 0).is_some());
+    }
+
+    #[test]
+    fn sparse_traffic_stays_reactive() {
+        let mut p = Provisioner::new(ProvisionPolicy::predictive(ForecasterKind::Ewma))
+            .expect("predictive builds state");
+        // One arrival per hour: the predicted gap dwarfs the horizon.
+        for h in 0..12 {
+            p.observe(secs(h * 3600));
+        }
+        assert_eq!(p.plan(secs(12 * 3600), 0), None);
+    }
+
+    #[test]
+    fn mpc_arm_delegates_to_the_planner() {
+        let mut p = Provisioner::new(ProvisionPolicy::predictive(ForecasterKind::Mpc))
+            .expect("predictive builds state");
+        for s in 0..600 {
+            p.observe(secs(s));
+        }
+        // Dense traffic, small image: plan fires immediately with the
+        // full-horizon keep-alive.
+        let plan = p.plan(secs(600), 1 << 20).expect("mpc plans under load");
+        assert_eq!(plan.at, secs(600) + SimDuration::from_micros(1));
+        assert_eq!(plan.keepalive, p.horizon());
+        // A 512 MB image flips the trade: too heavy to hold warm.
+        assert_eq!(p.plan(secs(600), 512 << 30), None);
+    }
+
+    #[test]
+    fn stats_hit_rate_handles_zero_issued() {
+        let mut s = ProvisionStats::default();
+        assert_eq!(s.hit_rate(), 1.0);
+        s.pre_restores_issued = 4;
+        s.pre_restores_used = 3;
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

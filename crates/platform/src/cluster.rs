@@ -32,7 +32,7 @@
 
 use crate::config::RunConfig;
 use crate::result::RunResult;
-use crate::runner::Session;
+use crate::runner::{Session, PRE_RESTORE_EVENT, PRE_WARM_EXPIRY_EVENT};
 use crate::worker::Worker;
 use pronghorn_cluster::{
     BlobDirectory, ClusterSpec, HashRing, LocalityStats, PlacementPolicy, RoutingPolicy,
@@ -40,6 +40,7 @@ use pronghorn_cluster::{
 use pronghorn_sim::{Kernel, SimDuration, SimTime};
 use pronghorn_store::saturating_accumulate;
 use pronghorn_workloads::Workload;
+use std::collections::VecDeque;
 
 /// Per-node counters of one cluster run.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -259,7 +260,54 @@ pub fn run_cluster(workload: &dyn Workload, cfg: &RunConfig) -> ClusterRunResult
     if total > 0 {
         kernel.schedule(SimTime::ZERO + cfg.request_gap, 0);
     }
+    // Destinations of planned-but-not-yet-fired pre-restores, in plan
+    // order — every PRE_RESTORE_EVENT fires at plan-time + 1 µs, so the
+    // kernel pops them in exactly this order.
+    let mut pending_pre: VecDeque<(u32, usize)> = VecDeque::new();
+    let mut last_now = SimTime::ZERO;
     while let Some((now, i)) = kernel.pop() {
+        last_now = now;
+        match i {
+            PRE_RESTORE_EVENT => {
+                let Some((target, slot)) = pending_pre.pop_front() else {
+                    continue;
+                };
+                let node = &mut nodes[target as usize];
+                if node.slots[slot].is_none() {
+                    let mut w = provision_on(&mut session, &mut dir, node, &spec, now);
+                    session.mark_pre_restored(&mut w, now);
+                    kernel.schedule(w.pre_warm_expires, PRE_WARM_EXPIRY_EVENT);
+                    node.slots[slot] = Some(w);
+                } else {
+                    session.cancel_pre_restore();
+                }
+                continue;
+            }
+            PRE_WARM_EXPIRY_EVENT => {
+                // Keep-alives can differ per plan (the MPC arm picks its
+                // own), so expiries are matched by scanning the slots in
+                // deterministic (node, slot) order rather than FIFO.
+                for node in nodes.iter_mut() {
+                    for s in 0..node.slots.len() {
+                        let expired = node.slots[s].as_ref().is_some_and(|w| {
+                            w.pre_warmed_since.is_some() && now >= w.pre_warm_expires
+                        });
+                        if !expired {
+                            continue;
+                        }
+                        if let Some(w) = node.slots[s].take() {
+                            session.retire(w, now);
+                        }
+                        if let Some(at) = session.plan_pre_restore(now) {
+                            pending_pre.push_back((node.stats.node, s));
+                            kernel.schedule(at, PRE_RESTORE_EVENT);
+                        }
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
         let target = match spec.routing {
             RoutingPolicy::Hash => primary,
             RoutingPolicy::LoadAware => probe
@@ -297,7 +345,11 @@ pub fn run_cluster(workload: &dyn Workload, cfg: &RunConfig) -> ClusterRunResult
         if w.served < cfg.eviction_rate {
             node.slots[slot] = Some(w);
         } else {
-            session.retire(w);
+            session.retire(w, now);
+            if let Some(at) = session.plan_pre_restore(now) {
+                pending_pre.push_back((target, slot));
+                kernel.schedule(at, PRE_RESTORE_EVENT);
+            }
         }
         if i + 1 < total {
             kernel.schedule(now + cfg.request_gap, i + 1);
@@ -307,7 +359,7 @@ pub fn run_cluster(workload: &dyn Workload, cfg: &RunConfig) -> ClusterRunResult
     for node in &mut nodes {
         for slot in &mut node.slots {
             if let Some(w) = slot.take() {
-                session.retire(w);
+                session.retire(w, last_now);
             }
         }
     }

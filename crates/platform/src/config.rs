@@ -3,6 +3,7 @@
 use pronghorn_checkpoint::DeltaPolicy;
 use pronghorn_cluster::ClusterSpec;
 use pronghorn_core::{PolicyConfig, PolicyKind};
+use pronghorn_forecast::ProvisionPolicy;
 use pronghorn_jit::RuntimeKind;
 use pronghorn_restore::RestoreStrategy;
 use pronghorn_sim::{KernelKind, SimDuration};
@@ -55,6 +56,13 @@ pub struct RunConfig {
     /// under either; the timer wheel is O(1) per event and wins at
     /// production-trace scale (see `results/BENCH_kernel.json`).
     pub kernel: KernelKind,
+    /// Proactive provisioning policy: arrival forecasting driving
+    /// pre-restores ahead of predicted bursts, running alongside the
+    /// reactive checkpoint `policy`. [`ProvisionPolicy::Disabled`] (the
+    /// default) schedules nothing and draws nothing — runs are
+    /// byte-identical to those predating this knob (pinned by
+    /// `tests/full_invariance.rs`).
+    pub provision: ProvisionPolicy,
     /// Cluster shape for [`crate::run_cluster`]: node count, per-node
     /// worker capacity, gateway routing and snapshot placement. The
     /// default [`ClusterSpec::single_node`] keeps every single-node
@@ -80,6 +88,7 @@ impl RunConfig {
             restore: RestoreStrategy::Eager,
             delta: DeltaPolicy::Disabled,
             kernel: KernelKind::BinaryHeap,
+            provision: ProvisionPolicy::Disabled,
             cluster: ClusterSpec::single_node(),
         }
     }
@@ -152,6 +161,19 @@ impl RunConfig {
         self.cluster = cluster;
         self
     }
+
+    /// Sets the proactive provisioning policy.
+    pub fn with_provision(mut self, provision: ProvisionPolicy) -> Self {
+        self.provision = provision;
+        self
+    }
+
+    /// Sets the keep-alive window the production runner evicts idle
+    /// workers after.
+    pub fn with_idle_timeout(mut self, timeout: SimDuration) -> Self {
+        self.idle_timeout = timeout;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -167,7 +189,12 @@ mod tests {
         assert_eq!(c.restore, RestoreStrategy::Eager);
         assert_eq!(c.delta, DeltaPolicy::Disabled);
         assert_eq!(c.kernel, KernelKind::BinaryHeap);
+        assert_eq!(c.provision, ProvisionPolicy::Disabled);
         assert_eq!(c.cluster, ClusterSpec::single_node());
+        let predictive = c.with_provision(ProvisionPolicy::predictive(
+            pronghorn_forecast::ForecasterKind::Ewma,
+        ));
+        assert!(predictive.provision.enabled());
         let clustered = c.with_cluster(ClusterSpec::new(4).with_capacity(2));
         assert_eq!(clustered.cluster.nodes, 4);
         assert_eq!(clustered.cluster.capacity, 2);

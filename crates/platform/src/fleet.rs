@@ -256,6 +256,9 @@ pub fn run_fleet(workload: &dyn Workload, cfg: &RunConfig, fleet: &FleetConfig) 
         // The fleet runner checkpoints full snapshots only; its
         // orchestrator reports all-zero chain stats.
         chain: orch.chain_stats(),
+        // The fleet runner is purely reactive (no predictive
+        // provisioning path).
+        provisioning: pronghorn_forecast::ProvisionStats::default(),
     }
 }
 

@@ -36,7 +36,14 @@
 //!   cluster behind a deterministic consistent-hash gateway, with
 //!   load-aware spillover, per-node snapshot residency and Table 5
 //!   cross-node transfer pricing; `nodes = 1` is pinned byte-identical
-//!   to [`run_closed_loop`].
+//!   to [`run_closed_loop`];
+//! - **predictive provisioning** ([`RunConfig::with_provision`]): a
+//!   `pronghorn-forecast` [`ProvisionPolicy`] running alongside the
+//!   reactive policy — arrival forecasts drive *pre-restores* that warm
+//!   (and background-hydrate) a worker ahead of predicted bursts, with
+//!   keep-alive expiry and [`ProvisionStats`] accounting;
+//!   [`ProvisionPolicy::Disabled`] is pinned byte-identical to runs
+//!   predating the knob.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -55,6 +62,7 @@ pub use config::RunConfig;
 pub use fleet::{run_fleet, FleetConfig};
 pub use partitioned::run_partitioned;
 pub use pronghorn_cluster::{ClusterSpec, LocalityStats, PlacementPolicy, RoutingPolicy};
+pub use pronghorn_forecast::{ForecasterKind, ProvisionPolicy, ProvisionStats};
 pub use pronghorn_restore::{RestoreInfo, RestoreStrategy};
 pub use pronghorn_sim::KernelKind;
 pub use result::{ProvisionKind, RunResult};

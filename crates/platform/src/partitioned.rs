@@ -299,6 +299,8 @@ pub fn run_partitioned(workload: &dyn Workload, cfg: &RunConfig, classes: usize)
         restore_infos,
         // Partitioned deployments checkpoint full snapshots only.
         chain: pronghorn_store::ChainStats::default(),
+        // Partitioned deployments are purely reactive.
+        provisioning: pronghorn_forecast::ProvisionStats::default(),
     }
 }
 

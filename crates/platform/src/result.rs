@@ -2,6 +2,7 @@
 
 use pronghorn_checkpoint::CodecStats;
 use pronghorn_core::{OverheadTotals, PolicyKind};
+use pronghorn_forecast::ProvisionStats;
 use pronghorn_metrics::{convergence_request, Cdf, ConvergenceCriteria, Quantiles};
 use pronghorn_restore::{RestoreInfo, RestoreStrategy};
 use pronghorn_store::{ChainStats, StoreStats};
@@ -53,6 +54,9 @@ pub struct RunResult {
     /// Delta-chain accounting (roots, deltas, consolidations, composed
     /// restores); all-zero when delta checkpointing is disabled.
     pub chain: ChainStats,
+    /// Predictive pre-restore accounting; all-zero when provisioning is
+    /// disabled.
+    pub provisioning: ProvisionStats,
 }
 
 impl RunResult {
@@ -158,6 +162,7 @@ mod tests {
             restore_strategy: RestoreStrategy::Eager,
             restore_infos: vec![],
             chain: ChainStats::default(),
+            provisioning: ProvisionStats::default(),
         }
     }
 

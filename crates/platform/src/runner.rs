@@ -10,6 +10,7 @@ use pronghorn_checkpoint::{
     Snapshot, SnapshotId, SnapshotMeta,
 };
 use pronghorn_core::{baselines::make_policy, Orchestrator};
+use pronghorn_forecast::{PreRestorePlan, ProvisionStats, Provisioner};
 use pronghorn_jit::Runtime;
 use pronghorn_kv::KvStore;
 use pronghorn_metrics::Histogram;
@@ -17,12 +18,12 @@ use pronghorn_restore::{
     FaultCostModel, LazyImage, PageMap, PagedSnapshotStore, RestoreInfo, RestoreStrategy,
     DEFAULT_PAGE_SIZE,
 };
-use pronghorn_sim::{Kernel, RngFactory, SimTime};
+use pronghorn_sim::{Kernel, RngFactory, SimDuration, SimTime};
 use pronghorn_store::{saturating_accumulate, ObjectStore, TransferModel};
 use pronghorn_traces::Trace;
 use pronghorn_workloads::Workload;
 use rand::rngs::SmallRng;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 
 /// Selection penalty (µs) the record-&-prefetch strategy charges pooled
 /// snapshots that have no recorded working-set manifest yet: restoring one
@@ -36,6 +37,28 @@ const RECORD_PREFETCH_PENALTY_US: f64 = 10_000.0;
 /// lossless; it keeps kernel memory O(lookahead) instead of
 /// O(invocations) over an hours-long trace.
 const PRODUCTION_LOOKAHEAD: usize = 1 << 16;
+
+/// Sentinel event payloads for predictive provisioning, carried in the
+/// same `u64` kernel payload as arrival indices (which stay far below
+/// them). [`ProvisionPolicy::Disabled`] schedules none of these, so the
+/// reactive event stream is byte-identical to runs predating them.
+///
+/// [`ProvisionPolicy::Disabled`]: pronghorn_forecast::ProvisionPolicy::Disabled
+pub(crate) const PRE_RESTORE_EVENT: u64 = u64::MAX;
+/// Keep-alive expiry of an unused pre-restored worker (see
+/// [`PRE_RESTORE_EVENT`]).
+pub(crate) const PRE_WARM_EXPIRY_EVENT: u64 = u64::MAX - 1;
+/// Idle-eviction probe [`run_production`] schedules so a worker slot can
+/// go cold — and be predictively re-warmed — *between* arrivals, not
+/// only when the next arrival happens to look.
+pub(crate) const IDLE_CHECK_EVENT: u64 = u64::MAX - 2;
+
+/// Simulated time of background IO-state freshening equivalent to one
+/// served request's worth of staleness decay: a pre-warmed worker
+/// re-establishes connections, leases and caches while it waits, so a
+/// long enough lead erases the stale-IO penalty the first post-restore
+/// requests would otherwise pay.
+const PREWARM_REQUEST_US: u64 = 2_000_000;
 
 /// Where a restored worker's snapshot came from — what the cluster layer
 /// needs to price locality: the blob id, the nominal bytes the store
@@ -117,6 +140,9 @@ pub struct ProductionStats {
     pub restore_faults: u64,
     /// Total off-critical-path provisioning time (µs).
     pub provision_us_total: f64,
+    /// Predictive pre-restore accounting (all zeros when provisioning is
+    /// disabled).
+    pub provisioning: ProvisionStats,
     /// Timestamp of the last served arrival.
     pub end_time: SimTime,
     /// Largest number of events pending in the kernel at once (bounded by
@@ -158,6 +184,18 @@ pub(crate) struct Session<'w> {
     served_total: u32,
     restore_infos: Vec<RestoreInfo>,
     stream: Option<StreamAgg>,
+    /// Predictive-provisioning decision state; `None` when disabled, so
+    /// the reactive path carries (and mutates) nothing.
+    provisioner: Option<Provisioner>,
+    /// Pre-restore accounting for the run.
+    pub(crate) provisioning: ProvisionStats,
+    /// Keep-alives of planned-but-not-yet-fired pre-restores, popped in
+    /// kernel order (plans fire strictly after they are made, and the
+    /// kernel is FIFO across monotone schedule times).
+    pending_keepalives: VecDeque<SimDuration>,
+    /// Image size of the most recently provisioned worker — the MPC
+    /// arm's estimate of what a pre-restored worker would hold warm.
+    last_image_bytes: u64,
 }
 
 impl<'w> Session<'w> {
@@ -225,6 +263,10 @@ impl<'w> Session<'w> {
             served_total: 0,
             restore_infos: Vec::with_capacity(lifetimes(expected, cfg.eviction_rate)),
             stream,
+            provisioner: Provisioner::new(cfg.provision),
+            provisioning: ProvisionStats::default(),
+            pending_keepalives: VecDeque::new(),
+            last_image_bytes: 0,
         }
     }
 
@@ -355,6 +397,7 @@ impl<'w> Session<'w> {
         let mut worker = Worker::new(runtime, wrng, resume, plan.checkpoint_at, restore, now);
         worker.image = image;
         worker.delta = delta;
+        self.last_image_bytes = worker.runtime.image_size_bytes();
         // An immediately-due plan (e.g. checkpoint-after-init's request 0)
         // snapshots before the first request is served.
         self.maybe_checkpoint(&mut worker);
@@ -531,6 +574,26 @@ impl<'w> Session<'w> {
 
     /// Serves one request end to end, returning the client-visible latency.
     pub(crate) fn serve(&mut self, worker: &mut Worker, arrival_index: u64, now: SimTime) -> f64 {
+        // Every runner serves exactly one request per arrival, so this is
+        // the single point where the forecaster observes the arrival
+        // process. A no-op (no state, no draws) when provisioning is off.
+        if let Some(p) = self.provisioner.as_mut() {
+            p.observe(now);
+        }
+        // A pre-restored worker resolves at its first request: the lead
+        // time it waited both cost keep-alive byte-seconds and banked
+        // IO-state freshening (prewarm credit) against the stale penalty.
+        if let Some(since) = worker.pre_warmed_since.take() {
+            let waited = now.saturating_since(since);
+            worker.prewarm_credit =
+                (waited.as_micros() / PREWARM_REQUEST_US).min(u64::from(u32::MAX)) as u32;
+            self.provisioning.pre_restores_used += 1;
+            self.provisioning.keepalive_byte_s +=
+                worker.runtime.image_size_bytes() as f64 * waited.as_secs_f64();
+            if let Some(p) = self.provisioner.as_mut() {
+                p.note_resolved();
+            }
+        }
         let mut input_rng = self.factory.stream_indexed("input", arrival_index);
         let request = self.workload.generate(&mut input_rng, self.cfg.variance);
         let request_number = worker.next_request_number();
@@ -575,7 +638,11 @@ impl<'w> Session<'w> {
                 if let Some(info) = worker.restore.as_mut() {
                     info.faults += touches.len() as u32;
                     info.fault_us += fault_us;
-                    saturating_accumulate("bytes_transferred", &mut info.bytes_transferred, fetched);
+                    saturating_accumulate(
+                        "bytes_transferred",
+                        &mut info.bytes_transferred,
+                        fetched,
+                    );
                 }
             }
             // A recording restore persists its working set once the trace
@@ -600,8 +667,11 @@ impl<'w> Session<'w> {
         // of it there is to re-establish is workload-specific. Staleness
         // decays with requests served, so only *freshly* restored workers
         // pay it (the old `restored` bool conflated the two).
-        if worker.freshly_restored(self.stale.horizon) {
-            let nth = worker.served;
+        // Prewarm credit ages the penalty down exactly as served requests
+        // would; at credit zero (every reactive worker) this is
+        // bit-identical to the old `freshly_restored` gate.
+        let nth = worker.served.saturating_add(worker.prewarm_credit);
+        if worker.restored() && nth < self.stale.horizon {
             // `stale_age` is nonzero only for cross-node restores; at age
             // zero the aged path is bit-identical to `penalty_frac`.
             latency += request.io_us
@@ -625,12 +695,101 @@ impl<'w> Session<'w> {
     }
 
     /// Retires a worker at eviction (or end of run), harvesting its
-    /// accumulated restore/fault statistics.
-    pub(crate) fn retire(&mut self, worker: Worker) {
+    /// accumulated restore/fault statistics. A still-pre-warmed worker
+    /// retires as a *wasted* pre-restore: it paid keep-alive without ever
+    /// serving.
+    pub(crate) fn retire(&mut self, worker: Worker, now: SimTime) {
+        if let Some(since) = worker.pre_warmed_since {
+            let waited = now.saturating_since(since);
+            self.provisioning.pre_restores_wasted += 1;
+            self.provisioning.keepalive_byte_s +=
+                worker.runtime.image_size_bytes() as f64 * waited.as_secs_f64();
+            if let Some(p) = self.provisioner.as_mut() {
+                p.note_resolved();
+            }
+        }
         if let Some(info) = worker.restore {
             match &mut self.stream {
                 Some(agg) => agg.restore_faults += u64::from(info.faults),
                 None => self.restore_infos.push(info),
+            }
+        }
+    }
+
+    /// Whether predictive provisioning is active for this run.
+    pub(crate) fn provision_enabled(&self) -> bool {
+        self.provisioner.is_some()
+    }
+
+    /// Plans a pre-restore for a worker slot that just went cold: `Some`
+    /// is the kernel time at which to fire [`PRE_RESTORE_EVENT`], with
+    /// the plan's keep-alive queued for [`Self::pre_restore`] (or
+    /// [`Self::cancel_pre_restore`]) to consume when it does. Reserves
+    /// provisioning budget immediately so back-to-back evictions cannot
+    /// over-issue.
+    pub(crate) fn plan_pre_restore(&mut self, now: SimTime) -> Option<SimTime> {
+        let image_bytes = self.last_image_bytes;
+        let provisioner = self.provisioner.as_mut()?;
+        let PreRestorePlan { at, keepalive } = provisioner.plan(now, image_bytes)?;
+        provisioner.note_issued();
+        self.pending_keepalives.push_back(keepalive);
+        Some(at)
+    }
+
+    /// Drops a planned pre-restore whose event fired into an occupied
+    /// slot (a reactive provision beat it), releasing its budget.
+    pub(crate) fn cancel_pre_restore(&mut self) {
+        self.pending_keepalives.pop_front();
+        if let Some(p) = self.provisioner.as_mut() {
+            p.note_resolved();
+        }
+    }
+
+    /// Provisions a worker ahead of demand (a *pre-restore*): the normal
+    /// provisioning path plus background hydration of the lazy image,
+    /// all charged off the critical path. The caller schedules
+    /// [`PRE_WARM_EXPIRY_EVENT`] at the returned worker's
+    /// `pre_warm_expires`.
+    pub(crate) fn pre_restore(&mut self, now: SimTime) -> Worker {
+        let mut worker = self.provision(now);
+        self.mark_pre_restored(&mut worker, now);
+        worker
+    }
+
+    /// Marks an already-provisioned worker pre-warmed at `now` (consuming
+    /// the oldest planned keep-alive) and hydrates its lazy image in the
+    /// background: every absent page is pulled in one batched prefetch,
+    /// so the predicted burst's first requests demand-fault nothing. The
+    /// hydration bytes stay out of `bytes_transferred` — that counter
+    /// means "shipped on the restore path" to the cluster's byte
+    /// conservation — and out of the recording manifest, which must keep
+    /// reflecting what requests actually touch.
+    pub(crate) fn mark_pre_restored(&mut self, worker: &mut Worker, now: SimTime) {
+        let keepalive = self.pending_keepalives.pop_front().unwrap_or_else(|| {
+            self.provisioner
+                .as_ref()
+                .map_or(SimDuration::ZERO, Provisioner::horizon)
+        });
+        worker.pre_warmed_since = Some(now);
+        worker.pre_warm_expires = now + keepalive;
+        self.provisioning.pre_restores_issued += 1;
+        if let Some(image) = worker.image.as_mut() {
+            let absent = image.absent_pages();
+            if !absent.is_empty() {
+                let fetched = match &self.paged {
+                    Some(paged) => paged
+                        .fetch_pages(image.function(), image.snapshot_id(), image.map(), &absent)
+                        .unwrap_or(0),
+                    None => 0,
+                };
+                image.mark_prefetched(&absent);
+                self.provision_us +=
+                    self.fault_costs
+                        .prefetch_us(&self.transfer, fetched, absent.len() as u32);
+                if let Some(info) = worker.restore.as_mut() {
+                    info.prefetched_pages =
+                        info.prefetched_pages.saturating_add(absent.len() as u32);
+                }
             }
         }
     }
@@ -647,6 +806,7 @@ impl<'w> Session<'w> {
         self.snapshot_requests.clear();
         self.provision_us = 0.0;
         self.restore_infos.clear();
+        self.provisioning = ProvisionStats::default();
         if let Some(agg) = &mut self.stream {
             *agg = StreamAgg::new();
         }
@@ -674,6 +834,7 @@ impl<'w> Session<'w> {
             restore_strategy: self.cfg.restore,
             restore_infos: self.restore_infos,
             chain: self.orch.chain_stats(),
+            provisioning: self.provisioning,
         }
     }
 
@@ -696,6 +857,7 @@ impl<'w> Session<'w> {
             snapshot_mb_total: agg.snapshot_mb_total,
             restore_faults: agg.restore_faults,
             provision_us_total: self.provision_us,
+            provisioning: self.provisioning,
             end_time,
             peak_pending_events,
         }
@@ -730,7 +892,39 @@ pub fn run_closed_loop(workload: &dyn Workload, cfg: &RunConfig) -> RunResult {
     if total > 0 {
         kernel.schedule(SimTime::ZERO + cfg.request_gap, 0);
     }
-    while let Some((now, i)) = kernel.pop() {
+    let mut last_now = SimTime::ZERO;
+    while let Some((now, event)) = kernel.pop() {
+        last_now = now;
+        match event {
+            PRE_RESTORE_EVENT => {
+                if worker.is_none() {
+                    let w = session.pre_restore(now);
+                    kernel.schedule(w.pre_warm_expires, PRE_WARM_EXPIRY_EVENT);
+                    worker = Some(w);
+                } else {
+                    session.cancel_pre_restore();
+                }
+                continue;
+            }
+            PRE_WARM_EXPIRY_EVENT => {
+                let expired = worker
+                    .as_ref()
+                    .is_some_and(|w| w.pre_warmed_since.is_some() && now >= w.pre_warm_expires);
+                if expired {
+                    if let Some(w) = worker.take() {
+                        session.retire(w, now);
+                    }
+                    // The slot went cold again; re-plan from the (now
+                    // more decayed) forecast.
+                    if let Some(at) = session.plan_pre_restore(now) {
+                        kernel.schedule(at, PRE_RESTORE_EVENT);
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let i = event;
         let mut w = match worker.take() {
             Some(w) => w,
             None => session.provision(now),
@@ -741,14 +935,17 @@ pub fn run_closed_loop(workload: &dyn Workload, cfg: &RunConfig) -> RunResult {
         if w.served < cfg.eviction_rate {
             worker = Some(w);
         } else {
-            session.retire(w);
+            session.retire(w, now);
+            if let Some(at) = session.plan_pre_restore(now) {
+                kernel.schedule(at, PRE_RESTORE_EVENT);
+            }
         }
         if i + 1 < total {
             kernel.schedule(now + cfg.request_gap, i + 1);
         }
     }
     if let Some(w) = worker.take() {
-        session.retire(w);
+        session.retire(w, last_now);
     }
     session.finish()
 }
@@ -781,7 +978,9 @@ pub fn run_trace_with_history(
     if history > 0 {
         kernel.schedule(SimTime::ZERO + cfg.request_gap, 0);
     }
+    let mut last_now = SimTime::ZERO;
     while let Some((now, i)) = kernel.pop() {
+        last_now = now;
         let mut w = match worker.take() {
             Some(w) => w,
             None => session.provision(now),
@@ -790,14 +989,14 @@ pub fn run_trace_with_history(
         if w.served < cfg.eviction_rate {
             worker = Some(w);
         } else {
-            session.retire(w);
+            session.retire(w, now);
         }
         if i + 1 < history {
             kernel.schedule(now + cfg.request_gap, i + 1);
         }
     }
     if let Some(w) = worker.take() {
-        session.retire(w);
+        session.retire(w, last_now);
     }
     // The measured window starts with whatever state the deployment has;
     // in-flight workers from the history are evicted (the window is a
@@ -810,14 +1009,16 @@ pub fn run_trace_with_history(
         kernel.schedule(arrival, history + i as u64);
     }
     let mut worker: Option<Worker> = None;
+    let mut last_arrival = SimTime::ZERO;
     while let Some((arrival, i)) = kernel.pop() {
+        last_arrival = arrival;
         // Idle eviction.
         let idle = worker
             .as_ref()
             .is_some_and(|w| arrival.saturating_since(w.last_active) > cfg.idle_timeout);
         if idle {
             if let Some(w) = worker.take() {
-                session.retire(w);
+                session.retire(w, arrival);
             }
         }
         let mut w = match worker.take() {
@@ -828,7 +1029,7 @@ pub fn run_trace_with_history(
         worker = Some(w);
     }
     if let Some(w) = worker.take() {
-        session.retire(w);
+        session.retire(w, last_arrival);
     }
     session.finish()
 }
@@ -871,6 +1072,11 @@ where
     let mut peak_pending = 0usize;
     let mut worker: Option<Worker> = None;
     let mut end_time = SimTime::ZERO;
+    let mut last_now = SimTime::ZERO;
+    // Whether an IDLE_CHECK_EVENT is already pending: the probe chain is
+    // kept at most one deep so sentinels never accumulate in the kernel.
+    let mut idle_check_pending = false;
+    let probe_gap = cfg.idle_timeout + SimDuration::from_micros(1);
     loop {
         while kernel.len() < PRODUCTION_LOOKAHEAD {
             let Some(at) = arrivals.next() else { break };
@@ -878,15 +1084,72 @@ where
             next_index += 1;
         }
         peak_pending = peak_pending.max(kernel.len());
-        let Some((now, index)) = kernel.pop() else {
+        let Some((now, event)) = kernel.pop() else {
             break;
         };
-        let idle = worker
-            .as_ref()
-            .is_some_and(|w| now.saturating_since(w.last_active) > cfg.idle_timeout);
+        last_now = now;
+        match event {
+            PRE_RESTORE_EVENT => {
+                if worker.is_none() {
+                    let w = session.pre_restore(now);
+                    kernel.schedule(w.pre_warm_expires, PRE_WARM_EXPIRY_EVENT);
+                    worker = Some(w);
+                } else {
+                    session.cancel_pre_restore();
+                }
+                continue;
+            }
+            PRE_WARM_EXPIRY_EVENT => {
+                let expired = worker
+                    .as_ref()
+                    .is_some_and(|w| w.pre_warmed_since.is_some() && now >= w.pre_warm_expires);
+                if expired {
+                    if let Some(w) = worker.take() {
+                        session.retire(w, now);
+                    }
+                    if let Some(at) = session.plan_pre_restore(now) {
+                        kernel.schedule(at, PRE_RESTORE_EVENT);
+                    }
+                }
+                continue;
+            }
+            IDLE_CHECK_EVENT => {
+                idle_check_pending = false;
+                // A pre-warmed worker is waiting on its own expiry event,
+                // not the idle clock.
+                let state = worker
+                    .as_ref()
+                    .filter(|w| w.pre_warmed_since.is_none())
+                    .map(|w| w.last_active);
+                if let Some(last_active) = state {
+                    if now.saturating_since(last_active) > cfg.idle_timeout {
+                        if let Some(w) = worker.take() {
+                            session.retire(w, now);
+                        }
+                        if let Some(at) = session.plan_pre_restore(now) {
+                            kernel.schedule(at, PRE_RESTORE_EVENT);
+                        }
+                    } else {
+                        kernel.schedule(last_active + probe_gap, IDLE_CHECK_EVENT);
+                        idle_check_pending = true;
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let index = event;
+        // Arrival-time idle eviction (the reactive path's only probe —
+        // and still the one that fires when a pre-restored worker's slot
+        // is taken over by real traffic before any sentinel looks).
+        // Pre-warmed workers are exempt: they exist precisely to absorb
+        // the arrival that ends a long gap.
+        let idle = worker.as_ref().is_some_and(|w| {
+            w.pre_warmed_since.is_none() && now.saturating_since(w.last_active) > cfg.idle_timeout
+        });
         if idle {
             if let Some(w) = worker.take() {
-                session.retire(w);
+                session.retire(w, now);
             }
         }
         let mut w = match worker.take() {
@@ -896,9 +1159,16 @@ where
         session.serve(&mut w, index, now);
         worker = Some(w);
         end_time = now;
+        // With provisioning on, arm the between-arrivals idle probe so
+        // the slot can go cold — and be predictively re-warmed — during
+        // a gap instead of only at the next arrival.
+        if session.provision_enabled() && !idle_check_pending {
+            kernel.schedule(now + probe_gap, IDLE_CHECK_EVENT);
+            idle_check_pending = true;
+        }
     }
     if let Some(w) = worker.take() {
-        session.retire(w);
+        session.retire(w, last_now);
     }
     session.finish_production(end_time, peak_pending)
 }
@@ -1200,6 +1470,72 @@ mod tests {
             "request-centric {} should exceed after-1st {}",
             rc.median_us(),
             after.median_us()
+        );
+    }
+
+    #[test]
+    fn predictive_provisioning_fixes_the_uploader_regression() {
+        use pronghorn_forecast::{ForecasterKind, ProvisionPolicy};
+        // Same protocol as `uploader_is_worse_under_request_centric`:
+        // at eviction rate 1 every restore pays the stale-IO penalty on
+        // its single request. A predicted pre-restore lands ~60 s before
+        // the next arrival, and that lead time freshens the IO state
+        // (prewarm credit), erasing the penalty.
+        let bench = by_name("Uploader").unwrap();
+        let mut reactive = RunConfig::paper(PolicyKind::RequestCentric, 1, 9).with_invocations(300);
+        reactive.variance = InputVariance::none();
+        let predictive = reactive.with_provision(ProvisionPolicy::predictive(ForecasterKind::Ewma));
+        let r = run_closed_loop(&bench, &reactive);
+        let p = run_closed_loop(&bench, &predictive);
+        assert!(
+            p.median_us() < r.median_us(),
+            "predictive {} should beat reactive {}",
+            p.median_us(),
+            r.median_us()
+        );
+        assert!(p.provisioning.pre_restores_issued > 0);
+        assert!(p.provisioning.pre_restores_used > 0);
+        assert!(p.provisioning.keepalive_byte_s > 0.0);
+        // Reactive runs account nothing.
+        assert_eq!(r.provisioning.pre_restores_issued, 0);
+        assert_eq!(r.provisioning.keepalive_byte_s, 0.0);
+    }
+
+    #[test]
+    fn predictive_runs_are_byte_identical_under_both_kernels() {
+        use pronghorn_forecast::{ForecasterKind, ProvisionPolicy};
+        use pronghorn_sim::KernelKind;
+        let bench = by_name("Uploader").unwrap();
+        for kind in ForecasterKind::ALL {
+            let heap_cfg = cfg(PolicyKind::RequestCentric, 4)
+                .with_provision(ProvisionPolicy::predictive(kind));
+            let wheel_cfg = heap_cfg.with_kernel(KernelKind::TimerWheel);
+            let a = run_closed_loop(&bench, &heap_cfg);
+            let b = run_closed_loop(&bench, &wheel_cfg);
+            assert_eq!(a.latencies_us, b.latencies_us, "{}", kind.label());
+            assert_eq!(a.provisions, b.provisions, "{}", kind.label());
+            assert_eq!(a.provisioning, b.provisioning, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn pre_restores_resolve_exactly_once() {
+        use pronghorn_forecast::{ForecasterKind, ProvisionPolicy};
+        // Conservation: every issued pre-restore is eventually used or
+        // wasted, never both, never dropped.
+        let bench = by_name("Uploader").unwrap();
+        let c = cfg(PolicyKind::RequestCentric, 1)
+            .with_provision(ProvisionPolicy::predictive(ForecasterKind::SlidingWindow));
+        let r = run_closed_loop(&bench, &c);
+        let s = r.provisioning;
+        assert!(s.pre_restores_issued > 0);
+        assert_eq!(
+            s.pre_restores_issued,
+            s.pre_restores_used + s.pre_restores_wasted,
+            "issued {} != used {} + wasted {}",
+            s.pre_restores_issued,
+            s.pre_restores_used,
+            s.pre_restores_wasted
         );
     }
 

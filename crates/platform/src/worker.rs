@@ -55,6 +55,21 @@ pub struct Worker {
     pub delta: Option<DeltaTracking>,
     /// Virtual time of the last served request (idle-eviction clock).
     pub last_active: SimTime,
+    /// When this worker was warmed by a *pre-restore* (predictive
+    /// provisioning) and has not yet served; `None` for reactively
+    /// provisioned workers and after the first request resolves the
+    /// pre-restore. While set, [`Self::pre_warm_expires`] bounds how long
+    /// the warm worker is held before being retired as wasted.
+    pub pre_warmed_since: Option<SimTime>,
+    /// When an unused pre-restored worker expires (wasted). Meaningful
+    /// only while [`Self::pre_warmed_since`] is set.
+    pub pre_warm_expires: SimTime,
+    /// Requests' worth of IO-state freshening the worker banked while
+    /// pre-warmed: background re-establishment between the pre-restore
+    /// and the first request ages the stale-IO penalty down exactly as
+    /// served requests would. Zero for reactive workers, so the stale
+    /// math is bit-identical with provisioning disabled.
+    pub prewarm_credit: u32,
     /// How far the serving node's clock had run past the restored
     /// snapshot's checkpoint time when the restore crossed a node
     /// boundary: the staleness horizon is per-*node*, not per-run, so a
@@ -84,6 +99,9 @@ impl Worker {
             image: None,
             delta: None,
             last_active: now,
+            pre_warmed_since: None,
+            pre_warm_expires: SimTime::ZERO,
+            prewarm_credit: 0,
             stale_age: SimDuration::ZERO,
         }
     }

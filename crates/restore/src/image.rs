@@ -74,6 +74,16 @@ impl LazyImage {
         bytes
     }
 
+    /// Every page not yet resident, in ascending page order — the fetch
+    /// set a background hydration (pre-restore warm-up) pulls to make
+    /// the whole image demand-fault-free, without touching the
+    /// recording manifest the way [`Self::first_touches`] would.
+    pub fn absent_pages(&self) -> Vec<u32> {
+        (0..self.map.page_count())
+            .filter(|p| !self.resident.contains(p))
+            .collect()
+    }
+
     /// Filters `trace` down to first touches: non-resident pages, in
     /// ascending page order, each marked resident (and recorded when the
     /// image is recording).
@@ -153,6 +163,23 @@ mod tests {
         assert_eq!(bytes, img.map().bytes_for(&[1, 2, 3]));
         assert_eq!(img.mark_prefetched(&[3]), 0);
         assert_eq!(img.first_touches(&[1, 2, 3, 4]), vec![4]);
+    }
+
+    #[test]
+    fn absent_pages_complement_the_resident_set() {
+        let mut img = image(true);
+        let count = img.map().page_count();
+        assert_eq!(img.absent_pages().len() as u32, count);
+        img.mark_prefetched(&[0, 2]);
+        let absent = img.absent_pages();
+        assert_eq!(absent.len() as u32, count - 2);
+        assert!(!absent.contains(&0) && !absent.contains(&2));
+        // Hydrating via the absent set never pollutes the recording.
+        img.mark_prefetched(&absent);
+        assert!(img.absent_pages().is_empty());
+        assert!(!img.recording_dirty());
+        // A fully hydrated image demand-faults nothing.
+        assert_eq!(img.first_touches(&[1, 3, 5]), Vec::<u32>::new());
     }
 
     #[test]

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Collects the predictive-provisioning numbers the PR claims:
+#
+#   1. runs `experiments provision-ablation`, which sweeps the 13 paper
+#      benchmarks x {reactive, sliding-window, ewma, mpc} over a sparse
+#      bursty production trace (paired seeds, so cells differing only in
+#      arm replay identical arrivals) and writes
+#      results/provision_ablation.csv plus results/BENCH_provision.json
+#      (per-arm win counts, pre-restores issued/used/wasted, keep-alive
+#      byte-seconds).
+#
+# Usage: scripts/bench_provision.sh [--quick]
+#   --quick  forwards the experiments harness's reduced-size mode
+#            (shorter simulated trace).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p results
+
+echo "== experiments provision-ablation (writes results/provision_ablation.csv + BENCH_provision.json) =="
+cargo run -q --release -p pronghorn-experiments -- provision-ablation "$@"
+
+echo
+echo "== artifacts =="
+ls -l results/provision_ablation.csv results/BENCH_provision.json

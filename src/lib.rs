@@ -17,6 +17,7 @@
 //! | [`jit`] | the tiered-JIT language-runtime simulator (JVM/PyPy profiles) |
 //! | [`workloads`] | the 14 benchmark kernels of Tables 1 & 3, implemented for real |
 //! | [`platform`] | the serverless-platform simulator (closed-loop + trace-driven runners) |
+//! | [`forecast`] | arrival forecasting and the predictive pre-restore provisioning policy |
 //! | [`cluster`] | the N-node cluster layer: consistent-hash ring, cluster spec, blob residency |
 //! | [`checkpoint`] | the CRIU-calibrated checkpoint engine and snapshot format |
 //! | [`store`] / [`kv`] | the Object Store (MinIO) and Database substrates |
@@ -46,6 +47,7 @@ pub use pronghorn_checkpoint as checkpoint;
 pub use pronghorn_cluster as cluster;
 pub use pronghorn_core as core;
 pub use pronghorn_experiments as experiments;
+pub use pronghorn_forecast as forecast;
 pub use pronghorn_jit as jit;
 pub use pronghorn_kv as kv;
 pub use pronghorn_metrics as metrics;
@@ -62,10 +64,12 @@ pub mod prelude {
         CheckpointAfterFirstPolicy, ColdStartPolicy, Orchestrator, Policy, PolicyConfig,
         PolicyKind, RequestCentricPolicy, StartDecision,
     };
+    pub use pronghorn_forecast::{ForecasterKind, ProvisionPolicy, ProvisionStats};
     pub use pronghorn_jit::{Runtime, RuntimeKind, RuntimeProfile};
     pub use pronghorn_metrics::{Cdf, Quantiles, Summary};
     pub use pronghorn_platform::{
-        run_closed_loop, run_cluster, run_trace, ClusterRunResult, RunConfig, RunResult,
+        run_closed_loop, run_cluster, run_production, run_trace, ClusterRunResult, RunConfig,
+        RunResult,
     };
     pub use pronghorn_sim::{RngFactory, SimDuration, SimTime};
     pub use pronghorn_traces::TraceSpec;
