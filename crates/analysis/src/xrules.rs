@@ -39,6 +39,9 @@ pub const BYTE_ACCOUNTING_FIELDS: &[&str] = &[
     "nominal_bytes_uploaded",
     "pinned_nominal_bytes",
     "replicated_bytes",
+    "wire_bytes_downloaded",
+    "wire_bytes_uploaded",
+    "cache_hit_bytes",
 ];
 
 /// What made a function a determinism-taint source.

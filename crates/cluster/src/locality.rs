@@ -174,6 +174,24 @@ impl BlobDirectory {
         remote: &TransferModel,
         links: usize,
     ) -> BlobAccess {
+        let transfer = remote.chained_transfer_time(bytes, links.max(1));
+        self.access_priced(id, node, bytes, now, transfer)
+    }
+
+    /// Like [`Self::access`], but with the miss-path transfer time priced
+    /// by the caller — the storage tier prices a composed image as one
+    /// batched wire-byte fetch instead of re-walking the delta chain
+    /// serially across the cluster link, while `bytes` stays nominal so
+    /// the Table 5 conservation law (`restore_bytes == nominal_downloaded
+    /// + remote_bytes`) is unaffected by compression.
+    pub fn access_priced(
+        &mut self,
+        id: u64,
+        node: u32,
+        bytes: u64,
+        now: SimTime,
+        transfer: SimDuration,
+    ) -> BlobAccess {
         let hit = BlobAccess {
             hit: true,
             transfer: SimDuration::ZERO,
@@ -191,7 +209,6 @@ impl BlobDirectory {
                 hit
             }
             Some(entry) => {
-                let transfer = remote.chained_transfer_time(bytes, links.max(1));
                 let age = now.saturating_since(entry.placed_at);
                 entry.residents.insert(node);
                 self.stats.remote_misses += 1;
@@ -284,6 +301,19 @@ mod tests {
         let a = dir.access(9, 1, 1 << 20, SimTime::from_micros(50), &model(), 3);
         assert_eq!(a.transfer, model().chained_transfer_time(1 << 20, 3));
         assert!(a.transfer > model().chained_transfer_time(1 << 20, 1));
+    }
+
+    #[test]
+    fn priced_access_charges_caller_supplied_transfer() {
+        let mut dir = BlobDirectory::new(2);
+        dir.record(3, 0, SimTime::ZERO);
+        let custom = SimDuration::from_micros(123);
+        let a = dir.access_priced(3, 1, 2048, SimTime::from_micros(10), custom);
+        assert!(!a.hit);
+        assert_eq!(a.transfer, custom);
+        assert_eq!(a.bytes, 2048, "bytes stay nominal regardless of pricing");
+        assert_eq!(dir.stats().remote_bytes, 2048);
+        assert_eq!(dir.stats().remote_us, 123.0);
     }
 
     #[test]

@@ -23,7 +23,8 @@ use pronghorn_kv::{types as kvtypes, KvCosts, KvStore};
 use pronghorn_restore::{PageMap, PagedSnapshotStore};
 use pronghorn_sim::SimDuration;
 use pronghorn_store::{
-    saturating_accumulate, ChainIndex, ChainStats, ObjectStore, StoreError, TransferModel,
+    saturating_accumulate, ChainIndex, ChainStats, DownloadPrice, DownloadRequest, ObjectStore,
+    StoragePolicy, StorageStats, StorageTier, StoreError, TransferModel,
 };
 use rand::RngCore;
 use std::collections::BTreeMap;
@@ -154,6 +155,10 @@ pub struct Orchestrator {
     /// Delta-chain lineage index; present only when delta checkpointing
     /// is enabled (the full-snapshot path never consults it).
     chains: Option<ChainIndex>,
+    /// Tiered-storage pricing (SSD cache / compression / composed
+    /// prefetch); absent when the storage policy is disabled, keeping the
+    /// flat-store path byte-identical.
+    storage: Option<StorageTier>,
     /// Snapshots recorded into the pool since the last
     /// [`Self::drain_pool_events`] call, with their stored nominal bytes.
     /// Single-node runners never drain (growth is bounded by checkpoint
@@ -200,6 +205,7 @@ impl Orchestrator {
             pool_sizes: BTreeMap::new(),
             paging: None,
             chains: None,
+            storage: None,
             recorded_log: Vec::new(),
             evicted_log: Vec::new(),
         }
@@ -247,6 +253,55 @@ impl Orchestrator {
     /// Whether delta-chain bookkeeping is enabled.
     pub fn delta_enabled(&self) -> bool {
         self.chains.is_some()
+    }
+
+    /// Enables tiered snapshot storage (local-SSD cache, modeled
+    /// compression, composed-chain prefetch) per `policy`. A disabled
+    /// policy is a no-op, leaving the flat-store path untouched. Apply
+    /// after [`Self::with_transfer`] — the tier prices misses on the
+    /// orchestrator's object-store link.
+    pub fn with_storage(mut self, policy: StoragePolicy) -> Self {
+        if policy.enabled() {
+            self.storage = Some(StorageTier::new(policy, self.transfer));
+        }
+        self
+    }
+
+    /// The storage tier, when enabled.
+    pub fn storage(&self) -> Option<&StorageTier> {
+        self.storage.as_ref()
+    }
+
+    /// Mutable storage tier, when enabled — the platform's hook for
+    /// pricing prefetches and demand faults through the hierarchy.
+    pub fn storage_mut(&mut self) -> Option<&mut StorageTier> {
+        self.storage.as_mut()
+    }
+
+    /// Accumulated storage-hierarchy counters (zeroes when disabled).
+    pub fn storage_stats(&self) -> StorageStats {
+        self.storage
+            .as_ref()
+            .map(|t| *t.stats())
+            .unwrap_or_default()
+    }
+
+    /// The θ-weight the policy has learned for checkpoints taken at
+    /// `request_number` (0.0 for policies without exported weights) —
+    /// the cache tier's admission priority.
+    pub fn theta_weight(&self, request_number: u32) -> f64 {
+        self.policy
+            .export_weights()
+            .and_then(|w| w.get(request_number as usize).copied())
+            .unwrap_or(0.0)
+    }
+
+    /// The θ-weight of pooled snapshot `id` (0.0 when untracked).
+    pub fn snapshot_weight(&self, id: SnapshotId) -> f64 {
+        self.policy
+            .snapshot_request_number(id)
+            .map(|r| self.theta_weight(r))
+            .unwrap_or(0.0)
     }
 
     /// Whether `id` is still a valid delta parent: pooled (or at least
@@ -341,19 +396,17 @@ impl Orchestrator {
             StartDecision::Cold => (None, 0),
             StartDecision::Restore(id) => match self.download_snapshot(id) {
                 Ok(dl) => {
-                    transfer_us += self
-                        .transfer
-                        .chained_transfer_time(dl.nominal, dl.chain_len)
-                        .as_micros() as f64;
+                    let price = self.price_download(id, &dl);
+                    transfer_us += price.transfer_us;
                     saturating_accumulate(
                         "nominal_bytes_downloaded",
                         &mut self.overheads.nominal_bytes_downloaded,
-                        dl.nominal,
+                        price.accounted_nominal,
                     );
-                    download_nominal = dl.nominal;
+                    download_nominal = price.accounted_nominal;
                     if dl.chain_len > 1 {
                         if let Some(chains) = &mut self.chains {
-                            chains.note_composed_restore(dl.nominal);
+                            chains.note_composed_restore(price.accounted_nominal);
                         }
                     }
                     let resume = dl.snapshot.meta.request_number;
@@ -431,6 +484,84 @@ impl Orchestrator {
                 chain_len,
             });
         }
+    }
+
+    /// Prices the provisioning-path transfer of a downloaded snapshot.
+    /// Without a storage tier this is exactly the legacy serial chain
+    /// walk; with one, the tier routes the read through SSD/compression
+    /// and — when a working-set manifest exists under the composed-
+    /// prefetch policy — fetches only the composed chain's touched pages
+    /// in one batched request.
+    fn price_download(&mut self, id: SnapshotId, dl: &Download) -> DownloadPrice {
+        let Some(composed_wanted) = self.storage.as_ref().map(|t| t.policy().composed_prefetch)
+        else {
+            return DownloadPrice {
+                transfer_us: self
+                    .transfer
+                    .chained_transfer_time(dl.nominal, dl.chain_len)
+                    .as_micros() as f64,
+                accounted_nominal: dl.nominal,
+                cache_hit: false,
+                composed: false,
+            };
+        };
+        let weight = self.snapshot_weight(id);
+        let working_set = if composed_wanted {
+            self.working_set_of(id, &dl.snapshot)
+        } else {
+            None
+        };
+        // Pin the chain under the leaf: a composed image on SSD is only
+        // restorable while its ancestor deltas survive.
+        let ancestors: Vec<u64> = self
+            .chains
+            .as_ref()
+            .map(|c| c.chain_to_root(id.0).into_iter().skip(1).collect())
+            .unwrap_or_default();
+        let Some(tier) = self.storage.as_mut() else {
+            // Unreachable in practice (`storage` was `Some` above and
+            // nothing in between clears it), but priced legacy rather
+            // than panicking on the policy decision path.
+            return DownloadPrice {
+                transfer_us: self
+                    .transfer
+                    .chained_transfer_time(dl.nominal, dl.chain_len)
+                    .as_micros() as f64,
+                accounted_nominal: dl.nominal,
+                cache_hit: false,
+                composed: false,
+            };
+        };
+        tier.price_restore_download(DownloadRequest {
+            id: id.0,
+            chain_nominal: dl.nominal,
+            chain_len: dl.chain_len,
+            seed: dl.snapshot.payload_hash(),
+            weight,
+            working_set,
+            ancestors: &ancestors,
+        })
+    }
+
+    /// The recorded working set of `id` as `(nominal_bytes, pages)`, when
+    /// paging is active and a manifest has been persisted — the composed
+    /// chain's per-page newest-writer resolution is already baked into
+    /// the leaf's page map, so sizing the touched pages against it prices
+    /// the composed fetch without walking the chain.
+    fn working_set_of(&self, id: SnapshotId, snapshot: &Snapshot) -> Option<(u64, usize)> {
+        let paging = self.paging.as_ref()?;
+        let manifest = paging.pages.load_manifest(&self.function, id.0)?;
+        if manifest.is_empty() {
+            return None;
+        }
+        let map = PageMap::for_snapshot(
+            &self.function,
+            snapshot.payload_hash(),
+            snapshot.nominal_size,
+            paging.pages.page_size(),
+        );
+        let pages = manifest.to_sorted_vec();
+        Some((map.bytes_for(&pages), pages.len()))
     }
 
     /// Request completion: Figure 2 step 3 — fold the end-to-end latency
@@ -548,7 +679,25 @@ impl Orchestrator {
                     .is_ok()
             }
         };
-        overhead_us += self.transfer.transfer_time(stored_nominal).as_micros() as f64;
+        overhead_us += match &mut self.storage {
+            // Tiered path: compression CPU + wire bytes over the link,
+            // write-through admission to the local SSD. Nominal upload
+            // accounting below is unchanged either way.
+            Some(tier) => {
+                let weight = self
+                    .policy
+                    .export_weights()
+                    .and_then(|w| w.get(snapshot.meta.request_number as usize).copied())
+                    .unwrap_or(0.0);
+                tier.price_upload(
+                    snapshot.id.0,
+                    stored_nominal,
+                    snapshot.payload_hash(),
+                    weight,
+                )
+            }
+            None => self.transfer.transfer_time(stored_nominal).as_micros() as f64,
+        };
         saturating_accumulate(
             "nominal_bytes_uploaded",
             &mut self.overheads.nominal_bytes_uploaded,
@@ -596,20 +745,23 @@ impl Orchestrator {
             // Pool metadata write (step 8).
             overhead_us += self.kv_costs.write_us;
             for entry in evicted {
-                match &mut self.chains {
-                    // Chain-aware release: the blob may only be deleted
-                    // when no live delta child references it; the index
-                    // returns what is actually free now (possibly pinned
-                    // ancestors this eviction was the last holdout for).
-                    Some(chains) => {
-                        for raw in chains.evict(entry.id.0) {
-                            let _ = self
-                                .store
-                                .delete(SNAPSHOT_BUCKET, &self.blob_key(SnapshotId(raw)));
-                        }
-                    }
-                    None => {
-                        let _ = self.store.delete(SNAPSHOT_BUCKET, &self.blob_key(entry.id));
+                // Chain-aware release: the blob may only be deleted
+                // when no live delta child references it; the index
+                // returns what is actually free now (possibly pinned
+                // ancestors this eviction was the last holdout for).
+                let freed: Vec<SnapshotId> = match &mut self.chains {
+                    Some(chains) => chains
+                        .evict(entry.id.0)
+                        .into_iter()
+                        .map(SnapshotId)
+                        .collect(),
+                    None => vec![entry.id],
+                };
+                for fid in freed {
+                    let _ = self.store.delete(SNAPSHOT_BUCKET, &self.blob_key(fid));
+                    // SSD residency must not outlive the backing blob.
+                    if let Some(tier) = &mut self.storage {
+                        tier.release(fid.0);
                     }
                 }
                 self.pool_sizes.remove(&entry.id);

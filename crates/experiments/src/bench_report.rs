@@ -418,6 +418,7 @@ mod tests {
                 restore_infos: vec![],
                 chain: pronghorn_store::ChainStats::default(),
                 provisioning: pronghorn_platform::ProvisionStats::default(),
+                storage: pronghorn_store::StorageStats::default(),
             },
         }
     }

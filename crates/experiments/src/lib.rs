@@ -16,6 +16,7 @@
 //! | [`cluster_ablation`] | the cluster ablation: {1, 4, 8} nodes × hash vs load-aware gateway routing (`BENCH_cluster.json`) |
 //! | [`kernel_bench`] | timer-wheel vs binary-heap simulation-kernel benchmark at production-trace scale (`BENCH_kernel.json`) |
 //! | [`provision_ablation`] | the predictive-provisioning ablation: reactive vs sliding-window/EWMA/MPC pre-restore on sparse bursty traces (`BENCH_provision.json`) |
+//! | [`storage_ablation`] | the tiered-storage ablation: flat store vs SSD cache vs compression vs composed-chain prefetch (`BENCH_storage.json`) |
 //!
 //! Each module exposes a `run(ctx)` returning a structured result with a
 //! `render()` that prints paper-style rows and a `to_csv()` for the
@@ -38,6 +39,7 @@ pub mod kernel_bench;
 pub mod provision_ablation;
 pub mod render;
 pub mod restore_ablation;
+pub mod storage_ablation;
 pub mod summary;
 pub mod table1;
 pub mod table4;

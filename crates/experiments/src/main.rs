@@ -19,6 +19,7 @@
 //!   cluster-ablation  cluster sizes x gateway routing: hash vs load-aware spillover
 //!   kernel-bench      timer-wheel vs binary-heap kernel at production-trace scale
 //!   provision-ablation  provisioning: reactive vs sliding-window/ewma/mpc pre-restore
+//!   storage-ablation  tiered storage: flat vs SSD cache vs compression vs composed prefetch
 //!   all      everything above, CSVs written to results/
 //! ```
 
@@ -27,7 +28,8 @@
 use pronghorn_experiments::ExperimentContext;
 use pronghorn_experiments::{
     ablation, bench_report, cluster_ablation, delta_ablation, fig1, fig45, fig6, fig7,
-    kernel_bench, provision_ablation, restore_ablation, summary, table1, table4, table5,
+    kernel_bench, provision_ablation, restore_ablation, storage_ablation, summary, table1, table4,
+    table5,
 };
 use std::process::ExitCode;
 
@@ -72,7 +74,7 @@ fn parse_args() -> Result<(String, ExperimentContext, bool), String> {
 fn usage() -> String {
     "usage: experiments <fig1|table1|fig4|fig5|fig6|table4|table5|fig7|ablations|\
      restore-ablation|delta-ablation|cluster-ablation|kernel-bench|provision-ablation|\
-     summary|all> [--quick] [--seed N] [--invocations N] [--threads N]"
+     storage-ablation|summary|all> [--quick] [--seed N] [--invocations N] [--threads N]"
         .to_string()
 }
 
@@ -159,6 +161,12 @@ fn run_command(command: &str, ctx: &ExperimentContext, quick: bool) -> Result<()
             save("provision_ablation.csv", r.save());
             save("BENCH_provision.json", r.save_bench_report());
         }
+        "storage-ablation" => {
+            let r = storage_ablation::run(ctx);
+            println!("{}", r.render());
+            save("storage_ablation.csv", r.save());
+            save("BENCH_storage.json", r.save_bench_report());
+        }
         "summary" => {
             let f4 = fig45::run_fig4(ctx);
             let f5 = fig45::run_fig5(ctx);
@@ -207,6 +215,8 @@ fn run_command(command: &str, ctx: &ExperimentContext, quick: bool) -> Result<()
             run_command("kernel-bench", ctx, quick)?;
             println!("==================== provision-ablation ====================");
             run_command("provision-ablation", ctx, quick)?;
+            println!("==================== storage-ablation ====================");
+            run_command("storage-ablation", ctx, quick)?;
         }
         other => return Err(format!("unknown command: {other}\n{}", usage())),
     }

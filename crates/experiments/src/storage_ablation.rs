@@ -1,0 +1,573 @@
+//! The tiered-storage ablation: flat blob store vs SSD cache vs
+//! compression vs composed-chain prefetch.
+//!
+//! Sweeps the 13 paper benchmarks × the §5.1 eviction rates under the
+//! request-centric policy with delta chains at K=16 (the PR 4 baseline),
+//! once per storage arm. Arms are cumulative: flat (storage subsystem
+//! off — byte-identical to the baseline), +SSD cache, +compression, and
+//! finally composed-chain prefetch under the record-prefetch restore
+//! strategy. Cells that differ only in arm share a seed, so every
+//! comparison is paired. The claims under test: the eager cache/compress
+//! arms never move a client-visible latency (storage pricing is
+//! off-critical-path accounting there), and the composed arm cuts both
+//! the median restore critical path and total bytes transferred on most
+//! benchmarks.
+
+use crate::bench_report::{BenchReport, JsonObj};
+use crate::delta_ablation::benchmarks;
+use crate::grid::PAPER_RATES;
+use crate::render::write_results_csv;
+use crate::ExperimentContext;
+use pronghorn_checkpoint::DeltaPolicy;
+use pronghorn_core::PolicyKind;
+use pronghorn_metrics::{Table, TableStyle};
+use pronghorn_platform::{
+    run_closed_loop, KernelKind, RestoreStrategy, RunConfig, RunResult, StoragePolicy,
+};
+use pronghorn_store::StorageStats;
+use pronghorn_workloads::by_name;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Chain depth shared by every arm: the PR 4 delta baseline.
+const DELTA_DEPTH: u32 = 16;
+
+/// One arm of the ablation: a storage policy + restore strategy under a
+/// stable label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageArm {
+    /// Storage subsystem off — the delta-K16 eager baseline, byte-
+    /// identical to a build without the tier.
+    Flat,
+    /// Local-SSD cache in front of the blob store (eager restores).
+    Cache,
+    /// SSD cache plus modeled page compression on the network link.
+    CacheCompress,
+    /// Everything on: cache, compression, and composed-chain prefetch
+    /// under the record-prefetch restore strategy.
+    Composed,
+}
+
+impl StorageArm {
+    /// All arms, in sweep order.
+    pub const ALL: [StorageArm; 4] = [
+        StorageArm::Flat,
+        StorageArm::Cache,
+        StorageArm::CacheCompress,
+        StorageArm::Composed,
+    ];
+
+    /// Stable CSV/JSON label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StorageArm::Flat => "flat",
+            StorageArm::Cache => "cache",
+            StorageArm::CacheCompress => "cache-compress",
+            StorageArm::Composed => "composed",
+        }
+    }
+
+    /// The [`StoragePolicy`] this arm runs under.
+    pub fn policy(&self) -> StoragePolicy {
+        match self {
+            StorageArm::Flat => StoragePolicy::disabled(),
+            StorageArm::Cache => StoragePolicy::disabled().with_cache(),
+            StorageArm::CacheCompress => StoragePolicy::disabled().with_cache().with_compression(),
+            StorageArm::Composed => StoragePolicy::disabled()
+                .with_cache()
+                .with_compression()
+                .with_composed_prefetch(),
+        }
+    }
+
+    /// The restore strategy this arm runs under. Composed prefetch needs
+    /// the working-set manifests that only record-prefetch restores
+    /// record; the other arms keep the baseline's eager restores.
+    pub fn restore(&self) -> RestoreStrategy {
+        match self {
+            StorageArm::Composed => RestoreStrategy::RecordPrefetch,
+            _ => RestoreStrategy::Eager,
+        }
+    }
+}
+
+/// One benchmark × rate × arm measurement.
+#[derive(Debug, Clone)]
+pub struct StorageCell {
+    /// Benchmark name.
+    pub workload: String,
+    /// Eviction rate.
+    pub rate: u32,
+    /// Storage arm the cell ran under.
+    pub arm: StorageArm,
+    /// Full run measurements.
+    pub result: RunResult,
+}
+
+/// A completed storage ablation.
+#[derive(Debug, Clone, Default)]
+pub struct StorageAblation {
+    /// All cells, in completion order (lookups are keyed, so order does
+    /// not affect any rendered output).
+    pub cells: Vec<StorageCell>,
+    /// Real wall-clock time the sweep took, seconds.
+    pub wall_clock_s: f64,
+}
+
+/// Runs the full ablation: 13 benchmarks × paper rates × all arms.
+pub fn run(ctx: &ExperimentContext) -> StorageAblation {
+    run_for(ctx, &benchmarks(), &PAPER_RATES)
+}
+
+/// Runs the ablation over an explicit benchmark and rate set.
+///
+/// # Panics
+///
+/// Panics if a benchmark name is unknown — experiment tables are static
+/// and must fail loudly.
+pub fn run_for(ctx: &ExperimentContext, benchmarks: &[&str], rates: &[u32]) -> StorageAblation {
+    run_for_with_kernel(ctx, benchmarks, rates, KernelKind::default())
+}
+
+/// [`run_for`] under an explicit simulation kernel (for cross-kernel
+/// invariance tests; kernel choice is a performance knob, never a result
+/// knob).
+pub fn run_for_with_kernel(
+    ctx: &ExperimentContext,
+    benchmarks: &[&str],
+    rates: &[u32],
+    kernel: KernelKind,
+) -> StorageAblation {
+    for name in benchmarks {
+        assert!(by_name(name).is_some(), "unknown benchmark {name}");
+    }
+    let mut tasks: Vec<(String, u32, StorageArm)> = Vec::new();
+    for &bench in benchmarks {
+        for &rate in rates {
+            for arm in StorageArm::ALL {
+                tasks.push((bench.to_string(), rate, arm));
+            }
+        }
+    }
+    let next = AtomicUsize::new(0);
+    let cells = Mutex::new(Vec::with_capacity(tasks.len()));
+    let threads = ctx.effective_threads();
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((bench, rate, arm)) = tasks.get(i) else {
+                    break;
+                };
+                let workload = by_name(bench).expect("validated above");
+                // Seed shared across arms of the same (bench, rate): the
+                // paired-comparison trick of the policy grid.
+                let seed = ctx.cell_seed(&["storage", bench, &rate.to_string()]);
+                let cfg = RunConfig::paper(PolicyKind::RequestCentric, *rate, seed)
+                    .with_invocations(ctx.invocations)
+                    .with_delta(DeltaPolicy::Enabled {
+                        max_depth: DELTA_DEPTH,
+                    })
+                    .with_restore(arm.restore())
+                    .with_storage(arm.policy())
+                    .with_kernel(kernel);
+                let result = run_closed_loop(&workload, &cfg);
+                cells.lock().expect("no poisoned lock").push(StorageCell {
+                    workload: bench.clone(),
+                    rate: *rate,
+                    arm: *arm,
+                    result,
+                });
+            });
+        }
+    });
+    StorageAblation {
+        cells: cells.into_inner().expect("no poisoned lock"),
+        wall_clock_s: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Pooled per-arm storage accounting.
+#[derive(Debug, Clone)]
+pub struct StorageArmAggregate {
+    /// The arm.
+    pub arm: StorageArm,
+    /// Total bytes the restore paths transferred (nominal accounting).
+    pub restore_bytes: u64,
+    /// Mean of the per-cell median restore critical-path times, µs.
+    pub mean_median_restore_us: f64,
+    /// Pooled storage-tier counters.
+    pub storage: StorageStats,
+}
+
+impl StorageAblation {
+    /// Finds a cell.
+    pub fn cell(&self, workload: &str, rate: u32, arm: StorageArm) -> Option<&StorageCell> {
+        self.cells
+            .iter()
+            .find(|c| c.workload == workload && c.rate == rate && c.arm == arm)
+    }
+
+    /// Distinct workloads present, in first-seen deterministic order.
+    pub fn workloads(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for bench in benchmarks() {
+            if self.cells.iter().any(|c| c.workload == bench) && !seen.contains(&bench.to_string())
+            {
+                seen.push(bench.to_string());
+            }
+        }
+        // Any non-paper benchmarks (tests) follow, in cell order.
+        for cell in &self.cells {
+            if !seen.contains(&cell.workload) {
+                seen.push(cell.workload.clone());
+            }
+        }
+        seen
+    }
+
+    /// Distinct rates present, ascending.
+    pub fn rates(&self) -> Vec<u32> {
+        let mut rates: Vec<u32> = self.cells.iter().map(|c| c.rate).collect();
+        rates.sort_unstable();
+        rates.dedup();
+        rates
+    }
+
+    /// Total restore bytes a benchmark transferred under `arm`, pooled
+    /// across every rate present.
+    pub fn restore_bytes(&self, workload: &str, arm: StorageArm) -> u64 {
+        self.cells
+            .iter()
+            .filter(|c| c.workload == workload && c.arm == arm)
+            .map(|c| c.result.restore_bytes())
+            .sum()
+    }
+
+    /// Mean of the per-rate median restore critical-path times for one
+    /// benchmark under `arm`; NaN when the arm restored nothing.
+    pub fn mean_median_restore_us(&self, workload: &str, arm: StorageArm) -> f64 {
+        let medians: Vec<f64> = self
+            .cells
+            .iter()
+            .filter(|c| c.workload == workload && c.arm == arm)
+            .map(|c| c.result.median_restore_us())
+            .filter(|m| m.is_finite())
+            .collect();
+        if medians.is_empty() {
+            return f64::NAN;
+        }
+        medians.iter().sum::<f64>() / medians.len() as f64
+    }
+
+    /// Whether `arm` beats the flat baseline on BOTH the median restore
+    /// critical path AND total restore bytes for one benchmark.
+    pub fn restore_win(&self, workload: &str, arm: StorageArm) -> bool {
+        let flat_us = self.mean_median_restore_us(workload, StorageArm::Flat);
+        let arm_us = self.mean_median_restore_us(workload, arm);
+        let flat_bytes = self.restore_bytes(workload, StorageArm::Flat);
+        let arm_bytes = self.restore_bytes(workload, arm);
+        arm_us.is_finite() && flat_us.is_finite() && arm_us < flat_us && arm_bytes < flat_bytes
+    }
+
+    /// Benchmarks where `arm` wins on both axes, as `(wins, total)`.
+    pub fn restore_wins(&self, arm: StorageArm) -> (usize, usize) {
+        let workloads = self.workloads();
+        let wins = workloads
+            .iter()
+            .filter(|w| self.restore_win(w, arm))
+            .count();
+        (wins, workloads.len())
+    }
+
+    /// Cells where an eager storage arm's latency stream differs from the
+    /// paired flat cell's. Storage pricing on the eager path is pure
+    /// accounting, so this must be zero — anything else means the tier
+    /// leaked onto the critical path.
+    pub fn latency_divergences(&self, arm: StorageArm) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.arm == arm)
+            .filter(|c| {
+                self.cell(&c.workload, c.rate, StorageArm::Flat)
+                    .is_some_and(|flat| c.result.latencies_us != flat.result.latencies_us)
+            })
+            .count()
+    }
+
+    /// Pooled per-arm aggregates, in [`StorageArm::ALL`] order.
+    pub fn arm_aggregates(&self) -> Vec<StorageArmAggregate> {
+        StorageArm::ALL
+            .iter()
+            .map(|&arm| {
+                let cells: Vec<&StorageCell> = self.cells.iter().filter(|c| c.arm == arm).collect();
+                let mut storage = StorageStats::default();
+                for c in &cells {
+                    storage.merge(&c.result.storage);
+                }
+                let medians: Vec<f64> = cells
+                    .iter()
+                    .map(|c| c.result.median_restore_us())
+                    .filter(|m| m.is_finite())
+                    .collect();
+                StorageArmAggregate {
+                    arm,
+                    restore_bytes: cells.iter().map(|c| c.result.restore_bytes()).sum(),
+                    mean_median_restore_us: if medians.is_empty() {
+                        f64::NAN
+                    } else {
+                        medians.iter().sum::<f64>() / medians.len() as f64
+                    },
+                    storage,
+                }
+            })
+            .collect()
+    }
+
+    /// Paper-style rendering: per-arm pooled stats, then the headline
+    /// win counts.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(vec![
+            "Arm",
+            "Restore bytes",
+            "Median restore",
+            "Cache hits",
+            "Hit bytes",
+            "Wire down",
+            "Composed prefetches",
+        ]);
+        for agg in self.arm_aggregates() {
+            table.row(vec![
+                agg.arm.label().to_string(),
+                format!("{:.1} MB", agg.restore_bytes as f64 / 1e6),
+                format!("{:.1} ms", agg.mean_median_restore_us / 1e3),
+                agg.storage.cache_hits.to_string(),
+                format!("{:.1} MB", agg.storage.cache_hit_bytes as f64 / 1e6),
+                format!("{:.1} MB", agg.storage.wire_bytes_downloaded as f64 / 1e6),
+                agg.storage.composed_prefetches.to_string(),
+            ]);
+        }
+        let mut out = format!(
+            "Tiered-storage ablation (request-centric policy, delta K={DELTA_DEPTH})\n\n{}\n",
+            table.render(TableStyle::Plain)
+        );
+        let (wins, total) = self.restore_wins(StorageArm::Composed);
+        out.push_str(&format!(
+            "composed: cuts median restore AND restore bytes vs flat on {wins}/{total} \
+             benchmarks; eager-arm latency divergences: cache={}, cache-compress={}\n",
+            self.latency_divergences(StorageArm::Cache),
+            self.latency_divergences(StorageArm::CacheCompress),
+        ));
+        out
+    }
+
+    /// CSV form: one row per cell, in fixed benchmark × rate × arm order
+    /// (byte-identical across same-seed reruns).
+    pub fn to_csv(&self) -> String {
+        let mut table = Table::new(vec![
+            "workload",
+            "rate",
+            "arm",
+            "median_restore_us",
+            "restore_bytes",
+            "cache_hits",
+            "cache_misses",
+            "cache_hit_bytes",
+            "cache_evictions",
+            "wire_bytes_downloaded",
+            "wire_bytes_uploaded",
+            "composed_prefetches",
+            "composed_bytes_saved",
+            "median_latency_us",
+        ]);
+        for w in self.workloads() {
+            for rate in self.rates() {
+                for arm in StorageArm::ALL {
+                    let Some(cell) = self.cell(&w, rate, arm) else {
+                        continue;
+                    };
+                    let s = &cell.result.storage;
+                    table.row(vec![
+                        w.clone(),
+                        rate.to_string(),
+                        arm.label().to_string(),
+                        csv_f64(cell.result.median_restore_us()),
+                        cell.result.restore_bytes().to_string(),
+                        s.cache_hits.to_string(),
+                        s.cache_misses.to_string(),
+                        s.cache_hit_bytes.to_string(),
+                        s.cache_evictions.to_string(),
+                        s.wire_bytes_downloaded.to_string(),
+                        s.wire_bytes_uploaded.to_string(),
+                        s.composed_prefetches.to_string(),
+                        s.composed_bytes_saved.to_string(),
+                        csv_f64(cell.result.median_us()),
+                    ]);
+                }
+            }
+        }
+        table.to_csv()
+    }
+
+    /// Writes `results/storage_ablation.csv`.
+    pub fn save(&self) -> std::io::Result<std::path::PathBuf> {
+        write_results_csv("storage_ablation.csv", &self.to_csv())
+    }
+
+    /// Writes `results/BENCH_storage.json`: per-arm pooled storage
+    /// counters and the headline both-axes win count, in the shared
+    /// [`BenchReport`] schema.
+    pub fn save_bench_report(&self) -> std::io::Result<std::path::PathBuf> {
+        let mut report = BenchReport::new("storage")
+            .wall_clock(self.wall_clock_s)
+            .config("delta_depth", DELTA_DEPTH.to_string());
+        for agg in self.arm_aggregates() {
+            let (wins, total) = self.restore_wins(agg.arm);
+            report.arm(
+                JsonObj::new()
+                    .str("arm", agg.arm.label())
+                    .uint("restore_bytes", agg.restore_bytes)
+                    .float("mean_median_restore_us", agg.mean_median_restore_us, 3)
+                    .uint("cache_hits", agg.storage.cache_hits)
+                    .uint("cache_misses", agg.storage.cache_misses)
+                    .uint("cache_hit_bytes", agg.storage.cache_hit_bytes)
+                    .uint("cache_evictions", agg.storage.cache_evictions)
+                    .uint("wire_bytes_downloaded", agg.storage.wire_bytes_downloaded)
+                    .uint("wire_bytes_uploaded", agg.storage.wire_bytes_uploaded)
+                    .uint("composed_prefetches", agg.storage.composed_prefetches)
+                    .uint("composed_bytes_saved", agg.storage.composed_bytes_saved)
+                    .uint("restore_wins", wins as u64)
+                    .uint("benchmarks", total as u64)
+                    .uint(
+                        "latency_divergences",
+                        self.latency_divergences(agg.arm) as u64,
+                    ),
+            );
+        }
+        report.save("BENCH_storage.json")
+    }
+}
+
+/// Formats a float for CSV; NaN renders as the empty field.
+fn csv_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        String::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_ablation() -> StorageAblation {
+        let ctx = ExperimentContext {
+            invocations: 120,
+            ..ExperimentContext::quick()
+        };
+        run_for(&ctx, &["DFS", "Compression", "Hash"], &[1, 4])
+    }
+
+    #[test]
+    fn ablation_runs_every_arm_per_cell() {
+        let ablation = quick_ablation();
+        assert_eq!(ablation.cells.len(), 3 * 2 * 4);
+        assert_eq!(ablation.workloads(), vec!["DFS", "Compression", "Hash"]);
+        assert_eq!(ablation.rates(), vec![1, 4]);
+        // The flat arm never constructs a tier: its counters stay zero.
+        for w in ablation.workloads() {
+            for rate in ablation.rates() {
+                let flat = &ablation.cell(&w, rate, StorageArm::Flat).unwrap().result;
+                assert_eq!(flat.storage, StorageStats::default(), "{w} rate {rate}");
+            }
+        }
+        // The cache arms actually exercise the tier.
+        let cache = &ablation.cell("DFS", 1, StorageArm::Cache).unwrap().result;
+        assert!(cache.storage.cache_hits > 0, "cache arm never hit SSD");
+        let compress = &ablation
+            .cell("DFS", 1, StorageArm::CacheCompress)
+            .unwrap()
+            .result;
+        assert!(
+            compress.storage.wire_bytes_downloaded < compress.overheads.nominal_bytes_downloaded
+                || compress.storage.wire_bytes_downloaded == 0,
+            "compression never shrank the wire"
+        );
+    }
+
+    #[test]
+    fn eager_storage_arms_never_shift_latencies() {
+        let ablation = quick_ablation();
+        for arm in [StorageArm::Cache, StorageArm::CacheCompress] {
+            assert_eq!(
+                ablation.latency_divergences(arm),
+                0,
+                "{} leaked onto the critical path",
+                arm.label()
+            );
+        }
+        // Nominal byte accounting is storage-invariant on the eager arms:
+        // compression changes wire bytes and transfer time only.
+        for w in ablation.workloads() {
+            for rate in ablation.rates() {
+                let flat = &ablation.cell(&w, rate, StorageArm::Flat).unwrap().result;
+                for arm in [StorageArm::Cache, StorageArm::CacheCompress] {
+                    let cell = &ablation.cell(&w, rate, arm).unwrap().result;
+                    assert_eq!(
+                        cell.overheads.nominal_bytes_downloaded,
+                        flat.overheads.nominal_bytes_downloaded,
+                        "{w} rate {rate} {}",
+                        arm.label()
+                    );
+                    assert_eq!(cell.restore_bytes(), flat.restore_bytes());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn composed_arm_cuts_restore_time_and_bytes() {
+        let ablation = quick_ablation();
+        for w in ablation.workloads() {
+            assert!(
+                ablation.restore_win(&w, StorageArm::Composed),
+                "{w}: composed arm should beat flat on both axes \
+                 (restore {:.0}us vs {:.0}us, bytes {} vs {})",
+                ablation.mean_median_restore_us(&w, StorageArm::Composed),
+                ablation.mean_median_restore_us(&w, StorageArm::Flat),
+                ablation.restore_bytes(&w, StorageArm::Composed),
+                ablation.restore_bytes(&w, StorageArm::Flat),
+            );
+        }
+    }
+
+    #[test]
+    fn csv_is_deterministic_and_shaped() {
+        let ablation = quick_ablation();
+        let csv = ablation.to_csv();
+        assert_eq!(csv.lines().count(), 1 + 3 * 2 * 4);
+        assert!(csv.starts_with("workload,rate,arm,"));
+        // Same-seed rerun produces byte-identical CSV.
+        let again = quick_ablation();
+        assert_eq!(csv, again.to_csv());
+    }
+
+    #[test]
+    fn kernel_choice_never_changes_results() {
+        let ctx = ExperimentContext {
+            invocations: 100,
+            ..ExperimentContext::quick()
+        };
+        let heap = run_for_with_kernel(&ctx, &["DFS"], &[1], KernelKind::BinaryHeap);
+        let wheel = run_for_with_kernel(&ctx, &["DFS"], &[1], KernelKind::TimerWheel);
+        assert_eq!(heap.to_csv(), wheel.to_csv());
+        for arm in StorageArm::ALL {
+            let h = &heap.cell("DFS", 1, arm).unwrap().result;
+            let w = &wheel.cell("DFS", 1, arm).unwrap().result;
+            assert_eq!(h.latencies_us, w.latencies_us, "{}", arm.label());
+            assert_eq!(h.storage, w.storage, "{}", arm.label());
+        }
+    }
+}

@@ -188,14 +188,14 @@ fn provision_on(
     match origin {
         Some(o) => {
             node.stats.restores += 1;
-            let access = dir.access(
-                o.id.0,
-                node.stats.node,
-                o.nominal,
-                now,
-                &spec.remote,
-                o.chain_len,
-            );
+            // Price the would-be miss up front (pure in the inputs, so
+            // computing it eagerly is value-identical): the session's
+            // storage tier collapses a composed chain into one batched
+            // wire-byte fetch; without a tier this is the legacy serial
+            // chain walk. `bytes` stays nominal either way, preserving
+            // the conservation law under compression.
+            let transfer = session.remote_fetch_price(&o, &spec.remote);
+            let access = dir.access_priced(o.id.0, node.stats.node, o.nominal, now, transfer);
             if access.hit {
                 node.stats.local_hits += 1;
             } else {
@@ -211,6 +211,7 @@ fn provision_on(
                     );
                 }
                 worker.stale_age = access.age;
+                session.note_remote_fetched(&o);
             }
         }
         None => node.stats.cold_starts += 1,

@@ -7,6 +7,7 @@ use pronghorn_forecast::ProvisionPolicy;
 use pronghorn_jit::RuntimeKind;
 use pronghorn_restore::RestoreStrategy;
 use pronghorn_sim::{KernelKind, SimDuration};
+use pronghorn_store::StoragePolicy;
 use pronghorn_workloads::InputVariance;
 
 /// Configuration of one experiment cell.
@@ -69,6 +70,12 @@ pub struct RunConfig {
     /// runner's behaviour (and the `nodes = 1` cluster run is pinned
     /// bit-identical to [`crate::run_closed_loop`]).
     pub cluster: ClusterSpec,
+    /// Tiered snapshot storage: local-SSD cache, modeled wire
+    /// compression, and delta-aware composed-chain prefetch.
+    /// [`StoragePolicy::disabled`] (the default) builds no tier and keeps
+    /// the flat-store path byte-identical to runs predating this knob
+    /// (pinned by `tests/full_invariance.rs`).
+    pub storage: StoragePolicy,
 }
 
 impl RunConfig {
@@ -90,6 +97,7 @@ impl RunConfig {
             kernel: KernelKind::BinaryHeap,
             provision: ProvisionPolicy::Disabled,
             cluster: ClusterSpec::single_node(),
+            storage: StoragePolicy::disabled(),
         }
     }
 
@@ -168,6 +176,12 @@ impl RunConfig {
         self
     }
 
+    /// Sets the tiered snapshot storage policy.
+    pub fn with_storage(mut self, storage: StoragePolicy) -> Self {
+        self.storage = storage;
+        self
+    }
+
     /// Sets the keep-alive window the production runner evicts idle
     /// workers after.
     pub fn with_idle_timeout(mut self, timeout: SimDuration) -> Self {
@@ -206,6 +220,11 @@ mod tests {
         assert_eq!(lazy.restore, RestoreStrategy::Lazy);
         let delta = c.with_delta(DeltaPolicy::Enabled { max_depth: 4 });
         assert_eq!(delta.delta, DeltaPolicy::Enabled { max_depth: 4 });
+        assert_eq!(c.storage, StoragePolicy::disabled());
+        assert!(!c.storage.enabled());
+        let tiered = c.with_storage(StoragePolicy::disabled().with_cache().with_compression());
+        assert!(tiered.storage.enabled());
+        assert!(tiered.storage.cache.is_some());
     }
 
     #[test]

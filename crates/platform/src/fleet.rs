@@ -259,6 +259,7 @@ pub fn run_fleet(workload: &dyn Workload, cfg: &RunConfig, fleet: &FleetConfig) 
         // The fleet runner is purely reactive (no predictive
         // provisioning path).
         provisioning: pronghorn_forecast::ProvisionStats::default(),
+        storage: orch.storage_stats(),
     }
 }
 

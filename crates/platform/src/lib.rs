@@ -65,6 +65,7 @@ pub use pronghorn_cluster::{ClusterSpec, LocalityStats, PlacementPolicy, Routing
 pub use pronghorn_forecast::{ForecasterKind, ProvisionPolicy, ProvisionStats};
 pub use pronghorn_restore::{RestoreInfo, RestoreStrategy};
 pub use pronghorn_sim::KernelKind;
+pub use pronghorn_store::{CacheConfig, StoragePolicy, StorageStats};
 pub use result::{ProvisionKind, RunResult};
 pub use runner::{
     run_closed_loop, run_production, run_trace, run_trace_with_history, ProductionStats,

@@ -301,6 +301,13 @@ pub fn run_partitioned(workload: &dyn Workload, cfg: &RunConfig, classes: usize)
         chain: pronghorn_store::ChainStats::default(),
         // Partitioned deployments are purely reactive.
         provisioning: pronghorn_forecast::ProvisionStats::default(),
+        storage: {
+            let mut storage = pronghorn_store::StorageStats::default();
+            for d in &deployments {
+                storage.merge(&d.orch.storage_stats());
+            }
+            storage
+        },
     }
 }
 

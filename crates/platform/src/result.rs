@@ -5,7 +5,7 @@ use pronghorn_core::{OverheadTotals, PolicyKind};
 use pronghorn_forecast::ProvisionStats;
 use pronghorn_metrics::{convergence_request, Cdf, ConvergenceCriteria, Quantiles};
 use pronghorn_restore::{RestoreInfo, RestoreStrategy};
-use pronghorn_store::{ChainStats, StoreStats};
+use pronghorn_store::{ChainStats, StorageStats, StoreStats};
 
 /// How a worker was provisioned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +57,9 @@ pub struct RunResult {
     /// Predictive pre-restore accounting; all-zero when provisioning is
     /// disabled.
     pub provisioning: ProvisionStats,
+    /// Storage-hierarchy accounting (SSD cache, wire compression,
+    /// composed prefetch); all-zero when tiered storage is disabled.
+    pub storage: StorageStats,
 }
 
 impl RunResult {
@@ -163,6 +166,7 @@ mod tests {
             restore_infos: vec![],
             chain: ChainStats::default(),
             provisioning: ProvisionStats::default(),
+            storage: StorageStats::default(),
         }
     }
 
@@ -202,6 +206,7 @@ mod tests {
                 prefetched_pages: 2,
                 restore_us: 9_000.0,
                 fault_us: 1_000.0,
+                decompress_us: 0.0,
                 bytes_transferred: 500,
             },
         ];

@@ -19,7 +19,7 @@ use pronghorn_restore::{
     DEFAULT_PAGE_SIZE,
 };
 use pronghorn_sim::{Kernel, RngFactory, SimDuration, SimTime};
-use pronghorn_store::{saturating_accumulate, ObjectStore, TransferModel};
+use pronghorn_store::{saturating_accumulate, ObjectStore, StorageStats, TransferModel};
 use pronghorn_traces::Trace;
 use pronghorn_workloads::Workload;
 use rand::rngs::SmallRng;
@@ -68,6 +68,9 @@ pub(crate) struct RestoredFrom {
     pub(crate) id: SnapshotId,
     pub(crate) nominal: u64,
     pub(crate) chain_len: usize,
+    /// Content hash of the restored payload — the storage tier's
+    /// deterministic compression seed for pricing cross-node transfers.
+    pub(crate) seed: u64,
 }
 
 /// Expected worker lifetimes over `invocations` requests at the given
@@ -143,6 +146,9 @@ pub struct ProductionStats {
     /// Predictive pre-restore accounting (all zeros when provisioning is
     /// disabled).
     pub provisioning: ProvisionStats,
+    /// Storage-hierarchy accounting (all zeros when tiered storage is
+    /// disabled).
+    pub storage: StorageStats,
     /// Timestamp of the last served arrival.
     pub end_time: SimTime,
     /// Largest number of events pending in the kernel at once (bounded by
@@ -231,6 +237,9 @@ impl<'w> Session<'w> {
         }
         if cfg.delta.enabled() {
             orch = orch.with_delta_chains();
+        }
+        if cfg.storage.enabled() {
+            orch = orch.with_storage(cfg.storage);
         }
         let paged = orch.paged_store();
         Session {
@@ -350,6 +359,7 @@ impl<'w> Session<'w> {
                             .orch
                             .chain_depth(snapshot.id)
                             .map_or(1, |d| d as usize + 1),
+                        seed: snapshot.payload_hash(),
                     });
                     // The restored snapshot becomes the worker's prospective
                     // delta parent: keep its payload as the diff base and
@@ -471,9 +481,30 @@ impl<'w> Session<'w> {
                         image.mark_prefetched(&pages);
                         info.prefetched_pages = pages.len() as u32;
                         info.bytes_transferred = bytes;
-                        info.restore_us =
-                            self.fault_costs
-                                .prefetch_us(&self.transfer, bytes, pages.len() as u32);
+                        // The prefetch batch is the restore critical path:
+                        // price it through the storage tier when one is
+                        // active (SSD bandwidth if the provisioning
+                        // download staged the image locally, wire bytes +
+                        // decompression from the store otherwise).
+                        match self.orch.storage_mut() {
+                            Some(tier) => {
+                                let price =
+                                    tier.read(snapshot.id.0, bytes, snapshot.payload_hash());
+                                info.restore_us = self.fault_costs.prefetch_us(
+                                    &price.model,
+                                    price.billed_bytes,
+                                    pages.len() as u32,
+                                );
+                                info.decompress_us = price.decompress_us;
+                            }
+                            None => {
+                                info.restore_us = self.fault_costs.prefetch_us(
+                                    &self.transfer,
+                                    bytes,
+                                    pages.len() as u32,
+                                );
+                            }
+                        }
                         image
                     }
                     // First restore of this snapshot: record the working
@@ -627,17 +658,41 @@ impl<'w> Session<'w> {
                 };
                 // Faults are served one at a time (no batching on the
                 // demand path), so each pays the full service + transfer.
-                let fault_us: f64 = touches
-                    .iter()
-                    .map(|&p| {
-                        self.fault_costs
-                            .fault_us(&self.transfer, image.map().page_len(p))
-                    })
-                    .sum();
-                latency += fault_us;
+                // With a storage tier, each fault routes through it: SSD
+                // bandwidth when the image is node-resident, wire bytes
+                // plus per-page decompression from the store otherwise
+                // (the page's content hash seeds its compression ratio).
+                let (fault_us, fault_decompress_us) = match self.orch.storage_mut() {
+                    Some(tier) => {
+                        let mut service = 0.0;
+                        let mut decompress = 0.0;
+                        for &p in &touches {
+                            let price = tier.read(
+                                image.snapshot_id(),
+                                image.map().page_len(p),
+                                image.map().page_hash(p).unwrap_or(0),
+                            );
+                            service += self.fault_costs.fault_us(&price.model, price.billed_bytes);
+                            decompress += price.decompress_us;
+                        }
+                        (service, decompress)
+                    }
+                    None => (
+                        touches
+                            .iter()
+                            .map(|&p| {
+                                self.fault_costs
+                                    .fault_us(&self.transfer, image.map().page_len(p))
+                            })
+                            .sum(),
+                        0.0,
+                    ),
+                };
+                latency += fault_us + fault_decompress_us;
                 if let Some(info) = worker.restore.as_mut() {
                     info.faults += touches.len() as u32;
                     info.fault_us += fault_us;
+                    info.decompress_us += fault_decompress_us;
                     saturating_accumulate(
                         "bytes_transferred",
                         &mut info.bytes_transferred,
@@ -835,11 +890,13 @@ impl<'w> Session<'w> {
             restore_infos: self.restore_infos,
             chain: self.orch.chain_stats(),
             provisioning: self.provisioning,
+            storage: self.orch.storage_stats(),
         }
     }
 
     /// Collapses a streaming session into [`ProductionStats`].
     fn finish_production(self, end_time: SimTime, peak_pending_events: usize) -> ProductionStats {
+        let storage = self.orch.storage_stats();
         let agg = self
             .stream
             .expect("production sessions run in streaming mode");
@@ -858,8 +915,35 @@ impl<'w> Session<'w> {
             restore_faults: agg.restore_faults,
             provision_us_total: self.provision_us,
             provisioning: self.provisioning,
+            storage,
             end_time,
             peak_pending_events,
+        }
+    }
+
+    /// Prices a cross-node fetch of `origin`'s blob over the `remote`
+    /// link: the legacy serial chain walk without a storage tier, or —
+    /// with one — a single batched fetch of the composed image's wire
+    /// bytes (the per-page newest-writer resolution already collapsed the
+    /// chain, so re-paying per-link latency across the cluster would
+    /// double-walk it). Nominal byte accounting is the caller's.
+    pub(crate) fn remote_fetch_price(
+        &self,
+        origin: &RestoredFrom,
+        remote: &TransferModel,
+    ) -> SimDuration {
+        match self.orch.storage() {
+            Some(tier) => tier.price_remote_fetch(origin.nominal, origin.seed, remote),
+            None => remote.chained_transfer_time(origin.nominal, origin.chain_len.max(1)),
+        }
+    }
+
+    /// Lands a remotely fetched image on this node's SSD tier (no-op
+    /// without one) with the snapshot's θ-weight as admission priority.
+    pub(crate) fn note_remote_fetched(&mut self, origin: &RestoredFrom) {
+        let weight = self.orch.snapshot_weight(origin.id);
+        if let Some(tier) = self.orch.storage_mut() {
+            tier.admit(origin.id.0, origin.nominal, weight, &[]);
         }
     }
 }

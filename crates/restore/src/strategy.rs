@@ -63,8 +63,12 @@ pub struct RestoreInfo {
     pub restore_us: f64,
     /// Total fault service time in µs accrued after the up-front phase.
     pub fault_us: f64,
+    /// CPU time in µs spent decompressing fetched data on the restore
+    /// critical path (0 unless the storage tier's modeled compression is
+    /// enabled and the read missed the local SSD cache).
+    pub decompress_us: f64,
     /// Bytes moved from the store for this restore (payload, prefetch
-    /// batch, and demand-fetched pages).
+    /// batch, and demand-fetched pages), in nominal (decompressed) units.
     pub bytes_transferred: u64,
 }
 
@@ -79,9 +83,10 @@ impl RestoreInfo {
         }
     }
 
-    /// End-to-end restore cost: up-front time plus all fault service.
+    /// End-to-end restore cost: up-front time plus all fault service and
+    /// any critical-path decompression.
     pub fn total_restore_us(&self) -> f64 {
-        self.restore_us + self.fault_us
+        self.restore_us + self.fault_us + self.decompress_us
     }
 }
 
@@ -109,13 +114,14 @@ mod tests {
     }
 
     #[test]
-    fn total_adds_fault_service() {
+    fn total_adds_fault_service_and_decompression() {
         let info = RestoreInfo {
             strategy: RestoreStrategy::Lazy,
             restore_us: 9_000.0,
             fault_us: 1_200.0,
+            decompress_us: 300.0,
             ..RestoreInfo::default()
         };
-        assert_eq!(info.total_restore_us(), 10_200.0);
+        assert_eq!(info.total_restore_us(), 10_500.0);
     }
 }

@@ -34,10 +34,16 @@
 
 pub mod accounting;
 pub mod chain;
+pub mod compress;
 pub mod store;
+pub mod tier;
 pub mod transfer;
 
 pub use accounting::{checked_accumulate, saturating_accumulate, CounterOverflow};
 pub use chain::{ChainIndex, ChainStats};
 pub use store::{ObjectMeta, ObjectStore, StoreError, StoreStats};
+pub use tier::{
+    CacheConfig, CacheTier, DownloadPrice, DownloadRequest, ReadPrice, StoragePolicy, StorageStats,
+    StorageTier,
+};
 pub use transfer::TransferModel;

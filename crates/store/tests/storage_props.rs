@@ -1,0 +1,122 @@
+//! Property-based tests: the SSD cache tier's admission/eviction
+//! invariants and the compression model's round-trip exactness hold
+//! under arbitrary operation sequences.
+
+#![forbid(unsafe_code)]
+
+use pronghorn_store::compress;
+use pronghorn_store::CacheTier;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Admit blob `id` of `bytes` at `weight`, pinning `ancestors`.
+    Admit(u8, u16, u8, Vec<u8>),
+    /// Touch blob `id`, refreshing its weight.
+    Touch(u8, u8),
+    /// Force-remove blob `id`.
+    Remove(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (
+            0u8..24,
+            1u16..512,
+            any::<u8>(),
+            prop::collection::vec(0u8..24, 0..3)
+        )
+            .prop_map(|(id, bytes, w, anc)| Op::Admit(id, bytes, w, anc)),
+        (0u8..24, any::<u8>()).prop_map(|(id, w)| Op::Touch(id, w)),
+        (0u8..24).prop_map(Op::Remove),
+    ]
+}
+
+proptest! {
+    /// Under arbitrary admit/touch/remove sequences: used bytes equal the
+    /// sum of resident entries and never exceed capacity; an eviction
+    /// never removes a pinned chain ancestor (a blob some other resident
+    /// entry depends on); and every eviction's byte count matches what
+    /// the entry held — refcounts are conserved.
+    #[test]
+    fn cache_conserves_bytes_and_never_evicts_pinned(
+        ops in prop::collection::vec(op_strategy(), 0..120),
+        capacity in 256u64..2048,
+    ) {
+        let mut cache = CacheTier::new(capacity);
+        for op in ops {
+            match op {
+                Op::Admit(id, bytes, w, anc) => {
+                    let ancestors: Vec<u64> =
+                        anc.iter().map(|&a| u64::from(a)).filter(|&a| a != u64::from(id)).collect();
+                    let pinned_before = cache.pinned_ids();
+                    let sized: Vec<(u64, u64)> = cache
+                        .resident_ids()
+                        .iter()
+                        .map(|&r| (r, cache.bytes_of(r).unwrap()))
+                        .collect();
+                    let outcome = cache.admit(
+                        u64::from(id),
+                        u64::from(bytes),
+                        f64::from(w),
+                        &ancestors,
+                    );
+                    for (victim, freed) in &outcome.evicted {
+                        // A pinned ancestor is never an eviction victim.
+                        prop_assert!(
+                            !pinned_before.contains(victim),
+                            "evicted pinned ancestor {victim}"
+                        );
+                        // The freed byte count is exactly what it held.
+                        let held = sized.iter().find(|(r, _)| r == victim).map(|(_, b)| *b);
+                        prop_assert_eq!(held, Some(*freed));
+                    }
+                    if outcome.admitted {
+                        prop_assert!(cache.contains(u64::from(id)));
+                    }
+                }
+                Op::Touch(id, w) => cache.touch(u64::from(id), f64::from(w)),
+                Op::Remove(id) => {
+                    let held = cache.bytes_of(u64::from(id));
+                    let freed = cache.remove(u64::from(id));
+                    prop_assert_eq!(freed, held);
+                    prop_assert!(!cache.contains(u64::from(id)));
+                }
+            }
+            // Conservation: used == sum of resident entry sizes <= capacity.
+            let resident_sum: u64 = cache
+                .resident_ids()
+                .iter()
+                .map(|&r| cache.bytes_of(r).unwrap())
+                .sum();
+            prop_assert_eq!(cache.used(), resident_sum);
+            prop_assert!(cache.used() <= cache.capacity());
+            prop_assert_eq!(cache.len(), cache.resident_ids().len());
+            // Refcount consistency: a blob is pinned iff some other
+            // resident entry lists it as an ancestor.
+            for &r in &cache.resident_ids() {
+                let pinned = cache.pinned_ids().contains(&r);
+                prop_assert_eq!(pinned, cache.refcount(r) > 0);
+            }
+        }
+    }
+
+    /// Compress → decompress round-trips the nominal byte count exactly,
+    /// for every payload size and seed; the wire form never exceeds the
+    /// nominal form and is deterministic in the seed.
+    #[test]
+    fn compression_round_trips_exactly(nominal in 0u64..=1u64 << 40, seed in any::<u64>()) {
+        let c = compress::compress(nominal, seed);
+        prop_assert_eq!(c.nominal, nominal);
+        prop_assert_eq!(compress::decompress(&c), nominal);
+        prop_assert!(c.wire <= nominal);
+        if nominal > 0 {
+            prop_assert!(c.wire >= 1);
+        }
+        // Deterministic: same seed, same wire bytes.
+        prop_assert_eq!(compress::compress(nominal, seed).wire, c.wire);
+        // The modeled ratio stays inside the configured band.
+        let ratio = compress::ratio_pct(seed);
+        prop_assert!((compress::MIN_RATIO_PCT..=compress::MAX_RATIO_PCT).contains(&ratio));
+    }
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Collects the tiered-storage numbers the PR claims:
+#
+#   1. runs `experiments storage-ablation`, which sweeps the 13 paper
+#      benchmarks x paper eviction rates x {flat, +cache, +compression,
+#      +composed-prefetch} under delta K=16 (paired seeds, so cells
+#      differing only in arm replay identical inputs) and writes
+#      results/storage_ablation.csv plus results/BENCH_storage.json
+#      (per-arm restore bytes / median restore / cache and wire
+#      counters, plus the both-axes win count vs the flat baseline).
+#
+# Usage: scripts/bench_storage.sh [--quick]
+#   --quick  forwards the experiments harness's reduced-size mode
+#            (fewer invocations per cell).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p results
+
+echo "== experiments storage-ablation (writes results/storage_ablation.csv + BENCH_storage.json) =="
+cargo run -q --release -p pronghorn-experiments -- storage-ablation "$@"
+
+echo
+echo "== artifacts =="
+ls -l results/storage_ablation.csv results/BENCH_storage.json

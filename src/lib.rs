@@ -72,6 +72,7 @@ pub mod prelude {
         RunResult,
     };
     pub use pronghorn_sim::{RngFactory, SimDuration, SimTime};
+    pub use pronghorn_store::{CacheConfig, StoragePolicy, StorageStats};
     pub use pronghorn_traces::TraceSpec;
     pub use pronghorn_workloads::{by_name, evaluation_benchmarks, InputVariance, Workload};
 }
